@@ -1,0 +1,31 @@
+//! # rtim-baselines
+//!
+//! The three baselines the paper compares IC/SIC against (§6.1):
+//!
+//! * [`greedy_sim`] — **Greedy**: the classic (1 − 1/e) greedy of Nemhauser
+//!   et al. applied directly to the SIM objective of the current window,
+//!   recomputed from scratch at every query (no intermediate state).
+//! * [`imm`] — **IMM** (Tang, Shi, Xiao — SIGMOD 2015): the state-of-the-art
+//!   static influence-maximization algorithm, re-run on the influence graph
+//!   of every window under the Weighted Cascade model.  Martingale-based
+//!   reverse-reachable-set sampling plus greedy max-coverage selection,
+//!   `(1 − 1/e − ε)`-approximate.
+//! * [`ubi`] — **UBI** (Chen et al. — SDM 2015): dynamic influence
+//!   maximization by upper-bound interchange: a seed set is maintained
+//!   across windows and locally improved by swapping users in when the
+//!   spread gain exceeds an interchange threshold `γ·σ(S)`.
+//!
+//! All baselines consume the same substrate as the streaming frameworks
+//! (window influence sets / window influence graphs), so quality and
+//! throughput comparisons are apples-to-apples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod greedy_sim;
+pub mod imm;
+pub mod ubi;
+
+pub use greedy_sim::GreedySim;
+pub use imm::{Imm, ImmResult};
+pub use ubi::{Ubi, UbiConfig};

@@ -1,0 +1,93 @@
+//! Per-window cost of the baselines (Greedy, IMM, UBI) versus a SIC run
+//! over the same data (the micro view of Figure 9's ordering).
+//!
+//! Each baseline is measured on the task it performs per window slide:
+//! Greedy recomputes the SIM answer from the exact window influence sets,
+//! IMM re-runs RIS sampling + selection on the window influence graph, UBI
+//! refreshes its sketches and applies interchange steps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtim_baselines::{GreedySim, Imm, Ubi, UbiConfig};
+use rtim_core::{FrameworkKind, SimConfig, SimEngine};
+use rtim_datagen::{DatasetConfig, DatasetKind, Scale};
+use rtim_graph::build_window_graph;
+use rtim_stream::{window_influence_sets, PropagationIndex, SlidingWindow};
+use std::time::Duration;
+
+struct WindowFixture {
+    window: SlidingWindow,
+    index: PropagationIndex,
+}
+
+/// Builds a full window of realistic synthetic actions.
+fn fixture(n: usize) -> WindowFixture {
+    let stream = DatasetConfig::new(DatasetKind::SynN, Scale::Small)
+        .with_users(2_000)
+        .with_actions(n as u64)
+        .generate();
+    let mut window = SlidingWindow::new(n);
+    let mut index = PropagationIndex::new();
+    for a in stream.iter() {
+        index.insert(a);
+        window.push(*a);
+    }
+    WindowFixture { window, index }
+}
+
+fn bench_baseline_per_window(c: &mut Criterion) {
+    let fx = fixture(4_000);
+    let k = 20;
+    let mut group = c.benchmark_group("baseline_per_window");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("greedy_recompute", |b| {
+        let greedy = GreedySim::new(k);
+        b.iter(|| {
+            let influence = window_influence_sets(&fx.window, &fx.index);
+            greedy.select(&influence).value
+        });
+    });
+
+    group.bench_function("imm_rerun", |b| {
+        let imm = Imm::new(k).with_max_rr_sets(20_000);
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let graph = build_window_graph(&fx.window, &fx.index);
+            imm.select(&graph, &mut rng).estimated_spread
+        });
+    });
+
+    group.bench_function("ubi_update", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let mut ubi = Ubi::new(UbiConfig::new(k).with_rr_sets(2_000));
+            let graph = build_window_graph(&fx.window, &fx.index);
+            ubi.update(&graph, &mut rng)
+        });
+    });
+
+    // Reference point: the cost of a full SIC pass over the same data.
+    group.bench_function("sic_full_pass_reference", |b| {
+        let stream = DatasetConfig::new(DatasetKind::SynN, Scale::Small)
+            .with_users(2_000)
+            .with_actions(4_000)
+            .generate();
+        let config = SimConfig::new(k, 0.1, 4_000, 200);
+        b.iter(|| {
+            let mut engine = SimEngine::new(config, FrameworkKind::Sic);
+            for slide in stream.batches(config.slide) {
+                engine.process_slide(slide);
+            }
+            engine.query().value
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_per_window);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Influence-graph substrate costs: window-graph construction, RR-set
+//! sampling and Monte-Carlo spread estimation (the machinery behind the
+//! quality metric and the IMM/UBI baselines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtim_datagen::{DatasetConfig, DatasetKind, Scale};
+use rtim_graph::{build_window_graph, greedy_over_rr_sets, monte_carlo_spread, RrCollection};
+use rtim_stream::{PropagationIndex, SlidingWindow, UserId};
+use std::time::Duration;
+
+fn window_fixture(n: usize) -> (SlidingWindow, PropagationIndex) {
+    let stream = DatasetConfig::new(DatasetKind::Reddit, Scale::Small)
+        .with_users(3_000)
+        .with_actions(n as u64)
+        .generate();
+    let mut window = SlidingWindow::new(n);
+    let mut index = PropagationIndex::new();
+    for a in stream.iter() {
+        index.insert(a);
+        window.push(*a);
+    }
+    (window, index)
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for n in [2_000usize, 8_000] {
+        let (window, index) = window_fixture(n);
+        group.bench_with_input(BenchmarkId::new("window_graph", n), &n, |b, _| {
+            b.iter(|| build_window_graph(&window, &index).edge_count());
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampling_and_spread(c: &mut Criterion) {
+    let (window, index) = window_fixture(8_000);
+    let graph = build_window_graph(&window, &index);
+    let seeds: Vec<UserId> = graph.users().iter().copied().take(20).collect();
+    let mut group = c.benchmark_group("graph_estimators");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+
+    group.bench_function("rr_sample_5000", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let mut rr = RrCollection::new(graph.node_count());
+            rr.sample_to(&graph, 5_000, &mut rng);
+            greedy_over_rr_sets(&graph, &rr, 20).1
+        });
+    });
+
+    group.bench_function("mc_spread_1000_rounds", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            monte_carlo_spread(&graph, &seeds, 1_000, &mut rng)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_build, bench_sampling_and_spread);
+criterion_main!(benches);

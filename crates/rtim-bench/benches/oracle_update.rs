@@ -1,0 +1,57 @@
+//! Per-element update latency of the candidate checkpoint oracles (Table 2).
+//!
+//! Feeds each oracle a fixed synthetic set-stream (random influence sets of
+//! realistic sizes) and measures the cost of processing the whole stream,
+//! i.e. the aggregate of per-element updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtim_stream::UserId;
+use rtim_submodular::{OracleConfig, OracleKind};
+use std::collections::HashSet;
+use std::time::Duration;
+
+/// A synthetic set-stream: (candidate user, influence set) pairs whose set
+/// sizes follow the shallow-cascade profile of the real datasets.
+fn synthetic_elements(n: usize, universe: u32, seed: u64) -> Vec<(UserId, HashSet<UserId>)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let user = UserId(rng.gen_range(0..universe));
+            let size = 1 + (rng.gen::<f64>().powi(3) * 20.0) as usize;
+            let set: HashSet<UserId> = (0..size)
+                .map(|_| UserId(rng.gen_range(0..universe)))
+                .collect();
+            (user, set)
+        })
+        .collect()
+}
+
+fn bench_oracles(c: &mut Criterion) {
+    let elements = synthetic_elements(2_000, 5_000, 7);
+    let mut group = c.benchmark_group("oracle_update");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for oracle in OracleKind::all() {
+        group.bench_with_input(
+            BenchmarkId::new("stream_2000_elements", oracle.name()),
+            &oracle,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut o = kind.build(OracleConfig::new(50, 0.1), rtim_submodular::UnitWeight);
+                    for (u, set) in &elements {
+                        o.process(*u, set);
+                    }
+                    o.value()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

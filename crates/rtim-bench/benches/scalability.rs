@@ -1,0 +1,62 @@
+//! Scalability of IC/SIC in window size N and slide length L (the micro
+//! view of Figures 10 and 11).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtim_core::{FrameworkKind, SimConfig, SimEngine};
+use rtim_datagen::{DatasetConfig, DatasetKind, Scale};
+use rtim_stream::SocialStream;
+use std::time::Duration;
+
+fn stream() -> SocialStream {
+    DatasetConfig::new(DatasetKind::SynO, Scale::Small)
+        .with_users(2_000)
+        .with_actions(8_000)
+        .generate()
+}
+
+fn run(stream: &SocialStream, kind: FrameworkKind, config: SimConfig) -> f64 {
+    let mut engine = SimEngine::new(config, kind);
+    for slide in stream.batches(config.slide) {
+        engine.process_slide(slide);
+    }
+    engine.query().value
+}
+
+fn bench_window_size(c: &mut Criterion) {
+    let stream = stream();
+    let mut group = c.benchmark_group("scalability_window_size");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    for kind in [FrameworkKind::Sic, FrameworkKind::Ic] {
+        for n in [500usize, 1_000, 2_000, 4_000] {
+            let config = SimConfig::new(20, 0.1, n, 100);
+            group.bench_with_input(BenchmarkId::new(kind.name(), n), &config, |b, &config| {
+                b.iter(|| run(&stream, kind, config));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_slide_length(c: &mut Criterion) {
+    let stream = stream();
+    let mut group = c.benchmark_group("scalability_slide_length");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    for kind in [FrameworkKind::Sic, FrameworkKind::Ic] {
+        for l in [50usize, 100, 200, 400] {
+            let config = SimConfig::new(20, 0.1, 2_000, l);
+            group.bench_with_input(BenchmarkId::new(kind.name(), l), &config, |b, &config| {
+                b.iter(|| run(&stream, kind, config));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_size, bench_slide_length);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Stream-substrate costs: propagation-index arrival work, window
+//! maintenance, and from-scratch window influence-set computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtim_datagen::{DatasetConfig, DatasetKind, Scale};
+use rtim_stream::{window_influence_sets, PropagationIndex, SlidingWindow, SocialStream};
+use std::time::Duration;
+
+fn stream(kind: DatasetKind, actions: u64) -> SocialStream {
+    DatasetConfig::new(kind, Scale::Small)
+        .with_users(3_000)
+        .with_actions(actions)
+        .generate()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stream_ingest");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    for kind in [DatasetKind::Reddit, DatasetKind::Twitter, DatasetKind::SynN] {
+        let s = stream(kind, 20_000);
+        group.throughput(criterion::Throughput::Elements(s.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("propagation_and_window", kind.name()),
+            &s,
+            |b, s| {
+                b.iter(|| {
+                    let mut index = PropagationIndex::new();
+                    let mut window = SlidingWindow::new(5_000);
+                    for a in s.iter() {
+                        index.insert(a);
+                        window.push(*a);
+                    }
+                    (index.retained(), window.active_user_count())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_window_influence_sets(c: &mut Criterion) {
+    let s = stream(DatasetKind::Reddit, 8_000);
+    let mut index = PropagationIndex::new();
+    let mut window = SlidingWindow::new(8_000);
+    for a in s.iter() {
+        index.insert(a);
+        window.push(*a);
+    }
+    let mut group = c.benchmark_group("window_influence_sets");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    group.bench_function("recompute_8000_actions", |b| {
+        b.iter(|| window_influence_sets(&window, &index).total_facts());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_window_influence_sets);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Per-slide latency of IC vs SIC across β (the micro view of Figure 7).
+//!
+//! Processes a fixed synthetic stream through each framework and measures
+//! the total processing time, which is dominated by the per-slide checkpoint
+//! updates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtim_core::{FrameworkKind, SimConfig, SimEngine};
+use rtim_datagen::{DatasetConfig, DatasetKind, Scale};
+use rtim_stream::SocialStream;
+use std::time::Duration;
+
+fn stream() -> SocialStream {
+    DatasetConfig::new(DatasetKind::SynN, Scale::Small)
+        .with_users(2_000)
+        .with_actions(6_000)
+        .generate()
+}
+
+fn bench_frameworks(c: &mut Criterion) {
+    let stream = stream();
+    let mut group = c.benchmark_group("window_slide");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500))
+        .throughput(criterion::Throughput::Elements(stream.len() as u64));
+
+    for kind in [FrameworkKind::Sic, FrameworkKind::Ic] {
+        for beta in [0.1, 0.3, 0.5] {
+            let config = SimConfig::new(20, beta, 1_500, 100);
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), format!("beta_{beta}")),
+                &config,
+                |b, &config| {
+                    b.iter(|| {
+                        let mut engine = SimEngine::new(config, kind);
+                        for slide in stream.batches(config.slide) {
+                            engine.process_slide(slide);
+                        }
+                        engine.query().value
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_frameworks);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Figure 10 — throughput of all methods with varying window size N.
+//!
+//! The swept N values are the Table-4 grid scaled by the requested scale
+//! (paper: 100K–1M).  Expected shape: every method slows as N grows; SIC
+//! degrades slowest (its checkpoint count grows only logarithmically in N);
+//! IC and SIC converge when N is small enough that ⌈N/L⌉ is itself small.
+//!
+//! ```text
+//! cargo run --release -p rtim-bench --bin fig10_throughput_vs_n -- --dataset syn-n
+//! ```
+
+use rtim_bench::cli::Args;
+use rtim_bench::{format_series, CommonArgs, MethodKind, MethodSweep, ParamGrid, COMMON_KEYS};
+
+fn main() {
+    let args = match Args::parse(COMMON_KEYS) {
+        Ok(a) => a,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let mut common = CommonArgs::resolve(&args);
+    if common.budget.max_slides == 0 {
+        common.budget.max_slides = 8;
+    }
+    let grid = ParamGrid::scaled(common.params.scale.fraction());
+    let xs: Vec<String> = grid.window.iter().map(|n| n.to_string()).collect();
+
+    for dataset in &common.datasets.clone() {
+        let stream = common.generate(*dataset);
+        let params = common.params;
+        let sweep = MethodSweep::run(
+            &MethodKind::all(),
+            &xs,
+            common.budget,
+            |_| stream.clone(),
+            |xi| {
+                let mut p = params;
+                p.window = grid.window[xi];
+                p.slide = p.slide.min(p.window).max(1);
+                p
+            },
+        );
+        println!(
+            "{}",
+            format_series(
+                &format!(
+                    "Figure 10 ({}): throughput (actions/s) vs window size N (k={}, L={}, beta={})",
+                    dataset.name(),
+                    params.k,
+                    params.slide,
+                    params.beta
+                ),
+                "N",
+                &xs,
+                &sweep.throughput_series(),
+            )
+        );
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 11 — throughput of all methods with varying slide length L.
+//!
+//! The swept L values are the Table-4 grid scaled by the requested scale
+//! (paper: 1K–10K).  Expected shape: IC and SIC throughput grows with L
+//! (fewer checkpoints, less per-action overhead), roughly linearly for IC;
+//! SIC stays above IC; the static baselines barely benefit.
+//!
+//! ```text
+//! cargo run --release -p rtim-bench --bin fig11_throughput_vs_l -- --dataset syn-n
+//! ```
+
+use rtim_bench::cli::Args;
+use rtim_bench::{format_series, CommonArgs, MethodKind, MethodSweep, ParamGrid, COMMON_KEYS};
+
+fn main() {
+    let args = match Args::parse(COMMON_KEYS) {
+        Ok(a) => a,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let mut common = CommonArgs::resolve(&args);
+    if common.budget.max_slides == 0 {
+        common.budget.max_slides = 8;
+    }
+    let grid = ParamGrid::scaled(common.params.scale.fraction());
+    let xs: Vec<String> = grid.slide.iter().map(|l| l.to_string()).collect();
+
+    for dataset in &common.datasets.clone() {
+        let stream = common.generate(*dataset);
+        let params = common.params;
+        let sweep = MethodSweep::run(
+            &MethodKind::all(),
+            &xs,
+            common.budget,
+            |_| stream.clone(),
+            |xi| {
+                let mut p = params;
+                p.slide = grid.slide[xi].min(p.window).max(1);
+                p
+            },
+        );
+        println!(
+            "{}",
+            format_series(
+                &format!(
+                    "Figure 11 ({}): throughput (actions/s) vs slide length L (k={}, N={}, beta={})",
+                    dataset.name(),
+                    params.k,
+                    params.window,
+                    params.beta
+                ),
+                "L",
+                &xs,
+                &sweep.throughput_series(),
+            )
+        );
+    }
+}

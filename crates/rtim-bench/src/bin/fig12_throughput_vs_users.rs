@@ -1,0 +1,79 @@
+//! Figure 12 — throughput of all methods with varying number of users |U|
+//! on the two synthetic datasets.
+//!
+//! The swept |U| values are the Table-4 grid scaled by the requested scale
+//! (paper: 1M–5M users, 10M actions).  Expected shape: with N fixed, larger
+//! |U| makes the per-window influence graph sparser, so SIC/IC/UBI speed up
+//! while Greedy/IMM (whose cost scales with |U| / graph size) slow down or
+//! stay flat; SIC remains on top throughout.
+//!
+//! ```text
+//! cargo run --release -p rtim-bench --bin fig12_throughput_vs_users
+//! ```
+
+use rtim_bench::cli::Args;
+use rtim_bench::{format_series, CommonArgs, MethodKind, MethodSweep, ParamGrid, COMMON_KEYS};
+use rtim_datagen::{DatasetConfig, DatasetKind};
+
+fn main() {
+    let args = match Args::parse(COMMON_KEYS) {
+        Ok(a) => a,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let mut common = CommonArgs::resolve(&args);
+    if common.budget.max_slides == 0 {
+        common.budget.max_slides = 8;
+    }
+    let grid = ParamGrid::scaled(common.params.scale.fraction());
+    let xs: Vec<String> = grid.users.iter().map(|u| u.to_string()).collect();
+
+    // Only the synthetic datasets support sweeping |U| (as in the paper).
+    let datasets: Vec<DatasetKind> = common
+        .datasets
+        .iter()
+        .copied()
+        .filter(|d| matches!(d, DatasetKind::SynO | DatasetKind::SynN))
+        .collect();
+    let datasets = if datasets.is_empty() {
+        vec![DatasetKind::SynO, DatasetKind::SynN]
+    } else {
+        datasets
+    };
+
+    for dataset in datasets {
+        let params = common.params;
+        let scale = params.scale;
+        let actions_override = common.actions;
+        let sweep = MethodSweep::run(
+            &MethodKind::all(),
+            &xs,
+            common.budget,
+            |xi| {
+                let mut cfg = DatasetConfig::new(dataset, scale).with_users(grid.users[xi]);
+                if let Some(a) = actions_override {
+                    cfg = cfg.with_actions(a);
+                }
+                cfg.generate()
+            },
+            |_| params,
+        );
+        println!(
+            "{}",
+            format_series(
+                &format!(
+                    "Figure 12 ({}): throughput (actions/s) vs number of users (k={}, N={}, L={})",
+                    dataset.name(),
+                    params.k,
+                    params.window,
+                    params.slide
+                ),
+                "|U|",
+                &xs,
+                &sweep.throughput_series(),
+            )
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Figure 5 — influence values of IC and SIC with varying β.
+//!
+//! For each dataset, sweeps β ∈ {0.1, 0.2, 0.3, 0.4, 0.5} and reports the
+//! average SIM influence value (the objective value of the answer averaged
+//! over all full windows).  Expected shape: IC ≥ SIC, both decreasing in β,
+//! with SIC within ~5 % of IC and degrading fastest on SYN-N.
+//!
+//! ```text
+//! cargo run --release -p rtim-bench --bin fig5_influence_vs_beta
+//! ```
+
+use rtim_bench::cli::Args;
+use rtim_bench::{format_series, BetaSweep, CommonArgs, COMMON_KEYS};
+
+fn main() {
+    let args = match Args::parse(COMMON_KEYS) {
+        Ok(a) => a,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let common = CommonArgs::resolve(&args);
+    let betas = [0.1, 0.2, 0.3, 0.4, 0.5];
+
+    for dataset in &common.datasets {
+        let stream = common.generate(*dataset);
+        let sweep = BetaSweep::run(&stream, &common.params, &betas);
+        println!(
+            "{}",
+            format_series(
+                &format!(
+                    "Figure 5 ({}): average influence value vs beta (k={}, N={}, L={})",
+                    dataset.name(),
+                    common.params.k,
+                    common.params.window,
+                    common.params.slide
+                ),
+                "beta",
+                &sweep.x_labels(),
+                &sweep.series(|r| r.avg_value),
+            )
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Figure 6 — number of checkpoints maintained by IC and SIC vs β.
+//!
+//! Expected shape: IC keeps a constant ⌈N/L⌉ checkpoints regardless of β;
+//! SIC keeps O(log N / β) — decreasing in β and far below IC.
+//!
+//! ```text
+//! cargo run --release -p rtim-bench --bin fig6_checkpoints_vs_beta
+//! ```
+
+use rtim_bench::cli::Args;
+use rtim_bench::{format_series, BetaSweep, CommonArgs, COMMON_KEYS};
+
+fn main() {
+    let args = match Args::parse(COMMON_KEYS) {
+        Ok(a) => a,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let common = CommonArgs::resolve(&args);
+    let betas = [0.1, 0.2, 0.3, 0.4, 0.5];
+
+    for dataset in &common.datasets {
+        let stream = common.generate(*dataset);
+        let sweep = BetaSweep::run(&stream, &common.params, &betas);
+        println!(
+            "{}",
+            format_series(
+                &format!(
+                    "Figure 6 ({}): average number of checkpoints vs beta (ceil(N/L) = {})",
+                    dataset.name(),
+                    common.params.sim_config().checkpoint_capacity()
+                ),
+                "beta",
+                &sweep.x_labels(),
+                &sweep.series(|r| r.avg_checkpoints),
+            )
+        );
+    }
+}

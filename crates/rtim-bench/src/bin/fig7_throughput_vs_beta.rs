@@ -1,0 +1,44 @@
+//! Figure 7 — throughput of IC and SIC with varying β.
+//!
+//! Expected shape: both improve as β grows (fewer SieveStreaming instances
+//! per checkpoint); SIC is consistently above IC with the gap widening in β
+//! (fewer checkpoints).
+//!
+//! ```text
+//! cargo run --release -p rtim-bench --bin fig7_throughput_vs_beta
+//! ```
+
+use rtim_bench::cli::Args;
+use rtim_bench::{format_series, BetaSweep, CommonArgs, COMMON_KEYS};
+
+fn main() {
+    let args = match Args::parse(COMMON_KEYS) {
+        Ok(a) => a,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let common = CommonArgs::resolve(&args);
+    let betas = [0.1, 0.2, 0.3, 0.4, 0.5];
+
+    for dataset in &common.datasets {
+        let stream = common.generate(*dataset);
+        let sweep = BetaSweep::run(&stream, &common.params, &betas);
+        println!(
+            "{}",
+            format_series(
+                &format!(
+                    "Figure 7 ({}): throughput (actions/s) vs beta (k={}, N={}, L={})",
+                    dataset.name(),
+                    common.params.k,
+                    common.params.window,
+                    common.params.slide
+                ),
+                "beta",
+                &sweep.x_labels(),
+                &sweep.series(|r| r.throughput),
+            )
+        );
+    }
+}

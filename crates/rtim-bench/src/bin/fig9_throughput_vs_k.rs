@@ -1,0 +1,59 @@
+//! Figure 9 — throughput of all methods with varying k.
+//!
+//! Expected shape: all methods slow down as k grows; SIC dominates IC, and
+//! both dominate Greedy/IMM by roughly two orders of magnitude; UBI sits in
+//! between but well below SIC.
+//!
+//! ```text
+//! cargo run --release -p rtim-bench --bin fig9_throughput_vs_k -- --dataset syn-n
+//! ```
+
+use rtim_bench::cli::Args;
+use rtim_bench::{format_series, CommonArgs, MethodKind, MethodSweep, COMMON_KEYS};
+
+fn main() {
+    let args = match Args::parse(COMMON_KEYS) {
+        Ok(a) => a,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let mut common = CommonArgs::resolve(&args);
+    if common.budget.max_slides == 0 {
+        common.budget.max_slides = 12;
+    }
+    let ks = [5usize, 25, 50, 75, 100];
+    let xs: Vec<String> = ks.iter().map(|k| k.to_string()).collect();
+
+    for dataset in &common.datasets.clone() {
+        let stream = common.generate(*dataset);
+        let params = common.params;
+        let sweep = MethodSweep::run(
+            &MethodKind::all(),
+            &xs,
+            common.budget,
+            |_| stream.clone(),
+            |xi| {
+                let mut p = params;
+                p.k = ks[xi];
+                p
+            },
+        );
+        println!(
+            "{}",
+            format_series(
+                &format!(
+                    "Figure 9 ({}): throughput (actions/s) vs k (N={}, L={}, beta={})",
+                    dataset.name(),
+                    params.window,
+                    params.slide,
+                    params.beta
+                ),
+                "k",
+                &xs,
+                &sweep.throughput_series(),
+            )
+        );
+    }
+}

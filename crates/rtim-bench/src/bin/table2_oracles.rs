@@ -1,0 +1,62 @@
+//! Table 2 (ablation) — candidate checkpoint oracles.
+//!
+//! The paper lists four candidate checkpoint oracles with their theoretical
+//! quality and update cost.  This binary measures them empirically inside
+//! the SIC framework on the same stream: average SIM influence value,
+//! throughput, and the theoretical ratio for reference.
+//!
+//! ```text
+//! cargo run --release -p rtim-bench --bin table2_oracles -- --dataset syn-n
+//! ```
+
+use rtim_bench::cli::Args;
+use rtim_bench::{format_table, run_method, BaselineBudget, CommonArgs, MethodKind, COMMON_KEYS};
+use rtim_submodular::OracleKind;
+
+fn main() {
+    let args = match Args::parse(COMMON_KEYS) {
+        Ok(a) => a,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let common = CommonArgs::resolve(&args);
+    let dataset = common.datasets[0];
+    let stream = common.generate(dataset);
+    let params = common.params;
+
+    let mut rows = Vec::new();
+    for oracle in OracleKind::all() {
+        let config = params.sim_config().with_oracle(oracle);
+        let run = run_method(
+            MethodKind::Sic,
+            config,
+            &stream,
+            BaselineBudget::default(),
+            params.seed,
+        );
+        rows.push(vec![
+            oracle.name().to_string(),
+            format!("{:.3}", oracle.approximation_ratio(config.oracle_config())),
+            format!("{:.1}", run.avg_value),
+            format!("{:.0}", run.throughput),
+            format!("{:.1}", run.avg_checkpoints),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &format!(
+                "Table 2 (ablation): checkpoint oracles inside SIC on {} (k={}, beta={}, N={}, L={})",
+                dataset.name(),
+                params.k,
+                params.beta,
+                params.window,
+                params.slide
+            ),
+            &["Oracle", "Theor. ratio", "Avg. value", "Throughput (act/s)", "Avg. checkpoints"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,160 @@
+//! Experiment parameters (Table 4) and scaled defaults.
+//!
+//! The paper's grid: `k ∈ {5, 25, 50, 75, 100}`, `β ∈ {0.1..0.5}`,
+//! `N ∈ {100K..1M}`, `L ∈ {1K..10K}`, `|U| ∈ {1M..5M}` with defaults
+//! `k = 50`, `β = 0.1`, `N = 250K`, `L = 5K`, `|U| = 2M`.
+//!
+//! The bundled experiment binaries default to a proportionally scaled-down
+//! grid (`scale_factor`) so the whole suite completes on a laptop in
+//! minutes; pass `--scale paper` to reproduce the original sizes.
+
+use rtim_datagen::{DatasetConfig, DatasetKind, Scale};
+use serde::{Deserialize, Serialize};
+
+/// The full parameter grid of Table 4.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamGrid {
+    /// Seed-set sizes `k`.
+    pub k: Vec<usize>,
+    /// Trade-off parameters `β`.
+    pub beta: Vec<f64>,
+    /// Window sizes `N`.
+    pub window: Vec<usize>,
+    /// Slide lengths `L`.
+    pub slide: Vec<usize>,
+    /// User counts `|U|` (synthetic datasets only).
+    pub users: Vec<u32>,
+}
+
+impl ParamGrid {
+    /// The paper's grid (Table 4).
+    pub fn paper() -> Self {
+        ParamGrid {
+            k: vec![5, 25, 50, 75, 100],
+            beta: vec![0.1, 0.2, 0.3, 0.4, 0.5],
+            window: vec![100_000, 250_000, 500_000, 750_000, 1_000_000],
+            slide: vec![1_000, 2_500, 5_000, 7_500, 10_000],
+            users: vec![1_000_000, 2_000_000, 3_000_000, 4_000_000, 5_000_000],
+        }
+    }
+
+    /// The grid scaled by `factor` (sizes rounded, k and β unchanged).
+    pub fn scaled(factor: f64) -> Self {
+        let f = factor.clamp(1e-5, 1.0);
+        let paper = Self::paper();
+        ParamGrid {
+            k: paper.k,
+            beta: paper.beta,
+            window: paper.window.iter().map(|&n| scale_usize(n, f)).collect(),
+            slide: paper.slide.iter().map(|&l| scale_usize(l, f)).collect(),
+            users: paper
+                .users
+                .iter()
+                .map(|&u| (u as f64 * f).ceil().max(100.0) as u32)
+                .collect(),
+        }
+    }
+}
+
+fn scale_usize(v: usize, f: f64) -> usize {
+    ((v as f64 * f).ceil() as usize).max(10)
+}
+
+/// One experiment's fully resolved parameters (defaults of Table 4 at the
+/// requested scale, each overridable from the command line).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentParams {
+    /// Dataset to generate.
+    pub dataset: DatasetKind,
+    /// Stream scale (fraction of paper size).
+    pub scale: Scale,
+    /// Seed-set size `k` (paper default 50).
+    pub k: usize,
+    /// Trade-off `β` (paper default 0.1).
+    pub beta: f64,
+    /// Window size `N`.
+    pub window: usize,
+    /// Slide length `L`.
+    pub slide: usize,
+    /// Monte-Carlo rounds used by the quality metric (paper: 10 000).
+    pub mc_rounds: usize,
+    /// Evaluate the quality metric every this many slides (1 = every slide).
+    pub eval_every: usize,
+    /// RNG seed for evaluation and baselines.
+    pub seed: u64,
+}
+
+impl ExperimentParams {
+    /// Laptop-scale defaults: the Table-4 defaults multiplied by the scale
+    /// fraction, on the given dataset.
+    pub fn small(dataset: DatasetKind) -> Self {
+        Self::at_scale(dataset, Scale::Small)
+    }
+
+    /// Defaults proportional to the requested scale.
+    pub fn at_scale(dataset: DatasetKind, scale: Scale) -> Self {
+        let f = scale.fraction();
+        ExperimentParams {
+            dataset,
+            scale,
+            k: 50,
+            beta: 0.1,
+            window: scale_usize(250_000, f),
+            slide: scale_usize(5_000, f),
+            mc_rounds: if f >= 1.0 { 10_000 } else { 500 },
+            eval_every: 4,
+            seed: 0xE0_5EED,
+        }
+    }
+
+    /// The dataset configuration implied by these parameters.
+    pub fn dataset_config(&self) -> DatasetConfig {
+        DatasetConfig::new(self.dataset, self.scale)
+    }
+
+    /// The SIM configuration implied by these parameters.
+    pub fn sim_config(&self) -> rtim_core::SimConfig {
+        rtim_core::SimConfig::new(self.k, self.beta, self.window, self.slide)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_matches_table4() {
+        let g = ParamGrid::paper();
+        assert_eq!(g.k, vec![5, 25, 50, 75, 100]);
+        assert_eq!(g.window[1], 250_000);
+        assert_eq!(g.slide[2], 5_000);
+        assert_eq!(g.users.len(), 5);
+    }
+
+    #[test]
+    fn scaled_grid_shrinks_sizes_only() {
+        let g = ParamGrid::scaled(0.01);
+        assert_eq!(g.k, ParamGrid::paper().k);
+        assert_eq!(g.window[1], 2_500);
+        assert!(g.users[0] <= 10_000);
+    }
+
+    #[test]
+    fn params_default_to_table4_defaults() {
+        let p = ExperimentParams::at_scale(DatasetKind::SynO, Scale::Paper);
+        assert_eq!(p.k, 50);
+        assert_eq!(p.window, 250_000);
+        assert_eq!(p.slide, 5_000);
+        assert_eq!(p.mc_rounds, 10_000);
+        let c = p.sim_config();
+        assert_eq!(c.checkpoint_capacity(), 50);
+    }
+
+    #[test]
+    fn small_params_are_proportional() {
+        let p = ExperimentParams::small(DatasetKind::Reddit);
+        assert_eq!(p.window, 500);
+        assert_eq!(p.slide, 10);
+        assert_eq!(p.sim_config().checkpoint_capacity(), 50);
+    }
+}

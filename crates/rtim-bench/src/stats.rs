@@ -1,0 +1,110 @@
+//! Per-slide latency statistics.
+//!
+//! The paper reports aggregate throughput; for a system that is meant to sit
+//! on a live feed, tail latencies per window slide matter just as much (a
+//! slide that stalls delays every downstream query).  [`LatencyStats`]
+//! summarizes the recorded per-slide processing times with the usual
+//! percentiles and is attached to every [`crate::runner::MethodRun`].
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Summary of a set of per-slide latencies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LatencyStats {
+    /// Number of recorded slides.
+    pub count: usize,
+    /// Mean latency in microseconds.
+    pub mean_us: f64,
+    /// Median latency in microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency in microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_us: u64,
+    /// Maximum latency in microseconds.
+    pub max_us: u64,
+}
+
+impl LatencyStats {
+    /// Summarizes a list of per-slide durations.
+    pub fn from_durations(durations: &[Duration]) -> Self {
+        if durations.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut us: Vec<u64> = durations
+            .iter()
+            .map(|d| d.as_micros().min(u128::from(u64::MAX)) as u64)
+            .collect();
+        us.sort_unstable();
+        let total: u128 = us.iter().map(|&v| v as u128).sum();
+        LatencyStats {
+            count: us.len(),
+            mean_us: total as f64 / us.len() as f64,
+            p50_us: percentile(&us, 0.50),
+            p95_us: percentile(&us, 0.95),
+            p99_us: percentile(&us, 0.99),
+            max_us: *us.last().expect("non-empty"),
+        }
+    }
+
+    /// Mean latency as a [`Duration`].
+    pub fn mean(&self) -> Duration {
+        Duration::from_micros(self.mean_us.round() as u64)
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice.
+fn percentile(sorted_us: &[u64], q: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((q * sorted_us.len() as f64).ceil() as usize).clamp(1, sorted_us.len());
+    sorted_us[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarizes_known_distribution() {
+        let durations: Vec<Duration> = (1..=100u64).map(Duration::from_micros).collect();
+        let stats = LatencyStats::from_durations(&durations);
+        assert_eq!(stats.count, 100);
+        assert!((stats.mean_us - 50.5).abs() < 1e-9);
+        assert_eq!(stats.p50_us, 50);
+        assert_eq!(stats.p95_us, 95);
+        assert_eq!(stats.p99_us, 99);
+        assert_eq!(stats.max_us, 100);
+        assert_eq!(stats.mean(), Duration::from_micros(51));
+    }
+
+    #[test]
+    fn empty_input_yields_zeroes() {
+        let stats = LatencyStats::from_durations(&[]);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.max_us, 0);
+        assert_eq!(stats.mean_us, 0.0);
+    }
+
+    #[test]
+    fn single_sample_percentiles_collapse() {
+        let stats = LatencyStats::from_durations(&[Duration::from_micros(7)]);
+        assert_eq!(stats.p50_us, 7);
+        assert_eq!(stats.p99_us, 7);
+        assert_eq!(stats.count, 1);
+    }
+
+    #[test]
+    fn percentile_is_monotone() {
+        let durations: Vec<Duration> = [3u64, 9, 1, 7, 5, 11, 2]
+            .iter()
+            .map(|&v| Duration::from_micros(v))
+            .collect();
+        let stats = LatencyStats::from_durations(&durations);
+        assert!(stats.p50_us <= stats.p95_us);
+        assert!(stats.p95_us <= stats.p99_us);
+        assert!(stats.p99_us <= stats.max_us);
+    }
+}

@@ -1,0 +1,100 @@
+//! Location-aware SIM (Appendix A).
+//!
+//! Each action is annotated with the position where it happened; a
+//! location-aware SIM query concerns a rectangular region `R` and is
+//! answered by running IC/SIC on the sub-stream `{a_t | p_t ∈ R}`.
+
+use super::{Annotated, StreamFilter};
+use serde::{Deserialize, Serialize};
+
+/// A geographic position (longitude, latitude) or any planar coordinate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+}
+
+/// An axis-aligned rectangular query region.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    /// Lower-left corner.
+    pub min: Point,
+    /// Upper-right corner.
+    pub max: Point,
+}
+
+impl Region {
+    /// Creates a region from two corners (order-normalized).
+    pub fn new(a: Point, b: Point) -> Self {
+        Region {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// `true` if the point lies inside the region (inclusive bounds).
+    pub fn contains(&self, p: Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+}
+
+/// Accepts actions located inside the query region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LocationFilter {
+    region: Region,
+}
+
+impl LocationFilter {
+    /// A filter for the given region.
+    pub fn new(region: Region) -> Self {
+        LocationFilter { region }
+    }
+
+    /// The query region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+}
+
+impl StreamFilter<Annotated<Point>> for LocationFilter {
+    fn accept(&self, annotated: &Annotated<Point>) -> bool {
+        self.region.contains(annotated.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extensions::filter_slide;
+    use rtim_stream::Action;
+
+    #[test]
+    fn region_normalizes_corners_and_contains_points() {
+        let r = Region::new(Point::new(5.0, 5.0), Point::new(0.0, 0.0));
+        assert!(r.contains(Point::new(2.5, 2.5)));
+        assert!(r.contains(Point::new(0.0, 5.0)));
+        assert!(!r.contains(Point::new(6.0, 1.0)));
+    }
+
+    #[test]
+    fn filter_keeps_in_region_actions() {
+        let filter = LocationFilter::new(Region::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)));
+        let slide = vec![
+            Annotated::new(Action::root(1u64, 1u32), Point::new(0.5, 0.5)),
+            Annotated::new(Action::root(2u64, 2u32), Point::new(2.0, 0.5)),
+        ];
+        let kept = filter_slide(&slide, &filter);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].id.0, 1);
+        assert!(filter.region().contains(Point::new(1.0, 1.0)));
+    }
+}

@@ -1,0 +1,61 @@
+//! Appendix-A extensions: adapting SIM to other influence-maximization
+//! flavours by filtering the stream or re-weighting the influence function.
+//!
+//! * [`topic`] — topic-aware SIM: a query concerns a subset of topics; only
+//!   actions tagged with an overlapping topic are fed to the frameworks.
+//! * [`location`] — location-aware SIM: a query concerns a spatial region;
+//!   only actions located inside the region are fed to the frameworks.
+//! * [`conformity`] — conformity-aware SIM: influenced users contribute a
+//!   weight derived from offline influence/conformity scores instead of 1;
+//!   the weighted-coverage objective stays monotone submodular, so the
+//!   IC/SIC guarantees carry over unchanged.
+
+pub mod conformity;
+pub mod location;
+pub mod topic;
+
+pub use conformity::ConformityScores;
+pub use location::{LocationFilter, Point, Region};
+pub use topic::{TopicFilter, TopicId, TopicSet};
+
+use rtim_stream::Action;
+
+/// A predicate deciding whether an annotated action belongs to the
+/// sub-stream of a given SIM query.
+pub trait StreamFilter<A> {
+    /// `true` if the annotated action is relevant to the query.
+    fn accept(&self, annotated: &A) -> bool;
+}
+
+/// An action together with arbitrary annotations (topics, location, …).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotated<T> {
+    /// The underlying social action.
+    pub action: Action,
+    /// The annotation payload.
+    pub tag: T,
+}
+
+impl<T> Annotated<T> {
+    /// Annotates an action.
+    pub fn new(action: Action, tag: T) -> Self {
+        Annotated { action, tag }
+    }
+}
+
+/// Filters an annotated slide down to the actions relevant for a query,
+/// returning plain actions ready for [`crate::SimEngine::process_slide`].
+pub fn filter_slide<'a, T, F>(
+    slide: impl IntoIterator<Item = &'a Annotated<T>>,
+    filter: &F,
+) -> Vec<Action>
+where
+    T: 'a,
+    F: StreamFilter<Annotated<T>>,
+{
+    slide
+        .into_iter()
+        .filter(|a| filter.accept(a))
+        .map(|a| a.action)
+        .collect()
+}

@@ -1,0 +1,67 @@
+//! # rtim-core
+//!
+//! The paper's primary contribution: continuous **Stream Influence
+//! Maximization (SIM)** over sliding windows of social actions.
+//!
+//! * [`config`] — the SIM query configuration (`k`, `β`, window size `N`,
+//!   slide length `L`, checkpoint-oracle choice).
+//! * [`ssm`] — the Set-Stream Mapping (§4.2): a [`Checkpoint`] adapts any
+//!   append-only streaming-submodular-optimization oracle into a checkpoint
+//!   oracle over the action stream, preserving its approximation ratio
+//!   (Theorem 2).
+//! * [`framework`] — the common interface of the two checkpoint frameworks
+//!   and the [`Solution`] type.
+//! * [`ic`] — the **Influential Checkpoints** framework (§4, Algorithm 1):
+//!   one checkpoint per window slide, `ε`-approximate answers.
+//! * [`sic`] — the **Sparse Influential Checkpoints** framework (§5,
+//!   Algorithm 2): `O(log N / β)` checkpoints, `ε(1−β)/2`-approximate
+//!   answers (Theorems 3–5).
+//! * [`engine`] — the [`SimEngine`] driver: maintains the sliding window and
+//!   the propagation index, feeds resolved actions into a framework, and
+//!   answers SIM queries after every slide (including multi-action slides,
+//!   §5.3).
+//! * [`extensions`] — topic-aware, location-aware and conformity-aware SIM
+//!   (Appendix A).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rtim_core::{SimConfig, SimEngine};
+//! use rtim_stream::Action;
+//!
+//! // k = 2 seeds over a window of the 8 most recent actions, sliding by 2.
+//! let config = SimConfig::new(2, 0.2, 8, 2);
+//! let mut engine = SimEngine::new_sic(config);
+//!
+//! let actions = vec![
+//!     Action::root(1u64, 1u32),
+//!     Action::reply(2u64, 2u32, 1u64),
+//!     Action::root(3u64, 3u32),
+//!     Action::reply(4u64, 3u32, 1u64),
+//! ];
+//! for slide in actions.chunks(2) {
+//!     engine.process_slide(slide);
+//!     let solution = engine.query();
+//!     assert!(solution.seeds.len() <= 2);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod extensions;
+pub mod framework;
+pub mod ic;
+pub mod parallel;
+pub mod sic;
+pub mod ssm;
+
+pub use config::SimConfig;
+pub use engine::{SimEngine, SlideReport};
+pub use framework::{Framework, FrameworkKind, ResolvedAction, Solution};
+pub use ic::IcFramework;
+pub use parallel::feed_all_with_threads;
+pub use sic::SicFramework;
+pub use ssm::Checkpoint;

@@ -1,0 +1,30 @@
+//! # rtim-datagen
+//!
+//! Workload generators reproducing the four datasets of §6.1:
+//!
+//! * [`synthetic`] — the SYN-O / SYN-N streams: an R-MAT power-law "follow"
+//!   graph plus post/follow actions whose response distance follows an
+//!   exponential distribution (`λ = 2·10⁻⁶` for SYN-O — "old posts get more
+//!   followers" — and `λ = 2·10⁻⁴` for SYN-N — "recent posts get more
+//!   followers").
+//! * [`social_sim`] — Reddit-like and Twitter-like stream simulators.  The
+//!   original traces (a Kaggle dump and a Twitter crawl) are not
+//!   redistributable, so we generate streams matching their published
+//!   statistics (user counts, average cascade depth, response distance);
+//!   see DESIGN.md §2 for the substitution rationale.
+//! * [`dataset`] — a single entry point ([`DatasetConfig`]) selecting any of
+//!   the four datasets at paper scale or laptop scale.
+//! * [`stats`] — Table-3 statistics computed from any generated stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod social_sim;
+pub mod stats;
+pub mod synthetic;
+
+pub use dataset::{DatasetConfig, DatasetKind, Scale};
+pub use social_sim::{SocialSimConfig, SocialSimKind};
+pub use stats::{dataset_statistics, DatasetStatistics};
+pub use synthetic::{SyntheticConfig, SyntheticKind};

@@ -1,0 +1,102 @@
+//! Dataset statistics — the columns of Table 3.
+//!
+//! For any generated (or externally loaded) stream this module computes the
+//! statistics the paper reports per dataset: number of users, number of
+//! actions, average response distance and average cascade depth.
+
+use rtim_stream::{PropagationIndex, SocialStream};
+use serde::{Deserialize, Serialize};
+
+/// One row of Table 3.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct DatasetStatistics {
+    /// Dataset display name.
+    pub name: String,
+    /// Number of distinct users appearing in the stream.
+    pub users: u64,
+    /// Number of actions.
+    pub actions: u64,
+    /// Mean response distance `t - t'` over reply actions.
+    pub avg_response_distance: f64,
+    /// Mean cascade depth (position of an action in its cascade, roots = 1).
+    pub avg_depth: f64,
+    /// Fraction of root actions (not in Table 3 but useful for sanity
+    /// checks of the generators).
+    pub root_fraction: f64,
+}
+
+/// Computes Table-3 statistics of a stream.
+pub fn dataset_statistics(name: &str, stream: &SocialStream) -> DatasetStatistics {
+    let mut index = PropagationIndex::new();
+    for a in stream.iter() {
+        index.insert(a);
+    }
+    let pstats = index.stats();
+    let sstats = stream.stats();
+    DatasetStatistics {
+        name: name.to_string(),
+        users: sstats.distinct_users,
+        actions: sstats.actions,
+        avg_response_distance: sstats.avg_response_distance,
+        avg_depth: pstats.avg_depth(),
+        root_fraction: if sstats.actions == 0 {
+            0.0
+        } else {
+            sstats.roots as f64 / sstats.actions as f64
+        },
+    }
+}
+
+impl DatasetStatistics {
+    /// Formats the row like Table 3 (name, users, actions, resp. dist., depth).
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<10} {:>10} {:>12} {:>14.1} {:>10.2}",
+            self.name, self.users, self.actions, self.avg_response_distance, self.avg_depth
+        )
+    }
+
+    /// The table header matching [`DatasetStatistics::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<10} {:>10} {:>12} {:>14} {:>10}",
+            "Dataset", "Users", "Actions", "Resp. dist.", "Avg. depth"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtim_stream::Action;
+
+    #[test]
+    fn statistics_of_a_small_trace() {
+        let actions = vec![
+            Action::root(1u64, 1u32),
+            Action::reply(2u64, 2u32, 1u64),
+            Action::reply(3u64, 3u32, 2u64),
+            Action::root(4u64, 1u32),
+        ];
+        let stream = SocialStream::new(actions).unwrap();
+        let s = dataset_statistics("tiny", &stream);
+        assert_eq!(s.users, 3);
+        assert_eq!(s.actions, 4);
+        assert_eq!(s.root_fraction, 0.5);
+        // depths: 1, 2, 3, 1 -> avg 1.75
+        assert!((s.avg_depth - 1.75).abs() < 1e-9);
+        // distances: 1, 1 -> avg 1
+        assert!((s.avg_response_distance - 1.0).abs() < 1e-9);
+        assert!(s.table_row().contains("tiny"));
+        assert!(DatasetStatistics::table_header().contains("Users"));
+    }
+
+    #[test]
+    fn empty_stream_statistics() {
+        let stream = SocialStream::new_unchecked(Vec::new());
+        let s = dataset_statistics("empty", &stream);
+        assert_eq!(s.users, 0);
+        assert_eq!(s.actions, 0);
+        assert_eq!(s.root_fraction, 0.0);
+    }
+}

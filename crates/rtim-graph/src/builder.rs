@@ -1,0 +1,144 @@
+//! Building the per-window influence graph `G_t` under the Weighted Cascade
+//! model.
+//!
+//! §6.1 of the paper: "we construct an influence graph `G_t` by treating
+//! users as vertices and the influence relationships between users wrt.
+//! `W_t` as directed edges. The edge probabilities between users are
+//! assigned by the weighted cascade (WC) model."
+//!
+//! Concretely, for every action `a ∈ W_t` performed by `v` and every user
+//! `u` who performed an ancestor of `a`, we add the directed influence edge
+//! `u → v` (deduplicated).  Under WC the probability of an edge into `v` is
+//! `1 / indeg(v)` where `indeg(v)` is the number of distinct in-neighbours
+//! of `v`.
+
+use crate::graph::InfluenceGraph;
+use rtim_stream::{PropagationIndex, SlidingWindow, UserId};
+use std::collections::HashSet;
+
+/// Builds the influence graph of the current window with WC probabilities.
+pub fn build_window_graph(window: &SlidingWindow, index: &PropagationIndex) -> InfluenceGraph {
+    // First collect the distinct influence relationships (u -> v), u != v.
+    let mut rels: HashSet<(UserId, UserId)> = HashSet::new();
+    for action in window.iter() {
+        let v = action.user;
+        if let Some(ancestors) = index.ancestor_users(action.id) {
+            for &u in ancestors {
+                if u != v {
+                    rels.insert((u, v));
+                }
+            }
+        }
+    }
+    build_from_relationships(rels.into_iter(), window)
+}
+
+/// Builds a WC-weighted graph from explicit influence relationships,
+/// registering every active user of the window as a node (so that isolated
+/// users still count as possible seeds / spread targets).
+pub fn build_from_relationships(
+    relationships: impl IntoIterator<Item = (UserId, UserId)>,
+    window: &SlidingWindow,
+) -> InfluenceGraph {
+    let rels: Vec<(UserId, UserId)> = relationships.into_iter().collect();
+
+    let mut graph = InfluenceGraph::new();
+    for u in window.active_users() {
+        graph.add_user(u);
+    }
+    // Count distinct in-neighbours per target for the WC probability.
+    let mut indeg: std::collections::HashMap<UserId, usize> = std::collections::HashMap::new();
+    for (_, v) in &rels {
+        *indeg.entry(*v).or_insert(0) += 1;
+    }
+    for (u, v) in &rels {
+        let d = indeg[v].max(1) as f64;
+        graph.add_edge(*u, *v, 1.0 / d);
+    }
+    graph
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtim_stream::Action;
+
+    fn figure1_setup(upto: usize) -> (SlidingWindow, PropagationIndex) {
+        let actions = vec![
+            Action::root(1u64, 1u32),
+            Action::reply(2u64, 2u32, 1u64),
+            Action::root(3u64, 3u32),
+            Action::reply(4u64, 3u32, 1u64),
+            Action::reply(5u64, 4u32, 3u64),
+            Action::reply(6u64, 1u32, 3u64),
+            Action::reply(7u64, 5u32, 3u64),
+            Action::reply(8u64, 4u32, 7u64),
+            Action::root(9u64, 2u32),
+            Action::reply(10u64, 6u32, 9u64),
+        ];
+        let mut w = SlidingWindow::new(8);
+        let mut idx = PropagationIndex::new();
+        for a in actions.into_iter().take(upto) {
+            idx.insert(&a);
+            w.push(a);
+        }
+        (w, idx)
+    }
+
+    #[test]
+    fn window8_graph_has_expected_edges() {
+        let (w, idx) = figure1_setup(8);
+        let g = build_window_graph(&w, &idx);
+        // Active users u1..u5 are all nodes.
+        assert_eq!(g.node_count(), 5);
+        // Influence relationships at t=8 (excluding self-influence):
+        // u1->u2 (a2), u1->u3 (a4), u3->u4 (a5, a8), u3->u1 (a6), u3->u5 (a7),
+        // u5->u4 (a8). That is 6 distinct directed pairs.
+        assert_eq!(g.edge_count(), 6);
+        // WC probability into u4: two distinct in-neighbours (u3, u5) -> 1/2.
+        let n4 = g.node_of(UserId(4)).unwrap();
+        assert_eq!(g.in_degree(n4), 2);
+        for &(_, p) in g.in_edges(n4) {
+            assert!((p - 0.5).abs() < 1e-12);
+        }
+        // WC probability into u2: a single in-neighbour -> 1.0.
+        let n2 = g.node_of(UserId(2)).unwrap();
+        assert_eq!(g.in_degree(n2), 1);
+        assert!((g.in_edges(n2)[0].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window10_graph_drops_expired_influence() {
+        let (w, idx) = figure1_setup(10);
+        let g = build_window_graph(&w, &idx);
+        // u1 -> u2 existed only through a2, which expired at t=10.
+        let n2 = g.node_of(UserId(2)).unwrap();
+        let n1 = g.node_of(UserId(1)).unwrap();
+        assert!(!g.in_edges(n2).iter().any(|&(s, _)| s == n1));
+        // u1 -> u3 survives because a4 is still in the window.
+        let n3 = g.node_of(UserId(3)).unwrap();
+        assert!(g.in_edges(n3).iter().any(|&(s, _)| s == n1));
+        // u6 joined through a10 (influenced by u2).
+        assert!(g.node_of(UserId(6)).is_some());
+    }
+
+    #[test]
+    fn wc_probabilities_sum_to_one_per_target() {
+        let (w, idx) = figure1_setup(10);
+        let g = build_window_graph(&w, &idx);
+        for i in 0..g.node_count() {
+            if g.in_degree(i) > 0 {
+                let sum: f64 = g.in_edges(i).iter().map(|&(_, p)| p).sum();
+                assert!((sum - 1.0).abs() < 1e-9, "node {i} in-prob sum {sum}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_window_yields_empty_graph() {
+        let w = SlidingWindow::new(4);
+        let idx = PropagationIndex::new();
+        let g = build_window_graph(&w, &idx);
+        assert!(g.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! The directed, probability-weighted influence graph.
+//!
+//! Nodes are users; a directed edge `u → v` with probability `p(u,v)` means
+//! `u` may activate `v` under the Independent Cascade model.  Internally
+//! nodes use dense `usize` indices so that Monte-Carlo simulation and RR-set
+//! sampling can use flat arrays; the [`InfluenceGraph`] keeps the mapping to
+//! and from [`UserId`].
+
+use rtim_stream::UserId;
+use std::collections::HashMap;
+
+/// A directed influence graph with per-edge activation probabilities.
+#[derive(Debug, Clone, Default)]
+pub struct InfluenceGraph {
+    users: Vec<UserId>,
+    index: HashMap<UserId, usize>,
+    /// Outgoing edges: `out[u] = [(v, p(u,v)), ...]`.
+    out: Vec<Vec<(usize, f64)>>,
+    /// Incoming edges: `inc[v] = [(u, p(u,v)), ...]`.
+    inc: Vec<Vec<(usize, f64)>>,
+    edges: usize,
+}
+
+impl InfluenceGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the dense index of `user`, inserting a new node if needed.
+    pub fn add_user(&mut self, user: UserId) -> usize {
+        if let Some(&i) = self.index.get(&user) {
+            return i;
+        }
+        let i = self.users.len();
+        self.users.push(user);
+        self.index.insert(user, i);
+        self.out.push(Vec::new());
+        self.inc.push(Vec::new());
+        i
+    }
+
+    /// Adds a directed edge `from → to` with activation probability `p`
+    /// (clamped to `[0, 1]`).  Parallel edges are allowed; the Weighted
+    /// Cascade builder never produces them, and the simulators treat each
+    /// stored edge as an independent activation chance.
+    pub fn add_edge(&mut self, from: UserId, to: UserId, p: f64) {
+        let p = p.clamp(0.0, 1.0);
+        let fi = self.add_user(from);
+        let ti = self.add_user(to);
+        self.out[fi].push((ti, p));
+        self.inc[ti].push((fi, p));
+        self.edges += 1;
+    }
+
+    /// Number of nodes (users with at least one endpoint in the graph).
+    pub fn node_count(&self) -> usize {
+        self.users.len()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges
+    }
+
+    /// `true` if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.users.is_empty()
+    }
+
+    /// The user at dense index `i`.
+    pub fn user(&self, i: usize) -> UserId {
+        self.users[i]
+    }
+
+    /// The dense index of `user`, if present.
+    pub fn node_of(&self, user: UserId) -> Option<usize> {
+        self.index.get(&user).copied()
+    }
+
+    /// All users in the graph (dense-index order).
+    pub fn users(&self) -> &[UserId] {
+        &self.users
+    }
+
+    /// Outgoing edges of the node with dense index `i`.
+    pub fn out_edges(&self, i: usize) -> &[(usize, f64)] {
+        &self.out[i]
+    }
+
+    /// Incoming edges of the node with dense index `i`.
+    pub fn in_edges(&self, i: usize) -> &[(usize, f64)] {
+        &self.inc[i]
+    }
+
+    /// In-degree of the node with dense index `i`.
+    pub fn in_degree(&self, i: usize) -> usize {
+        self.inc[i].len()
+    }
+
+    /// Out-degree of the node with dense index `i`.
+    pub fn out_degree(&self, i: usize) -> usize {
+        self.out[i].len()
+    }
+
+    /// Translates a slice of users into dense indices, skipping users that
+    /// do not appear in the graph (their spread contribution is just
+    /// themselves and is handled by the callers).
+    pub fn nodes_of(&self, users: &[UserId]) -> Vec<usize> {
+        users.iter().filter_map(|u| self.node_of(*u)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_users_and_edges() {
+        let mut g = InfluenceGraph::new();
+        g.add_edge(UserId(1), UserId(2), 0.5);
+        g.add_edge(UserId(1), UserId(3), 0.25);
+        g.add_edge(UserId(2), UserId(3), 2.0); // clamped to 1.0
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        let n1 = g.node_of(UserId(1)).unwrap();
+        let n3 = g.node_of(UserId(3)).unwrap();
+        assert_eq!(g.out_degree(n1), 2);
+        assert_eq!(g.in_degree(n3), 2);
+        assert!(g.in_edges(n3).iter().any(|&(_, p)| (p - 1.0).abs() < 1e-12));
+        assert_eq!(g.user(n1), UserId(1));
+    }
+
+    #[test]
+    fn duplicate_add_user_is_idempotent() {
+        let mut g = InfluenceGraph::new();
+        let a = g.add_user(UserId(7));
+        let b = g.add_user(UserId(7));
+        assert_eq!(a, b);
+        assert_eq!(g.node_count(), 1);
+    }
+
+    #[test]
+    fn nodes_of_skips_unknown_users() {
+        let mut g = InfluenceGraph::new();
+        g.add_edge(UserId(1), UserId(2), 0.1);
+        let nodes = g.nodes_of(&[UserId(1), UserId(99)]);
+        assert_eq!(nodes.len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_properties() {
+        let g = InfluenceGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.node_of(UserId(1)).is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! # rtim-graph
+//!
+//! Influence-graph substrate for evaluating and comparing seed sets:
+//!
+//! * [`graph`] — the [`InfluenceGraph`] type: a directed, probability-
+//!   weighted graph between users, with dense internal node indices.
+//! * [`builder`] — constructing the per-window influence graph `G_t` from
+//!   the sliding window and the propagation index, with Weighted Cascade
+//!   (WC) edge probabilities — the quality-evaluation setup of §6.1.
+//! * [`spread`] — Independent Cascade Monte-Carlo estimation of the
+//!   influence spread `σ(S)` (the paper uses 10,000 rounds).
+//! * [`rrset`] — reverse-reachable (RR) set sampling and max-coverage seed
+//!   selection over RR sets: the substrate of the IMM baseline and of UBI's
+//!   spread estimates.
+//! * [`rmat`] — the R-MAT recursive power-law graph generator used to
+//!   synthesize social graphs for the SYN-O / SYN-N datasets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod graph;
+pub mod rmat;
+pub mod rrset;
+pub mod spread;
+
+pub use builder::build_window_graph;
+pub use graph::InfluenceGraph;
+pub use rmat::{RmatConfig, RmatGraph};
+pub use rrset::{greedy_over_rr_sets, RrCollection};
+pub use spread::monte_carlo_spread;

@@ -1,0 +1,154 @@
+//! Property-based tests of the influence-graph substrate: WC construction
+//! invariants, spread-estimator consistency, and R-MAT structure.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtim_graph::{
+    build_window_graph, greedy_over_rr_sets, monte_carlo_spread, InfluenceGraph, RmatConfig,
+    RmatGraph, RrCollection,
+};
+use rtim_stream::{Action, PropagationIndex, SlidingWindow, UserId};
+
+fn arb_actions(max_len: usize, users: u32) -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec((0u32..users, prop::option::of(0.0f64..1.0)), 1..max_len).prop_map(
+        |specs| {
+            let mut actions = Vec::with_capacity(specs.len());
+            for (i, (user, parent)) in specs.into_iter().enumerate() {
+                let t = (i + 1) as u64;
+                match parent {
+                    Some(f) if i > 0 => {
+                        let p = 1 + (f * i as f64).floor() as u64;
+                        actions.push(Action::reply(t, user, p.min(t - 1)));
+                    }
+                    _ => actions.push(Action::root(t, user)),
+                }
+            }
+            actions
+        },
+    )
+}
+
+/// A random small probability graph described as an edge list.
+fn arb_graph(users: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32, f64)>> {
+    prop::collection::vec((0..users, 0..users, 0.0f64..1.0), 1..max_edges)
+}
+
+fn build(edges: &[(u32, u32, f64)]) -> InfluenceGraph {
+    let mut g = InfluenceGraph::new();
+    for &(u, v, p) in edges {
+        if u != v {
+            g.add_edge(UserId(u), UserId(v), p);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Window influence graphs: WC in-probabilities sum to 1 per target, all
+    /// nodes are active users, and edges only connect distinct users.
+    #[test]
+    fn window_graph_wc_invariants(actions in arb_actions(60, 10), n in 4usize..24) {
+        let mut index = PropagationIndex::new();
+        let mut window = SlidingWindow::new(n);
+        for a in &actions {
+            index.insert(a);
+            window.push(*a);
+        }
+        let g = build_window_graph(&window, &index);
+        // Every active user is a node; influencers whose own actions have
+        // expired may appear as additional source-only nodes.
+        prop_assert!(g.node_count() >= window.active_user_count());
+        for u in window.active_users() {
+            prop_assert!(g.node_of(u).is_some());
+        }
+        for i in 0..g.node_count() {
+            if g.in_degree(i) > 0 {
+                let sum: f64 = g.in_edges(i).iter().map(|&(_, p)| p).sum();
+                prop_assert!((sum - 1.0).abs() < 1e-6, "in-prob sum {sum}");
+            }
+            for &(j, p) in g.out_edges(i) {
+                prop_assert!(i != j, "self loop");
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+        }
+    }
+
+    /// Monte-Carlo spread is bounded by the node count plus missing seeds,
+    /// at least the number of distinct seeds, and monotone in the seed set.
+    #[test]
+    fn spread_bounds_and_monotonicity(edges in arb_graph(12, 40), k in 1usize..5) {
+        let g = build(&edges);
+        prop_assume!(g.node_count() >= 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let users: Vec<UserId> = g.users().to_vec();
+        let seeds: Vec<UserId> = users.iter().copied().take(k).collect();
+        let s = monte_carlo_spread(&g, &seeds, 200, &mut rng);
+        prop_assert!(s >= seeds.len() as f64 - 1e-9);
+        prop_assert!(s <= g.node_count() as f64 + 1e-9);
+        // Monotonicity in expectation (tolerance for MC noise).
+        if users.len() > k {
+            let bigger: Vec<UserId> = users.iter().copied().take(k + 1).collect();
+            let s2 = monte_carlo_spread(&g, &bigger, 2000, &mut rng);
+            let s1 = monte_carlo_spread(&g, &seeds, 2000, &mut rng);
+            prop_assert!(s2 + 0.35 * g.node_count() as f64 >= s1);
+        }
+    }
+
+    /// RR-set coverage estimates agree with Monte-Carlo spread within a
+    /// statistical tolerance.
+    #[test]
+    fn rr_estimate_tracks_monte_carlo(edges in arb_graph(10, 30)) {
+        let g = build(&edges);
+        prop_assume!(g.node_count() >= 3);
+        let mut rng = StdRng::seed_from_u64(8);
+        let seeds: Vec<UserId> = g.users().iter().copied().take(2).collect();
+        let mut rr = RrCollection::new(g.node_count());
+        rr.sample_to(&g, 8_000, &mut rng);
+        let est = rr.estimate_spread(&g, &seeds);
+        let mc = monte_carlo_spread(&g, &seeds, 8_000, &mut rng);
+        prop_assert!((est - mc).abs() <= 0.12 * g.node_count() as f64 + 0.3,
+            "rr {est} vs mc {mc}");
+    }
+
+    /// Greedy over RR sets never selects more than k nodes and its coverage
+    /// fraction is monotone in k.
+    #[test]
+    fn rr_greedy_is_monotone_in_k(edges in arb_graph(12, 40)) {
+        let g = build(&edges);
+        prop_assume!(g.node_count() >= 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut rr = RrCollection::new(g.node_count());
+        rr.sample_to(&g, 2_000, &mut rng);
+        let mut last = 0.0;
+        for k in 1..=4usize {
+            let (seeds, frac) = greedy_over_rr_sets(&g, &rr, k);
+            prop_assert!(seeds.len() <= k);
+            prop_assert!(frac + 1e-9 >= last);
+            prop_assert!(frac <= 1.0 + 1e-9);
+            last = frac;
+        }
+    }
+
+    /// R-MAT generation produces the requested structure: no self loops, no
+    /// duplicate edges, and determinism under a fixed seed.
+    #[test]
+    fn rmat_structure(users in 10u32..200, edges in 10usize..400, seed in 0u64..1000) {
+        let cfg = RmatConfig::new(users, edges);
+        let g1 = RmatGraph::generate(&cfg, &mut StdRng::seed_from_u64(seed));
+        let g2 = RmatGraph::generate(&cfg, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(g1.edge_count(), g2.edge_count());
+        prop_assert!(g1.edge_count() <= edges);
+        for u in 0..users {
+            let ns = g1.out_neighbors(UserId(u));
+            prop_assert_eq!(ns, g2.out_neighbors(UserId(u)));
+            let mut sorted = ns.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), ns.len());
+            prop_assert!(!ns.contains(&u));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Core identifiers and the [`Action`] type.
+//!
+//! A social stream is an unbounded, time-ordered sequence of *actions*.
+//! Following §3 of the paper, an action `a_t = ⟨u, a_{t'}⟩_t` records that
+//! user `u` performed an activity at time `t` responding to an earlier action
+//! `a_{t'}` (`t' < t`).  An action with no parent is a *root* action
+//! `a_t = ⟨u, nil⟩_t` (e.g. an original tweet or a Reddit post).
+//!
+//! In the sequence-based sliding-window model the "time" of an action is its
+//! position in the stream, so [`ActionId`] doubles as the timestamp.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a user in the social network.
+///
+/// Users are dense `u32` indices (the paper's largest dataset has fewer than
+/// three million users, and synthetic graphs are generated with dense ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct UserId(pub u32);
+
+impl UserId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+impl From<u32> for UserId {
+    fn from(v: u32) -> Self {
+        UserId(v)
+    }
+}
+
+/// Identifier of an action: its 1-based position (timestamp) in the stream.
+///
+/// The paper's sequence-based window model identifies actions by arrival
+/// order, so the id is also the logical timestamp `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ActionId(pub u64);
+
+/// Logical timestamp of an action (alias of [`ActionId`] semantics).
+pub type Timestamp = u64;
+
+impl ActionId {
+    /// Returns the raw timestamp value.
+    #[inline]
+    pub fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for ActionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<u64> for ActionId {
+    fn from(v: u64) -> Self {
+        ActionId(v)
+    }
+}
+
+/// A single social action `a_t = ⟨user, parent⟩_t`.
+///
+/// `parent == None` marks a root action.  The `id` is assigned by the stream
+/// in strictly increasing order; consumers may rely on monotonicity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Action {
+    /// Position of the action in the stream (the logical timestamp `t`).
+    pub id: ActionId,
+    /// The user performing the action.
+    pub user: UserId,
+    /// The action this one responds to, if any (`a_{t'}` with `t' < t`).
+    pub parent: Option<ActionId>,
+}
+
+impl Action {
+    /// Creates a root action (no parent), e.g. an original post.
+    pub fn root(id: impl Into<ActionId>, user: impl Into<UserId>) -> Self {
+        Action {
+            id: id.into(),
+            user: user.into(),
+            parent: None,
+        }
+    }
+
+    /// Creates a reply action responding to `parent`.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `parent >= id`, which would violate the
+    /// causality requirement `t' < t` of the model.
+    pub fn reply(
+        id: impl Into<ActionId>,
+        user: impl Into<UserId>,
+        parent: impl Into<ActionId>,
+    ) -> Self {
+        let id = id.into();
+        let parent = parent.into();
+        debug_assert!(parent < id, "reply parent must precede the action");
+        Action {
+            id,
+            user: user.into(),
+            parent: Some(parent),
+        }
+    }
+
+    /// `true` if the action does not respond to any earlier action.
+    #[inline]
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.parent {
+            Some(p) => write!(f, "<{}, {}>{}", self.user, p, self.id.0),
+            None => write!(f, "<{}, nil>{}", self.user, self.id.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_action_has_no_parent() {
+        let a = Action::root(1u64, 3u32);
+        assert!(a.is_root());
+        assert_eq!(a.user, UserId(3));
+        assert_eq!(a.id, ActionId(1));
+    }
+
+    #[test]
+    fn reply_action_keeps_parent() {
+        let a = Action::reply(5u64, 2u32, 1u64);
+        assert!(!a.is_root());
+        assert_eq!(a.parent, Some(ActionId(1)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn reply_to_future_action_panics_in_debug() {
+        let _ = Action::reply(1u64, 2u32, 5u64);
+    }
+
+    #[test]
+    fn display_formats_match_paper_notation() {
+        let root = Action::root(1u64, 1u32);
+        let reply = Action::reply(2u64, 2u32, 1u64);
+        assert_eq!(root.to_string(), "<u1, nil>1");
+        assert_eq!(reply.to_string(), "<u2, a1>2");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_timestamp() {
+        assert!(ActionId(1) < ActionId(2));
+        assert!(UserId(1) < UserId(2));
+        assert_eq!(ActionId::from(7u64).value(), 7);
+        assert_eq!(UserId::from(7u32).index(), 7);
+    }
+}

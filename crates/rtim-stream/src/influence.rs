@@ -1,0 +1,267 @@
+//! Influence sets `I(u)` and their append-only accumulation.
+//!
+//! Definition 1 of the paper: the influence set of a user `u` with respect to
+//! window `W_t` is the set of users who performed an action in `W_t` that was
+//! directly or indirectly triggered by an action of `u` (plus `u` itself via
+//! its own actions).
+//!
+//! Two access patterns exist in the system:
+//!
+//! * **Append-only accumulation** ([`InfluenceAccumulator`]) — inside a
+//!   checkpoint, influence sets only ever grow as actions are appended; this
+//!   is what makes the set-stream mapping of §4.2 possible.
+//! * **From-scratch window computation** ([`window_influence_sets`]) — the
+//!   Greedy baseline and the quality-evaluation influence graph need the
+//!   exact influence sets of the *current* window, which are recomputed from
+//!   the window contents (no incremental expiry is ever attempted — that is
+//!   the hard problem the checkpoint frameworks solve).
+
+use crate::action::UserId;
+use crate::propagation::PropagationIndex;
+use crate::window::SlidingWindow;
+use std::collections::{HashMap, HashSet};
+
+/// A collection of per-user influence sets.
+#[derive(Debug, Clone, Default)]
+pub struct InfluenceSets {
+    sets: HashMap<UserId, HashSet<UserId>>,
+}
+
+impl InfluenceSets {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The influence set of `u`, empty if `u` influenced nobody.
+    pub fn get(&self, u: UserId) -> Option<&HashSet<UserId>> {
+        self.sets.get(&u)
+    }
+
+    /// Cardinality `|I(u)|`.
+    pub fn value(&self, u: UserId) -> usize {
+        self.sets.get(&u).map_or(0, |s| s.len())
+    }
+
+    /// Inserts `influenced` into `I(actor)`, returning `true` if it was new.
+    pub fn insert(&mut self, actor: UserId, influenced: UserId) -> bool {
+        self.sets.entry(actor).or_default().insert(influenced)
+    }
+
+    /// Users with a non-empty influence set.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.sets.keys().copied()
+    }
+
+    /// Number of users with a non-empty influence set.
+    pub fn len(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// `true` if no influence has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+
+    /// The influence set of a *set* of users: `I(S) = ∪_{u∈S} I(u)`.
+    pub fn union_of<'a>(&self, users: impl IntoIterator<Item = &'a UserId>) -> HashSet<UserId> {
+        let mut out = HashSet::new();
+        for u in users {
+            if let Some(s) = self.sets.get(u) {
+                out.extend(s.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Cardinality of the union influence set `|I(S)|`.
+    pub fn coverage<'a>(&self, users: impl IntoIterator<Item = &'a UserId>) -> usize {
+        self.union_of(users).len()
+    }
+
+    /// Iterates over `(user, influence set)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, &HashSet<UserId>)> {
+        self.sets.iter().map(|(u, s)| (*u, s))
+    }
+
+    /// Total number of `(influencer, influenced)` facts stored.
+    pub fn total_facts(&self) -> usize {
+        self.sets.values().map(|s| s.len()).sum()
+    }
+}
+
+/// Append-only influence accumulation, the state kept by every checkpoint.
+///
+/// A checkpoint created at time `c` observes only actions with `t > c`
+/// (its own append-only sub-stream); feeding every arrival through
+/// [`InfluenceAccumulator::apply`] yields exactly the influence sets
+/// `I_{t[i]}(u)` of the paper (influence restricted to actions the checkpoint
+/// has seen).
+#[derive(Debug, Clone, Default)]
+pub struct InfluenceAccumulator {
+    sets: InfluenceSets,
+}
+
+impl InfluenceAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one action performed by `actor` whose reply ancestors were
+    /// performed by `ancestor_users`.
+    ///
+    /// Every user in `{actor} ∪ ancestor_users` influences `actor` through
+    /// this action.  Returns the users whose influence set actually grew
+    /// (i.e. `actor` was not already in their set), which is the update set
+    /// fed to the checkpoint oracle by the set-stream mapping.
+    pub fn apply(&mut self, actor: UserId, ancestor_users: &[UserId]) -> Vec<UserId> {
+        let mut grew = Vec::with_capacity(ancestor_users.len() + 1);
+        if self.sets.insert(actor, actor) {
+            grew.push(actor);
+        }
+        for &u in ancestor_users {
+            if u != actor && self.sets.insert(u, actor) {
+                grew.push(u);
+            }
+        }
+        grew
+    }
+
+    /// Read access to the accumulated influence sets.
+    pub fn sets(&self) -> &InfluenceSets {
+        &self.sets
+    }
+
+    /// Cardinality `|I(u)|` within this accumulator.
+    pub fn value(&self, u: UserId) -> usize {
+        self.sets.value(u)
+    }
+
+    /// The influence set of `u` within this accumulator.
+    pub fn influence_set(&self, u: UserId) -> Option<&HashSet<UserId>> {
+        self.sets.get(u)
+    }
+}
+
+/// Computes the exact window-scoped influence sets `I_t(u)` for every user,
+/// from scratch, using the reply ancestry recorded in `index`.
+///
+/// This is `O(|W_t| · d)` and is used by the Greedy baseline, the quality
+/// metric, and tests; the streaming frameworks never call it on the hot path.
+pub fn window_influence_sets(window: &SlidingWindow, index: &PropagationIndex) -> InfluenceSets {
+    let mut acc = InfluenceAccumulator::new();
+    for action in window.iter() {
+        let ancestors = index.ancestor_users(action.id).unwrap_or(&[]);
+        acc.apply(action.user, ancestors);
+    }
+    acc.sets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::Action;
+
+    fn figure1_actions() -> Vec<Action> {
+        vec![
+            Action::root(1u64, 1u32),
+            Action::reply(2u64, 2u32, 1u64),
+            Action::root(3u64, 3u32),
+            Action::reply(4u64, 3u32, 1u64),
+            Action::reply(5u64, 4u32, 3u64),
+            Action::reply(6u64, 1u32, 3u64),
+            Action::reply(7u64, 5u32, 3u64),
+            Action::reply(8u64, 4u32, 7u64),
+            Action::root(9u64, 2u32),
+            Action::reply(10u64, 6u32, 9u64),
+        ]
+    }
+
+    fn setup(upto: usize, window_size: usize) -> (SlidingWindow, PropagationIndex) {
+        let mut w = SlidingWindow::new(window_size);
+        let mut idx = PropagationIndex::new();
+        for a in figure1_actions().into_iter().take(upto) {
+            idx.insert(&a);
+            w.push(a);
+        }
+        (w, idx)
+    }
+
+    fn set(users: &[u32]) -> HashSet<UserId> {
+        users.iter().map(|&u| UserId(u)).collect()
+    }
+
+    #[test]
+    fn figure1b_influence_sets_at_time_8() {
+        let (w, idx) = setup(8, 8);
+        let inf = window_influence_sets(&w, &idx);
+        assert_eq!(inf.get(UserId(1)).unwrap(), &set(&[1, 2, 3]));
+        assert_eq!(inf.get(UserId(2)).unwrap(), &set(&[2]));
+        assert_eq!(inf.get(UserId(3)).unwrap(), &set(&[1, 3, 4, 5]));
+        assert_eq!(inf.get(UserId(4)).unwrap(), &set(&[4]));
+        assert_eq!(inf.get(UserId(5)).unwrap(), &set(&[4, 5]));
+        assert!(inf.get(UserId(6)).is_none());
+    }
+
+    #[test]
+    fn figure1c_influence_sets_at_time_10() {
+        let (w, idx) = setup(10, 8);
+        let inf = window_influence_sets(&w, &idx);
+        // a1, a2 expired: u2 no longer influenced by u1, but u3 still is
+        // (a4 has not expired even though its trigger a1 has).
+        assert_eq!(inf.get(UserId(1)).unwrap(), &set(&[1, 3]));
+        assert_eq!(inf.get(UserId(2)).unwrap(), &set(&[2, 6]));
+        assert_eq!(inf.get(UserId(3)).unwrap(), &set(&[1, 3, 4, 5]));
+        assert_eq!(inf.get(UserId(4)).unwrap(), &set(&[4]));
+        assert_eq!(inf.get(UserId(5)).unwrap(), &set(&[4, 5]));
+        assert_eq!(inf.get(UserId(6)).unwrap(), &set(&[6]));
+    }
+
+    #[test]
+    fn example2_optimal_coverage_values() {
+        let (w, idx) = setup(8, 8);
+        let inf = window_influence_sets(&w, &idx);
+        // f(I_8({u1,u3})) = 5 covers all active users at time 8.
+        assert_eq!(inf.coverage(&[UserId(1), UserId(3)]), 5);
+
+        let (w, idx) = setup(10, 8);
+        let inf = window_influence_sets(&w, &idx);
+        // f(I_10({u1,u3})) drops to 4, while {u2,u3} covers all 6.
+        assert_eq!(inf.coverage(&[UserId(1), UserId(3)]), 5 - 1);
+        assert_eq!(inf.coverage(&[UserId(2), UserId(3)]), 6);
+    }
+
+    #[test]
+    fn accumulator_reports_only_new_growth() {
+        let mut acc = InfluenceAccumulator::new();
+        let grew = acc.apply(UserId(2), &[UserId(1)]);
+        assert_eq!(grew, vec![UserId(2), UserId(1)]);
+        // Same action pattern again: nothing new.
+        let grew = acc.apply(UserId(2), &[UserId(1)]);
+        assert!(grew.is_empty());
+        assert_eq!(acc.value(UserId(1)), 1);
+        assert_eq!(acc.value(UserId(2)), 1);
+    }
+
+    #[test]
+    fn union_and_total_facts() {
+        let mut s = InfluenceSets::new();
+        s.insert(UserId(1), UserId(2));
+        s.insert(UserId(1), UserId(3));
+        s.insert(UserId(4), UserId(3));
+        assert_eq!(s.total_facts(), 3);
+        assert_eq!(s.coverage(&[UserId(1), UserId(4)]), 2);
+        assert_eq!(s.union_of(&[UserId(1), UserId(4)]), set(&[2, 3]));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn empty_sets_behave() {
+        let s = InfluenceSets::new();
+        assert!(s.is_empty());
+        assert_eq!(s.value(UserId(1)), 0);
+        assert_eq!(s.coverage(&[UserId(1)]), 0);
+    }
+}

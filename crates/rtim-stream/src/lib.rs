@@ -1,0 +1,41 @@
+//! # rtim-stream
+//!
+//! Social action stream substrate for Stream Influence Maximization (SIM).
+//!
+//! This crate models the data layer of the paper *"Real-Time Influence
+//! Maximization on Dynamic Social Streams"* (Wang et al., 2017):
+//!
+//! * [`Action`] — a single social action `a_t = ⟨u, a_{t'}⟩_t` (a user `u`
+//!   acting at time `t` in response to an earlier action `a_{t'}`, or a
+//!   *root* action when there is no parent).
+//! * [`PropagationIndex`] — incremental resolution of the reply ancestry of
+//!   every action, i.e. the set of users whose influence sets grow when an
+//!   action arrives (the `d` ancestor users of §4.2).
+//! * [`SlidingWindow`] — the sequence-based sliding window `W_t` holding the
+//!   most recent `N` actions, with support for multi-action slides (`L > 1`).
+//! * [`InfluenceAccumulator`] — append-only, per-user influence sets
+//!   `I(u) ⊆ U`, the building block of every checkpoint oracle.
+//! * [`window_influence_sets`] — from-scratch computation of the
+//!   window-scoped influence sets `I_t(u)` used by baselines and by the
+//!   quality-evaluation influence graph.
+//!
+//! The key design decision (mirroring the paper) is that influence sets are
+//! **never maintained globally under expiry**; they are either accumulated
+//! append-only inside a checkpoint, or recomputed from the window contents.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod influence;
+pub mod persist;
+pub mod propagation;
+pub mod stream;
+pub mod window;
+
+pub use action::{Action, ActionId, Timestamp, UserId};
+pub use influence::{window_influence_sets, InfluenceAccumulator, InfluenceSets};
+pub use persist::{decode_binary, encode_binary, read_binary, read_text, write_binary, write_text, TraceError};
+pub use propagation::{PropagationIndex, PropagationStats};
+pub use stream::{ActionBatchIter, SocialStream, StreamStats};
+pub use window::{SlideOutcome, SlidingWindow};

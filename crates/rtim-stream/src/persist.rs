@@ -1,0 +1,245 @@
+//! Persisting action traces.
+//!
+//! Experiments and deployments need to replay identical streams: this module
+//! provides two interchangeable encodings of a [`SocialStream`]:
+//!
+//! * a **compact binary** format (`RTAS`, 20 bytes per action) for large
+//!   generated traces, and
+//! * a **text** format (one `t,user,parent` line per action) that is easy to
+//!   produce from external data sources (e.g. an export of real platform
+//!   events) and to inspect manually.
+//!
+//! Both encoders validate on load, so a corrupted or truncated file is
+//! reported instead of silently producing a malformed stream.
+
+use crate::action::{Action, ActionId, UserId};
+use crate::stream::SocialStream;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Magic bytes identifying the binary trace format ("RTAS" = RTim Action
+/// Stream), followed by a format version byte.
+const MAGIC: &[u8; 4] = b"RTAS";
+const VERSION: u8 = 1;
+
+/// Errors produced when loading a persisted trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file does not start with the expected magic/version.
+    BadHeader,
+    /// The payload ended in the middle of a record.
+    Truncated,
+    /// A record violates stream invariants (ids not increasing, parent in
+    /// the future, …); the message describes the first violation.
+    Invalid(String),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "I/O error: {e}"),
+            TraceError::BadHeader => write!(f, "not an RTAS trace (bad header)"),
+            TraceError::Truncated => write!(f, "trace truncated mid-record"),
+            TraceError::Invalid(msg) => write!(f, "invalid trace: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Encodes a stream into the compact binary format.
+///
+/// Layout: `RTAS` magic, version byte, little-endian `u64` action count,
+/// then per action: `u64` id, `u32` user, `u64` parent id (0 = root; valid
+/// because action ids start at 1).
+pub fn encode_binary(stream: &SocialStream) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 1 + 8 + stream.len() * 20);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(stream.len() as u64);
+    for a in stream.iter() {
+        buf.put_u64_le(a.id.0);
+        buf.put_u32_le(a.user.0);
+        buf.put_u64_le(a.parent.map_or(0, |p| p.0));
+    }
+    buf.freeze()
+}
+
+/// Decodes a stream from the compact binary format, validating invariants.
+pub fn decode_binary(mut data: &[u8]) -> Result<SocialStream, TraceError> {
+    if data.len() < 13 || &data[..4] != MAGIC || data[4] != VERSION {
+        return Err(TraceError::BadHeader);
+    }
+    data.advance(5);
+    let count = data.get_u64_le() as usize;
+    let mut actions = Vec::with_capacity(count);
+    for _ in 0..count {
+        if data.remaining() < 20 {
+            return Err(TraceError::Truncated);
+        }
+        let id = data.get_u64_le();
+        let user = data.get_u32_le();
+        let parent = data.get_u64_le();
+        actions.push(Action {
+            id: ActionId(id),
+            user: UserId(user),
+            parent: if parent == 0 { None } else { Some(ActionId(parent)) },
+        });
+    }
+    SocialStream::new(actions).map_err(TraceError::Invalid)
+}
+
+/// Writes the binary encoding to any writer (file, socket, …).
+pub fn write_binary<W: Write>(stream: &SocialStream, mut writer: W) -> Result<(), TraceError> {
+    writer.write_all(&encode_binary(stream))?;
+    Ok(())
+}
+
+/// Reads the binary encoding from any reader.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<SocialStream, TraceError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    decode_binary(&data)
+}
+
+/// Writes the text format: a `# rtim-trace v1` header line, then one
+/// `t,user,parent` line per action (`parent` empty for roots).
+pub fn write_text<W: Write>(stream: &SocialStream, mut writer: W) -> Result<(), TraceError> {
+    writeln!(writer, "# rtim-trace v1")?;
+    for a in stream.iter() {
+        match a.parent {
+            Some(p) => writeln!(writer, "{},{},{}", a.id.0, a.user.0, p.0)?,
+            None => writeln!(writer, "{},{},", a.id.0, a.user.0)?,
+        }
+    }
+    Ok(())
+}
+
+/// Reads the text format (header line optional; blank lines and `#` comments
+/// are ignored), validating invariants.
+pub fn read_text<R: Read>(reader: R) -> Result<SocialStream, TraceError> {
+    let mut actions = Vec::new();
+    for (line_no, line) in BufReader::new(reader).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let parse = |field: Option<&str>, what: &str| -> Result<u64, TraceError> {
+            field
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| TraceError::Invalid(format!("line {}: missing {what}", line_no + 1)))?
+                .parse()
+                .map_err(|_| TraceError::Invalid(format!("line {}: bad {what}", line_no + 1)))
+        };
+        let id = parse(parts.next(), "timestamp")?;
+        let user = parse(parts.next(), "user")? as u32;
+        let parent = match parts.next().map(str::trim) {
+            None | Some("") => None,
+            Some(p) => Some(ActionId(p.parse().map_err(|_| {
+                TraceError::Invalid(format!("line {}: bad parent", line_no + 1))
+            })?)),
+        };
+        actions.push(Action {
+            id: ActionId(id),
+            user: UserId(user),
+            parent,
+        });
+    }
+    SocialStream::new(actions).map_err(TraceError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SocialStream {
+        SocialStream::new(vec![
+            Action::root(1u64, 1u32),
+            Action::reply(2u64, 2u32, 1u64),
+            Action::root(3u64, 3u32),
+            Action::reply(5u64, 4u32, 3u64),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_actions() {
+        let stream = sample();
+        let bytes = encode_binary(&stream);
+        let decoded = decode_binary(&bytes).unwrap();
+        assert_eq!(decoded.actions(), stream.actions());
+        assert_eq!(bytes.len(), 13 + 20 * stream.len());
+    }
+
+    #[test]
+    fn binary_rejects_bad_header_and_truncation() {
+        let stream = sample();
+        let bytes = encode_binary(&stream);
+        assert!(matches!(decode_binary(b"nope"), Err(TraceError::BadHeader)));
+        let mut corrupted = bytes.to_vec();
+        corrupted[0] = b'X';
+        assert!(matches!(decode_binary(&corrupted), Err(TraceError::BadHeader)));
+        let truncated = &bytes[..bytes.len() - 5];
+        assert!(matches!(decode_binary(truncated), Err(TraceError::Truncated)));
+    }
+
+    #[test]
+    fn binary_rejects_invalid_traces() {
+        // Craft a trace whose second action replies to the future.
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_u64_le(2);
+        buf.put_u64_le(1);
+        buf.put_u32_le(1);
+        buf.put_u64_le(0);
+        buf.put_u64_le(2);
+        buf.put_u32_le(2);
+        buf.put_u64_le(9); // parent in the future
+        assert!(matches!(decode_binary(&buf), Err(TraceError::Invalid(_))));
+    }
+
+    #[test]
+    fn text_round_trip_preserves_actions() {
+        let stream = sample();
+        let mut text = Vec::new();
+        write_text(&stream, &mut text).unwrap();
+        let decoded = read_text(text.as_slice()).unwrap();
+        assert_eq!(decoded.actions(), stream.actions());
+        let rendered = String::from_utf8(text).unwrap();
+        assert!(rendered.contains("2,2,1"));
+        assert!(rendered.contains("3,3,"));
+    }
+
+    #[test]
+    fn text_reader_skips_comments_and_reports_errors() {
+        let good = "# comment\n\n1,5,\n2,6,1\n";
+        let decoded = read_text(good.as_bytes()).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert!(read_text("1,abc,\n".as_bytes()).is_err());
+        assert!(read_text("1\n".as_bytes()).is_err());
+        assert!(read_text("1,2,\n1,3,\n".as_bytes()).is_err()); // non-increasing
+    }
+
+    #[test]
+    fn writer_reader_helpers_work_with_io_traits() {
+        let stream = sample();
+        let mut file = Vec::new();
+        write_binary(&stream, &mut file).unwrap();
+        let decoded = read_binary(file.as_slice()).unwrap();
+        assert_eq!(decoded.len(), stream.len());
+        let err = TraceError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(err.to_string().contains("boom"));
+    }
+}

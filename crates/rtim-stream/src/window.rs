@@ -1,0 +1,249 @@
+//! Sequence-based sliding window `W_t` over the action stream.
+//!
+//! `W_t` always contains the most recent `N` actions (fewer while the stream
+//! is warming up).  The paper indexes actions inside the window as `W_t[i]`
+//! with `i ≥ 1`; [`SlidingWindow::get`] follows the same 1-based convention.
+//! Multi-action slides (`L > 1`, §5.3) are handled by
+//! [`SlidingWindow::push_batch`].
+
+use crate::action::{Action, ActionId, UserId};
+use std::collections::{HashMap, VecDeque};
+
+/// Result of pushing one or more actions into the window.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SlideOutcome {
+    /// Actions that entered the window, in arrival order.
+    pub arrived: Vec<Action>,
+    /// Actions that were evicted because the window exceeded its capacity,
+    /// in eviction (i.e. original arrival) order.
+    pub expired: Vec<Action>,
+}
+
+/// The sliding window `W_t`: a bounded FIFO of the latest `N` actions with
+/// an incrementally maintained multiset of *active users* `A_t` (users that
+/// performed at least one action in the window).
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    capacity: usize,
+    actions: VecDeque<Action>,
+    /// user -> number of actions by that user currently in the window.
+    active_counts: HashMap<UserId, u32>,
+}
+
+impl SlidingWindow {
+    /// Creates a window holding at most `capacity` (= `N`) actions.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity N must be positive");
+        SlidingWindow {
+            capacity,
+            actions: VecDeque::with_capacity(capacity.min(1 << 20)),
+            active_counts: HashMap::new(),
+        }
+    }
+
+    /// The configured window size `N`.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of actions currently in the window.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// `true` when no action has been observed yet.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// `true` once the window has been fully populated (steady state).
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.actions.len() == self.capacity
+    }
+
+    /// Timestamp of the most recent action, if any.
+    pub fn latest_id(&self) -> Option<ActionId> {
+        self.actions.back().map(|a| a.id)
+    }
+
+    /// Timestamp of the oldest action still inside the window, if any.
+    pub fn oldest_id(&self) -> Option<ActionId> {
+        self.actions.front().map(|a| a.id)
+    }
+
+    /// 1-based access `W_t[i]` following the paper's notation.
+    pub fn get(&self, i: usize) -> Option<&Action> {
+        if i == 0 {
+            return None;
+        }
+        self.actions.get(i - 1)
+    }
+
+    /// Iterates over the window contents from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Action> {
+        self.actions.iter()
+    }
+
+    /// The set of active users `A_t` (users with ≥ 1 action in the window).
+    pub fn active_users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.active_counts.keys().copied()
+    }
+
+    /// Number of distinct active users `|A_t|`.
+    pub fn active_user_count(&self) -> usize {
+        self.active_counts.len()
+    }
+
+    /// `true` if `user` performed at least one action in the window.
+    pub fn is_active(&self, user: UserId) -> bool {
+        self.active_counts.contains_key(&user)
+    }
+
+    /// Pushes a single action, returning the evicted action if the window
+    /// was already full.
+    pub fn push(&mut self, action: Action) -> Option<Action> {
+        let evicted = if self.actions.len() == self.capacity {
+            self.actions.pop_front()
+        } else {
+            None
+        };
+        if let Some(old) = evicted {
+            self.decrement_user(old.user);
+        }
+        *self.active_counts.entry(action.user).or_insert(0) += 1;
+        self.actions.push_back(action);
+        evicted
+    }
+
+    /// Pushes a batch of `L` actions (one window slide with `L > 1`),
+    /// returning both the arrived and the expired actions.
+    pub fn push_batch(&mut self, batch: impl IntoIterator<Item = Action>) -> SlideOutcome {
+        let mut outcome = SlideOutcome::default();
+        for action in batch {
+            if let Some(old) = self.push(action) {
+                outcome.expired.push(old);
+            }
+            outcome.arrived.push(action);
+        }
+        outcome
+    }
+
+    fn decrement_user(&mut self, user: UserId) {
+        if let Some(c) = self.active_counts.get_mut(&user) {
+            *c -= 1;
+            if *c == 0 {
+                self.active_counts.remove(&user);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_actions() -> Vec<Action> {
+        vec![
+            Action::root(1u64, 1u32),
+            Action::reply(2u64, 2u32, 1u64),
+            Action::root(3u64, 3u32),
+            Action::reply(4u64, 3u32, 1u64),
+            Action::reply(5u64, 4u32, 3u64),
+            Action::reply(6u64, 1u32, 3u64),
+            Action::reply(7u64, 5u32, 3u64),
+            Action::reply(8u64, 4u32, 7u64),
+            Action::root(9u64, 2u32),
+            Action::reply(10u64, 6u32, 9u64),
+        ]
+    }
+
+    #[test]
+    fn window_keeps_latest_n_actions() {
+        let mut w = SlidingWindow::new(8);
+        let actions = figure1_actions();
+        for a in &actions[..8] {
+            assert!(w.push(*a).is_none());
+        }
+        assert!(w.is_full());
+        assert_eq!(w.oldest_id(), Some(ActionId(1)));
+        assert_eq!(w.latest_id(), Some(ActionId(8)));
+
+        // Sliding to W_10 evicts a1 and a2 (Example 1).
+        let e1 = w.push(actions[8]).unwrap();
+        let e2 = w.push(actions[9]).unwrap();
+        assert_eq!(e1.id, ActionId(1));
+        assert_eq!(e2.id, ActionId(2));
+        assert_eq!(w.oldest_id(), Some(ActionId(3)));
+        assert_eq!(w.latest_id(), Some(ActionId(10)));
+        assert_eq!(w.len(), 8);
+    }
+
+    #[test]
+    fn one_based_indexing_matches_paper() {
+        let mut w = SlidingWindow::new(8);
+        for a in figure1_actions().into_iter().take(8) {
+            w.push(a);
+        }
+        assert_eq!(w.get(1).unwrap().id, ActionId(1));
+        assert_eq!(w.get(8).unwrap().id, ActionId(8));
+        assert!(w.get(0).is_none());
+        assert!(w.get(9).is_none());
+    }
+
+    #[test]
+    fn active_users_track_window_contents() {
+        let mut w = SlidingWindow::new(8);
+        let actions = figure1_actions();
+        for a in &actions[..8] {
+            w.push(*a);
+        }
+        // A_8 = {u1..u5}
+        assert_eq!(w.active_user_count(), 5);
+        assert!(w.is_active(UserId(1)));
+        assert!(!w.is_active(UserId(6)));
+
+        w.push(actions[8]);
+        w.push(actions[9]);
+        // A_10 = {u1..u6}: u1 still active via a6, u6 joins via a10.
+        assert_eq!(w.active_user_count(), 6);
+        assert!(w.is_active(UserId(6)));
+        assert!(w.is_active(UserId(1)));
+    }
+
+    #[test]
+    fn push_batch_reports_arrivals_and_expiries() {
+        let mut w = SlidingWindow::new(4);
+        let out = w.push_batch((1..=4u64).map(|t| Action::root(t, t as u32)));
+        assert_eq!(out.arrived.len(), 4);
+        assert!(out.expired.is_empty());
+
+        let out = w.push_batch((5..=7u64).map(|t| Action::root(t, t as u32)));
+        assert_eq!(out.arrived.len(), 3);
+        assert_eq!(out.expired.len(), 3);
+        assert_eq!(out.expired[0].id, ActionId(1));
+        assert_eq!(w.len(), 4);
+    }
+
+    #[test]
+    fn empty_window_queries_are_safe() {
+        let w = SlidingWindow::new(3);
+        assert!(w.is_empty());
+        assert!(!w.is_full());
+        assert_eq!(w.latest_id(), None);
+        assert_eq!(w.oldest_id(), None);
+        assert_eq!(w.active_user_count(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_is_rejected() {
+        let _ = SlidingWindow::new(0);
+    }
+}

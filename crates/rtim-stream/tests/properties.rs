@@ -1,0 +1,145 @@
+//! Property-based tests of the stream substrate: window semantics,
+//! propagation-index consistency, and influence-set invariants.
+
+use proptest::prelude::*;
+use rtim_stream::{
+    window_influence_sets, Action, InfluenceAccumulator, PropagationIndex, SlidingWindow,
+    SocialStream,
+};
+
+/// Random valid action traces (parents always reference earlier actions).
+fn arb_actions(max_len: usize, users: u32) -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec((0u32..users, prop::option::of(0.0f64..1.0)), 1..max_len).prop_map(
+        |specs| {
+            let mut actions = Vec::with_capacity(specs.len());
+            for (i, (user, parent)) in specs.into_iter().enumerate() {
+                let t = (i + 1) as u64;
+                match parent {
+                    Some(f) if i > 0 => {
+                        let p = 1 + (f * i as f64).floor() as u64;
+                        actions.push(Action::reply(t, user, p.min(t - 1)));
+                    }
+                    _ => actions.push(Action::root(t, user)),
+                }
+            }
+            actions
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The window always holds the most recent min(t, N) actions in order.
+    #[test]
+    fn window_holds_latest_actions(actions in arb_actions(80, 10), n in 1usize..20) {
+        let mut window = SlidingWindow::new(n);
+        for (i, a) in actions.iter().enumerate() {
+            window.push(*a);
+            let expected_len = (i + 1).min(n);
+            prop_assert_eq!(window.len(), expected_len);
+            prop_assert_eq!(window.get(expected_len).unwrap().id, a.id);
+            let oldest = window.oldest_id().unwrap().0;
+            prop_assert_eq!(oldest, (i + 1).saturating_sub(n - 1).max(1) as u64);
+        }
+    }
+
+    /// Active-user bookkeeping matches a from-scratch recount.
+    #[test]
+    fn active_users_match_recount(actions in arb_actions(60, 8), n in 2usize..16) {
+        let mut window = SlidingWindow::new(n);
+        for a in &actions {
+            window.push(*a);
+            let recount: std::collections::HashSet<_> = window.iter().map(|x| x.user).collect();
+            prop_assert_eq!(window.active_user_count(), recount.len());
+            for u in &recount {
+                prop_assert!(window.is_active(*u));
+            }
+        }
+    }
+
+    /// Valid traces pass stream validation; every generated trace round-trips.
+    #[test]
+    fn generated_traces_validate(actions in arb_actions(60, 10)) {
+        let stream = SocialStream::new(actions.clone());
+        prop_assert!(stream.is_ok());
+        prop_assert_eq!(stream.unwrap().len(), actions.len());
+    }
+
+    /// The propagation index's ancestor lists contain exactly the users on
+    /// the reply chain (verified against a naive chain walk).
+    #[test]
+    fn ancestors_match_naive_chain_walk(actions in arb_actions(60, 8)) {
+        let mut index = PropagationIndex::new();
+        for a in &actions {
+            index.insert(a);
+        }
+        let by_id: std::collections::HashMap<u64, &Action> =
+            actions.iter().map(|a| (a.id.0, a)).collect();
+        for a in &actions {
+            // Naive walk up the parent chain.
+            let mut expected = Vec::new();
+            let mut cursor = a.parent;
+            while let Some(p) = cursor {
+                let parent = by_id[&p.0];
+                if !expected.contains(&parent.user) {
+                    expected.push(parent.user);
+                }
+                cursor = parent.parent;
+            }
+            let got = index.ancestor_users(a.id).unwrap();
+            prop_assert_eq!(got, &expected[..], "action {}", a.id);
+        }
+    }
+
+    /// Influence facts are consistent: u influences v in the window iff v
+    /// performed a window action whose ancestor chain contains u (or v = u
+    /// with an action in the window).
+    #[test]
+    fn window_influence_sets_match_definition(actions in arb_actions(50, 8), n in 4usize..20) {
+        let mut index = PropagationIndex::new();
+        let mut window = SlidingWindow::new(n);
+        for a in &actions {
+            index.insert(a);
+            window.push(*a);
+        }
+        let inf = window_influence_sets(&window, &index);
+        // Check every stored fact is witnessed by some window action.
+        for (u, set) in inf.iter() {
+            for v in set {
+                let witnessed = window.iter().any(|a| {
+                    a.user == *v
+                        && (*v == u
+                            || index.ancestor_users(a.id).unwrap_or(&[]).contains(&u))
+                });
+                prop_assert!(witnessed, "unwitnessed fact {u} -> {v}");
+            }
+        }
+        // Every influenced user is active in the window.
+        for (_, set) in inf.iter() {
+            for v in set {
+                prop_assert!(window.is_active(*v));
+            }
+        }
+    }
+
+    /// Append-only accumulation is monotone: influence sets only grow, and
+    /// the reported growth equals the actual delta.
+    #[test]
+    fn accumulator_growth_is_exact(actions in arb_actions(50, 8)) {
+        let mut index = PropagationIndex::new();
+        let mut acc = InfluenceAccumulator::new();
+        for a in &actions {
+            let updated = index.insert(a);
+            let (actor, ancestors) = updated.split_first().unwrap();
+            let before: std::collections::HashMap<_, usize> =
+                updated.iter().map(|u| (*u, acc.value(*u))).collect();
+            let grew = acc.apply(*actor, ancestors);
+            for u in &updated {
+                let after = acc.value(*u);
+                prop_assert!(after >= before[u]);
+                prop_assert_eq!(after > before[u], grew.contains(u));
+            }
+        }
+    }
+}

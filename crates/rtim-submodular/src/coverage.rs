@@ -1,0 +1,175 @@
+//! Incremental weighted-coverage state.
+//!
+//! [`CoverageState`] maintains the union of the influence sets of the
+//! currently selected seeds together with its weighted value
+//! `f(I(S)) = Σ_{v ∈ ∪ I(u)} w(v)`.  It supports the two operations every
+//! algorithm in this workspace needs:
+//!
+//! * `marginal_gain(set)` — `f(I(S) ∪ set) − f(I(S))` without mutating, and
+//! * `absorb(set)` — extend the union with a new seed's influence set.
+//!
+//! Both are `O(|set|)`.
+
+use crate::weights::ElementWeight;
+use rtim_stream::UserId;
+use std::collections::HashSet;
+
+/// The union coverage of a seed set together with its weighted value.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageState {
+    covered: HashSet<UserId>,
+    value: f64,
+}
+
+impl CoverageState {
+    /// Empty coverage (no seed selected yet), `f(∅) = 0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current objective value `f(I(S))`.
+    #[inline]
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Number of covered users `|I(S)|`.
+    #[inline]
+    pub fn covered_count(&self) -> usize {
+        self.covered.len()
+    }
+
+    /// `true` if `user` is already covered.
+    #[inline]
+    pub fn covers(&self, user: UserId) -> bool {
+        self.covered.contains(&user)
+    }
+
+    /// The covered users.
+    pub fn covered(&self) -> &HashSet<UserId> {
+        &self.covered
+    }
+
+    /// Marginal gain of adding a seed whose influence set is `set`.
+    pub fn marginal_gain<'a, W: ElementWeight>(
+        &self,
+        weight: &W,
+        set: impl IntoIterator<Item = &'a UserId>,
+    ) -> f64 {
+        set.into_iter()
+            .filter(|u| !self.covered.contains(u))
+            .map(|u| weight.weight(*u))
+            .sum()
+    }
+
+    /// Marginal gain with an early-exit upper bound: stops summing as soon as
+    /// the accumulated gain reaches `target` (useful for threshold tests where
+    /// only "≥ target" matters).  Returns the (possibly truncated) gain.
+    pub fn marginal_gain_at_least<'a, W: ElementWeight>(
+        &self,
+        weight: &W,
+        set: impl IntoIterator<Item = &'a UserId>,
+        target: f64,
+    ) -> f64 {
+        let mut gain = 0.0;
+        for u in set {
+            if !self.covered.contains(u) {
+                gain += weight.weight(*u);
+                if gain >= target {
+                    return gain;
+                }
+            }
+        }
+        gain
+    }
+
+    /// Adds a seed's influence set to the union, returning the realized gain.
+    pub fn absorb<'a, W: ElementWeight>(
+        &mut self,
+        weight: &W,
+        set: impl IntoIterator<Item = &'a UserId>,
+    ) -> f64 {
+        let mut gain = 0.0;
+        for &u in set {
+            if self.covered.insert(u) {
+                gain += weight.weight(u);
+            }
+        }
+        self.value += gain;
+        gain
+    }
+
+    /// Weighted value of an arbitrary set of users (helper for `f({I(u)})`).
+    pub fn set_value<'a, W: ElementWeight>(
+        weight: &W,
+        set: impl IntoIterator<Item = &'a UserId>,
+    ) -> f64 {
+        set.into_iter().map(|u| weight.weight(*u)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::{MapWeight, UnitWeight};
+    use std::collections::HashMap;
+
+    fn users(ids: &[u32]) -> HashSet<UserId> {
+        ids.iter().map(|&i| UserId(i)).collect()
+    }
+
+    #[test]
+    fn absorb_accumulates_union_value() {
+        let w = UnitWeight;
+        let mut cov = CoverageState::new();
+        assert_eq!(cov.absorb(&w, &users(&[1, 2, 3])), 3.0);
+        assert_eq!(cov.absorb(&w, &users(&[3, 4])), 1.0);
+        assert_eq!(cov.value(), 4.0);
+        assert_eq!(cov.covered_count(), 4);
+        assert!(cov.covers(UserId(4)));
+        assert!(!cov.covers(UserId(9)));
+    }
+
+    #[test]
+    fn marginal_gain_matches_absorb() {
+        let w = UnitWeight;
+        let mut cov = CoverageState::new();
+        cov.absorb(&w, &users(&[1, 2]));
+        let s = users(&[2, 3, 4]);
+        let predicted = cov.marginal_gain(&w, &s);
+        let realized = cov.absorb(&w, &s);
+        assert_eq!(predicted, realized);
+        assert_eq!(predicted, 2.0);
+    }
+
+    #[test]
+    fn early_exit_gain_stops_at_target() {
+        let w = UnitWeight;
+        let cov = CoverageState::new();
+        let s = users(&[1, 2, 3, 4, 5]);
+        let g = cov.marginal_gain_at_least(&w, &s, 2.0);
+        assert!(g >= 2.0);
+    }
+
+    #[test]
+    fn weighted_coverage_uses_weights() {
+        let mut table = HashMap::new();
+        table.insert(UserId(1), 5.0);
+        let w = MapWeight::new(table, 1.0);
+        let mut cov = CoverageState::new();
+        assert_eq!(cov.absorb(&w, &users(&[1, 2])), 6.0);
+        assert_eq!(CoverageState::set_value(&w, &users(&[1])), 5.0);
+    }
+
+    #[test]
+    fn submodularity_of_marginals() {
+        // Marginal gain wrt. a superset is never larger (diminishing returns).
+        let w = UnitWeight;
+        let mut small = CoverageState::new();
+        small.absorb(&w, &users(&[1]));
+        let mut big = small.clone();
+        big.absorb(&w, &users(&[2, 3]));
+        let x = users(&[2, 5, 6]);
+        assert!(big.marginal_gain(&w, &x) <= small.marginal_gain(&w, &x));
+    }
+}

@@ -1,0 +1,166 @@
+//! The streaming submodular optimization (SSO) oracle abstraction.
+//!
+//! A checkpoint (§4.1) wraps an SSO oracle operating in the *set-stream*
+//! model: elements arrive one at a time, each element is the influence set
+//! of a candidate seed user, and the oracle maintains a candidate solution
+//! of at most `k` seeds maximizing the weighted coverage of the union of
+//! their sets.  The Set-Stream Mapping of §4.2 may feed the *same* user
+//! again later with a strictly larger set (its updated influence set);
+//! oracles must treat this as a fresh element (Theorem 2 shows the
+//! approximation ratio is preserved, and keeping only the newest copy per
+//! user can only increase the value).
+
+use crate::weights::ElementWeight;
+use crate::{SieveStreaming, SwapStreaming, ThresholdStream};
+use rtim_stream::UserId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// Configuration shared by all SSO oracles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OracleConfig {
+    /// Cardinality constraint `k` (maximum number of seeds).
+    pub k: usize,
+    /// Accuracy/efficiency trade-off parameter `β ∈ (0, 1)` used by the
+    /// threshold-guessing oracles; ignored by the swap oracle.
+    pub beta: f64,
+}
+
+impl OracleConfig {
+    /// Creates a configuration, clamping `beta` into `(0, 1)`.
+    pub fn new(k: usize, beta: f64) -> Self {
+        assert!(k > 0, "k must be positive");
+        OracleConfig {
+            k,
+            beta: beta.clamp(1e-6, 0.999_999),
+        }
+    }
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig { k: 50, beta: 0.1 }
+    }
+}
+
+/// A streaming submodular optimization oracle over an append-only set-stream.
+pub trait SsoOracle: Send {
+    /// Processes one element: candidate seed `key` together with its current
+    /// (possibly updated/grown) influence set.
+    fn process(&mut self, key: UserId, set: &HashSet<UserId>);
+
+    /// The objective value `f(I(S))` of the current candidate solution.
+    fn value(&self) -> f64;
+
+    /// The current candidate seeds (at most `k` distinct users).
+    fn seeds(&self) -> Vec<UserId>;
+
+    /// The cardinality constraint `k`.
+    fn k(&self) -> usize;
+
+    /// Number of `process` calls served so far (instrumentation).
+    fn elements_processed(&self) -> u64;
+
+    /// Approximate memory footprint: number of `(user, covered-user)` facts
+    /// retained across all internal instances (instrumentation for the
+    /// checkpoint-count/space experiments).
+    fn retained_facts(&self) -> usize;
+}
+
+/// Selector for the checkpoint-oracle implementation (Table 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OracleKind {
+    /// SieveStreaming (Badanidiyuru et al. 2014): `1/2 − β`, `O(log k / β)`
+    /// instances.  The paper's default checkpoint oracle.
+    SieveStreaming,
+    /// ThresholdStream (Kumar et al. 2015): `1/2 − β`.
+    ThresholdStream,
+    /// Swap-based streaming max-k-coverage (Saha & Getoor 2009, Ausiello et
+    /// al. 2012): `1/4`, `O(k)` per element.
+    Swap,
+}
+
+impl OracleKind {
+    /// Instantiates the selected oracle with the given weight function.
+    pub fn build<W>(self, config: OracleConfig, weight: W) -> Box<dyn SsoOracle>
+    where
+        W: ElementWeight + Send + 'static,
+    {
+        match self {
+            OracleKind::SieveStreaming => Box::new(SieveStreaming::new(config, weight)),
+            OracleKind::ThresholdStream => Box::new(ThresholdStream::new(config, weight)),
+            OracleKind::Swap => Box::new(SwapStreaming::new(config, weight)),
+        }
+    }
+
+    /// Worst-case approximation ratio of the oracle (for β from `config`),
+    /// as listed in Table 2.
+    pub fn approximation_ratio(self, config: OracleConfig) -> f64 {
+        match self {
+            OracleKind::SieveStreaming | OracleKind::ThresholdStream => 0.5 - config.beta,
+            OracleKind::Swap => 0.25,
+        }
+    }
+
+    /// All supported oracle kinds (used by the Table-2 ablation bench).
+    pub fn all() -> [OracleKind; 3] {
+        [
+            OracleKind::SieveStreaming,
+            OracleKind::ThresholdStream,
+            OracleKind::Swap,
+        ]
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::SieveStreaming => "SieveStreaming",
+            OracleKind::ThresholdStream => "ThresholdStream",
+            OracleKind::Swap => "Swap",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weights::UnitWeight;
+
+    fn set(ids: &[u32]) -> HashSet<UserId> {
+        ids.iter().map(|&i| UserId(i)).collect()
+    }
+
+    #[test]
+    fn factory_builds_all_kinds() {
+        for kind in OracleKind::all() {
+            let mut oracle = kind.build(OracleConfig::new(2, 0.2), UnitWeight);
+            oracle.process(UserId(1), &set(&[1, 2, 3]));
+            oracle.process(UserId(2), &set(&[4]));
+            assert!(oracle.value() >= 3.0, "{}", kind.name());
+            assert!(oracle.seeds().len() <= 2);
+            assert_eq!(oracle.k(), 2);
+            assert_eq!(oracle.elements_processed(), 2);
+        }
+    }
+
+    #[test]
+    fn config_clamps_beta() {
+        let c = OracleConfig::new(5, 7.0);
+        assert!(c.beta < 1.0);
+        let c = OracleConfig::new(5, -1.0);
+        assert!(c.beta > 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_rejected() {
+        let _ = OracleConfig::new(0, 0.1);
+    }
+
+    #[test]
+    fn ratios_match_table2() {
+        let c = OracleConfig::new(10, 0.1);
+        assert!((OracleKind::SieveStreaming.approximation_ratio(c) - 0.4).abs() < 1e-9);
+        assert!((OracleKind::Swap.approximation_ratio(c) - 0.25).abs() < 1e-9);
+    }
+}

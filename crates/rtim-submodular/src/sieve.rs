@@ -1,0 +1,288 @@
+//! SieveStreaming (Badanidiyuru, Mirzasoleiman, Karbasi, Krause — KDD 2014).
+//!
+//! The paper's default checkpoint oracle (§4.3).  SieveStreaming maintains a
+//! geometric grid of guesses `Ω = {(1+β)^j : m ≤ (1+β)^j ≤ 2·k·m}` for the
+//! unknown optimum `OPT`, where `m` is the largest single-element value seen
+//! so far.  Each guess `v` runs an independent thresholding instance that
+//! admits an arriving element when fewer than `k` seeds are held and the
+//! marginal gain is at least `(v/2 − f(S)) / (k − |S|)`.  At query time the
+//! best instance is returned; at least one guess is within a `(1+β)` factor
+//! of `OPT`, giving a `(1/2 − β)` approximation.
+//!
+//! ## Handling re-arriving keys (Set-Stream Mapping)
+//!
+//! The SSM feeds the *updated* influence set of a user whenever it grows.
+//! If the user is already a seed of an instance we union the new set into
+//! that instance's coverage (equivalent to replacing the stored copy of the
+//! element by its newest version — the value can only grow, preserving the
+//! oracle monotonicity required by the SIC analysis, Lemma 2/3).  Otherwise
+//! the standard admission rule applies.
+
+use crate::coverage::CoverageState;
+use crate::oracle::{OracleConfig, SsoOracle};
+use crate::weights::ElementWeight;
+use rtim_stream::UserId;
+use std::collections::{BTreeMap, HashSet};
+
+/// One thresholding instance for a particular guess of `OPT`.
+#[derive(Debug, Clone)]
+struct Instance {
+    /// The guess `v = (1+β)^j` of the optimum value.
+    opt_guess: f64,
+    /// Selected seeds, in admission order.
+    seeds: Vec<UserId>,
+    /// Union coverage of the seeds' sets with its value.
+    coverage: CoverageState,
+}
+
+impl Instance {
+    fn new(opt_guess: f64) -> Self {
+        Instance {
+            opt_guess,
+            seeds: Vec::new(),
+            coverage: CoverageState::new(),
+        }
+    }
+}
+
+/// The SieveStreaming oracle.  Generic over the element weight so the same
+/// implementation serves cardinality and weighted-coverage objectives.
+#[derive(Debug, Clone)]
+pub struct SieveStreaming<W> {
+    config: OracleConfig,
+    weight: W,
+    /// Largest single-element value `m = max f({e})` observed so far.
+    max_single: f64,
+    /// Best single element observed (fallback solution).
+    best_single: Option<(UserId, f64)>,
+    /// Instances keyed by the exponent `j` of their guess `(1+β)^j`.
+    instances: BTreeMap<i64, Instance>,
+    elements: u64,
+}
+
+impl<W: ElementWeight> SieveStreaming<W> {
+    /// Creates an empty oracle.
+    pub fn new(config: OracleConfig, weight: W) -> Self {
+        SieveStreaming {
+            config,
+            weight,
+            max_single: 0.0,
+            best_single: None,
+            instances: BTreeMap::new(),
+            elements: 0,
+        }
+    }
+
+    /// Number of live threshold instances `|Ω|` (instrumentation; the paper
+    /// reports this is `O(log k / β)`).
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    fn log_base(&self) -> f64 {
+        (1.0 + self.config.beta).ln()
+    }
+
+    /// Refreshes the instance grid after observing a new maximum single value.
+    fn refresh_instances(&mut self) {
+        if self.max_single <= 0.0 {
+            return;
+        }
+        let base = self.log_base();
+        let lo = (self.max_single.ln() / base).ceil() as i64;
+        let hi = ((2.0 * self.config.k as f64 * self.max_single).ln() / base).floor() as i64;
+        // Drop instances whose guess is now provably too small (< m).
+        self.instances.retain(|&j, _| j >= lo);
+        // Lazily create instances for new guesses.
+        for j in lo..=hi {
+            self.instances
+                .entry(j)
+                .or_insert_with(|| Instance::new((1.0 + self.config.beta).powi(j as i32)));
+        }
+    }
+
+    fn best_instance(&self) -> Option<&Instance> {
+        self.instances
+            .values()
+            .max_by(|a, b| a.coverage.value().total_cmp(&b.coverage.value()))
+    }
+}
+
+impl<W: ElementWeight + Send> SsoOracle for SieveStreaming<W> {
+    fn process(&mut self, key: UserId, set: &HashSet<UserId>) {
+        self.elements += 1;
+        let single = CoverageState::set_value(&self.weight, set);
+        if single > self.max_single {
+            self.max_single = single;
+            self.refresh_instances();
+        }
+        match &self.best_single {
+            Some((_, v)) if *v >= single => {}
+            _ => self.best_single = Some((key, single)),
+        }
+
+        let k = self.config.k;
+        for inst in self.instances.values_mut() {
+            if inst.seeds.contains(&key) {
+                // Updated influence set of an existing seed: refresh in place.
+                inst.coverage.absorb(&self.weight, set);
+                continue;
+            }
+            if inst.seeds.len() >= k {
+                continue;
+            }
+            let remaining = (k - inst.seeds.len()) as f64;
+            let threshold = (inst.opt_guess / 2.0 - inst.coverage.value()) / remaining;
+            if threshold > single {
+                // Even the whole element is below the threshold: skip the
+                // (more expensive) marginal computation.
+                continue;
+            }
+            let gain = if threshold <= 0.0 {
+                inst.coverage.marginal_gain(&self.weight, set)
+            } else {
+                inst.coverage
+                    .marginal_gain_at_least(&self.weight, set, threshold)
+            };
+            if gain >= threshold && gain > 0.0 {
+                inst.coverage.absorb(&self.weight, set);
+                inst.seeds.push(key);
+            }
+        }
+    }
+
+    fn value(&self) -> f64 {
+        let best_inst = self.best_instance().map_or(0.0, |i| i.coverage.value());
+        let best_single = self.best_single.map_or(0.0, |(_, v)| v);
+        best_inst.max(best_single)
+    }
+
+    fn seeds(&self) -> Vec<UserId> {
+        let best_single = self.best_single.map_or(0.0, |(_, v)| v);
+        match self.best_instance() {
+            Some(inst) if inst.coverage.value() >= best_single => inst.seeds.clone(),
+            _ => self.best_single.iter().map(|(u, _)| *u).collect(),
+        }
+    }
+
+    fn k(&self) -> usize {
+        self.config.k
+    }
+
+    fn elements_processed(&self) -> u64 {
+        self.elements
+    }
+
+    fn retained_facts(&self) -> usize {
+        self.instances
+            .values()
+            .map(|i| i.coverage.covered_count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::brute_force_best;
+    use crate::weights::UnitWeight;
+    use rtim_stream::InfluenceSets;
+
+    fn set(ids: &[u32]) -> HashSet<UserId> {
+        ids.iter().map(|&i| UserId(i)).collect()
+    }
+
+    #[test]
+    fn admits_high_value_elements() {
+        let mut s = SieveStreaming::new(OracleConfig::new(2, 0.1), UnitWeight);
+        s.process(UserId(1), &set(&[1, 2, 3]));
+        s.process(UserId(2), &set(&[4, 5]));
+        s.process(UserId(3), &set(&[1])); // dominated
+        assert!(s.value() >= 4.0);
+        assert!(s.seeds().len() <= 2);
+        assert!(s.instance_count() > 0);
+    }
+
+    #[test]
+    fn reprocessing_a_seed_grows_its_coverage() {
+        let mut s = SieveStreaming::new(OracleConfig::new(1, 0.1), UnitWeight);
+        s.process(UserId(7), &set(&[1, 2]));
+        let before = s.value();
+        s.process(UserId(7), &set(&[1, 2, 3, 4]));
+        assert!(s.value() >= before);
+        assert!(s.value() >= 4.0);
+        assert_eq!(s.seeds(), vec![UserId(7)]);
+    }
+
+    #[test]
+    fn value_is_monotone_over_the_stream() {
+        let mut s = SieveStreaming::new(OracleConfig::new(3, 0.3), UnitWeight);
+        let mut last = 0.0;
+        let elements: Vec<(u32, Vec<u32>)> = vec![
+            (1, vec![1, 2]),
+            (2, vec![3]),
+            (3, vec![1, 4, 5]),
+            (4, vec![6, 7, 8, 9]),
+            (1, vec![1, 2, 10]),
+            (5, vec![2]),
+        ];
+        for (u, cov) in elements {
+            s.process(UserId(u), &cov.iter().map(|&c| UserId(c)).collect());
+            assert!(s.value() + 1e-9 >= last);
+            last = s.value();
+        }
+    }
+
+    #[test]
+    fn approximation_ratio_on_figure1_instance() {
+        // Influence sets at time 8 from the paper, k = 2, β = 0.3:
+        // the paper's worked example (Figure 3) reports value 5 with {u1,u3}.
+        let elems: Vec<(u32, Vec<u32>)> = vec![
+            (1, vec![1, 2, 3]),
+            (2, vec![2]),
+            (3, vec![1, 3, 4, 5]),
+            (4, vec![4]),
+            (5, vec![4, 5]),
+        ];
+        let mut inf = InfluenceSets::new();
+        for (u, cov) in &elems {
+            for &v in cov {
+                inf.insert(UserId(*u), UserId(v));
+            }
+        }
+        let opt = brute_force_best(&inf, 2, &UnitWeight).value;
+        assert_eq!(opt, 5.0);
+
+        let mut s = SieveStreaming::new(OracleConfig::new(2, 0.3), UnitWeight);
+        for (u, cov) in &elems {
+            s.process(UserId(*u), &cov.iter().map(|&c| UserId(c)).collect());
+        }
+        assert!(s.value() >= (0.5 - 0.3) * opt);
+        // On this easy instance SieveStreaming actually finds the optimum.
+        assert_eq!(s.value(), 5.0);
+    }
+
+    #[test]
+    fn instance_count_is_logarithmic_in_k() {
+        let beta = 0.2;
+        let mut s = SieveStreaming::new(OracleConfig::new(100, beta), UnitWeight);
+        for i in 0..200u32 {
+            s.process(UserId(i), &set(&[i, i + 1000, i + 2000]));
+        }
+        let bound = ((2.0 * 100.0f64).ln() / (1.0 + beta).ln()).ceil() as usize + 2;
+        assert!(
+            s.instance_count() <= bound,
+            "instances {} > bound {}",
+            s.instance_count(),
+            bound
+        );
+    }
+
+    #[test]
+    fn empty_oracle_reports_zero() {
+        let s = SieveStreaming::new(OracleConfig::new(5, 0.1), UnitWeight);
+        assert_eq!(s.value(), 0.0);
+        assert!(s.seeds().is_empty());
+        assert_eq!(s.retained_facts(), 0);
+    }
+}

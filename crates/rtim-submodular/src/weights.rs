@@ -1,0 +1,118 @@
+//! Element weights: the `f` in `f(I(S))`.
+//!
+//! The paper evaluates influence with a nonnegative monotone submodular
+//! function of the influence set.  Every such function used in the paper
+//! (cardinality in the main text, conformity-aware weighted coverage in
+//! Appendix A) is a *weighted coverage* function: each influenced user
+//! contributes an independent nonnegative weight, and `f(I(S))` is the sum
+//! of weights over the union `I(S)`.  Weighted coverage is monotone and
+//! submodular for any nonnegative weights, so the frameworks' guarantees
+//! apply unchanged.
+
+use rtim_stream::UserId;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A nonnegative weight per influenced user.
+///
+/// Implementations must be cheap to clone (they are shared by every
+/// checkpoint instance); use [`MapWeight`]'s internal `Arc` or keep the
+/// state small.
+pub trait ElementWeight: Clone {
+    /// The weight contributed by `user` when it appears in an influence set.
+    fn weight(&self, user: UserId) -> f64;
+}
+
+/// Cardinality: every influenced user counts 1.  This is the influence
+/// function used throughout the main text of the paper.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitWeight;
+
+impl ElementWeight for UnitWeight {
+    #[inline]
+    fn weight(&self, _user: UserId) -> f64 {
+        1.0
+    }
+}
+
+/// Weighted coverage with per-user weights and a default for unknown users.
+///
+/// Used by conformity-aware SIM (Appendix A), where the weight of an
+/// influenced user is derived from offline influence/conformity scores, and
+/// by tests exercising non-uniform objectives.
+#[derive(Debug, Clone)]
+pub struct MapWeight {
+    weights: Arc<HashMap<UserId, f64>>,
+    default: f64,
+}
+
+impl MapWeight {
+    /// Builds a weight table with `default` for users not present.
+    ///
+    /// Negative weights are clamped to zero to preserve monotonicity.
+    pub fn new(weights: HashMap<UserId, f64>, default: f64) -> Self {
+        let cleaned = weights
+            .into_iter()
+            .map(|(u, w)| (u, w.max(0.0)))
+            .collect::<HashMap<_, _>>();
+        MapWeight {
+            weights: Arc::new(cleaned),
+            default: default.max(0.0),
+        }
+    }
+
+    /// Number of users with an explicit weight.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` if no explicit weights are stored.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+impl ElementWeight for MapWeight {
+    #[inline]
+    fn weight(&self, user: UserId) -> f64 {
+        self.weights.get(&user).copied().unwrap_or(self.default)
+    }
+}
+
+/// Convenience: total weight of an iterator of users (with repetition —
+/// callers are responsible for deduplication when evaluating coverage).
+pub fn total_weight<W: ElementWeight>(w: &W, users: impl IntoIterator<Item = UserId>) -> f64 {
+    users.into_iter().map(|u| w.weight(u)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_weight_is_cardinality() {
+        let w = UnitWeight;
+        assert_eq!(w.weight(UserId(0)), 1.0);
+        assert_eq!(total_weight(&w, (0..5).map(UserId)), 5.0);
+    }
+
+    #[test]
+    fn map_weight_uses_table_and_default() {
+        let mut m = HashMap::new();
+        m.insert(UserId(1), 2.5);
+        m.insert(UserId(2), -3.0); // clamped to 0
+        let w = MapWeight::new(m, 0.5);
+        assert_eq!(w.weight(UserId(1)), 2.5);
+        assert_eq!(w.weight(UserId(2)), 0.0);
+        assert_eq!(w.weight(UserId(9)), 0.5);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn negative_default_clamped() {
+        let w = MapWeight::new(HashMap::new(), -1.0);
+        assert_eq!(w.weight(UserId(3)), 0.0);
+        assert!(w.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the submodular-maximization building blocks:
+//! objective properties (monotonicity, submodularity), the greedy
+//! guarantee, and the streaming oracles' guarantees against brute force.
+
+use proptest::prelude::*;
+use rtim_stream::{InfluenceSets, UserId};
+use rtim_submodular::{
+    brute_force_best, greedy_max_coverage, lazy_greedy_max_coverage, CoverageState, OracleConfig,
+    OracleKind, UnitWeight,
+};
+use std::collections::HashSet;
+
+/// A random small coverage instance: up to `max_candidates` candidate users,
+/// each covering a subset of a universe of `universe` items.
+fn arb_instance(
+    max_candidates: usize,
+    universe: u32,
+) -> impl Strategy<Value = Vec<(u32, Vec<u32>)>> {
+    prop::collection::vec(
+        (
+            0u32..1000,
+            prop::collection::vec(0u32..universe, 1..(universe as usize).min(12)),
+        ),
+        1..max_candidates,
+    )
+}
+
+fn to_sets(instance: &[(u32, Vec<u32>)]) -> InfluenceSets {
+    let mut sets = InfluenceSets::new();
+    for (u, covered) in instance {
+        for &v in covered {
+            sets.insert(UserId(*u), UserId(v));
+        }
+    }
+    sets
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Weighted coverage is monotone: absorbing any set never decreases the
+    /// value, and the marginal gain is never negative.
+    #[test]
+    fn coverage_is_monotone(instance in arb_instance(10, 20)) {
+        let w = UnitWeight;
+        let mut cov = CoverageState::new();
+        let mut last = 0.0;
+        for (_, covered) in &instance {
+            let set: HashSet<UserId> = covered.iter().map(|&v| UserId(v)).collect();
+            prop_assert!(cov.marginal_gain(&w, &set) >= 0.0);
+            cov.absorb(&w, &set);
+            prop_assert!(cov.value() + 1e-9 >= last);
+            last = cov.value();
+        }
+    }
+
+    /// Submodularity (diminishing returns): the marginal gain of a fixed set
+    /// never increases as the base coverage grows.
+    #[test]
+    fn coverage_has_diminishing_returns(
+        instance in arb_instance(8, 20),
+        extra in prop::collection::vec(0u32..20, 1..10),
+    ) {
+        let w = UnitWeight;
+        let x: HashSet<UserId> = extra.into_iter().map(UserId).collect();
+        let mut cov = CoverageState::new();
+        let mut last_gain = cov.marginal_gain(&w, &x);
+        for (_, covered) in &instance {
+            cov.absorb(&w, &covered.iter().map(|&v| UserId(v)).collect::<HashSet<_>>());
+            let gain = cov.marginal_gain(&w, &x);
+            prop_assert!(gain <= last_gain + 1e-9);
+            last_gain = gain;
+        }
+    }
+
+    /// Greedy and lazy greedy both achieve at least (1 − 1/e) of the
+    /// brute-force optimum.  (They may break ties between equal marginal
+    /// gains differently and therefore report different — but equally
+    /// guaranteed — values.)
+    #[test]
+    fn greedy_meets_its_guarantee(instance in arb_instance(10, 16), k in 1usize..5) {
+        let sets = to_sets(&instance);
+        prop_assume!(sets.len() <= 12);
+        let opt = brute_force_best(&sets, k, &UnitWeight).value;
+        let g = greedy_max_coverage(&sets, k, &UnitWeight).value;
+        let lg = lazy_greedy_max_coverage(&sets, k, &UnitWeight).value;
+        let ratio = 1.0 - 1.0 / std::f64::consts::E;
+        prop_assert!(g >= ratio * opt - 1e-9, "greedy {g} vs opt {opt}");
+        prop_assert!(lg >= ratio * opt - 1e-9, "lazy greedy {lg} vs opt {opt}");
+        prop_assert!(g <= opt + 1e-9);
+        prop_assert!(lg <= opt + 1e-9);
+    }
+
+    /// Every streaming oracle respects its approximation guarantee on the
+    /// set-stream model (each candidate's full set arrives exactly once).
+    #[test]
+    fn streaming_oracles_meet_their_guarantees(instance in arb_instance(12, 16), k in 1usize..4) {
+        let sets = to_sets(&instance);
+        prop_assume!(sets.len() <= 12);
+        let opt = brute_force_best(&sets, k, &UnitWeight).value;
+        for kind in OracleKind::all() {
+            let config = OracleConfig::new(k, 0.1);
+            let mut oracle = kind.build(config, UnitWeight);
+            for (u, covered) in sets.iter() {
+                oracle.process(u, &covered.iter().copied().collect());
+            }
+            let ratio = kind.approximation_ratio(config);
+            prop_assert!(
+                oracle.value() >= ratio * opt - 1e-9,
+                "{} value {} below {} * opt {}", kind.name(), oracle.value(), ratio, opt
+            );
+            prop_assert!(oracle.value() <= opt + 1e-9, "{} exceeded opt", kind.name());
+            prop_assert!(oracle.seeds().len() <= k);
+        }
+    }
+
+    /// Oracle values are monotone in the stream even when the same candidate
+    /// re-arrives with a grown set (the SSM re-feeding pattern).
+    #[test]
+    fn oracle_values_are_monotone_under_refeeding(
+        instance in arb_instance(10, 14),
+        k in 1usize..4,
+    ) {
+        for kind in OracleKind::all() {
+            let mut oracle = kind.build(OracleConfig::new(k, 0.2), UnitWeight);
+            let mut cumulative: std::collections::HashMap<u32, HashSet<UserId>> = Default::default();
+            let mut last = 0.0;
+            for (u, covered) in &instance {
+                let entry = cumulative.entry(*u).or_default();
+                entry.extend(covered.iter().map(|&v| UserId(v)));
+                oracle.process(UserId(*u), entry);
+                prop_assert!(oracle.value() + 1e-9 >= last, "{} value decreased", kind.name());
+                last = oracle.value();
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Network monitoring with a weighted (conformity-aware) influence
+//! function and a comparison of checkpoint oracles.
+//!
+//! The scenario: a platform-safety team watches a stream of interactions
+//! and wants the accounts whose activity reaches the most *high-value*
+//! targets (e.g. accounts with many followers, here modelled by per-user
+//! weights).  The objective is the weighted-coverage influence function of
+//! Appendix A; any checkpoint oracle from Table 2 can back the framework.
+//!
+//! ```text
+//! cargo run --release --example network_monitoring
+//! ```
+
+use rtim::core::extensions::ConformityScores;
+use rtim::core::SicFramework;
+use rtim::prelude::*;
+use rtim::submodular::MapWeight;
+use std::collections::HashMap;
+
+fn main() {
+    let stream = DatasetConfig::new(DatasetKind::SynO, Scale::Small)
+        .with_users(2_500)
+        .with_actions(16_000)
+        .generate();
+    let config = SimConfig::new(8, 0.2, 4_000, 500);
+
+    // High-value accounts: every 50th user counts 10x (stand-in for offline
+    // conformity / importance scores).
+    let mut scores = ConformityScores::new();
+    let mut table = HashMap::new();
+    for u in (0..2_500u32).step_by(50) {
+        scores.set_conformity(UserId(u), 10.0);
+        table.insert(UserId(u), 10.0);
+    }
+    let weight = MapWeight::new(table, 1.0);
+    println!(
+        "network monitoring: {} actions, {} high-value accounts (weight 10), k = {}\n",
+        stream.len(),
+        scores.len(),
+        config.k
+    );
+
+    // Engine 1: unweighted (who reaches the most accounts).
+    let mut plain = SimEngine::new_sic(config);
+    // Engine 2: weighted (who reaches the most high-value accounts).
+    let mut weighted = SimEngine::new_sic_weighted(config, weight.clone());
+    // Engine 3: weighted, but backed by the swap oracle instead of
+    // SieveStreaming (the O(k)-update alternative of Table 2).
+    let swap_cfg = config.with_oracle(OracleKind::Swap);
+    let mut swap_backed = SimEngine::with_framework(
+        swap_cfg,
+        Box::new(SicFramework::with_weight(swap_cfg, weight)),
+    );
+
+    for slide in stream.batches(config.slide) {
+        plain.process_slide(slide);
+        weighted.process_slide(slide);
+        swap_backed.process_slide(slide);
+    }
+
+    let p = plain.query();
+    let w = weighted.query();
+    let s = swap_backed.query();
+    println!("{:<28} {:>10} {:>30}", "objective / oracle", "value", "top seeds");
+    println!(
+        "{:<28} {:>10.0} {:>30?}",
+        "cardinality / Sieve",
+        p.value,
+        &p.seeds[..p.seeds.len().min(4)]
+    );
+    println!(
+        "{:<28} {:>10.0} {:>30?}",
+        "weighted / Sieve",
+        w.value,
+        &w.seeds[..w.seeds.len().min(4)]
+    );
+    println!(
+        "{:<28} {:>10.0} {:>30?}",
+        "weighted / Swap oracle",
+        s.value,
+        &s.seeds[..s.seeds.len().min(4)]
+    );
+
+    // The weighted engines must report a value at least as large as the
+    // unweighted one on the same windows (weights are ≥ 1).
+    assert!(w.value + 1e-9 >= p.value * 0.9);
+    println!(
+        "\nweighted tracking surfaces seeds that reach high-value accounts even when\n\
+         their raw audience is smaller — the Appendix-A adaptation in one line of code."
+    );
+}

@@ -1,0 +1,93 @@
+//! Viral marketing: pick campaign seeds from a live Twitter-like stream and
+//! compare the streaming frameworks (SIC, IC) against recomputing with
+//! Greedy, using the paper's quality metric (Monte-Carlo influence spread
+//! under the Weighted Cascade model).
+//!
+//! The scenario: a brand wants to hand out promo codes to the handful of
+//! users whose recent activity reaches the largest audience *right now* —
+//! not the users who were influential last month.
+//!
+//! ```text
+//! cargo run --release --example viral_marketing
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtim::baselines::GreedySim;
+use rtim::prelude::*;
+use rtim::stream::{window_influence_sets, PropagationIndex, SlidingWindow};
+use std::time::Instant;
+
+fn main() {
+    // A Twitter-like trace: shallow cascades, bursty activity.
+    let stream = DatasetConfig::new(DatasetKind::Twitter, Scale::Small)
+        .with_users(3_000)
+        .with_actions(24_000)
+        .generate();
+    let config = SimConfig::new(10, 0.1, 6_000, 750);
+    println!(
+        "viral marketing on a Twitter-like stream: {} actions, window {}, slide {}, k = {}",
+        stream.len(),
+        config.window_size,
+        config.slide,
+        config.k
+    );
+
+    // Streaming frameworks process every slide incrementally.
+    let mut sic = SimEngine::new_sic(config);
+    let mut ic = SimEngine::new_ic(config);
+    // Greedy recomputes from the exact window (the expensive alternative).
+    let greedy = GreedySim::new(config.k);
+    let mut window = SlidingWindow::new(config.window_size);
+    let mut index = PropagationIndex::new();
+
+    let mut timings = [std::time::Duration::ZERO; 3];
+    let mut spreads = [0.0f64; 3];
+    let mut evaluated = 0usize;
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    for (i, slide) in stream.batches(config.slide).enumerate() {
+        let t = Instant::now();
+        sic.process_slide(slide);
+        let sic_seeds = sic.query().seeds;
+        timings[0] += t.elapsed();
+
+        let t = Instant::now();
+        ic.process_slide(slide);
+        let ic_seeds = ic.query().seeds;
+        timings[1] += t.elapsed();
+
+        let t = Instant::now();
+        for a in slide {
+            index.insert(a);
+            window.push(*a);
+        }
+        let greedy_seeds = greedy.select(&window_influence_sets(&window, &index)).seeds;
+        timings[2] += t.elapsed();
+
+        // Evaluate the campaign reach of each seed set on the current
+        // window's influence graph (every 4th slide once the window is full).
+        if (i + 1) % 4 == 0 && window.is_full() {
+            let graph = build_window_graph(&window, &index);
+            spreads[0] += monte_carlo_spread(&graph, &sic_seeds, 1_000, &mut rng);
+            spreads[1] += monte_carlo_spread(&graph, &ic_seeds, 1_000, &mut rng);
+            spreads[2] += monte_carlo_spread(&graph, &greedy_seeds, 1_000, &mut rng);
+            evaluated += 1;
+        }
+    }
+
+    println!("\n{:<8} {:>16} {:>18}", "method", "avg reach (users)", "processing time");
+    for (name, i) in [("SIC", 0usize), ("IC", 1), ("Greedy", 2)] {
+        println!(
+            "{:<8} {:>16.1} {:>18.2?}",
+            name,
+            if evaluated > 0 { spreads[i] / evaluated as f64 } else { 0.0 },
+            timings[i]
+        );
+    }
+    println!(
+        "\nSIC reaches within a few percent of Greedy's audience while processing the\n\
+         stream {:.0}x faster — the trade-off the paper's Figures 8 and 9 quantify.",
+        timings[2].as_secs_f64() / timings[0].as_secs_f64().max(1e-9)
+    );
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the headline approximation guarantees, checked
+//! on randomly generated miniature SIM instances against brute force.
+
+use proptest::prelude::*;
+use rtim::prelude::*;
+use rtim::submodular::{brute_force_best, UnitWeight};
+
+/// A random miniature action stream over a small user population: parents
+/// are chosen among earlier actions, so the trace is valid by construction.
+fn arb_stream(max_actions: usize, users: u32) -> impl Strategy<Value = Vec<Action>> {
+    prop::collection::vec((0u32..users, prop::option::of(0.0f64..1.0)), 2..max_actions).prop_map(
+        |specs| {
+            let mut actions = Vec::with_capacity(specs.len());
+            for (i, (user, parent_frac)) in specs.into_iter().enumerate() {
+                let t = (i + 1) as u64;
+                match parent_frac {
+                    Some(f) if i > 0 => {
+                        let parent = 1 + (f * i as f64).floor() as u64;
+                        actions.push(Action::reply(t, user, parent.min(t - 1)));
+                    }
+                    _ => actions.push(Action::root(t, user)),
+                }
+            }
+            actions
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The IC framework (SieveStreaming oracle) stays within its (1/2 − β)
+    /// guarantee of the exact window optimum at every slide.
+    #[test]
+    fn ic_meets_sieve_streaming_bound(actions in arb_stream(60, 12), k in 1usize..4) {
+        let beta = 0.2;
+        let window = 24;
+        let config = SimConfig::new(k, beta, window, 4);
+        let mut engine = SimEngine::new_ic(config);
+        let stream = SocialStream::new(actions).unwrap();
+        for slide in stream.batches(config.slide) {
+            engine.process_slide(slide);
+            let influence = engine.window_influence_sets();
+            prop_assume!(influence.len() <= 16);
+            let opt = brute_force_best(&influence, k, &UnitWeight).value;
+            let answer = engine.query();
+            prop_assert!(answer.value >= (0.5 - beta) * opt - 1e-9,
+                "IC {} below bound of opt {}", answer.value, opt);
+            // The answering checkpoint covers exactly the window whenever the
+            // slide boundary is aligned (always true except after a trailing
+            // partial slide); only then is the window optimum an upper bound.
+            if slide.len() == config.slide {
+                prop_assert!(answer.value <= opt + 1e-9);
+            }
+        }
+    }
+
+    /// The SIC framework stays within its ε(1−β)/2 guarantee (ε = 1/2 − β
+    /// for SieveStreaming) and never reports more than the optimum.
+    #[test]
+    fn sic_meets_sparse_checkpoint_bound(actions in arb_stream(60, 12), k in 1usize..4) {
+        let beta = 0.3;
+        let config = SimConfig::new(k, beta, 24, 4);
+        let bound = (0.5 - beta) * (1.0 - beta) / 2.0;
+        let mut engine = SimEngine::new_sic(config);
+        let stream = SocialStream::new(actions).unwrap();
+        for slide in stream.batches(config.slide) {
+            engine.process_slide(slide);
+            let influence = engine.window_influence_sets();
+            prop_assume!(influence.len() <= 16);
+            let opt = brute_force_best(&influence, k, &UnitWeight).value;
+            let answer = engine.query();
+            prop_assert!(answer.value >= bound * opt - 1e-9,
+                "SIC {} below bound {} (opt {})", answer.value, bound * opt, opt);
+            prop_assert!(answer.value <= opt + 1e-9);
+        }
+    }
+
+    /// SIC never keeps more checkpoints than IC would, beyond the expired
+    /// sentinel, and both answer with at most k seeds.
+    #[test]
+    fn checkpoint_counts_and_seed_sizes_are_bounded(actions in arb_stream(80, 20), k in 1usize..5) {
+        let config = SimConfig::new(k, 0.3, 32, 4);
+        let stream = SocialStream::new(actions).unwrap();
+        let mut ic = SimEngine::new_ic(config);
+        let mut sic = SimEngine::new_sic(config);
+        for slide in stream.batches(config.slide) {
+            let ic_report = ic.process_slide(slide);
+            let sic_report = sic.process_slide(slide);
+            // ⌈N/L⌉ checkpoints in the aligned steady state; one more may be
+            // retained after a partial (trailing) slide so that the oldest
+            // checkpoint still covers the whole window (§5.3 behaviour).
+            prop_assert!(ic_report.checkpoints <= config.checkpoint_capacity() + 1);
+            prop_assert!(sic_report.checkpoints <= ic_report.checkpoints + 1);
+            prop_assert!(ic.query().seeds.len() <= k);
+            prop_assert!(sic.query().seeds.len() <= k);
+        }
+    }
+
+    /// The reported seeds are always users that actually appear in the
+    /// stream (no fabricated ids), for both frameworks.
+    #[test]
+    fn reported_seeds_are_real_users(actions in arb_stream(50, 10)) {
+        let users: std::collections::HashSet<UserId> = actions.iter().map(|a| a.user).collect();
+        let config = SimConfig::new(3, 0.2, 20, 5);
+        let stream = SocialStream::new(actions).unwrap();
+        let mut engine = SimEngine::new_sic(config);
+        for slide in stream.batches(config.slide) {
+            engine.process_slide(slide);
+            for seed in engine.query().seeds {
+                prop_assert!(users.contains(&seed), "seed {seed} never acted");
+            }
+        }
+    }
+}

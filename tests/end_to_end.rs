@@ -1,0 +1,177 @@
+//! End-to-end integration tests spanning every crate: generated streams are
+//! processed by the streaming frameworks and the baselines, and the answers
+//! are checked against each other and against the exact window optimum.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rtim::baselines::{GreedySim, Imm, Ubi, UbiConfig};
+use rtim::prelude::*;
+use rtim::submodular::{brute_force_best, UnitWeight};
+
+fn small_stream(kind: DatasetKind, actions: u64, users: u32, seed: u64) -> SocialStream {
+    DatasetConfig::new(kind, Scale::Small)
+        .with_actions(actions)
+        .with_users(users)
+        .with_seed(seed)
+        .generate()
+}
+
+#[test]
+fn sic_respects_its_approximation_bound_against_brute_force() {
+    // Small universe so brute force over candidates stays feasible: we cap
+    // the candidate count by keeping the user population tiny.
+    let stream = small_stream(DatasetKind::SynN, 600, 18, 11);
+    let k = 3;
+    let beta = 0.2;
+    let config = SimConfig::new(k, beta, 120, 20);
+    let mut engine = SimEngine::new_sic(config);
+    let bound = (0.5 - beta) * (1.0 - beta) / 2.0;
+
+    for slide in stream.batches(config.slide) {
+        engine.process_slide(slide);
+        let answer = engine.query();
+        let influence = engine.window_influence_sets();
+        if influence.len() > 20 {
+            continue; // brute force guard; tiny populations keep this rare
+        }
+        let opt = brute_force_best(&influence, k, &UnitWeight).value;
+        assert!(
+            answer.value >= bound * opt - 1e-9,
+            "SIC value {} below bound {} (opt {})",
+            answer.value,
+            bound * opt,
+            opt
+        );
+        assert!(answer.value <= opt + 1e-9);
+    }
+}
+
+#[test]
+fn ic_matches_or_beats_sic_on_average_value() {
+    let stream = small_stream(DatasetKind::Twitter, 4_000, 600, 5);
+    let config = SimConfig::new(5, 0.3, 800, 100);
+    let mut ic = SimEngine::new_ic(config);
+    let mut sic = SimEngine::new_sic(config);
+    let (mut ic_total, mut sic_total, mut windows) = (0.0, 0.0, 0u32);
+    for slide in stream.batches(config.slide) {
+        ic.process_slide(slide);
+        sic.process_slide(slide);
+        if ic.window().is_full() {
+            ic_total += ic.query().value;
+            sic_total += sic.query().value;
+            windows += 1;
+        }
+    }
+    assert!(windows > 10);
+    // SIC trades at most a few percent of quality for speed (Figure 5); on
+    // small streams we allow a 15% slack.
+    assert!(
+        sic_total >= 0.85 * ic_total,
+        "SIC average value {} too far below IC {}",
+        sic_total / windows as f64,
+        ic_total / windows as f64
+    );
+}
+
+#[test]
+fn greedy_upper_bounds_streaming_value_per_window() {
+    let stream = small_stream(DatasetKind::SynO, 3_000, 400, 9);
+    let config = SimConfig::new(5, 0.2, 600, 100);
+    let mut sic = SimEngine::new_sic(config);
+    let greedy = GreedySim::new(config.k);
+    for slide in stream.batches(config.slide) {
+        sic.process_slide(slide);
+        let influence = sic.window_influence_sets();
+        let greedy_value = greedy.select(&influence).value;
+        let sic_value = sic.query().value;
+        // Greedy evaluates the exact window objective, so it should not be
+        // materially below the checkpoint's (append-only) value; and the
+        // checkpoint value never exceeds the window universe size.
+        assert!(greedy_value >= (1.0 - 1.0 / std::f64::consts::E) * sic_value - 1e-9);
+        assert!(sic_value <= sic.window().active_user_count() as f64 + 1e-9);
+    }
+}
+
+#[test]
+fn baselines_and_frameworks_agree_on_obvious_influencers() {
+    // A stream where user 0 triggers almost everything: every method must
+    // include user 0 among its seeds.
+    let mut actions = Vec::new();
+    let mut t = 1u64;
+    for round in 0..200u64 {
+        actions.push(Action::root(t, 0u32));
+        let root_t = t;
+        t += 1;
+        for j in 0..4u64 {
+            actions.push(Action::reply(t, (1 + (round * 4 + j) % 50) as u32, root_t));
+            t += 1;
+        }
+    }
+    let stream = SocialStream::new(actions).unwrap();
+    let config = SimConfig::new(3, 0.2, 400, 50);
+
+    let mut sic = SimEngine::new_sic(config);
+    let mut ic = SimEngine::new_ic(config);
+    for slide in stream.batches(config.slide) {
+        sic.process_slide(slide);
+        ic.process_slide(slide);
+    }
+    assert!(sic.query().seeds.contains(&UserId(0)));
+    assert!(ic.query().seeds.contains(&UserId(0)));
+
+    let influence = sic.window_influence_sets();
+    let greedy_seeds = GreedySim::new(3).select_seeds(&influence);
+    assert!(greedy_seeds.contains(&UserId(0)));
+
+    let graph = build_window_graph(sic.window(), sic.index());
+    let mut rng = StdRng::seed_from_u64(3);
+    let imm_seeds = Imm::new(3).with_max_rr_sets(20_000).select(&graph, &mut rng).seeds;
+    assert!(imm_seeds.contains(&UserId(0)));
+
+    let mut ubi = Ubi::new(UbiConfig::new(3).with_rr_sets(2_000));
+    ubi.update(&graph, &mut rng);
+    assert!(ubi.seeds().contains(&UserId(0)));
+}
+
+#[test]
+fn runs_are_deterministic_for_a_fixed_seed() {
+    let config = SimConfig::new(5, 0.2, 500, 100);
+    let run = |seed: u64| {
+        let stream = small_stream(DatasetKind::Reddit, 2_500, 500, seed);
+        let mut engine = SimEngine::new_sic(config);
+        for slide in stream.batches(config.slide) {
+            engine.process_slide(slide);
+        }
+        (engine.query().seeds, engine.query().value)
+    };
+    assert_eq!(run(42), run(42));
+    // A different generation seed almost surely changes the answer.
+    assert_ne!(run(42).0, run(43).0);
+}
+
+#[test]
+fn quality_of_streaming_methods_tracks_greedy_under_wc_spread() {
+    let stream = small_stream(DatasetKind::SynN, 3_000, 400, 17);
+    let config = SimConfig::new(5, 0.2, 600, 150);
+    let mut sic = SimEngine::new_sic(config);
+    let greedy = GreedySim::new(config.k);
+    let mut rng = StdRng::seed_from_u64(99);
+    let (mut sic_spread, mut greedy_spread, mut evaluated) = (0.0, 0.0, 0);
+
+    for slide in stream.batches(config.slide) {
+        sic.process_slide(slide);
+        if !sic.window().is_full() {
+            continue;
+        }
+        let influence = sic.window_influence_sets();
+        let graph = build_window_graph(sic.window(), sic.index());
+        sic_spread += monte_carlo_spread(&graph, &sic.query().seeds, 300, &mut rng);
+        greedy_spread += monte_carlo_spread(&graph, &greedy.select_seeds(&influence), 300, &mut rng);
+        evaluated += 1;
+    }
+    assert!(evaluated >= 5);
+    assert!(
+        sic_spread >= 0.6 * greedy_spread,
+        "SIC spread {sic_spread} too far below Greedy {greedy_spread}"
+    );
+}

@@ -1,0 +1,121 @@
+//! Multi-action window shifts (§5.3): processing the stream in slides of
+//! `L` actions must agree with single-action processing at the slide
+//! boundaries, and the IC checkpoint count must follow ⌈N/L⌉.
+
+use rtim::prelude::*;
+
+fn stream(actions: u64) -> SocialStream {
+    DatasetConfig::new(DatasetKind::SynN, Scale::Small)
+        .with_actions(actions)
+        .with_users(300)
+        .with_seed(77)
+        .generate()
+}
+
+#[test]
+fn ic_answers_agree_between_unit_and_batched_slides_at_boundaries() {
+    let stream = stream(1_200);
+    let n = 400;
+    let l = 100;
+
+    // Batched: one slide per L actions.
+    let batched_cfg = SimConfig::new(5, 0.2, n, l);
+    let mut batched = SimEngine::new_ic(batched_cfg);
+    let mut batched_values = Vec::new();
+    for slide in stream.batches(l) {
+        batched.process_slide(slide);
+        batched_values.push(batched.query().value);
+    }
+
+    // Unit slides: L = 1, sampled at the same boundaries.  The answering
+    // checkpoint covers at most N actions in both runs; at boundary t the
+    // batched run's oldest checkpoint starts at t - N + 1 exactly when the
+    // unit run's does, so the values must match once the window is full.
+    let unit_cfg = SimConfig::new(5, 0.2, n, 1);
+    let mut unit = SimEngine::new_ic(unit_cfg);
+    let mut unit_values_at_boundaries = Vec::new();
+    for (i, action) in stream.iter().enumerate() {
+        unit.process_slide(std::slice::from_ref(action));
+        if (i + 1) % l == 0 {
+            unit_values_at_boundaries.push(unit.query().value);
+        }
+    }
+
+    assert_eq!(batched_values.len(), unit_values_at_boundaries.len());
+    let full_from = n / l; // both runs have a full window from this boundary
+    for (i, (b, u)) in batched_values
+        .iter()
+        .zip(&unit_values_at_boundaries)
+        .enumerate()
+        .skip(full_from)
+    {
+        // The two runs answer from checkpoints covering the same actions;
+        // SieveStreaming is deterministic, so the values coincide exactly.
+        assert_eq!(b, u, "boundary {i}: batched {b} vs unit {u}");
+    }
+}
+
+#[test]
+fn ic_checkpoint_count_is_ceil_n_over_l_for_various_l() {
+    let stream = stream(2_000);
+    for l in [50usize, 100, 150, 400] {
+        let config = SimConfig::new(5, 0.2, 600, l);
+        let mut engine = SimEngine::new_ic(config);
+        let mut last_count = 0;
+        for slide in stream.batches(l) {
+            let report = engine.process_slide(slide);
+            last_count = report.checkpoints;
+        }
+        if 600 % l == 0 && 2_000 % l == 0 {
+            // Aligned case: exactly ⌈N/L⌉ checkpoints.
+            assert_eq!(
+                last_count,
+                config.checkpoint_capacity(),
+                "L = {l}: expected ⌈N/L⌉ checkpoints"
+            );
+        } else {
+            // Unaligned case: one extra checkpoint may be kept so that the
+            // oldest one still covers the whole window.
+            assert!(
+                last_count <= config.checkpoint_capacity() + 1,
+                "L = {l}: {last_count} checkpoints exceed ⌈N/L⌉ + 1"
+            );
+            assert!(last_count >= config.checkpoint_capacity());
+        }
+    }
+}
+
+#[test]
+fn sic_keeps_logarithmically_many_checkpoints_for_small_slides() {
+    let stream = stream(3_000);
+    let config = SimConfig::new(5, 0.3, 1_000, 20); // IC would keep 50
+    let mut engine = SimEngine::new_sic(config);
+    let mut max_checkpoints = 0usize;
+    for slide in stream.batches(config.slide) {
+        let report = engine.process_slide(slide);
+        max_checkpoints = max_checkpoints.max(report.checkpoints);
+    }
+    let ic_count = config.checkpoint_capacity();
+    assert!(
+        max_checkpoints < ic_count,
+        "SIC kept {max_checkpoints} checkpoints, IC would keep {ic_count}"
+    );
+}
+
+#[test]
+fn engine_handles_slides_larger_and_smaller_than_configured_l() {
+    // The engine accepts arbitrary batch sizes; correctness only depends on
+    // the actions seen, not on matching the configured L exactly.
+    let stream = stream(900);
+    let config = SimConfig::new(4, 0.2, 300, 50);
+    let mut engine = SimEngine::new_sic(config);
+    let actions = stream.actions();
+    engine.process_slide(&actions[..10]);
+    engine.process_slide(&actions[10..400]);
+    engine.process_slide(&actions[400..401]);
+    engine.process_slide(&actions[401..900]);
+    let answer = engine.query();
+    assert!(answer.value > 0.0);
+    assert!(answer.seeds.len() <= 4);
+    assert_eq!(engine.window().len(), 300);
+}
