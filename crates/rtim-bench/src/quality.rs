@@ -48,7 +48,7 @@ pub fn evaluate_average_spread(
             break;
         }
         let full = slide_idx + 1 >= warmup;
-        if !full || (slide_idx + 1 - warmup) % eval_every != 0 {
+        if !full || !(slide_idx + 1 - warmup).is_multiple_of(eval_every) {
             continue;
         }
         let seeds = &seeds_per_slide[slide_idx];

@@ -121,7 +121,7 @@ mod tests {
         assert_eq!(format_value(1_500_000.0), "1.50M");
         assert_eq!(format_value(25_000.0), "25.0k");
         assert_eq!(format_value(123.4), "123");
-        assert_eq!(format_value(3.14159), "3.14");
+        assert_eq!(format_value(4.5678), "4.57");
         assert_eq!(format_value(f64::INFINITY), "inf");
     }
 

@@ -12,9 +12,9 @@
 //! * **Checkpoints** — the average number of checkpoints maintained
 //!   (Figure 6; only meaningful for IC/SIC).
 //!
-//! Baselines are driven through the same window maintenance (sliding window
-//! + propagation index) so their measured cost includes exactly the same
-//! substrate work as the streaming frameworks.
+//! Baselines are driven through the same window maintenance (sliding
+//! window plus propagation index) so their measured cost includes exactly
+//! the same substrate work as the streaming frameworks.
 
 use rtim_baselines::{GreedySim, Imm, Ubi, UbiConfig};
 use rtim_core::{FrameworkKind, SimConfig, SimEngine};

@@ -241,7 +241,7 @@ mod tests {
 
     #[test]
     fn independently_fed_checkpoints_agree() {
-        let mut cps = vec![checkpoint(1, 2, 0.2), checkpoint(1, 2, 0.2)];
+        let mut cps = [checkpoint(1, 2, 0.2), checkpoint(1, 2, 0.2)];
         let stream = figure1_resolved();
         for action in &stream[..4] {
             for cp in cps.iter_mut() {

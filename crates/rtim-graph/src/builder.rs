@@ -30,7 +30,7 @@ pub fn build_window_graph(window: &SlidingWindow, index: &PropagationIndex) -> I
             }
         }
     }
-    build_from_relationships(rels.into_iter(), window)
+    build_from_relationships(rels, window)
 }
 
 /// Builds a WC-weighted graph from explicit influence relationships,

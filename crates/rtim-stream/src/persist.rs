@@ -239,7 +239,7 @@ mod tests {
         write_binary(&stream, &mut file).unwrap();
         let decoded = read_binary(file.as_slice()).unwrap();
         assert_eq!(decoded.len(), stream.len());
-        let err = TraceError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let err = TraceError::from(io::Error::other("boom"));
         assert!(err.to_string().contains("boom"));
     }
 }

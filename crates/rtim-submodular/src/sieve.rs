@@ -55,6 +55,12 @@ pub struct SieveStreaming<W> {
     max_single: f64,
     /// Best single element observed (fallback solution).
     best_single: Option<(UserId, f64)>,
+    /// Best solution among instances discarded by grid refreshes.  A guess
+    /// that drops below `m` can still hold the currently best coverage, so
+    /// its solution is frozen here instead of vanishing — keeping the
+    /// reported value monotone (required by the SIC analysis, Lemma 2/3)
+    /// without retaining the dead instance's coverage state.
+    frozen: Option<(Vec<UserId>, f64)>,
     /// Instances keyed by the exponent `j` of their guess `(1+β)^j`.
     instances: BTreeMap<i64, Instance>,
     elements: u64,
@@ -68,6 +74,7 @@ impl<W: ElementWeight> SieveStreaming<W> {
             weight,
             max_single: 0.0,
             best_single: None,
+            frozen: None,
             instances: BTreeMap::new(),
             elements: 0,
         }
@@ -91,7 +98,25 @@ impl<W: ElementWeight> SieveStreaming<W> {
         let base = self.log_base();
         let lo = (self.max_single.ln() / base).ceil() as i64;
         let hi = ((2.0 * self.config.k as f64 * self.max_single).ln() / base).floor() as i64;
-        // Drop instances whose guess is now provably too small (< m).
+        // Drop instances whose guess is now provably too small (< m),
+        // freezing the best of their solutions so the oracle value cannot
+        // regress across a refresh.
+        let frozen_value = self.frozen.as_ref().map_or(0.0, |(_, v)| *v);
+        let mut best_dropped: Option<(Vec<UserId>, f64)> = None;
+        for (&j, inst) in &self.instances {
+            if j >= lo {
+                break;
+            }
+            let value = inst.coverage.value();
+            if value > frozen_value
+                && best_dropped.as_ref().is_none_or(|(_, v)| value > *v)
+            {
+                best_dropped = Some((inst.seeds.clone(), value));
+            }
+        }
+        if best_dropped.is_some() {
+            self.frozen = best_dropped;
+        }
         self.instances.retain(|&j, _| j >= lo);
         // Lazily create instances for new guesses.
         for j in lo..=hi {
@@ -105,6 +130,30 @@ impl<W: ElementWeight> SieveStreaming<W> {
         self.instances
             .values()
             .max_by(|a, b| a.coverage.value().total_cmp(&b.coverage.value()))
+    }
+
+    /// The best feasible solution among live instances, the frozen snapshot,
+    /// and the best single element — the single source of truth shared by
+    /// `value()` and `seeds()` so they always describe the same solution.
+    /// Ties prefer instance over frozen over single.
+    fn best_candidate(&self) -> (f64, Vec<UserId>) {
+        let mut best = (0.0, Vec::new());
+        if let Some((u, v)) = self.best_single {
+            if v > best.0 {
+                best = (v, vec![u]);
+            }
+        }
+        if let Some((seeds, v)) = &self.frozen {
+            if *v >= best.0 {
+                best = (*v, seeds.clone());
+            }
+        }
+        if let Some(inst) = self.best_instance() {
+            if inst.coverage.value() >= best.0 {
+                best = (inst.coverage.value(), inst.seeds.clone());
+            }
+        }
+        best
     }
 }
 
@@ -152,17 +201,11 @@ impl<W: ElementWeight + Send> SsoOracle for SieveStreaming<W> {
     }
 
     fn value(&self) -> f64 {
-        let best_inst = self.best_instance().map_or(0.0, |i| i.coverage.value());
-        let best_single = self.best_single.map_or(0.0, |(_, v)| v);
-        best_inst.max(best_single)
+        self.best_candidate().0
     }
 
     fn seeds(&self) -> Vec<UserId> {
-        let best_single = self.best_single.map_or(0.0, |(_, v)| v);
-        match self.best_instance() {
-            Some(inst) if inst.coverage.value() >= best_single => inst.seeds.clone(),
-            _ => self.best_single.iter().map(|(u, _)| *u).collect(),
-        }
+        self.best_candidate().1
     }
 
     fn k(&self) -> usize {

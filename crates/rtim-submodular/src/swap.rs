@@ -236,7 +236,7 @@ mod tests {
         let mut s = SwapStreaming::new(OracleConfig::new(3, 0.1), UnitWeight);
         for i in 0..100u32 {
             let items: Vec<u32> = (0..(1 + i % 7)).map(|j| (i * 5 + j * 3) % 40).collect();
-            s.process(UserId(i % 15), &items.iter().copied().collect::<Vec<_>>().iter().map(|&v| UserId(v)).collect());
+            s.process(UserId(i % 15), &items.iter().map(|&v| UserId(v)).collect());
         }
         let mut cov = CoverageState::new();
         for held in s.held.values() {

@@ -1,0 +1,18 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — no code path serializes anything yet, and the build
+//! environment has no crates.io access.  This crate supplies marker traits
+//! under the expected names and re-exports no-op derive macros so the
+//! annotations compile.  Replace with the real `serde` once the
+//! environment can fetch crates.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

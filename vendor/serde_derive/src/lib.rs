@@ -1,0 +1,22 @@
+//! Offline no-op stand-in for `serde_derive`.
+//!
+//! Nothing in this workspace serializes data through serde yet — the
+//! derives only annotate config/report types for future interop.  With no
+//! crates.io access, these derive macros accept the same syntax
+//! (including `#[serde(...)]` attributes) and expand to nothing, so the
+//! annotated types compile unchanged.  Swap in the real `serde` when the
+//! build environment gains network access.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
