@@ -80,10 +80,7 @@ fn bench_baseline_per_window(c: &mut Criterion) {
         let config = SimConfig::new(k, 0.1, 4_000, 200);
         b.iter(|| {
             let mut engine = SimEngine::new(config, FrameworkKind::Sic);
-            for slide in stream.batches(config.slide) {
-                engine.process_slide(slide);
-            }
-            engine.query().value
+            engine.run_stream(&stream).final_solution().value
         });
     });
     group.finish();

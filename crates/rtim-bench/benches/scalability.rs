@@ -1,10 +1,16 @@
 //! Scalability of IC/SIC in window size N and slide length L (the micro
-//! view of Figures 10 and 11).
+//! view of Figures 10 and 11), plus the feed-strategy comparison: the
+//! persistent [`ShardPool`] against the legacy per-slide scoped-thread
+//! fan-out it replaced, at 1/2/4/8 workers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rtim_core::{FrameworkKind, SimConfig, SimEngine};
+use rtim_core::parallel::feed_all_scoped;
+use rtim_core::{
+    Checkpoint, FrameworkKind, ResolvedAction, ShardPool, SimConfig, SimEngine,
+};
 use rtim_datagen::{DatasetConfig, DatasetKind, Scale};
-use rtim_stream::SocialStream;
+use rtim_stream::{SocialStream, UserId};
+use rtim_submodular::{OracleConfig, OracleKind, UnitWeight};
 use std::time::Duration;
 
 fn stream() -> SocialStream {
@@ -16,10 +22,7 @@ fn stream() -> SocialStream {
 
 fn run(stream: &SocialStream, kind: FrameworkKind, config: SimConfig) -> f64 {
     let mut engine = SimEngine::new(config, kind);
-    for slide in stream.batches(config.slide) {
-        engine.process_slide(slide);
-    }
-    engine.query().value
+    engine.run_stream(stream).final_solution().value
 }
 
 fn bench_window_size(c: &mut Criterion) {
@@ -58,5 +61,96 @@ fn bench_slide_length(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_window_size, bench_slide_length);
+/// The feeding workload of the strategy comparison: `CHECKPOINTS` live
+/// checkpoints (the IC steady state for N = 2 000, L = 125), `SLIDES`
+/// window slides of `SLIDE_LEN` resolved actions each.
+const CHECKPOINTS: usize = 16;
+const SLIDES: usize = 40;
+const SLIDE_LEN: usize = 25;
+
+fn resolved_slides() -> Vec<Vec<ResolvedAction>> {
+    (0..SLIDES)
+        .map(|s| {
+            (0..SLIDE_LEN)
+                .map(|i| {
+                    // Ids start after every checkpoint's start position, so
+                    // each checkpoint may observe every action.
+                    let t = (CHECKPOINTS + s * SLIDE_LEN + i + 1) as u64;
+                    ResolvedAction {
+                        id: t,
+                        actor: UserId((t % 97) as u32),
+                        ancestors: if t.is_multiple_of(3) {
+                            vec![UserId(((t + 1) % 97) as u32)]
+                        } else {
+                            Vec::new()
+                        },
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn fresh_checkpoints() -> Vec<Checkpoint> {
+    // Distinct start ids (required by the pool's assignment map), all
+    // preceding the first action id.
+    (0..CHECKPOINTS)
+        .map(|i| {
+            Checkpoint::new(
+                1 + i as u64,
+                OracleKind::SieveStreaming,
+                OracleConfig::new(5 + (i % 4), 0.2),
+                UnitWeight,
+            )
+        })
+        .collect()
+}
+
+/// Persistent worker pool vs. per-slide `std::thread::scope` fan-out: the
+/// scoped path pays thread startup on every one of the `SLIDES` slides, the
+/// pool spawns its workers once per run.  The pool must be no slower at
+/// every thread count (and pulls ahead as slides shrink or threads grow).
+fn bench_feed_strategy(c: &mut Criterion) {
+    let slides = resolved_slides();
+    let mut group = c.benchmark_group("scalability_feed_strategy");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_millis(500));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("scoped_per_slide", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut cps = fresh_checkpoints();
+                    for slide in &slides {
+                        feed_all_scoped(&mut cps, slide, threads);
+                    }
+                    cps.iter().map(|c| c.value()).sum::<f64>()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("persistent_pool", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut pool = ShardPool::new(threads);
+                    for cp in fresh_checkpoints() {
+                        pool.add(cp);
+                    }
+                    let mut total = 0.0;
+                    for slide in &slides {
+                        total = pool.feed(slide).iter().map(|s| s.value).sum::<f64>();
+                    }
+                    total
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_window_size, bench_slide_length, bench_feed_strategy);
 criterion_main!(benches);

@@ -35,10 +35,7 @@ fn bench_frameworks(c: &mut Criterion) {
                 |b, &config| {
                     b.iter(|| {
                         let mut engine = SimEngine::new(config, kind);
-                        for slide in stream.batches(config.slide) {
-                            engine.process_slide(slide);
-                        }
-                        engine.query().value
+                        engine.run_stream(&stream).final_solution().value
                     });
                 },
             );

@@ -11,6 +11,7 @@
 
 use rtim_bench::cli::Args;
 use rtim_bench::{format_series, CommonArgs, MethodKind, MethodSweep, ParamGrid, COMMON_KEYS};
+use rtim_core::{FrameworkKind, SimEngine};
 
 fn main() {
     let args = match Args::parse(COMMON_KEYS) {
@@ -56,6 +57,18 @@ fn main() {
                 &xs,
                 &sweep.throughput_series(),
             )
+        );
+        // Latency split at the default N, straight from the engine's own
+        // per-slide instrumentation: the real-time budget is spent feeding
+        // checkpoints, not answering queries.
+        let report = SimEngine::new(params.sim_config(), FrameworkKind::Sic).run_stream(&stream);
+        println!(
+            "SIC at N={}: feed {:.1} ms, query {:.1} ms over {} slides ({:.0} actions/s)\n",
+            params.window,
+            report.feed_nanos() as f64 / 1e6,
+            report.query_nanos() as f64 / 1e6,
+            report.slides.len(),
+            report.throughput(),
         );
     }
 }

@@ -13,6 +13,7 @@
 
 use rtim_bench::cli::Args;
 use rtim_bench::{format_series, CommonArgs, MethodKind, MethodSweep, ParamGrid, COMMON_KEYS};
+use rtim_core::{FrameworkKind, SimEngine};
 use rtim_datagen::{DatasetConfig, DatasetKind};
 
 fn main() {
@@ -74,6 +75,18 @@ fn main() {
                 &xs,
                 &sweep.throughput_series(),
             )
+        );
+        // Latency split at the default |U|, straight from the engine's own
+        // per-slide instrumentation (feed vs. query time).
+        let probe_stream = common.generate(dataset);
+        let report =
+            SimEngine::new(params.sim_config(), FrameworkKind::Sic).run_stream(&probe_stream);
+        println!(
+            "SIC at default |U|: feed {:.1} ms, query {:.1} ms over {} slides ({:.0} actions/s)\n",
+            report.feed_nanos() as f64 / 1e6,
+            report.query_nanos() as f64 / 1e6,
+            report.slides.len(),
+            report.throughput(),
         );
     }
 }

@@ -180,33 +180,46 @@ pub fn run_method(
     }
 }
 
-/// Runs IC or SIC over the stream.
+/// Runs IC or SIC over the stream via [`SimEngine::run_stream`], deriving
+/// every timing metric from the engine's own per-slide `feed_nanos` /
+/// `query_nanos` instrumentation (no stopwatch around the engine).
 pub fn run_framework(kind: FrameworkKind, config: SimConfig, stream: &SocialStream) -> MethodRun {
     let method = match kind {
         FrameworkKind::Sic => MethodKind::Sic,
         FrameworkKind::Ic => MethodKind::Ic,
     };
     let mut engine = SimEngine::new(config, kind);
+    let report = engine.run_stream(stream);
     let warmup_slides = config.checkpoint_capacity();
+
+    let per_slide: Vec<Duration> = report
+        .slides
+        .iter()
+        .map(|r| Duration::from_nanos(r.feed_nanos + r.query_nanos))
+        .collect();
     let mut values = Vec::new();
     let mut checkpoints = Vec::new();
-    let mut seeds_per_slide = Vec::new();
-    let mut actions = 0u64;
-    let mut per_slide = Vec::new();
-
-    for (slide_idx, batch) in stream.batches(config.slide).enumerate() {
-        let start = Instant::now();
-        let report = engine.process_slide(batch);
-        let solution = engine.query();
-        per_slide.push(start.elapsed());
-        actions += batch.len() as u64;
+    for (slide_idx, (slide, solution)) in
+        report.slides.iter().zip(&report.solutions).enumerate()
+    {
         if slide_idx + 1 >= warmup_slides {
             values.push(solution.value);
-            checkpoints.push(report.checkpoints);
+            checkpoints.push(slide.checkpoints);
         }
-        seeds_per_slide.push(solution.seeds);
     }
-    MethodRun::finish(method, actions, &per_slide, &values, &checkpoints, seeds_per_slide)
+    let seeds_per_slide = report
+        .solutions
+        .into_iter()
+        .map(|s| s.seeds)
+        .collect::<Vec<_>>();
+    MethodRun::finish(
+        method,
+        report.slides.iter().map(|r| r.actions as u64).sum(),
+        &per_slide,
+        &values,
+        &checkpoints,
+        seeds_per_slide,
+    )
 }
 
 /// Runs one of the baselines over the stream, maintaining the same window

@@ -1,0 +1,333 @@
+//! The checkpoint collection shared by the IC and SIC frameworks.
+//!
+//! Both frameworks maintain an ordered list of [`Checkpoint`]s and do the
+//! same three things with it every slide: create a checkpoint for the
+//! arriving actions, feed the slide to every live checkpoint, and delete
+//! checkpoints (expiry in IC, pruning + expiry in SIC).  A
+//! [`CheckpointSet`] owns that list *and its execution strategy*, so the
+//! frameworks are reduced to pure policy code over cached per-checkpoint
+//! statistics — they never touch a raw checkpoint vector again.
+//!
+//! ## Execution strategies
+//!
+//! * `threads == 1` — checkpoints live inline in the set and slides are
+//!   replayed on the calling thread (the fast path for SIC's usual handful
+//!   of checkpoints, where any fan-out overhead would dominate).
+//! * `threads > 1` — checkpoints live inside a persistent [`ShardPool`]:
+//!   worker threads are spawned once when the set is created, each owns a
+//!   stable shard, and every slide is broadcast as a single shared
+//!   allocation.  Deleting a checkpoint rebalances the shards (see the
+//!   [`pool`](crate::pool) module docs).
+//!
+//! Either way the set mirrors each checkpoint's `(start, value, updates)`
+//! in an ordered list of [`CheckpointStat`]s, which is what the frameworks'
+//! pruning/eviction/query policies consume; full [`Solution`]s (seed sets)
+//! are fetched on demand.  Results are bit-identical across strategies —
+//! `tests/determinism.rs` asserts this property for 2–8 workers.
+
+use crate::config::SimConfig;
+use crate::framework::{ResolvedAction, Solution};
+use crate::pool::{CheckpointStat, ShardPool};
+use crate::ssm::Checkpoint;
+use rtim_submodular::{ElementWeight, OracleConfig, OracleKind};
+
+/// Where the checkpoints physically live.
+enum Exec {
+    /// Inline on the calling thread, parallel to the stats list.
+    Sequential(Vec<Checkpoint>),
+    /// Sharded across persistent worker threads.
+    Sharded(ShardPool),
+}
+
+/// An ordered collection of checkpoints (oldest first) plus the strategy
+/// that executes slides against them.
+///
+/// See the [module docs](self) for the design.
+pub struct CheckpointSet<W: ElementWeight + Send + 'static> {
+    oracle: OracleKind,
+    oracle_config: OracleConfig,
+    weight: W,
+    /// Cached per-checkpoint stats, oldest first (same order as creation;
+    /// starts are strictly increasing).
+    stats: Vec<CheckpointStat>,
+    exec: Exec,
+}
+
+impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
+    /// Creates an empty set executing with `threads` workers
+    /// (1 = sequential, no worker threads at all).
+    pub fn new(oracle: OracleKind, oracle_config: OracleConfig, threads: usize, weight: W) -> Self {
+        let exec = if threads.max(1) == 1 {
+            Exec::Sequential(Vec::new())
+        } else {
+            Exec::Sharded(ShardPool::new(threads))
+        };
+        CheckpointSet {
+            oracle,
+            oracle_config,
+            weight,
+            stats: Vec::new(),
+            exec,
+        }
+    }
+
+    /// Creates an empty set from a SIM configuration (oracle kind, oracle
+    /// parameters and thread count).
+    pub fn from_config(config: &SimConfig, weight: W) -> Self {
+        Self::new(config.oracle, config.oracle_config(), config.threads, weight)
+    }
+
+    /// Number of live checkpoints.
+    pub fn len(&self) -> usize {
+        self.stats.len()
+    }
+
+    /// `true` if no checkpoint is live.
+    pub fn is_empty(&self) -> bool {
+        self.stats.is_empty()
+    }
+
+    /// Number of worker threads backing the set (1 = sequential).
+    pub fn threads(&self) -> usize {
+        match &self.exec {
+            Exec::Sequential(_) => 1,
+            Exec::Sharded(pool) => pool.threads(),
+        }
+    }
+
+    /// Creates a checkpoint covering all actions with `id >= start` and
+    /// appends it to the set.
+    ///
+    /// # Panics
+    /// Panics if `start` is not greater than the newest checkpoint's start
+    /// (the set is ordered oldest-first by construction).
+    pub fn push(&mut self, start: u64) {
+        if let Some(last) = self.stats.last() {
+            assert!(
+                start > last.start,
+                "checkpoint starts must be strictly increasing ({start} after {})",
+                last.start
+            );
+        }
+        let checkpoint = Checkpoint::new(
+            start,
+            self.oracle,
+            self.oracle_config,
+            self.weight.clone(),
+        );
+        match &mut self.exec {
+            Exec::Sequential(list) => list.push(checkpoint),
+            Exec::Sharded(pool) => pool.add(checkpoint),
+        }
+        self.stats.push(CheckpointStat {
+            start,
+            value: 0.0,
+            updates: 0,
+        });
+    }
+
+    /// Feeds one slide of resolved actions to every live checkpoint and
+    /// refreshes the cached stats.
+    pub fn feed(&mut self, slide: &[ResolvedAction]) {
+        if slide.is_empty() || self.stats.is_empty() {
+            return;
+        }
+        match &mut self.exec {
+            Exec::Sequential(list) => {
+                for (cp, stat) in list.iter_mut().zip(self.stats.iter_mut()) {
+                    for action in slide {
+                        cp.process(action);
+                    }
+                    stat.value = cp.value();
+                    stat.updates = cp.updates();
+                }
+            }
+            Exec::Sharded(pool) => {
+                let fresh = pool.feed(slide);
+                for stat in fresh {
+                    // Starts are strictly increasing, so the ordered stats
+                    // list is binary-searchable.
+                    let i = self
+                        .stats
+                        .binary_search_by_key(&stat.start, |s| s.start)
+                        .expect("pool returned stats for an unknown checkpoint");
+                    self.stats[i] = stat;
+                }
+            }
+        }
+    }
+
+    /// Deletes the checkpoint at position `i` (oldest = 0).
+    pub fn remove(&mut self, i: usize) {
+        let stat = self.stats.remove(i);
+        match &mut self.exec {
+            Exec::Sequential(list) => {
+                list.remove(i);
+            }
+            Exec::Sharded(pool) => pool.remove(stat.start),
+        }
+    }
+
+    /// Start position of the checkpoint at `i`.
+    pub fn start(&self, i: usize) -> u64 {
+        self.stats[i].start
+    }
+
+    /// Influence value of the checkpoint at `i` (as of the last feed).
+    pub fn value(&self, i: usize) -> f64 {
+        self.stats[i].value
+    }
+
+    /// `true` once the checkpoint at `i` covers more than the window, i.e.
+    /// its first covered action is older than the window start.
+    pub fn is_expired(&self, i: usize, window_start: u64) -> bool {
+        self.stats[i].start < window_start
+    }
+
+    /// Start positions of all live checkpoints, oldest first.
+    pub fn starts(&self) -> Vec<u64> {
+        self.stats.iter().map(|s| s.start).collect()
+    }
+
+    /// Influence values of all live checkpoints, oldest first.
+    pub fn values(&self) -> Vec<f64> {
+        self.stats.iter().map(|s| s.value).collect()
+    }
+
+    /// Total oracle element updates across all live checkpoints.
+    pub fn total_updates(&self) -> u64 {
+        self.stats.iter().map(|s| s.updates).sum()
+    }
+
+    /// Full solution (seeds + value) of the checkpoint at `i`.
+    pub fn solution(&self, i: usize) -> Solution {
+        match &self.exec {
+            Exec::Sequential(list) => list[i].solution(),
+            Exec::Sharded(pool) => pool.solution(self.stats[i].start),
+        }
+    }
+}
+
+impl<W: ElementWeight + Send + 'static> std::fmt::Debug for CheckpointSet<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CheckpointSet")
+            .field("len", &self.stats.len())
+            .field("threads", &self.threads())
+            .field("starts", &self.starts())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtim_stream::UserId;
+    use rtim_submodular::UnitWeight;
+
+    fn resolved(id: u64, actor: u32, ancestors: &[u32]) -> ResolvedAction {
+        ResolvedAction {
+            id,
+            actor: UserId(actor),
+            ancestors: ancestors.iter().map(|&u| UserId(u)).collect(),
+        }
+    }
+
+    fn set(threads: usize) -> CheckpointSet<UnitWeight> {
+        CheckpointSet::new(
+            OracleKind::SieveStreaming,
+            OracleConfig::new(2, 0.2),
+            threads,
+            UnitWeight,
+        )
+    }
+
+    fn drive(threads: usize) -> CheckpointSet<UnitWeight> {
+        let mut s = set(threads);
+        for slide_idx in 0..6u64 {
+            let base = slide_idx * 4 + 1;
+            s.push(base);
+            let slide: Vec<ResolvedAction> = (base..base + 4)
+                .map(|t| {
+                    if t % 3 == 0 {
+                        resolved(t, (t % 5) as u32, &[((t + 1) % 5) as u32])
+                    } else {
+                        resolved(t, (t % 5) as u32, &[])
+                    }
+                })
+                .collect();
+            s.feed(&slide);
+        }
+        s
+    }
+
+    #[test]
+    fn sequential_and_sharded_agree_bit_for_bit() {
+        let seq = drive(1);
+        for threads in [2usize, 3, 8] {
+            let par = drive(threads);
+            assert_eq!(par.threads(), threads);
+            assert_eq!(seq.starts(), par.starts());
+            assert_eq!(seq.total_updates(), par.total_updates());
+            for i in 0..seq.len() {
+                assert_eq!(seq.value(i).to_bits(), par.value(i).to_bits());
+                let (a, b) = (seq.solution(i), par.solution(i));
+                assert_eq!(a.seeds, b.seeds);
+                assert_eq!(a.value.to_bits(), b.value.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn remove_keeps_order_and_stats_aligned() {
+        for threads in [1usize, 3] {
+            let mut s = drive(threads);
+            assert_eq!(s.len(), 6);
+            let starts = s.starts();
+            s.remove(2);
+            s.remove(0);
+            assert_eq!(s.len(), 4);
+            assert_eq!(s.start(0), starts[1]);
+            assert_eq!(s.starts(), vec![starts[1], starts[3], starts[4], starts[5]]);
+            // Remaining checkpoints still answer.
+            for i in 0..s.len() {
+                let _ = s.solution(i);
+                assert!(s.value(i) >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn values_are_monotone_in_coverage() {
+        let s = drive(1);
+        let values = s.values();
+        for pair in values.windows(2) {
+            assert!(pair[0] + 1e-9 >= pair[1], "not monotone: {values:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_increasing_push_is_rejected() {
+        let mut s = set(1);
+        s.push(5);
+        s.push(5);
+    }
+
+    #[test]
+    fn expiry_is_relative_to_window_start() {
+        let mut s = set(1);
+        s.push(5);
+        assert!(!s.is_expired(0, 5));
+        assert!(!s.is_expired(0, 3));
+        assert!(s.is_expired(0, 6));
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn from_config_honours_thread_count() {
+        let config = SimConfig::new(2, 0.2, 8, 2).with_threads(3);
+        let s = CheckpointSet::from_config(&config, UnitWeight);
+        assert_eq!(s.threads(), 3);
+        assert!(s.is_empty());
+    }
+}

@@ -7,6 +7,17 @@
 //! * the [`PropagationIndex`] resolving reply ancestries, and
 //! * a [`Framework`] (IC or SIC) fed with resolved actions slide by slide.
 //!
+//! Ingestion comes in three granularities:
+//!
+//! * [`SimEngine::process_slide`] — one explicit slide (any size),
+//! * [`SimEngine::ingest_batch`] — a server-shaped batch of any number of
+//!   actions: ancestries are resolved in **one** pass over the batch, then
+//!   the resolved actions are cut into `L`-sized slides and pipelined into
+//!   the framework (and its shard pool) without re-cloning per checkpoint,
+//! * [`SimEngine::run_stream`] — replays a whole [`SocialStream`], querying
+//!   after every slide, and returns a [`RunReport`] with per-slide timings
+//!   and answers (what the benches and figure binaries consume).
+//!
 //! It also exposes the pieces the evaluation harness needs: the exact
 //! window-scoped influence sets (for the Greedy baseline / quality metric)
 //! and per-slide statistics.
@@ -16,10 +27,11 @@ use crate::framework::{Framework, FrameworkKind, ResolvedAction, Solution};
 use crate::ic::IcFramework;
 use crate::sic::SicFramework;
 use rtim_stream::{
-    window_influence_sets, Action, InfluenceSets, PropagationIndex, SlidingWindow,
+    window_influence_sets, Action, InfluenceSets, PropagationIndex, SlidingWindow, SocialStream,
 };
 use rtim_submodular::ElementWeight;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Per-slide statistics reported by [`SimEngine::process_slide`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
@@ -32,6 +44,58 @@ pub struct SlideReport {
     pub checkpoints: usize,
     /// Total oracle element updates performed by the framework so far.
     pub oracle_updates: u64,
+    /// Wall-clock nanoseconds spent ingesting this slide: ancestry
+    /// resolution (amortized per action for batched ingestion), window
+    /// maintenance and the framework's checkpoint updates.
+    pub feed_nanos: u64,
+    /// Wall-clock nanoseconds spent answering the SIM query after this
+    /// slide.  Filled by [`SimEngine::run_stream`] (which queries every
+    /// slide); 0 when the caller never queried.
+    pub query_nanos: u64,
+}
+
+/// Aggregated result of replaying a whole stream
+/// ([`SimEngine::run_stream`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct RunReport {
+    /// One report per window slide, in stream order.
+    pub slides: Vec<SlideReport>,
+    /// The SIM answer after each slide (aligned with `slides`).
+    pub solutions: Vec<Solution>,
+}
+
+impl RunReport {
+    /// Total actions processed.
+    pub fn actions(&self) -> u64 {
+        self.slides.iter().map(|r| r.actions as u64).sum()
+    }
+
+    /// Total nanoseconds spent feeding slides (resolution + window +
+    /// checkpoint updates).
+    pub fn feed_nanos(&self) -> u64 {
+        self.slides.iter().map(|r| r.feed_nanos).sum()
+    }
+
+    /// Total nanoseconds spent answering queries.
+    pub fn query_nanos(&self) -> u64 {
+        self.slides.iter().map(|r| r.query_nanos).sum()
+    }
+
+    /// Aggregate throughput in actions per second of processing time
+    /// (feeding + querying), the metric of Figures 7 and 9–12.
+    pub fn throughput(&self) -> f64 {
+        let nanos = self.feed_nanos() + self.query_nanos();
+        if nanos == 0 {
+            f64::INFINITY
+        } else {
+            self.actions() as f64 / (nanos as f64 / 1e9)
+        }
+    }
+
+    /// The answer after the final slide (empty if the stream was empty).
+    pub fn final_solution(&self) -> Solution {
+        self.solutions.last().cloned().unwrap_or_else(Solution::empty)
+    }
 }
 
 /// Continuous SIM query processor.
@@ -114,6 +178,51 @@ impl SimEngine {
         self.slides
     }
 
+    /// Resolves the reply ancestry of every action in `actions` through the
+    /// propagation index, in one pass.
+    fn resolve(&mut self, actions: &[Action]) -> Vec<ResolvedAction> {
+        let mut resolved = Vec::with_capacity(actions.len());
+        for action in actions {
+            let updated = self.index.insert(action);
+            // `updated` = actor followed by ancestor users.
+            let (actor, ancestors) = updated.split_first().expect("non-empty update set");
+            resolved.push(ResolvedAction {
+                id: action.id.0,
+                actor: *actor,
+                ancestors: ancestors.to_vec(),
+            });
+        }
+        resolved
+    }
+
+    /// Pushes one already-resolved slide through the window and the
+    /// framework, returning the slide report (without query timing).
+    fn feed_slide(
+        &mut self,
+        actions: &[Action],
+        resolved: &[ResolvedAction],
+        resolve_nanos: u64,
+    ) -> SlideReport {
+        let started = Instant::now();
+        let mut expired = 0usize;
+        for &action in actions {
+            if self.window.push(action).is_some() {
+                expired += 1;
+            }
+        }
+        let window_start = self.window.oldest_id().map(|a| a.0).unwrap_or(1);
+        self.framework.process_slide(resolved, window_start);
+        self.slides += 1;
+        SlideReport {
+            actions: actions.len(),
+            expired,
+            checkpoints: self.framework.checkpoint_count(),
+            oracle_updates: self.framework.oracle_updates(),
+            feed_nanos: resolve_nanos + started.elapsed().as_nanos() as u64,
+            query_nanos: 0,
+        }
+    }
+
     /// Processes one window slide (any number of actions; the configured
     /// slide length `L` is the convention used by the experiment harness but
     /// the engine accepts arbitrary batch sizes, including 1).
@@ -125,30 +234,59 @@ impl SimEngine {
                 ..SlideReport::default()
             };
         }
-        let mut resolved = Vec::with_capacity(actions.len());
-        let mut expired = 0usize;
-        for &action in actions {
-            let updated = self.index.insert(&action);
-            // `updated` = actor followed by ancestor users.
-            let (actor, ancestors) = updated.split_first().expect("non-empty update set");
-            resolved.push(ResolvedAction {
-                id: action.id.0,
-                actor: *actor,
-                ancestors: ancestors.to_vec(),
-            });
-            if self.window.push(action).is_some() {
-                expired += 1;
+        let started = Instant::now();
+        let resolved = self.resolve(actions);
+        let resolve_nanos = started.elapsed().as_nanos() as u64;
+        self.feed_slide(actions, &resolved, resolve_nanos)
+    }
+
+    /// Ingests a batch of any number of actions: ancestries are resolved in
+    /// one pass over the whole batch, then the batch is cut into slides of
+    /// the configured length `L` and each slide is fed to the framework.
+    /// Returns one report per slide (the resolution cost is amortized across
+    /// the slides proportionally to their size).
+    ///
+    /// This is the server-shaped ingest path: a front-end can hand the
+    /// engine whatever burst of actions arrived since the last call.  Slide
+    /// boundaries are cut **within** each call — a burst whose length is not
+    /// a multiple of `L` ends with one shorter slide (fully processed and
+    /// queryable immediately; nothing is buffered across calls), exactly as
+    /// if that shorter slide had been passed to [`Self::process_slide`].
+    /// Front-ends that need slides of exactly `L` actions should accumulate
+    /// to `L` before calling.
+    pub fn ingest_batch(&mut self, actions: &[Action]) -> Vec<SlideReport> {
+        if actions.is_empty() {
+            return Vec::new();
+        }
+        let started = Instant::now();
+        let resolved = self.resolve(actions);
+        let resolve_nanos = started.elapsed().as_nanos() as u64;
+        let per_action = resolve_nanos / actions.len() as u64;
+
+        let slide_len = self.config.slide;
+        let mut reports = Vec::with_capacity(actions.len().div_ceil(slide_len));
+        for (chunk, resolved_chunk) in actions.chunks(slide_len).zip(resolved.chunks(slide_len)) {
+            reports.push(self.feed_slide(chunk, resolved_chunk, per_action * chunk.len() as u64));
+        }
+        reports
+    }
+
+    /// Replays a whole stream in `L`-sized slides, answering the SIM query
+    /// after every slide, and reports per-slide statistics, timings and
+    /// answers.
+    pub fn run_stream(&mut self, stream: &SocialStream) -> RunReport {
+        let mut slides = Vec::with_capacity(stream.len().div_ceil(self.config.slide));
+        let mut solutions = Vec::with_capacity(slides.capacity());
+        for batch in stream.batches(self.config.slide) {
+            for mut report in self.ingest_batch(batch) {
+                let started = Instant::now();
+                let solution = self.query();
+                report.query_nanos = started.elapsed().as_nanos() as u64;
+                slides.push(report);
+                solutions.push(solution);
             }
         }
-        let window_start = self.window.oldest_id().map(|a| a.0).unwrap_or(1);
-        self.framework.process_slide(&resolved, window_start);
-        self.slides += 1;
-        SlideReport {
-            actions: actions.len(),
-            expired,
-            checkpoints: self.framework.checkpoint_count(),
-            oracle_updates: self.framework.oracle_updates(),
-        }
+        RunReport { slides, solutions }
     }
 
     /// Answers the SIM query for the current window.
@@ -239,10 +377,102 @@ mod tests {
     }
 
     #[test]
+    fn ingest_batch_matches_per_slide_processing() {
+        let config = SimConfig::new(2, 0.3, 8, 2);
+        let actions = figure1_actions();
+        // Engine A: explicit slides of L = 2.
+        let mut by_slide = SimEngine::new_ic(config);
+        let mut slide_values = Vec::new();
+        for chunk in actions.chunks(2) {
+            by_slide.process_slide(chunk);
+            slide_values.push(by_slide.query().value);
+        }
+        // Engine B: one batch covering the whole stream; the engine must cut
+        // it into the same L-aligned slides.
+        let mut by_batch = SimEngine::new_ic(config);
+        let reports = by_batch.ingest_batch(&actions);
+        assert_eq!(reports.len(), 5);
+        assert_eq!(reports.iter().map(|r| r.actions).sum::<usize>(), 10);
+        assert!(reports.iter().all(|r| r.feed_nanos > 0));
+        assert_eq!(by_batch.slides_processed(), 5);
+        assert_eq!(by_batch.query().value, *slide_values.last().unwrap());
+        assert_eq!(by_batch.checkpoint_count(), by_slide.checkpoint_count());
+        // Engine C: two separate batches (4 + 6) must yield the same final
+        // state — the engine cuts at L boundaries within each call.
+        let mut ragged = SimEngine::new_ic(config);
+        let head = ragged.ingest_batch(&actions[..4]);
+        let tail = ragged.ingest_batch(&actions[4..]);
+        assert_eq!(head.len() + tail.len(), 5);
+        assert_eq!(ragged.query().value, *slide_values.last().unwrap());
+    }
+
+    #[test]
+    fn ingest_batch_cuts_slides_within_each_call() {
+        // A burst that is NOT a multiple of L ends with one shorter slide;
+        // nothing is buffered across calls (documented behaviour).  3 + 7
+        // actions with L = 2 → slides of 2,1 then 2,2,2,1.
+        let config = SimConfig::new(2, 0.3, 8, 2);
+        let actions = figure1_actions();
+        let mut engine = SimEngine::new_ic(config);
+        let head = engine.ingest_batch(&actions[..3]);
+        assert_eq!(head.iter().map(|r| r.actions).collect::<Vec<_>>(), vec![2, 1]);
+        let tail = engine.ingest_batch(&actions[3..]);
+        assert_eq!(
+            tail.iter().map(|r| r.actions).collect::<Vec<_>>(),
+            vec![2, 2, 2, 1]
+        );
+        assert_eq!(engine.slides_processed(), 6);
+        // The shorter slides are fully processed: same result as the same
+        // slide pattern through process_slide.
+        let mut by_slide = SimEngine::new_ic(config);
+        for chunk in [&actions[..2], &actions[2..3], &actions[3..5], &actions[5..7], &actions[7..9], &actions[9..]] {
+            by_slide.process_slide(chunk);
+        }
+        assert_eq!(engine.query(), by_slide.query());
+        assert_eq!(engine.checkpoint_count(), by_slide.checkpoint_count());
+    }
+
+    #[test]
+    fn run_stream_reports_per_slide_answers_and_timings() {
+        let stream = SocialStream::new(figure1_actions()).unwrap();
+        let config = SimConfig::new(2, 0.3, 8, 2);
+        let mut engine = SimEngine::new_ic(config);
+        let report = engine.run_stream(&stream);
+        assert_eq!(report.slides.len(), 5);
+        assert_eq!(report.solutions.len(), 5);
+        assert_eq!(report.actions(), 10);
+        // Same per-slide answers as explicit slide-by-slide processing.
+        assert_eq!(report.solutions[3].value, 5.0);
+        assert_eq!(report.solutions[4].value, 6.0);
+        assert_eq!(report.final_solution().value, 6.0);
+        assert!(report.feed_nanos() > 0);
+        assert!(report.query_nanos() > 0);
+        assert!(report.throughput() > 0.0);
+        assert!(report.slides.iter().all(|r| r.query_nanos > 0));
+    }
+
+    #[test]
+    fn run_stream_with_sharded_engine_matches_sequential() {
+        let stream = SocialStream::new(figure1_actions()).unwrap();
+        let sequential = SimConfig::new(2, 0.2, 8, 2);
+        let sharded = sequential.with_threads(4);
+        let mut seq = SimEngine::new_sic(sequential);
+        let mut par = SimEngine::new_sic(sharded);
+        let seq_report = seq.run_stream(&stream);
+        let par_report = par.run_stream(&stream);
+        assert_eq!(seq_report.solutions, par_report.solutions);
+        assert_eq!(
+            seq_report.slides.iter().map(|r| r.checkpoints).collect::<Vec<_>>(),
+            par_report.slides.iter().map(|r| r.checkpoints).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
     fn empty_slide_is_harmless() {
         let mut engine = SimEngine::new_sic(SimConfig::new(2, 0.3, 8, 1));
         let report = engine.process_slide(&[]);
         assert_eq!(report.actions, 0);
+        assert!(engine.ingest_batch(&[]).is_empty());
         assert_eq!(engine.query(), Solution::empty());
     }
 

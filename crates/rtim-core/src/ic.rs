@@ -11,20 +11,22 @@
 //! The SIM query is answered by the oldest live checkpoint, which covers
 //! exactly the current window, so the answer inherits the checkpoint
 //! oracle's `ε` approximation ratio (Theorem 2).
+//!
+//! The checkpoints themselves live in a [`CheckpointSet`], which owns the
+//! execution strategy (sequential, or a persistent shard pool when
+//! [`SimConfig::with_threads`] asks for workers); IC is pure policy over
+//! the set's cached per-checkpoint statistics.
 
+use crate::checkpoint_set::CheckpointSet;
 use crate::config::SimConfig;
 use crate::framework::{Framework, FrameworkKind, ResolvedAction, Solution};
-use crate::parallel::feed_all_with_threads;
-use crate::ssm::Checkpoint;
 use rtim_submodular::{ElementWeight, UnitWeight};
-use std::collections::VecDeque;
 
 /// The IC framework with a pluggable element weight (influence function).
 pub struct IcFramework<W: ElementWeight + Send + 'static = UnitWeight> {
     config: SimConfig,
-    weight: W,
     /// Live checkpoints, oldest first.
-    checkpoints: VecDeque<Checkpoint>,
+    checkpoints: CheckpointSet<W>,
 }
 
 impl IcFramework<UnitWeight> {
@@ -39,8 +41,7 @@ impl<W: ElementWeight + Send + 'static> IcFramework<W> {
     pub fn with_weight(config: SimConfig, weight: W) -> Self {
         IcFramework {
             config,
-            weight,
-            checkpoints: VecDeque::with_capacity(config.checkpoint_capacity() + 1),
+            checkpoints: CheckpointSet::from_config(&config, weight),
         }
     }
 
@@ -52,12 +53,12 @@ impl<W: ElementWeight + Send + 'static> IcFramework<W> {
     /// Values of all live checkpoints, oldest first (used in tests and by
     /// the checkpoint-count experiments).
     pub fn checkpoint_values(&self) -> Vec<f64> {
-        self.checkpoints.iter().map(|c| c.value()).collect()
+        self.checkpoints.values()
     }
 
     /// Start positions of all live checkpoints, oldest first.
     pub fn checkpoint_starts(&self) -> Vec<u64> {
-        self.checkpoints.iter().map(|c| c.start()).collect()
+        self.checkpoints.starts()
     }
 }
 
@@ -67,25 +68,19 @@ impl<W: ElementWeight + Send + 'static> Framework for IcFramework<W> {
             return;
         }
         // (1) Create the checkpoint covering this slide onwards.
-        let start = slide[0].id;
-        self.checkpoints.push_back(Checkpoint::new(
-            start,
-            self.config.oracle,
-            self.config.oracle_config(),
-            self.weight.clone(),
-        ));
+        self.checkpoints.push(slide[0].id);
         // (2) Every checkpoint processes the new actions.
-        feed_all_with_threads(self.checkpoints.make_contiguous(), slide, self.config.threads);
+        self.checkpoints.feed(slide);
         // (3) Drop expired checkpoints, but only while their successor still
         //     covers the whole window: when N is not a multiple of L there is
         //     no exactly-aligned checkpoint and the oldest retained one
         //     covers slightly more than the window (the paper's multi-shift
         //     variant, §5.3), keeping the count at ⌈N/L⌉.
         while self.checkpoints.len() > 1 {
-            let front_expired = self.checkpoints[0].is_expired(window_start);
-            let successor_covers_window = self.checkpoints[1].start() <= window_start;
+            let front_expired = self.checkpoints.is_expired(0, window_start);
+            let successor_covers_window = self.checkpoints.start(1) <= window_start;
             if front_expired && successor_covers_window {
-                self.checkpoints.pop_front();
+                self.checkpoints.remove(0);
             } else {
                 break;
             }
@@ -93,10 +88,11 @@ impl<W: ElementWeight + Send + 'static> Framework for IcFramework<W> {
     }
 
     fn query(&self) -> Solution {
-        self.checkpoints
-            .front()
-            .map(|c| c.solution())
-            .unwrap_or_else(Solution::empty)
+        if self.checkpoints.is_empty() {
+            Solution::empty()
+        } else {
+            self.checkpoints.solution(0)
+        }
     }
 
     fn checkpoint_count(&self) -> usize {
@@ -104,7 +100,7 @@ impl<W: ElementWeight + Send + 'static> Framework for IcFramework<W> {
     }
 
     fn oracle_updates(&self) -> u64 {
-        self.checkpoints.iter().map(|c| c.updates()).sum()
+        self.checkpoints.total_updates()
     }
 
     fn kind(&self) -> FrameworkKind {
@@ -209,6 +205,25 @@ mod tests {
         for pair in values.windows(2) {
             assert!(pair[0] + 1e-9 >= pair[1], "values not monotone: {values:?}");
         }
+    }
+
+    #[test]
+    fn sharded_ic_matches_sequential_on_the_running_example() {
+        let sequential = SimConfig::new(2, 0.3, 8, 2);
+        let sharded = sequential.with_threads(4);
+        let mut seq = IcFramework::new(sequential);
+        let mut par = IcFramework::new(sharded);
+        let stream = figure1_resolved();
+        for chunk in stream.chunks(2) {
+            let last = chunk.last().unwrap().id;
+            let window_start = last.saturating_sub(8 - 1).max(1);
+            seq.process_slide(chunk, window_start);
+            par.process_slide(chunk, window_start);
+            assert_eq!(seq.checkpoint_starts(), par.checkpoint_starts());
+            assert_eq!(seq.checkpoint_values(), par.checkpoint_values());
+            assert_eq!(seq.query(), par.query());
+        }
+        assert_eq!(seq.oracle_updates(), par.oracle_updates());
     }
 
     #[test]

@@ -16,10 +16,19 @@
 //! * [`sic`] — the **Sparse Influential Checkpoints** framework (§5,
 //!   Algorithm 2): `O(log N / β)` checkpoints, `ε(1−β)/2`-approximate
 //!   answers (Theorems 3–5).
+//! * [`checkpoint_set`] — the [`CheckpointSet`] layer shared by both
+//!   frameworks: owns the ordered checkpoint list and its execution
+//!   strategy (sequential, or sharded across a persistent worker pool).
+//! * [`pool`] — the [`ShardPool`]: long-lived worker threads, each owning a
+//!   stable shard of checkpoints, fed slides over channels with
+//!   bit-identical-to-sequential results.
+//! * [`parallel`] — the legacy per-slide scoped-thread feeding, retained
+//!   only as the benchmark baseline the pool is compared against.
 //! * [`engine`] — the [`SimEngine`] driver: maintains the sliding window and
 //!   the propagation index, feeds resolved actions into a framework, and
 //!   answers SIM queries after every slide (including multi-action slides,
-//!   §5.3).
+//!   §5.3).  Batched ingestion ([`SimEngine::ingest_batch`]) and whole-stream
+//!   replay ([`SimEngine::run_stream`]) sit on top.
 //! * [`extensions`] — topic-aware, location-aware and conformity-aware SIM
 //!   (Appendix A).
 //!
@@ -49,19 +58,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint_set;
 pub mod config;
 pub mod engine;
 pub mod extensions;
 pub mod framework;
 pub mod ic;
 pub mod parallel;
+pub mod pool;
 pub mod sic;
 pub mod ssm;
 
+pub use checkpoint_set::CheckpointSet;
 pub use config::SimConfig;
-pub use engine::{SimEngine, SlideReport};
+pub use engine::{RunReport, SimEngine, SlideReport};
 pub use framework::{Framework, FrameworkKind, ResolvedAction, Solution};
 pub use ic::IcFramework;
-pub use parallel::feed_all_with_threads;
+pub use pool::{CheckpointStat, ShardPool};
 pub use sic::SicFramework;
 pub use ssm::Checkpoint;

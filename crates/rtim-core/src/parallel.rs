@@ -1,27 +1,26 @@
-//! Parallel checkpoint maintenance.
+//! Legacy per-slide scoped-thread checkpoint feeding.
 //!
-//! Checkpoints are mutually independent: every checkpoint processes the same
-//! slide of resolved actions against its own private state.  Window slides
-//! can therefore be fanned out across worker threads — each worker owns a
-//! contiguous chunk of checkpoints and replays the whole slide against it.
-//! Results are bit-for-bit identical to sequential processing (each
-//! checkpoint still sees the slide in order), so the approximation
-//! guarantees and all tests are unaffected; only wall-clock time changes.
-//! The fan-out uses `std::thread::scope` (stable since Rust 1.63), so a
-//! panic in any worker propagates when the scope joins.
+//! This was the original parallel path: every window slide spawned a fresh
+//! `std::thread::scope`, split the checkpoint list into contiguous chunks
+//! and joined the workers before returning — paying thread startup on every
+//! single slide.  Production feeding now goes through the persistent
+//! [`crate::pool::ShardPool`] (workers spawned once per engine, slides
+//! broadcast over channels); this module is retained **only** as the
+//! baseline the `scalability` bench compares the pool against, so the win
+//! from persistent workers stays measurable.
 //!
-//! This is most useful for IC with large `⌈N/L⌉` (many checkpoints) and for
-//! SIC with very small `β`; with SIC's usual handful of checkpoints the
-//! sequential path is already fast and the scoped-thread overhead is not
-//! worth paying, which is why parallelism is opt-in
-//! ([`crate::SimConfig::with_threads`]).
+//! Results are bit-for-bit identical to sequential processing either way —
+//! each checkpoint still sees the slide in order against its own state.
 
 use crate::framework::ResolvedAction;
 use crate::ssm::Checkpoint;
 
 /// Processes a slide against every checkpoint, splitting the checkpoint list
-/// across `threads` workers (1 = sequential).
-pub fn feed_all_with_threads(
+/// across `threads` freshly spawned scoped workers (1 = sequential).
+///
+/// Benchmark baseline only — use [`crate::pool::ShardPool`] (via
+/// [`crate::SimConfig::with_threads`]) for real workloads.
+pub fn feed_all_scoped(
     checkpoints: &mut [Checkpoint],
     slide: &[ResolvedAction],
     threads: usize,
@@ -91,12 +90,12 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_sequential_results() {
+    fn scoped_matches_sequential_results() {
         let slide = slide();
         let mut sequential = checkpoints(7);
         let mut parallel = checkpoints(7);
-        feed_all_with_threads(&mut sequential, &slide, 1);
-        feed_all_with_threads(&mut parallel, &slide, 4);
+        feed_all_scoped(&mut sequential, &slide, 1);
+        feed_all_scoped(&mut parallel, &slide, 4);
         for (s, p) in sequential.iter().zip(&parallel) {
             assert_eq!(s.value(), p.value());
             assert_eq!(s.solution().seeds, p.solution().seeds);
@@ -108,7 +107,7 @@ mod tests {
     fn more_threads_than_checkpoints_is_fine() {
         let slide = slide();
         let mut cps = checkpoints(2);
-        feed_all_with_threads(&mut cps, &slide, 16);
+        feed_all_scoped(&mut cps, &slide, 16);
         assert!(cps.iter().all(|c| c.value() > 0.0));
     }
 
@@ -116,14 +115,14 @@ mod tests {
     fn zero_threads_is_treated_as_sequential() {
         let slide = slide();
         let mut cps = checkpoints(3);
-        feed_all_with_threads(&mut cps, &slide, 0);
+        feed_all_scoped(&mut cps, &slide, 0);
         assert!(cps[0].value() > 0.0);
     }
 
     #[test]
     fn empty_slide_is_a_no_op() {
         let mut cps = checkpoints(3);
-        feed_all_with_threads(&mut cps, &[], 4);
+        feed_all_scoped(&mut cps, &[], 4);
         assert_eq!(cps[0].value(), 0.0);
     }
 }

@@ -1,0 +1,493 @@
+//! Persistent sharded checkpoint worker pool.
+//!
+//! Checkpoints are mutually independent: every checkpoint replays the same
+//! slide of resolved actions against its own private state, so slides can be
+//! fanned out across workers without any cross-checkpoint synchronization.
+//! The old `parallel::feed_all_scoped` path exploited this with
+//! `std::thread::scope`, paying thread startup on **every** slide; a
+//! [`ShardPool`] instead spawns its workers **once** (per engine) and keeps
+//! them alive for the lifetime of the pool, which is the shape a long-running
+//! ingest server needs.
+//!
+//! ## Shard-ownership model
+//!
+//! * Each worker thread *owns* its shard of [`Checkpoint`]s outright — the
+//!   checkpoints are moved into the worker on [`ShardPool::add`] and never
+//!   aliased, so no locking is involved anywhere on the hot path.
+//! * The pool (on the caller's thread) keeps only the *assignment map*
+//!   (checkpoint start id → worker) and per-worker load counts; the start id
+//!   is a stable unique key because both frameworks create checkpoints at
+//!   strictly increasing stream positions.
+//! * A slide is broadcast to all workers as one `Arc<[ResolvedAction]>` —
+//!   one allocation per slide, shared by every shard, never cloned per
+//!   checkpoint.  Workers reply with per-checkpoint
+//!   [`CheckpointStat`]s (start, value, update count), which is all the
+//!   frameworks need for pruning/eviction decisions; full solutions (seed
+//!   sets) are fetched on demand by [`ShardPool::solution`].
+//! * New checkpoints go to the least-loaded worker (lowest index on ties),
+//!   and [`ShardPool::remove`] rebalances whenever shard sizes drift apart
+//!   by ≥ 2 — SIC's pruning and IC's rotation both delete checkpoints in
+//!   patterns that would otherwise starve some shards.
+//!
+//! ## Determinism
+//!
+//! Results are bit-for-bit identical to sequential processing: each
+//! checkpoint still observes the slide in stream order against its own
+//! state, and shard placement never influences any checkpoint's arithmetic.
+//! The determinism property tests in `tests/determinism.rs` assert this for
+//! both frameworks at 2–8 workers.
+//!
+//! ## Shutdown
+//!
+//! Dropping the pool sends every worker a shutdown message and joins it; a
+//! worker panic is re-raised on the caller's thread at that point (unless
+//! the caller is already panicking).
+
+use crate::framework::{ResolvedAction, Solution};
+use crate::ssm::Checkpoint;
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Per-checkpoint summary returned by a feed round: everything the
+/// frameworks need to make pruning/eviction decisions without touching the
+/// checkpoint itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointStat {
+    /// First action id covered by the checkpoint (its unique key).
+    pub start: u64,
+    /// Influence value `Λ_t[i]` after the feed.
+    pub value: f64,
+    /// Total oracle element updates performed by this checkpoint so far.
+    pub updates: u64,
+}
+
+/// Messages from the pool to a worker.
+enum ShardMsg {
+    /// Process a slide against every checkpoint in the shard and reply with
+    /// `ShardReply::Fed`.
+    Feed(Arc<[ResolvedAction]>),
+    /// Adopt a checkpoint into the shard (no reply).
+    Add(Box<Checkpoint>),
+    /// Delete the checkpoint with this start id (no reply).
+    Remove(u64),
+    /// Remove the checkpoint with this start id and send it back
+    /// (`ShardReply::Extracted`) — used for rebalancing.
+    Extract(u64),
+    /// Reply with the solution of the checkpoint with this start id.
+    Query(u64),
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// Replies from a worker to the pool.
+enum ShardReply {
+    Fed(Vec<CheckpointStat>),
+    Extracted(Box<Checkpoint>),
+    Solution(Box<Solution>),
+}
+
+struct Worker {
+    tx: Sender<ShardMsg>,
+    rx: Receiver<ShardReply>,
+    join: Option<JoinHandle<()>>,
+}
+
+/// A persistent pool of worker threads, each owning a stable shard of
+/// checkpoints, fed window slides over channels.
+///
+/// See the [module docs](self) for the ownership and determinism model.
+pub struct ShardPool {
+    workers: Vec<Worker>,
+    /// Checkpoint start id → index of the owning worker.
+    assignment: HashMap<u64, usize>,
+    /// Number of checkpoints currently owned by each worker.
+    counts: Vec<usize>,
+}
+
+impl ShardPool {
+    /// Spawns `threads` workers (at least 1), alive until the pool is
+    /// dropped.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let workers = (0..threads)
+            .map(|i| {
+                let (msg_tx, msg_rx) = channel::<ShardMsg>();
+                let (reply_tx, reply_rx) = channel::<ShardReply>();
+                let join = std::thread::Builder::new()
+                    .name(format!("rtim-shard-{i}"))
+                    .spawn(move || worker_loop(msg_rx, reply_tx))
+                    .expect("spawn shard worker");
+                Worker {
+                    tx: msg_tx,
+                    rx: reply_rx,
+                    join: Some(join),
+                }
+            })
+            .collect();
+        ShardPool {
+            workers,
+            assignment: HashMap::new(),
+            counts: vec![0; threads],
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of checkpoints currently owned across all shards.
+    pub fn checkpoint_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Moves a checkpoint into the least-loaded shard (lowest worker index
+    /// on ties, so placement is deterministic).
+    ///
+    /// # Panics
+    /// Panics if a checkpoint with the same start id is already pooled.
+    pub fn add(&mut self, checkpoint: Checkpoint) {
+        let start = checkpoint.start();
+        assert!(
+            !self.assignment.contains_key(&start),
+            "checkpoint starting at {start} already pooled"
+        );
+        let target = self.least_loaded();
+        self.send(target, ShardMsg::Add(Box::new(checkpoint)));
+        self.assignment.insert(start, target);
+        self.counts[target] += 1;
+    }
+
+    /// Broadcasts one slide to every shard and gathers the per-checkpoint
+    /// stats (in no particular order — keyed by `start`).
+    pub fn feed(&mut self, slide: &[ResolvedAction]) -> Vec<CheckpointStat> {
+        let shared: Arc<[ResolvedAction]> = slide.into();
+        for i in 0..self.workers.len() {
+            self.send(i, ShardMsg::Feed(shared.clone()));
+        }
+        let mut stats = Vec::with_capacity(self.assignment.len());
+        for i in 0..self.workers.len() {
+            match self.recv(i) {
+                ShardReply::Fed(s) => stats.extend(s),
+                _ => unreachable!("worker answered Feed with a non-Fed reply"),
+            }
+        }
+        stats
+    }
+
+    /// Deletes the checkpoint with the given start id, then rebalances if
+    /// shard sizes have drifted apart.
+    pub fn remove(&mut self, start: u64) {
+        let worker = self
+            .assignment
+            .remove(&start)
+            .expect("removing a checkpoint the pool does not own");
+        self.send(worker, ShardMsg::Remove(start));
+        self.counts[worker] -= 1;
+        self.rebalance();
+    }
+
+    /// Fetches the full solution of the checkpoint with the given start id.
+    pub fn solution(&self, start: u64) -> Solution {
+        let worker = *self
+            .assignment
+            .get(&start)
+            .expect("querying a checkpoint the pool does not own");
+        self.workers[worker]
+            .tx
+            .send(ShardMsg::Query(start))
+            .expect("shard worker hung up");
+        match self.recv(worker) {
+            ShardReply::Solution(s) => *s,
+            _ => unreachable!("worker answered Query with a non-Solution reply"),
+        }
+    }
+
+    /// Index of the worker owning the fewest checkpoints.
+    fn least_loaded(&self) -> usize {
+        let mut best = 0usize;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c < self.counts[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Moves checkpoints from the richest to the poorest shard until shard
+    /// sizes differ by at most 1.  The newest checkpoint of the richest
+    /// shard moves first (deterministic choice; which checkpoint lives where
+    /// never affects results, only balance).
+    fn rebalance(&mut self) {
+        loop {
+            let poorest = self.least_loaded();
+            let richest = self
+                .counts
+                .iter()
+                .enumerate()
+                .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
+                .map(|(i, _)| i)
+                .expect("pool has at least one worker");
+            if self.counts[richest] <= self.counts[poorest] + 1 {
+                return;
+            }
+            let moved = self
+                .assignment
+                .iter()
+                .filter(|&(_, &w)| w == richest)
+                .map(|(&start, _)| start)
+                .max()
+                .expect("richest shard is non-empty");
+            self.send(richest, ShardMsg::Extract(moved));
+            let checkpoint = match self.recv(richest) {
+                ShardReply::Extracted(cp) => cp,
+                _ => unreachable!("worker answered Extract with a non-Extracted reply"),
+            };
+            self.send(poorest, ShardMsg::Add(checkpoint));
+            self.assignment.insert(moved, poorest);
+            self.counts[richest] -= 1;
+            self.counts[poorest] += 1;
+        }
+    }
+
+    fn send(&self, worker: usize, msg: ShardMsg) {
+        self.workers[worker]
+            .tx
+            .send(msg)
+            .expect("shard worker hung up");
+    }
+
+    fn recv(&self, worker: usize) -> ShardReply {
+        self.workers[worker]
+            .rx
+            .recv()
+            .expect("shard worker hung up without replying")
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            // A worker that already panicked has dropped its receiver; the
+            // failed send is fine, the join below surfaces the panic.
+            let _ = w.tx.send(ShardMsg::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(join) = w.join.take() {
+                if join.join().is_err() && !std::thread::panicking() {
+                    panic!("shard worker panicked");
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("threads", &self.workers.len())
+            .field("checkpoints", &self.assignment.len())
+            .field("counts", &self.counts)
+            .finish()
+    }
+}
+
+/// The worker loop: owns its shard, serves messages until shutdown.
+fn worker_loop(rx: Receiver<ShardMsg>, tx: Sender<ShardReply>) {
+    let mut shard: Vec<Checkpoint> = Vec::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Feed(slide) => {
+                let mut stats = Vec::with_capacity(shard.len());
+                for cp in shard.iter_mut() {
+                    for action in slide.iter() {
+                        cp.process(action);
+                    }
+                    stats.push(CheckpointStat {
+                        start: cp.start(),
+                        value: cp.value(),
+                        updates: cp.updates(),
+                    });
+                }
+                if tx.send(ShardReply::Fed(stats)).is_err() {
+                    break;
+                }
+            }
+            ShardMsg::Add(cp) => shard.push(*cp),
+            ShardMsg::Remove(start) => shard.retain(|c| c.start() != start),
+            ShardMsg::Extract(start) => {
+                let pos = shard
+                    .iter()
+                    .position(|c| c.start() == start)
+                    .expect("extracting a checkpoint this shard does not own");
+                let cp = shard.swap_remove(pos);
+                if tx.send(ShardReply::Extracted(Box::new(cp))).is_err() {
+                    break;
+                }
+            }
+            ShardMsg::Query(start) => {
+                let cp = shard
+                    .iter()
+                    .find(|c| c.start() == start)
+                    .expect("querying a checkpoint this shard does not own");
+                if tx.send(ShardReply::Solution(Box::new(cp.solution()))).is_err() {
+                    break;
+                }
+            }
+            ShardMsg::Shutdown => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtim_stream::UserId;
+    use rtim_submodular::{OracleConfig, OracleKind, UnitWeight};
+
+    fn resolved(id: u64, actor: u32, ancestors: &[u32]) -> ResolvedAction {
+        ResolvedAction {
+            id,
+            actor: UserId(actor),
+            ancestors: ancestors.iter().map(|&u| UserId(u)).collect(),
+        }
+    }
+
+    fn slide() -> Vec<ResolvedAction> {
+        (1..=40u64)
+            .map(|t| {
+                if t % 3 == 0 {
+                    resolved(t, (t % 7) as u32, &[((t + 1) % 7) as u32])
+                } else {
+                    resolved(t, (t % 7) as u32, &[])
+                }
+            })
+            .collect()
+    }
+
+    fn checkpoint(start: u64, k: usize) -> Checkpoint {
+        Checkpoint::new(
+            start,
+            OracleKind::SieveStreaming,
+            OracleConfig::new(k, 0.2),
+            UnitWeight,
+        )
+    }
+
+    /// Feeds `fed` sequentially to 7 checkpoints with distinct starts 1..=7
+    /// and distinct k; `fed` must only contain ids ≥ 7 so every checkpoint
+    /// may observe every action.
+    fn sequential_stats(fed: &[ResolvedAction]) -> Vec<CheckpointStat> {
+        (0..7usize)
+            .map(|i| {
+                let mut cp = checkpoint(1 + i as u64, 1 + (i % 4));
+                for a in fed {
+                    cp.process(a);
+                }
+                CheckpointStat {
+                    start: cp.start(),
+                    value: cp.value(),
+                    updates: cp.updates(),
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_feed_matches_sequential_bit_for_bit() {
+        let slide = slide();
+        let fed = &slide[6..]; // ids 7..=40, observable by every checkpoint
+        let expected = sequential_stats(fed);
+        for threads in [1usize, 2, 4, 8] {
+            let mut pool = ShardPool::new(threads);
+            for i in 0..7usize {
+                pool.add(checkpoint(1 + i as u64, 1 + (i % 4)));
+            }
+            let mut stats = pool.feed(fed);
+            stats.sort_by_key(|s| s.start);
+            for (got, want) in stats.iter().zip(&expected) {
+                assert_eq!(got.start, want.start);
+                assert_eq!(got.value.to_bits(), want.value.to_bits());
+                assert_eq!(got.updates, want.updates);
+            }
+        }
+    }
+
+    #[test]
+    fn add_places_on_least_loaded_worker() {
+        let mut pool = ShardPool::new(3);
+        for i in 0..7u64 {
+            pool.add(checkpoint(i + 1, 2));
+        }
+        assert_eq!(pool.checkpoint_count(), 7);
+        let max = *pool.counts.iter().max().unwrap();
+        let min = *pool.counts.iter().min().unwrap();
+        assert!(max - min <= 1, "counts: {:?}", pool.counts);
+    }
+
+    #[test]
+    fn remove_rebalances_skewed_shards() {
+        let mut pool = ShardPool::new(2);
+        for i in 0..8u64 {
+            pool.add(checkpoint(i + 1, 2));
+        }
+        // Worker 0 owns the odd-numbered adds (1,3,5,7 → starts 1,3,5,7).
+        // Deleting three checkpoints from one shard must trigger moves.
+        let victims: Vec<u64> = pool
+            .assignment
+            .iter()
+            .filter(|&(_, &w)| w == 0)
+            .map(|(&s, _)| s)
+            .take(3)
+            .collect();
+        for v in victims {
+            pool.remove(v);
+        }
+        let max = *pool.counts.iter().max().unwrap();
+        let min = *pool.counts.iter().min().unwrap();
+        assert!(max - min <= 1, "counts: {:?}", pool.counts);
+        assert_eq!(pool.checkpoint_count(), 5);
+        // The moved checkpoints still answer queries.
+        for (&start, _) in pool.assignment.clone().iter() {
+            let _ = pool.solution(start);
+        }
+    }
+
+    #[test]
+    fn solution_round_trips_through_the_owning_worker() {
+        let mut pool = ShardPool::new(2);
+        pool.add(checkpoint(1, 2));
+        pool.add(checkpoint(2, 2));
+        let slide = slide();
+        pool.feed(&slide[1..]); // ids 2..=40, observable by both
+        let s = pool.solution(1);
+        assert!(s.value > 0.0);
+        assert!(!s.seeds.is_empty());
+    }
+
+    #[test]
+    fn empty_pool_feed_is_a_no_op() {
+        let mut pool = ShardPool::new(4);
+        assert!(pool.feed(&slide()).is_empty());
+        assert_eq!(pool.checkpoint_count(), 0);
+        assert_eq!(pool.threads(), 4);
+    }
+
+    #[test]
+    fn zero_threads_is_clamped_to_one() {
+        let pool = ShardPool::new(0);
+        assert_eq!(pool.threads(), 1);
+    }
+
+    #[test]
+    fn drop_joins_workers_cleanly() {
+        let mut pool = ShardPool::new(4);
+        for i in 0..4u64 {
+            pool.add(checkpoint(i + 1, 1));
+        }
+        pool.feed(&slide()[3..]); // ids 4..=40, observable by every checkpoint
+        drop(pool); // must not hang or panic
+    }
+}

@@ -14,21 +14,24 @@
 //! superset of the window and upper-bounds the window optimum) until the
 //! next retained checkpoint expires too, exactly as in Algorithm 2 lines
 //! 21–23.
+//!
+//! The checkpoints live in a [`CheckpointSet`], which owns the execution
+//! strategy (sequential, or a persistent shard pool when
+//! [`SimConfig::with_threads`] asks for workers); SIC is pure policy over
+//! the set's cached per-checkpoint values — pruning decisions read the
+//! cached values, and every deletion lets the pool rebalance its shards.
 
+use crate::checkpoint_set::CheckpointSet;
 use crate::config::SimConfig;
 use crate::framework::{Framework, FrameworkKind, ResolvedAction, Solution};
-use crate::parallel::feed_all_with_threads;
-use crate::ssm::Checkpoint;
 use rtim_submodular::{ElementWeight, UnitWeight};
-use std::collections::VecDeque;
 
 /// The SIC framework with a pluggable element weight (influence function).
 pub struct SicFramework<W: ElementWeight + Send + 'static = UnitWeight> {
     config: SimConfig,
-    weight: W,
     /// Retained checkpoints, oldest first.  At most one of them (the front)
     /// may be expired — that is the sentinel `Λ_t[x_0]`.
-    checkpoints: VecDeque<Checkpoint>,
+    checkpoints: CheckpointSet<W>,
     /// Window start after the most recent slide (id of the oldest action
     /// still inside the window).
     window_start: u64,
@@ -48,8 +51,7 @@ impl<W: ElementWeight + Send + 'static> SicFramework<W> {
     pub fn with_weight(config: SimConfig, weight: W) -> Self {
         SicFramework {
             config,
-            weight,
-            checkpoints: VecDeque::new(),
+            checkpoints: CheckpointSet::from_config(&config, weight),
             window_start: 1,
             pruned: 0,
         }
@@ -62,12 +64,12 @@ impl<W: ElementWeight + Send + 'static> SicFramework<W> {
 
     /// Values of all retained checkpoints, oldest first.
     pub fn checkpoint_values(&self) -> Vec<f64> {
-        self.checkpoints.iter().map(|c| c.value()).collect()
+        self.checkpoints.values()
     }
 
     /// Start positions of all retained checkpoints, oldest first.
     pub fn checkpoint_starts(&self) -> Vec<u64> {
-        self.checkpoints.iter().map(|c| c.start()).collect()
+        self.checkpoints.starts()
     }
 
     /// Number of checkpoints deleted by the sparsification rule so far.
@@ -82,13 +84,13 @@ impl<W: ElementWeight + Send + 'static> SicFramework<W> {
         let beta = self.config.beta;
         let mut i = 0usize;
         while i + 2 < self.checkpoints.len() {
-            let threshold = (1.0 - beta) * self.checkpoints[i].value();
+            let threshold = (1.0 - beta) * self.checkpoints.value(i);
             // Delete successors while the one *after* the candidate is still
             // above the threshold (checkpoint values are non-increasing in
             // start position, so Λ[x_{j+1}] ≥ threshold ⇒ Λ[x_j] ≥ threshold).
             while i + 2 < self.checkpoints.len()
-                && self.checkpoints[i + 1].value() >= threshold
-                && self.checkpoints[i + 2].value() >= threshold
+                && self.checkpoints.value(i + 1) >= threshold
+                && self.checkpoints.value(i + 2) >= threshold
             {
                 self.checkpoints.remove(i + 1);
                 self.pruned += 1;
@@ -102,9 +104,10 @@ impl<W: ElementWeight + Send + 'static> SicFramework<W> {
     /// front).
     fn drop_stale_expired(&mut self, window_start: u64) {
         while self.checkpoints.len() > 1 {
-            let second_expired = self.checkpoints[1].is_expired(window_start);
-            if self.checkpoints[0].is_expired(window_start) && second_expired {
-                self.checkpoints.pop_front();
+            let front_expired = self.checkpoints.is_expired(0, window_start);
+            let second_expired = self.checkpoints.is_expired(1, window_start);
+            if front_expired && second_expired {
+                self.checkpoints.remove(0);
             } else {
                 break;
             }
@@ -118,15 +121,9 @@ impl<W: ElementWeight + Send + 'static> Framework for SicFramework<W> {
             return;
         }
         // Create the checkpoint for the arriving slide (Algorithm 2 line 2).
-        let start = slide[0].id;
-        self.checkpoints.push_back(Checkpoint::new(
-            start,
-            self.config.oracle,
-            self.config.oracle_config(),
-            self.weight.clone(),
-        ));
+        self.checkpoints.push(slide[0].id);
         // Update every retained checkpoint with the new actions (lines 6–8).
-        feed_all_with_threads(self.checkpoints.make_contiguous(), slide, self.config.threads);
+        self.checkpoints.feed(slide);
         // Sparsify (lines 9–20) and discard stale expired checkpoints
         // (lines 21–23).
         self.prune();
@@ -138,11 +135,11 @@ impl<W: ElementWeight + Send + 'static> Framework for SicFramework<W> {
         // Answer from the oldest non-expired checkpoint (Λ_t[x_1]).  During
         // warm-up no checkpoint has expired and the oldest one covers the
         // whole history, which is exactly the current window.
-        self.checkpoints
-            .iter()
-            .find(|c| !c.is_expired(self.window_start))
-            .or_else(|| self.checkpoints.back())
-            .map(|c| c.solution())
+        let n = self.checkpoints.len();
+        (0..n)
+            .find(|&i| !self.checkpoints.is_expired(i, self.window_start))
+            .or(if n > 0 { Some(n - 1) } else { None })
+            .map(|i| self.checkpoints.solution(i))
             .unwrap_or_else(Solution::empty)
     }
 
@@ -151,7 +148,7 @@ impl<W: ElementWeight + Send + 'static> Framework for SicFramework<W> {
     }
 
     fn oracle_updates(&self) -> u64 {
-        self.checkpoints.iter().map(|c| c.updates()).sum()
+        self.checkpoints.total_updates()
     }
 
     fn kind(&self) -> FrameworkKind {
@@ -276,6 +273,24 @@ mod tests {
             sic.checkpoint_count()
         );
         assert!(sic.checkpoint_count() >= 2);
+    }
+
+    #[test]
+    fn sharded_sic_matches_sequential_on_the_running_example() {
+        let sequential = SimConfig::new(2, 0.3, 8, 1);
+        let sharded = sequential.with_threads(3);
+        let mut seq = SicFramework::new(sequential);
+        let mut par = SicFramework::new(sharded);
+        for (i, action) in figure1_resolved().iter().enumerate() {
+            let t = (i + 1) as u64;
+            let window_start = t.saturating_sub(7).max(1);
+            seq.process_slide(std::slice::from_ref(action), window_start);
+            par.process_slide(std::slice::from_ref(action), window_start);
+            assert_eq!(seq.checkpoint_starts(), par.checkpoint_starts());
+            assert_eq!(seq.checkpoint_values(), par.checkpoint_values());
+            assert_eq!(seq.query(), par.query());
+        }
+        assert_eq!(seq.pruned_count(), par.pruned_count());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 use crate::action::{Action, ActionId, UserId};
 use crate::stream::SocialStream;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::collections::HashSet;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
 /// Magic bytes identifying the binary trace format ("RTAS" = RTim Action
@@ -94,6 +95,12 @@ pub fn decode_binary(mut data: &[u8]) -> Result<SocialStream, TraceError> {
             parent: if parent == 0 { None } else { Some(ActionId(parent)) },
         });
     }
+    if data.remaining() > 0 {
+        return Err(TraceError::Invalid(format!(
+            "{} trailing bytes after the {count} declared records",
+            data.remaining()
+        )));
+    }
     SocialStream::new(actions).map_err(TraceError::Invalid)
 }
 
@@ -125,9 +132,19 @@ pub fn write_text<W: Write>(stream: &SocialStream, mut writer: W) -> Result<(), 
 
 /// Reads the text format (header line optional; blank lines and `#` comments
 /// are ignored), validating invariants.
+///
+/// Every error — malformed fields, trailing garbage after the parent field,
+/// and structural violations (non-increasing ids, unknown or future
+/// parents) — is reported as [`TraceError::Invalid`] with the offending
+/// 1-based line number, so a broken export can be fixed instead of guessed
+/// at.
 pub fn read_text<R: Read>(reader: R) -> Result<SocialStream, TraceError> {
     let mut actions = Vec::new();
-    for (line_no, line) in BufReader::new(reader).lines().enumerate() {
+    let mut seen: HashSet<ActionId> = HashSet::new();
+    let mut last: Option<ActionId> = None;
+    for (line_idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line_no = line_idx + 1;
+        let invalid = |msg: String| TraceError::Invalid(format!("line {line_no}: {msg}"));
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
@@ -138,24 +155,54 @@ pub fn read_text<R: Read>(reader: R) -> Result<SocialStream, TraceError> {
             field
                 .map(str::trim)
                 .filter(|s| !s.is_empty())
-                .ok_or_else(|| TraceError::Invalid(format!("line {}: missing {what}", line_no + 1)))?
+                .ok_or_else(|| invalid(format!("missing {what}")))?
                 .parse()
-                .map_err(|_| TraceError::Invalid(format!("line {}: bad {what}", line_no + 1)))
+                .map_err(|_| invalid(format!("bad {what}")))
         };
-        let id = parse(parts.next(), "timestamp")?;
+        let id = ActionId(parse(parts.next(), "timestamp")?);
         let user = parse(parts.next(), "user")? as u32;
         let parent = match parts.next().map(str::trim) {
             None | Some("") => None,
-            Some(p) => Some(ActionId(p.parse().map_err(|_| {
-                TraceError::Invalid(format!("line {}: bad parent", line_no + 1))
-            })?)),
+            Some(p) => Some(ActionId(
+                p.parse().map_err(|_| invalid("bad parent".into()))?,
+            )),
         };
+        if parts.next().is_some() {
+            return Err(invalid(format!(
+                "trailing garbage after the parent field: {trimmed:?}"
+            )));
+        }
+        // Stream invariants, checked here (instead of deferring to
+        // `SocialStream::new`) so the report carries the line number.
+        if let Some(prev) = last {
+            if id <= prev {
+                return Err(invalid(format!(
+                    "action ids must be strictly increasing: {id} after {prev}"
+                )));
+            }
+        }
+        if let Some(p) = parent {
+            if p >= id {
+                return Err(invalid(format!(
+                    "action {id} replies to a non-earlier action {p}"
+                )));
+            }
+            if !seen.contains(&p) {
+                return Err(invalid(format!("action {id} replies to unknown action {p}")));
+            }
+        }
+        seen.insert(id);
+        last = Some(id);
         actions.push(Action {
-            id: ActionId(id),
+            id,
             user: UserId(user),
             parent,
         });
     }
+    // The inline checks above exist only to attach line numbers to the
+    // known invariants; `SocialStream::new` stays the source of truth, so
+    // any invariant added there later is still enforced here (its error
+    // just lacks a line number until this loop learns about it).
     SocialStream::new(actions).map_err(TraceError::Invalid)
 }
 
@@ -230,6 +277,50 @@ mod tests {
         assert!(read_text("1,abc,\n".as_bytes()).is_err());
         assert!(read_text("1\n".as_bytes()).is_err());
         assert!(read_text("1,2,\n1,3,\n".as_bytes()).is_err()); // non-increasing
+    }
+
+    /// Every text-format error carries the 1-based line number of the
+    /// offending line (comments and blank lines still count).
+    #[test]
+    fn text_reader_errors_carry_line_numbers() {
+        let cases = [
+            ("# header\n1,5,\nbogus\n", 3, "bad timestamp"),
+            ("1,5,\n\n2,abc,\n", 3, "bad user"),
+            ("1,5,\n2,6,xyz\n", 2, "bad parent"),
+            ("1,5,\n2,6,1\n2,7,\n", 3, "strictly increasing"),
+            ("1,5,\n3,6,2\n", 2, "unknown action a2"),
+            ("1,5,\n2,6,2\n", 2, "non-earlier action a2"),
+        ];
+        for (input, line, needle) in cases {
+            let err = read_text(input.as_bytes()).unwrap_err().to_string();
+            assert!(
+                err.contains(&format!("line {line}:")) && err.contains(needle),
+                "input {input:?} gave {err:?}"
+            );
+        }
+    }
+
+    /// Extra fields after the parent column are rejected, not silently
+    /// dropped.
+    #[test]
+    fn text_reader_rejects_trailing_garbage() {
+        let err = read_text("1,5,\n2,6,1,junk\n".as_bytes())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("line 2:") && err.contains("trailing garbage"), "{err}");
+        // An empty fourth field is still garbage (an extra comma).
+        assert!(read_text("1,5,,\n".as_bytes()).is_err());
+    }
+
+    /// Bytes left over after the declared record count are rejected, not
+    /// silently ignored.
+    #[test]
+    fn binary_rejects_trailing_garbage() {
+        let stream = sample();
+        let mut bytes = encode_binary(&stream).to_vec();
+        bytes.extend_from_slice(b"junk");
+        let err = decode_binary(&bytes).unwrap_err().to_string();
+        assert!(err.contains("4 trailing bytes"), "{err}");
     }
 
     #[test]

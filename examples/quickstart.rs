@@ -26,12 +26,12 @@ fn main() {
     let config = SimConfig::new(10, 0.1, 4_000, 500);
     let mut engine = SimEngine::new_sic(config);
 
-    // 3. Replay the stream slide by slide — in production each slide would
-    //    be the batch of actions that arrived since the last refresh.
-    let started = std::time::Instant::now();
-    for (i, slide) in stream.batches(config.slide).enumerate() {
-        let report = engine.process_slide(slide);
-        let answer = engine.query();
+    // 3. Replay the whole stream: `run_stream` cuts it into L-sized slides,
+    //    answers the SIM query after each one and reports per-slide timings
+    //    (in production, `ingest_batch` accepts whatever burst of actions
+    //    arrived since the last call instead).
+    let run = engine.run_stream(&stream);
+    for (i, (report, answer)) in run.slides.iter().zip(&run.solutions).enumerate() {
         if (i + 1) % 8 == 0 {
             println!(
                 "slide {:>3}: influence value {:>5.0}, {} checkpoints, top seeds: {:?}",
@@ -42,16 +42,17 @@ fn main() {
             );
         }
     }
-    let elapsed = started.elapsed();
 
-    // 4. Final answer plus the throughput achieved on this machine.
-    let answer = engine.query();
+    // 4. Final answer plus the throughput achieved on this machine, from the
+    //    engine's own per-slide instrumentation.
+    let answer = run.final_solution();
     println!("\nfinal top-{} influential users: {:?}", answer.seeds.len(), answer.seeds);
     println!("final influence value: {:.0}", answer.value);
     println!(
-        "processed {} actions in {:.2?} ({:.0} actions/s)",
-        stream.len(),
-        elapsed,
-        stream.len() as f64 / elapsed.as_secs_f64()
+        "processed {} actions in {:.2} ms feeding + {:.2} ms querying ({:.0} actions/s)",
+        run.actions(),
+        run.feed_nanos() as f64 / 1e6,
+        run.query_nanos() as f64 / 1e6,
+        run.throughput()
     );
 }

@@ -62,7 +62,8 @@ pub use rtim_submodular as submodular;
 pub mod prelude {
     pub use rtim_baselines::{GreedySim, Imm, Ubi, UbiConfig};
     pub use rtim_core::{
-        FrameworkKind, IcFramework, SicFramework, SimConfig, SimEngine, Solution,
+        FrameworkKind, IcFramework, RunReport, SicFramework, SimConfig, SimEngine, SlideReport,
+        Solution,
     };
     pub use rtim_datagen::{DatasetConfig, DatasetKind, Scale};
     pub use rtim_graph::{build_window_graph, monte_carlo_spread, InfluenceGraph};
