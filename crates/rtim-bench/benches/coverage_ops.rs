@@ -1,0 +1,40 @@
+//! Bitmap coverage state vs. the retained hash-set baseline.
+//!
+//! Runs the shared `covbench` workload (the SieveStreaming-shaped mix of
+//! marginal-gain probes and absorbs over small-vec and bitmap-promoted
+//! influence sets) through both implementations.  The bitmap layout must
+//! not regress against the `HashSet<UserId>` baseline it replaced — the
+//! same comparison the `bench_feed` binary records into `BENCH_feed.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtim_bench::{bitmap_pass, coverage_workload, hashset_pass};
+use std::time::Duration;
+
+fn bench_coverage_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coverage_ops");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(300));
+    for &(n_sets, universe) in &[(400usize, 5_000u32), (400, 50_000)] {
+        let sets = coverage_workload(n_sets, universe, 7);
+        group.bench_with_input(
+            BenchmarkId::new("bitmap", format!("u{universe}")),
+            &sets,
+            |b, sets| {
+                b.iter(|| bitmap_pass(sets));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hashset", format!("u{universe}")),
+            &sets,
+            |b, sets| {
+                b.iter(|| hashset_pass(sets));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coverage_ops);
+criterion_main!(benches);

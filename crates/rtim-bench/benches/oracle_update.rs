@@ -7,20 +7,19 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rtim_stream::UserId;
-use rtim_submodular::{OracleConfig, OracleKind};
-use std::collections::HashSet;
+use rtim_stream::{InfluenceSet, UserId};
+use rtim_submodular::{DenseWeights, OracleConfig, OracleKind};
 use std::time::Duration;
 
 /// A synthetic set-stream: (candidate user, influence set) pairs whose set
 /// sizes follow the shallow-cascade profile of the real datasets.
-fn synthetic_elements(n: usize, universe: u32, seed: u64) -> Vec<(UserId, HashSet<UserId>)> {
+fn synthetic_elements(n: usize, universe: u32, seed: u64) -> Vec<(UserId, InfluenceSet)> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let user = UserId(rng.gen_range(0..universe));
             let size = 1 + (rng.gen::<f64>().powi(3) * 20.0) as usize;
-            let set: HashSet<UserId> = (0..size)
+            let set: InfluenceSet = (0..size)
                 .map(|_| UserId(rng.gen_range(0..universe)))
                 .collect();
             (user, set)
@@ -41,9 +40,9 @@ fn bench_oracles(c: &mut Criterion) {
             &oracle,
             |b, &kind| {
                 b.iter(|| {
-                    let mut o = kind.build(OracleConfig::new(50, 0.1), rtim_submodular::UnitWeight);
+                    let mut o = kind.build(OracleConfig::new(50, 0.1));
                     for (u, set) in &elements {
-                        o.process(*u, set);
+                        o.process(*u, set, &DenseWeights::Unit);
                     }
                     o.value()
                 });

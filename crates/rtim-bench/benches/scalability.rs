@@ -10,7 +10,7 @@ use rtim_core::{
 };
 use rtim_datagen::{DatasetConfig, DatasetKind, Scale};
 use rtim_stream::{SocialStream, UserId};
-use rtim_submodular::{OracleConfig, OracleKind, UnitWeight};
+use rtim_submodular::{DenseWeights, OracleConfig, OracleKind};
 use std::time::Duration;
 
 fn stream() -> SocialStream {
@@ -100,7 +100,6 @@ fn fresh_checkpoints() -> Vec<Checkpoint> {
                 1 + i as u64,
                 OracleKind::SieveStreaming,
                 OracleConfig::new(5 + (i % 4), 0.2),
-                UnitWeight,
             )
         })
         .collect()
@@ -125,7 +124,7 @@ fn bench_feed_strategy(c: &mut Criterion) {
                 b.iter(|| {
                     let mut cps = fresh_checkpoints();
                     for slide in &slides {
-                        feed_all_scoped(&mut cps, slide, threads);
+                        feed_all_scoped(&mut cps, slide, threads, &DenseWeights::Unit);
                     }
                     cps.iter().map(|c| c.value()).sum::<f64>()
                 });
@@ -142,7 +141,7 @@ fn bench_feed_strategy(c: &mut Criterion) {
                     }
                     let mut total = 0.0;
                     for slide in &slides {
-                        total = pool.feed(slide).iter().map(|s| s.value).sum::<f64>();
+                        total = pool.feed(slide, None).iter().map(|s| s.value).sum::<f64>();
                     }
                     total
                 });

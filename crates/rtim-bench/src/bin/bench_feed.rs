@@ -1,0 +1,105 @@
+//! Emits the machine-readable feed-performance artifact `BENCH_feed.json`.
+//!
+//! Runs SIC and IC through [`rtim_core::SimEngine::run_stream`] on a
+//! synthetic stream (per-slide `feed_nanos`/`query_nanos` come from the
+//! engine's own instrumentation) and the `coverage_ops` micro-comparison of
+//! the bitmap coverage state against the retained hash-set baseline, then
+//! writes everything as JSON so the perf trajectory can be tracked across
+//! PRs on the same machine.
+//!
+//! ```text
+//! cargo run --release -p rtim-bench --bin bench_feed -- \
+//!     --dataset syn-n --actions 2000 --users 500 --window 400 --slide 100 \
+//!     --threads 4 --out BENCH_feed.json
+//! ```
+
+use rtim_bench::cli::Args;
+use rtim_bench::{
+    bitmap_pass, coverage_workload, hashset_pass, time_pass, CommonArgs, CoverageOpsSample,
+    FeedBenchReport, FeedRun, COMMON_KEYS,
+};
+use rtim_core::{FrameworkKind, SimEngine};
+
+fn main() {
+    let keys: Vec<&str> = COMMON_KEYS
+        .iter()
+        .copied()
+        .chain(["threads", "out", "cov-sets", "cov-iters"])
+        .collect();
+    let args = match Args::parse(&keys) {
+        Ok(a) => a,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let common = CommonArgs::resolve(&args);
+    let threads: usize = args.get_or("threads", 1usize).max(1);
+    let out = args.get("out").unwrap_or("BENCH_feed.json").to_string();
+    let cov_sets: usize = args.get_or("cov-sets", 400usize);
+    let cov_iters: u32 = args.get_or("cov-iters", 5u32);
+
+    let dataset = common.datasets[0];
+    let stream = common.generate(dataset);
+    let params = &common.params;
+
+    let mut report = FeedBenchReport::new();
+
+    // Framework feed runs: sequential always, plus the pool when asked.
+    let mut thread_counts = vec![1usize];
+    if threads > 1 {
+        thread_counts.push(threads);
+    }
+    for kind in [FrameworkKind::Sic, FrameworkKind::Ic] {
+        for &t in &thread_counts {
+            let config = params.sim_config().with_threads(t);
+            let mut engine = SimEngine::new(config, kind);
+            let run = engine.run_stream(&stream);
+            let name = format!(
+                "{}_{}_t{}",
+                kind.name().to_ascii_lowercase(),
+                dataset.name().to_ascii_lowercase(),
+                t
+            );
+            report.runs.push(FeedRun::from_report(name, kind.name(), t, &run));
+        }
+    }
+
+    // coverage_ops: bitmap vs the retained hash-set baseline on the shared
+    // workload (identical op sequence; see rtim_bench::covbench).
+    let sets = coverage_workload(cov_sets, 5_000, params.seed);
+    let (bitmap_ns, bitmap_ops) = time_pass(cov_iters, || bitmap_pass(&sets));
+    let (hash_ns, hash_ops) = time_pass(cov_iters, || hashset_pass(&sets));
+    report.coverage_ops.push(CoverageOpsSample {
+        op: "mixed_marginal_absorb".into(),
+        implementation: "bitmap".into(),
+        ns_per_op: bitmap_ns,
+        ops: bitmap_ops,
+    });
+    report.coverage_ops.push(CoverageOpsSample {
+        op: "mixed_marginal_absorb".into(),
+        implementation: "hashset".into(),
+        ns_per_op: hash_ns,
+        ops: hash_ops,
+    });
+
+    if let Err(e) = report.write(&out) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+
+    for run in &report.runs {
+        println!(
+            "{:>16}  slides {:>5}  feed/slide {:>12.0} ns  {:>12.0} actions/s",
+            run.name, run.slides, run.feed_nanos_per_slide_mean, run.elements_per_sec
+        );
+    }
+    println!(
+        "coverage_ops: bitmap {bitmap_ns:.1} ns/op, hashset {hash_ns:.1} ns/op, speedup {}",
+        report
+            .bitmap_speedup()
+            .map(|s| format!("{s:.2}x"))
+            .unwrap_or_else(|| "n/a".into())
+    );
+    println!("wrote {out}");
+}

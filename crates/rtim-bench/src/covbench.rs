@@ -1,0 +1,142 @@
+//! Shared workload of the `coverage_ops` micro-comparison: the bitmap
+//! [`CoverageState`] against the retained hash-set baseline
+//! ([`HashCoverageState`]).
+//!
+//! Both the Criterion bench (`benches/coverage_ops.rs`) and the
+//! `bench_feed` binary (which records the numbers into `BENCH_feed.json`)
+//! drive exactly this workload, so the microbench and the tracked artifact
+//! can never drift apart.  The op mix mimics what a SieveStreaming instance
+//! does per element: a marginal-gain probe for every arriving set, an
+//! absorb for the admitted ones.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtim_stream::{InfluenceSet, UserId};
+use rtim_submodular::{CoverageState, HashCoverageState, UnitWeight};
+use std::time::Instant;
+
+/// Generates `n` influence sets over `0..universe` whose sizes follow the
+/// shallow-cascade profile of the real datasets (mostly small-vec sets, a
+/// tail of bitmap-promoted ones).
+pub fn coverage_workload(n: usize, universe: u32, seed: u64) -> Vec<InfluenceSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Cubic profile: mostly tiny sets, occasional sets of ~100
+            // (past the small-vec promotion threshold).
+            let size = 1 + (rng.gen::<f64>().powi(3) * 100.0) as usize;
+            (0..size)
+                .map(|_| UserId(rng.gen_range(0..universe)))
+                .collect()
+        })
+        .collect()
+}
+
+/// The two coverage implementations under comparison, unified so both
+/// passes are guaranteed to run the **same** op mix (changing the mix in
+/// one but not the other would silently skew the tracked speedup).
+trait ComparedCoverage: Default {
+    fn marginal_gain(&self, set: &InfluenceSet) -> f64;
+    fn absorb(&mut self, set: &InfluenceSet) -> f64;
+}
+
+impl ComparedCoverage for CoverageState {
+    fn marginal_gain(&self, set: &InfluenceSet) -> f64 {
+        CoverageState::marginal_gain(self, &UnitWeight, set)
+    }
+    fn absorb(&mut self, set: &InfluenceSet) -> f64 {
+        CoverageState::absorb(self, &UnitWeight, set)
+    }
+}
+
+impl ComparedCoverage for HashCoverageState {
+    fn marginal_gain(&self, set: &InfluenceSet) -> f64 {
+        HashCoverageState::marginal_gain(self, &UnitWeight, set)
+    }
+    fn absorb(&mut self, set: &InfluenceSet) -> f64 {
+        HashCoverageState::absorb(self, &UnitWeight, set)
+    }
+}
+
+/// The single op mix both implementations run: a marginal-gain probe per
+/// arriving set, an absorb for every other one (the SieveStreaming shape).
+/// Returns a checksum (so the work cannot be optimized away) and the op
+/// count.
+fn run_pass<C: ComparedCoverage>(sets: &[InfluenceSet]) -> (f64, u64) {
+    let mut cov = C::default();
+    let mut sum = 0.0;
+    let mut ops = 0u64;
+    for (i, s) in sets.iter().enumerate() {
+        sum += cov.marginal_gain(s);
+        ops += 1;
+        if i % 2 == 0 {
+            sum += cov.absorb(s);
+            ops += 1;
+        }
+    }
+    (sum, ops)
+}
+
+/// One pass of the op mix against the bitmap coverage state.
+pub fn bitmap_pass(sets: &[InfluenceSet]) -> (f64, u64) {
+    run_pass::<CoverageState>(sets)
+}
+
+/// The identical pass against the retained hash-set baseline.
+pub fn hashset_pass(sets: &[InfluenceSet]) -> (f64, u64) {
+    run_pass::<HashCoverageState>(sets)
+}
+
+/// Times `iters` repetitions of a pass, returning `(ns_per_op, total_ops)`.
+pub fn time_pass(iters: u32, mut pass: impl FnMut() -> (f64, u64)) -> (f64, u64) {
+    let mut checksum = 0.0;
+    let mut total_ops = 0u64;
+    let started = Instant::now();
+    for _ in 0..iters {
+        let (sum, ops) = pass();
+        checksum += sum;
+        total_ops += ops;
+    }
+    let nanos = started.elapsed().as_nanos() as f64;
+    // Fold the checksum into a side effect the optimizer must respect.
+    std::hint::black_box(checksum);
+    (
+        if total_ops == 0 {
+            0.0
+        } else {
+            nanos / total_ops as f64
+        },
+        total_ops,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_mixes_small_and_bitmap_sets() {
+        let sets = coverage_workload(400, 5_000, 7);
+        assert_eq!(sets.len(), 400);
+        assert!(sets.iter().any(|s| s.is_bitmap()), "no promoted sets");
+        assert!(sets.iter().any(|s| !s.is_bitmap()), "no small sets");
+    }
+
+    #[test]
+    fn both_passes_compute_identical_checksums() {
+        let sets = coverage_workload(200, 2_000, 42);
+        let (a, ops_a) = bitmap_pass(&sets);
+        let (b, ops_b) = hashset_pass(&sets);
+        assert_eq!(a, b, "bitmap and hash-set disagree on the workload");
+        assert_eq!(ops_a, ops_b);
+        assert!(ops_a > 200);
+    }
+
+    #[test]
+    fn time_pass_reports_ops() {
+        let sets = coverage_workload(50, 500, 1);
+        let (ns, ops) = time_pass(2, || bitmap_pass(&sets));
+        assert!(ns >= 0.0);
+        assert_eq!(ops, 2 * bitmap_pass(&sets).1);
+    }
+}

@@ -19,6 +19,20 @@
 //!   allocation.  Deleting a checkpoint rebalances the shards (see the
 //!   [`pool`](crate::pool) module docs).
 //!
+//! ## The dense weight table
+//!
+//! Checkpoints and their oracles are weight-agnostic: they receive a
+//! [`DenseWeights`] view per feed.  The set owns the single source of truth
+//! for that view — for the cardinality objective it is simply
+//! `DenseWeights::Unit`; for weighted objectives the set materializes
+//! `weight.weight(raw)` into a flat `Vec<f64>` indexed by **dense** (interned)
+//! user id as users are registered ([`CheckpointSet::register_users`],
+//! driven by the engine's `UserInterner`).  Sharded execution broadcasts the
+//! table's append-only deltas with each feed so every worker holds an
+//! identical copy.  If the set is driven without registration (direct
+//! framework tests feeding already-dense ids), missing entries are filled by
+//! treating the dense id as the raw id — the identity mapping.
+//!
 //! Either way the set mirrors each checkpoint's `(start, value, updates)`
 //! in an ordered list of [`CheckpointStat`]s, which is what the frameworks'
 //! pruning/eviction/query policies consume; full [`Solution`]s (seed sets)
@@ -29,7 +43,8 @@ use crate::config::SimConfig;
 use crate::framework::{ResolvedAction, Solution};
 use crate::pool::{CheckpointStat, ShardPool};
 use crate::ssm::Checkpoint;
-use rtim_submodular::{ElementWeight, OracleConfig, OracleKind};
+use rtim_stream::UserId;
+use rtim_submodular::{DenseWeights, ElementWeight, OracleConfig, OracleKind};
 
 /// Where the checkpoints physically live.
 enum Exec {
@@ -47,6 +62,20 @@ pub struct CheckpointSet<W: ElementWeight + Send + 'static> {
     oracle: OracleKind,
     oracle_config: OracleConfig,
     weight: W,
+    /// Cached `weight.is_unit()` — `true` means no table is ever built and
+    /// every feed runs under `DenseWeights::Unit`.
+    unit: bool,
+    /// Dense weight table: `dense_weights[d]` is the element weight of the
+    /// user with dense id `d`.  Empty for the cardinality objective.
+    dense_weights: Vec<f64>,
+    /// How many table entries the shard workers have already received
+    /// (sharded execution ships `dense_weights[synced..]` with each feed).
+    synced: usize,
+    /// `true` once `cover_slide` identity-filled any table entry.  The two
+    /// table-population modes — interned registration and the identity
+    /// fallback — must never mix: registration after an identity fill would
+    /// append the new users' weights at already-occupied dense slots.
+    identity_filled: bool,
     /// Cached per-checkpoint stats, oldest first (same order as creation;
     /// starts are strictly increasing).
     stats: Vec<CheckpointStat>,
@@ -62,10 +91,15 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
         } else {
             Exec::Sharded(ShardPool::new(threads))
         };
+        let unit = weight.is_unit();
         CheckpointSet {
             oracle,
             oracle_config,
             weight,
+            unit,
+            dense_weights: Vec::new(),
+            synced: 0,
+            identity_filled: false,
             stats: Vec::new(),
             exec,
         }
@@ -95,6 +129,48 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
         }
     }
 
+    /// Registers newly interned users in dense-id order, materializing their
+    /// element weights into the dense table (no-op for the cardinality
+    /// objective).  See [`crate::Framework::register_users`].
+    ///
+    /// # Panics
+    /// Panics if a weighted set already served a feed without registration
+    /// (identity-mapped mode) — the two table-population modes cannot mix.
+    pub fn register_users(&mut self, new_raw: &[UserId]) {
+        if self.unit {
+            return;
+        }
+        assert!(
+            !self.identity_filled,
+            "register_users after an identity-mapped feed: drive a weighted \
+             CheckpointSet either through the engine (interned ids, register \
+             before every feed) or directly (no registration at all), never both"
+        );
+        self.dense_weights
+            .extend(new_raw.iter().map(|&r| self.weight.weight(r)));
+    }
+
+    /// Extends the dense table to cover every dense id appearing in `slide`,
+    /// treating unregistered dense ids as raw ids (the identity mapping used
+    /// when the set is driven without an interner).
+    fn cover_slide(&mut self, slide: &[ResolvedAction]) {
+        if self.unit {
+            return;
+        }
+        let max = slide
+            .iter()
+            .flat_map(|a| std::iter::once(a.actor).chain(a.ancestors.iter().copied()))
+            .map(|u| u.index())
+            .max();
+        if let Some(max) = max {
+            while self.dense_weights.len() <= max {
+                let identity = UserId(self.dense_weights.len() as u32);
+                self.dense_weights.push(self.weight.weight(identity));
+                self.identity_filled = true;
+            }
+        }
+    }
+
     /// Creates a checkpoint covering all actions with `id >= start` and
     /// appends it to the set.
     ///
@@ -109,12 +185,7 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
                 last.start
             );
         }
-        let checkpoint = Checkpoint::new(
-            start,
-            self.oracle,
-            self.oracle_config,
-            self.weight.clone(),
-        );
+        let checkpoint = Checkpoint::new(start, self.oracle, self.oracle_config);
         match &mut self.exec {
             Exec::Sequential(list) => list.push(checkpoint),
             Exec::Sharded(pool) => pool.add(checkpoint),
@@ -132,18 +203,30 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
         if slide.is_empty() || self.stats.is_empty() {
             return;
         }
+        self.cover_slide(slide);
         match &mut self.exec {
             Exec::Sequential(list) => {
+                let weights = if self.unit {
+                    DenseWeights::Unit
+                } else {
+                    DenseWeights::Table(&self.dense_weights)
+                };
                 for (cp, stat) in list.iter_mut().zip(self.stats.iter_mut()) {
                     for action in slide {
-                        cp.process(action);
+                        cp.process(action, &weights);
                     }
                     stat.value = cp.value();
                     stat.updates = cp.updates();
                 }
             }
             Exec::Sharded(pool) => {
-                let fresh = pool.feed(slide);
+                let delta: Option<&[f64]> = if self.unit {
+                    None
+                } else {
+                    Some(&self.dense_weights[self.synced..])
+                };
+                let fresh = pool.feed(slide, delta);
+                self.synced = self.dense_weights.len();
                 for stat in fresh {
                     // Starts are strictly increasing, so the ordered stats
                     // list is binary-searchable.
@@ -200,6 +283,10 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
     }
 
     /// Full solution (seeds + value) of the checkpoint at `i`.
+    ///
+    /// Seeds are in the id space the set was fed with (dense ids when driven
+    /// through the engine; the engine translates back to raw ids at its
+    /// query boundary).
     pub fn solution(&self, i: usize) -> Solution {
         match &self.exec {
             Exec::Sequential(list) => list[i].solution(),
@@ -222,7 +309,7 @@ impl<W: ElementWeight + Send + 'static> std::fmt::Debug for CheckpointSet<W> {
 mod tests {
     use super::*;
     use rtim_stream::UserId;
-    use rtim_submodular::UnitWeight;
+    use rtim_submodular::{MapWeight, UnitWeight};
 
     fn resolved(id: u64, actor: u32, ancestors: &[u32]) -> ResolvedAction {
         ResolvedAction {
@@ -278,6 +365,53 @@ mod tests {
     }
 
     #[test]
+    fn weighted_set_agrees_across_strategies() {
+        // User 3 weighs 10; the table is built through register_users
+        // exactly as the engine drives it.
+        fn drive_weighted(threads: usize) -> CheckpointSet<MapWeight> {
+            let mut table = std::collections::HashMap::new();
+            table.insert(UserId(3), 10.0);
+            let weight = MapWeight::new(table, 1.0);
+            let mut s = CheckpointSet::new(
+                OracleKind::SieveStreaming,
+                OracleConfig::new(2, 0.2),
+                threads,
+                weight,
+            );
+            // Dense ids 0..5 behind raw ids 0..5 (identity interning order).
+            s.register_users(&[UserId(0), UserId(1), UserId(2), UserId(3), UserId(4)]);
+            s.push(1);
+            let slide: Vec<ResolvedAction> = (1..=6u64)
+                .map(|t| resolved(t, (t % 5) as u32, &[((t + 1) % 5) as u32]))
+                .collect();
+            s.feed(&slide);
+            s
+        }
+        let seq = drive_weighted(1);
+        let par = drive_weighted(3);
+        assert_eq!(seq.values(), par.values());
+        assert!(seq.value(0) >= 10.0, "heavy user not reflected: {}", seq.value(0));
+        assert_eq!(seq.solution(0).seeds, par.solution(0).seeds);
+    }
+
+    #[test]
+    fn unregistered_weighted_ids_fall_back_to_identity() {
+        // No register_users call: dense ids are treated as raw ids, so the
+        // MapWeight keyed by UserId(2) still applies to dense id 2.
+        let mut table = std::collections::HashMap::new();
+        table.insert(UserId(2), 5.0);
+        let mut s = CheckpointSet::new(
+            OracleKind::SieveStreaming,
+            OracleConfig::new(1, 0.2),
+            1,
+            MapWeight::new(table, 1.0),
+        );
+        s.push(1);
+        s.feed(&[resolved(1, 2, &[])]);
+        assert_eq!(s.value(0), 5.0);
+    }
+
+    #[test]
     fn remove_keeps_order_and_stats_aligned() {
         for threads in [1usize, 3] {
             let mut s = drive(threads);
@@ -321,6 +455,22 @@ mod tests {
         assert!(!s.is_expired(0, 3));
         assert!(s.is_expired(0, 6));
         assert!(!s.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn registration_after_identity_feed_is_rejected() {
+        let mut table = std::collections::HashMap::new();
+        table.insert(UserId(1), 2.0);
+        let mut s = CheckpointSet::new(
+            OracleKind::SieveStreaming,
+            OracleConfig::new(1, 0.2),
+            1,
+            MapWeight::new(table, 1.0),
+        );
+        s.push(1);
+        s.feed(&[resolved(1, 2, &[])]); // identity fill up to dense id 2
+        s.register_users(&[UserId(9)]); // must panic: modes cannot mix
     }
 
     #[test]

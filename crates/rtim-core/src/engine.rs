@@ -25,6 +25,7 @@
 use crate::config::SimConfig;
 use crate::framework::{Framework, FrameworkKind, ResolvedAction, Solution};
 use crate::ic::IcFramework;
+use crate::intern::UserInterner;
 use crate::sic::SicFramework;
 use rtim_stream::{
     window_influence_sets, Action, InfluenceSets, PropagationIndex, SlidingWindow, SocialStream,
@@ -99,12 +100,24 @@ impl RunReport {
 }
 
 /// Continuous SIM query processor.
+///
+/// The engine is also the **interning boundary**: raw user ids are mapped to
+/// dense ids (first-appearance order) during ancestry resolution, before any
+/// slide reaches the framework or its shard pool — shard workers never mint
+/// ids, so sharded execution stays bit-identical to sequential.  Everything
+/// behind [`Framework`] speaks dense ids; [`SimEngine::query`] translates
+/// the answer's seeds back to raw ids.
 pub struct SimEngine {
     config: SimConfig,
     window: SlidingWindow,
     index: PropagationIndex,
     framework: Box<dyn Framework>,
     slides: u64,
+    /// Raw-id → dense-id mapping, minted at resolve time.
+    interner: UserInterner,
+    /// Number of interned users already announced to the framework via
+    /// [`Framework::register_users`].
+    registered: usize,
 }
 
 impl SimEngine {
@@ -150,6 +163,8 @@ impl SimEngine {
             index: PropagationIndex::new(),
             framework,
             slides: 0,
+            interner: UserInterner::new(),
+            registered: 0,
         }
     }
 
@@ -178,21 +193,37 @@ impl SimEngine {
         self.slides
     }
 
+    /// The engine's user interner (raw ↔ dense id mapping).
+    pub fn interner(&self) -> &UserInterner {
+        &self.interner
+    }
+
     /// Resolves the reply ancestry of every action in `actions` through the
-    /// propagation index, in one pass.
+    /// propagation index, in one pass, interning every user into the dense
+    /// id space as it appears.  The returned actions carry **dense** ids.
     fn resolve(&mut self, actions: &[Action]) -> Vec<ResolvedAction> {
         let mut resolved = Vec::with_capacity(actions.len());
         for action in actions {
             let updated = self.index.insert(action);
-            // `updated` = actor followed by ancestor users.
+            // `updated` = actor followed by ancestor users (raw ids).
             let (actor, ancestors) = updated.split_first().expect("non-empty update set");
             resolved.push(ResolvedAction {
                 id: action.id.0,
-                actor: *actor,
-                ancestors: ancestors.to_vec(),
+                actor: self.interner.intern(*actor),
+                ancestors: ancestors.iter().map(|&u| self.interner.intern(u)).collect(),
             });
         }
         resolved
+    }
+
+    /// Announces users interned since the last announcement to the
+    /// framework, so its dense weight table covers the coming slide.
+    fn register_new_users(&mut self) {
+        if self.registered < self.interner.len() {
+            self.framework
+                .register_users(&self.interner.raws()[self.registered..]);
+            self.registered = self.interner.len();
+        }
     }
 
     /// Pushes one already-resolved slide through the window and the
@@ -204,6 +235,7 @@ impl SimEngine {
         resolve_nanos: u64,
     ) -> SlideReport {
         let started = Instant::now();
+        self.register_new_users();
         let mut expired = 0usize;
         for &action in actions {
             if self.window.push(action).is_some() {
@@ -290,8 +322,15 @@ impl SimEngine {
     }
 
     /// Answers the SIM query for the current window.
+    ///
+    /// The framework answers in dense-id space; the seeds are translated
+    /// back to raw user ids here.
     pub fn query(&self) -> Solution {
-        self.framework.query()
+        let mut solution = self.framework.query();
+        for seed in &mut solution.seeds {
+            *seed = self.interner.raw(*seed);
+        }
+        solution
     }
 
     /// Number of checkpoints currently maintained by the framework.

@@ -68,6 +68,20 @@ pub trait Framework: Send {
     ///   exact; earlier ones are expired).
     fn process_slide(&mut self, slide: &[ResolvedAction], window_start: u64);
 
+    /// Registers users newly interned by the engine, in dense-id order:
+    /// `new_raw[i]` is the raw id behind the dense id `base + i`, where
+    /// `base` is the total number of users registered before this call.
+    ///
+    /// Called by [`crate::SimEngine`] before the slide that first references
+    /// those users.  Frameworks with weighted objectives use this to extend
+    /// their dense weight tables; the default is a no-op (correct for the
+    /// cardinality objective, and for direct framework drivers that feed
+    /// already-dense ids — there the checkpoint layer falls back to treating
+    /// dense ids as raw).
+    fn register_users(&mut self, new_raw: &[UserId]) {
+        let _ = new_raw;
+    }
+
     /// Answers the SIM query for the current window.
     fn query(&self) -> Solution;
 

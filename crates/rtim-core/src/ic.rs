@@ -63,6 +63,10 @@ impl<W: ElementWeight + Send + 'static> IcFramework<W> {
 }
 
 impl<W: ElementWeight + Send + 'static> Framework for IcFramework<W> {
+    fn register_users(&mut self, new_raw: &[rtim_stream::UserId]) {
+        self.checkpoints.register_users(new_raw);
+    }
+
     fn process_slide(&mut self, slide: &[ResolvedAction], window_start: u64) {
         if slide.is_empty() {
             return;

@@ -1,0 +1,125 @@
+//! Dense user-ID interning.
+//!
+//! The coverage hot path (hybrid influence sets, bitmap coverage states,
+//! dense weight tables) indexes bitmaps and tables by `UserId::index()`, so
+//! its memory cost is proportional to the **largest id in play**, not the
+//! number of users.  Real traces carry arbitrary sparse user handles; the
+//! [`UserInterner`] maps them into a dense `0..n` id space in
+//! first-appearance order.
+//!
+//! ## Invariants (the dense-ID contract)
+//!
+//! * **Interning happens at ancestry-resolution time** in
+//!   [`SimEngine`](crate::SimEngine), on the engine thread, *before* slides
+//!   are handed to the framework (and broadcast to the
+//!   [`ShardPool`](crate::ShardPool)).  Shard workers never mint ids, so
+//!   the dense id of a user depends only on the stream order — sharded
+//!   execution stays bit-identical to sequential.
+//! * Dense ids are assigned **in first-appearance order** and never reused;
+//!   `raws[dense]` is append-only.  Downstream dense tables (the
+//!   checkpoint layer's weight table, every bitmap) rely on this to grow
+//!   monotonically.
+//! * Everything behind the framework boundary speaks dense ids; the engine
+//!   translates seed sets back to raw ids at the query boundary.
+//!
+//! A corollary worth testing (and tested in `tests/determinism.rs`): engine
+//! results are invariant under any injective relabeling of raw user ids —
+//! values bit-identical, seeds relabeled.
+
+use rtim_stream::UserId;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Assigns dense `u32` ids to raw user ids in first-appearance order.
+#[derive(Debug, Clone, Default)]
+pub struct UserInterner {
+    /// raw id → dense id.
+    map: HashMap<UserId, UserId>,
+    /// dense id → raw id (index = dense id).
+    raws: Vec<UserId>,
+}
+
+impl UserInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the dense id of `raw`, minting the next dense id on first
+    /// sight.
+    pub fn intern(&mut self, raw: UserId) -> UserId {
+        match self.map.entry(raw) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(v) => {
+                let dense = UserId(self.raws.len() as u32);
+                self.raws.push(raw);
+                *v.insert(dense)
+            }
+        }
+    }
+
+    /// The dense id of `raw`, if it has been interned.
+    pub fn get(&self, raw: UserId) -> Option<UserId> {
+        self.map.get(&raw).copied()
+    }
+
+    /// The raw id behind a dense id.
+    ///
+    /// # Panics
+    /// Panics if `dense` was never minted by this interner.
+    #[inline]
+    pub fn raw(&self, dense: UserId) -> UserId {
+        self.raws[dense.index()]
+    }
+
+    /// Number of distinct users interned so far (also the next dense id).
+    pub fn len(&self) -> usize {
+        self.raws.len()
+    }
+
+    /// `true` if no user has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.raws.is_empty()
+    }
+
+    /// Raw ids in dense-id order (`raws()[d]` is the raw id of dense `d`).
+    pub fn raws(&self) -> &[UserId] {
+        &self.raws
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interns_in_first_appearance_order() {
+        let mut i = UserInterner::new();
+        assert_eq!(i.intern(UserId(1_000_000)), UserId(0));
+        assert_eq!(i.intern(UserId(7)), UserId(1));
+        assert_eq!(i.intern(UserId(1_000_000)), UserId(0));
+        assert_eq!(i.intern(UserId(42)), UserId(2));
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.raws(), &[UserId(1_000_000), UserId(7), UserId(42)]);
+    }
+
+    #[test]
+    fn raw_round_trips() {
+        let mut i = UserInterner::new();
+        for raw in [5u32, 9, 5, 123_456_789] {
+            let d = i.intern(UserId(raw));
+            assert_eq!(i.raw(d), UserId(raw));
+            assert_eq!(i.get(UserId(raw)), Some(d));
+        }
+        assert_eq!(i.get(UserId(0)), None);
+        assert!(!i.is_empty());
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = UserInterner::new();
+        assert!(i.is_empty());
+        assert_eq!(i.len(), 0);
+        assert!(i.raws().is_empty());
+    }
+}

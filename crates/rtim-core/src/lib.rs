@@ -64,6 +64,7 @@ pub mod engine;
 pub mod extensions;
 pub mod framework;
 pub mod ic;
+pub mod intern;
 pub mod parallel;
 pub mod pool;
 pub mod sic;
@@ -74,6 +75,7 @@ pub use config::SimConfig;
 pub use engine::{RunReport, SimEngine, SlideReport};
 pub use framework::{Framework, FrameworkKind, ResolvedAction, Solution};
 pub use ic::IcFramework;
+pub use intern::UserInterner;
 pub use pool::{CheckpointStat, ShardPool};
 pub use sic::SicFramework;
 pub use ssm::Checkpoint;

@@ -14,9 +14,11 @@
 
 use crate::framework::ResolvedAction;
 use crate::ssm::Checkpoint;
+use rtim_submodular::DenseWeights;
 
-/// Processes a slide against every checkpoint, splitting the checkpoint list
-/// across `threads` freshly spawned scoped workers (1 = sequential).
+/// Processes a slide against every checkpoint under the given element
+/// weights, splitting the checkpoint list across `threads` freshly spawned
+/// scoped workers (1 = sequential).
 ///
 /// Benchmark baseline only — use [`crate::pool::ShardPool`] (via
 /// [`crate::SimConfig::with_threads`]) for real workloads.
@@ -24,12 +26,13 @@ pub fn feed_all_scoped(
     checkpoints: &mut [Checkpoint],
     slide: &[ResolvedAction],
     threads: usize,
+    weights: &DenseWeights,
 ) {
     let threads = threads.max(1);
     if threads == 1 || checkpoints.len() < 2 {
         for cp in checkpoints.iter_mut() {
             for action in slide {
-                cp.process(action);
+                cp.process(action, weights);
             }
         }
         return;
@@ -40,7 +43,7 @@ pub fn feed_all_scoped(
             scope.spawn(move || {
                 for cp in chunk.iter_mut() {
                     for action in slide {
-                        cp.process(action);
+                        cp.process(action, weights);
                     }
                 }
             });
@@ -52,7 +55,9 @@ pub fn feed_all_scoped(
 mod tests {
     use super::*;
     use rtim_stream::UserId;
-    use rtim_submodular::{OracleConfig, OracleKind, UnitWeight};
+    use rtim_submodular::{OracleConfig, OracleKind};
+
+    const UNIT: DenseWeights<'static> = DenseWeights::Unit;
 
     fn resolved(id: u64, actor: u32, ancestors: &[u32]) -> ResolvedAction {
         ResolvedAction {
@@ -83,7 +88,6 @@ mod tests {
                     1,
                     OracleKind::SieveStreaming,
                     OracleConfig::new(1 + (i % 4), 0.2),
-                    UnitWeight,
                 )
             })
             .collect()
@@ -94,8 +98,8 @@ mod tests {
         let slide = slide();
         let mut sequential = checkpoints(7);
         let mut parallel = checkpoints(7);
-        feed_all_scoped(&mut sequential, &slide, 1);
-        feed_all_scoped(&mut parallel, &slide, 4);
+        feed_all_scoped(&mut sequential, &slide, 1, &UNIT);
+        feed_all_scoped(&mut parallel, &slide, 4, &UNIT);
         for (s, p) in sequential.iter().zip(&parallel) {
             assert_eq!(s.value(), p.value());
             assert_eq!(s.solution().seeds, p.solution().seeds);
@@ -107,7 +111,7 @@ mod tests {
     fn more_threads_than_checkpoints_is_fine() {
         let slide = slide();
         let mut cps = checkpoints(2);
-        feed_all_scoped(&mut cps, &slide, 16);
+        feed_all_scoped(&mut cps, &slide, 16, &UNIT);
         assert!(cps.iter().all(|c| c.value() > 0.0));
     }
 
@@ -115,14 +119,14 @@ mod tests {
     fn zero_threads_is_treated_as_sequential() {
         let slide = slide();
         let mut cps = checkpoints(3);
-        feed_all_scoped(&mut cps, &slide, 0);
+        feed_all_scoped(&mut cps, &slide, 0, &UNIT);
         assert!(cps[0].value() > 0.0);
     }
 
     #[test]
     fn empty_slide_is_a_no_op() {
         let mut cps = checkpoints(3);
-        feed_all_scoped(&mut cps, &[], 4);
+        feed_all_scoped(&mut cps, &[], 4, &UNIT);
         assert_eq!(cps[0].value(), 0.0);
     }
 }

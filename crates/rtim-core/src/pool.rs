@@ -45,6 +45,7 @@
 
 use crate::framework::{ResolvedAction, Solution};
 use crate::ssm::Checkpoint;
+use rtim_submodular::DenseWeights;
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
@@ -66,8 +67,12 @@ pub struct CheckpointStat {
 /// Messages from the pool to a worker.
 enum ShardMsg {
     /// Process a slide against every checkpoint in the shard and reply with
-    /// `ShardReply::Fed`.
-    Feed(Arc<[ResolvedAction]>),
+    /// `ShardReply::Fed`.  The second field is the element-weight update:
+    /// `None` for the cardinality objective, `Some(delta)` to append the
+    /// dense weights of users interned since the previous feed to the
+    /// worker's local weight table (every worker maintains an identical
+    /// copy; deltas are broadcast once as a shared allocation).
+    Feed(Arc<[ResolvedAction]>, Option<Arc<[f64]>>),
     /// Adopt a checkpoint into the shard (no reply).
     Add(Box<Checkpoint>),
     /// Delete the checkpoint with this start id (no reply).
@@ -162,10 +167,19 @@ impl ShardPool {
 
     /// Broadcasts one slide to every shard and gathers the per-checkpoint
     /// stats (in no particular order — keyed by `start`).
-    pub fn feed(&mut self, slide: &[ResolvedAction]) -> Vec<CheckpointStat> {
+    ///
+    /// `weight_delta` is `None` for the cardinality objective; for weighted
+    /// objectives it carries the dense weights of users interned since the
+    /// previous feed, which every worker appends to its local table.
+    pub fn feed(
+        &mut self,
+        slide: &[ResolvedAction],
+        weight_delta: Option<&[f64]>,
+    ) -> Vec<CheckpointStat> {
         let shared: Arc<[ResolvedAction]> = slide.into();
+        let shared_delta: Option<Arc<[f64]>> = weight_delta.map(Into::into);
         for i in 0..self.workers.len() {
-            self.send(i, ShardMsg::Feed(shared.clone()));
+            self.send(i, ShardMsg::Feed(shared.clone(), shared_delta.clone()));
         }
         let mut stats = Vec::with_capacity(self.assignment.len());
         for i in 0..self.workers.len() {
@@ -294,16 +308,26 @@ impl std::fmt::Debug for ShardPool {
     }
 }
 
-/// The worker loop: owns its shard, serves messages until shutdown.
+/// The worker loop: owns its shard (and its copy of the dense weight
+/// table), serves messages until shutdown.
 fn worker_loop(rx: Receiver<ShardMsg>, tx: Sender<ShardReply>) {
     let mut shard: Vec<Checkpoint> = Vec::new();
+    // `Some` once any feed carried a weight table (weighted objective).
+    let mut table: Option<Vec<f64>> = None;
     while let Ok(msg) = rx.recv() {
         match msg {
-            ShardMsg::Feed(slide) => {
+            ShardMsg::Feed(slide, delta) => {
+                if let Some(d) = delta {
+                    table.get_or_insert_with(Vec::new).extend_from_slice(&d);
+                }
+                let weights = match &table {
+                    None => DenseWeights::Unit,
+                    Some(t) => DenseWeights::Table(t),
+                };
                 let mut stats = Vec::with_capacity(shard.len());
                 for cp in shard.iter_mut() {
                     for action in slide.iter() {
-                        cp.process(action);
+                        cp.process(action, &weights);
                     }
                     stats.push(CheckpointStat {
                         start: cp.start(),
@@ -345,7 +369,7 @@ fn worker_loop(rx: Receiver<ShardMsg>, tx: Sender<ShardReply>) {
 mod tests {
     use super::*;
     use rtim_stream::UserId;
-    use rtim_submodular::{OracleConfig, OracleKind, UnitWeight};
+    use rtim_submodular::{OracleConfig, OracleKind};
 
     fn resolved(id: u64, actor: u32, ancestors: &[u32]) -> ResolvedAction {
         ResolvedAction {
@@ -368,12 +392,7 @@ mod tests {
     }
 
     fn checkpoint(start: u64, k: usize) -> Checkpoint {
-        Checkpoint::new(
-            start,
-            OracleKind::SieveStreaming,
-            OracleConfig::new(k, 0.2),
-            UnitWeight,
-        )
+        Checkpoint::new(start, OracleKind::SieveStreaming, OracleConfig::new(k, 0.2))
     }
 
     /// Feeds `fed` sequentially to 7 checkpoints with distinct starts 1..=7
@@ -384,7 +403,7 @@ mod tests {
             .map(|i| {
                 let mut cp = checkpoint(1 + i as u64, 1 + (i % 4));
                 for a in fed {
-                    cp.process(a);
+                    cp.process(a, &DenseWeights::Unit);
                 }
                 CheckpointStat {
                     start: cp.start(),
@@ -405,7 +424,7 @@ mod tests {
             for i in 0..7usize {
                 pool.add(checkpoint(1 + i as u64, 1 + (i % 4)));
             }
-            let mut stats = pool.feed(fed);
+            let mut stats = pool.feed(fed, None);
             stats.sort_by_key(|s| s.start);
             for (got, want) in stats.iter().zip(&expected) {
                 assert_eq!(got.start, want.start);
@@ -461,7 +480,7 @@ mod tests {
         pool.add(checkpoint(1, 2));
         pool.add(checkpoint(2, 2));
         let slide = slide();
-        pool.feed(&slide[1..]); // ids 2..=40, observable by both
+        pool.feed(&slide[1..], None); // ids 2..=40, observable by both
         let s = pool.solution(1);
         assert!(s.value > 0.0);
         assert!(!s.seeds.is_empty());
@@ -470,7 +489,7 @@ mod tests {
     #[test]
     fn empty_pool_feed_is_a_no_op() {
         let mut pool = ShardPool::new(4);
-        assert!(pool.feed(&slide()).is_empty());
+        assert!(pool.feed(&slide(), None).is_empty());
         assert_eq!(pool.checkpoint_count(), 0);
         assert_eq!(pool.threads(), 4);
     }
@@ -487,7 +506,7 @@ mod tests {
         for i in 0..4u64 {
             pool.add(checkpoint(i + 1, 1));
         }
-        pool.feed(&slide()[3..]); // ids 4..=40, observable by every checkpoint
+        pool.feed(&slide()[3..], None); // ids 4..=40, observable by every checkpoint
         drop(pool); // must not hang or panic
     }
 }

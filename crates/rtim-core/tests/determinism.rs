@@ -132,6 +132,74 @@ proptest! {
         )?;
     }
 
+    /// The interned pipeline with **sparse raw user ids** stays bit-identical
+    /// between sequential and 2–8-thread pool execution: interning happens at
+    /// resolve time on the engine thread (workers never mint ids), so shard
+    /// placement cannot perturb the dense id space, and the raw seeds
+    /// translated back at the query boundary agree exactly.
+    #[test]
+    fn interned_engine_is_bit_identical_with_sparse_ids(
+        actions in arb_actions(60, 10),
+        threads in 2usize..9,
+    ) {
+        // Spread the (dense) generated user ids across a ~1.2-billion raw id
+        // space; interning must absorb the sparsity.
+        let sparse: Vec<rtim_stream::Action> = actions
+            .iter()
+            .map(|a| rtim_stream::Action {
+                user: rtim_stream::UserId(a.user.0 * 99_999_989 + 17),
+                ..*a
+            })
+            .collect();
+        let stream = SocialStream::new(sparse.clone()).unwrap();
+        let config = SimConfig::new(3, 0.2, 16, 3);
+        for kind in [rtim_core::FrameworkKind::Ic, rtim_core::FrameworkKind::Sic] {
+            let mut seq = SimEngine::new(config, kind);
+            let mut par = SimEngine::new(config.with_threads(threads), kind);
+            let seq_report = seq.run_stream(&stream);
+            let par_report = par.run_stream(&stream);
+            prop_assert_eq!(seq_report.solutions.len(), par_report.solutions.len());
+            let raw_ids: std::collections::HashSet<u32> =
+                sparse.iter().map(|a| a.user.0).collect();
+            for (a, b) in seq_report.solutions.iter().zip(&par_report.solutions) {
+                prop_assert_eq!(&a.seeds, &b.seeds);
+                prop_assert_eq!(a.value.to_bits(), b.value.to_bits());
+                // Seeds are translated back to the sparse raw id space.
+                for seed in &a.seeds {
+                    prop_assert!(raw_ids.contains(&seed.0), "non-raw seed {}", seed.0);
+                }
+            }
+        }
+    }
+
+    /// Engine results are invariant under injective raw-id relabeling: the
+    /// dense id sequence depends only on first-appearance order, so values
+    /// are bit-identical and seeds map through the relabeling.
+    #[test]
+    fn engine_is_invariant_under_user_relabeling(actions in arb_actions(60, 10)) {
+        let relabel = |u: u32| u * 7_368_787 + 1_000_003;
+        let relabeled: Vec<rtim_stream::Action> = actions
+            .iter()
+            .map(|a| rtim_stream::Action {
+                user: rtim_stream::UserId(relabel(a.user.0)),
+                ..*a
+            })
+            .collect();
+        let config = SimConfig::new(3, 0.25, 16, 2);
+        for kind in [rtim_core::FrameworkKind::Ic, rtim_core::FrameworkKind::Sic] {
+            let mut plain = SimEngine::new(config, kind);
+            let mut mapped = SimEngine::new(config, kind);
+            let plain_report = plain.run_stream(&SocialStream::new(actions.clone()).unwrap());
+            let mapped_report = mapped.run_stream(&SocialStream::new(relabeled.clone()).unwrap());
+            for (a, b) in plain_report.solutions.iter().zip(&mapped_report.solutions) {
+                prop_assert_eq!(a.value.to_bits(), b.value.to_bits());
+                let mapped_seeds: Vec<u32> = a.seeds.iter().map(|s| relabel(s.0)).collect();
+                let got: Vec<u32> = b.seeds.iter().map(|s| s.0).collect();
+                prop_assert_eq!(mapped_seeds, got);
+            }
+        }
+    }
+
     /// The full engine path (`run_stream`, which routes through
     /// `ingest_batch` and the pool) is bit-identical too, for both kinds.
     #[test]

@@ -7,7 +7,7 @@ use rtim_core::{
     Checkpoint, FrameworkKind, Framework, IcFramework, ResolvedAction, SicFramework, SimConfig,
 };
 use rtim_stream::{PropagationIndex, UserId};
-use rtim_submodular::{OracleConfig, OracleKind, UnitWeight};
+use rtim_submodular::{DenseWeights, OracleConfig, OracleKind};
 
 /// Random valid resolved-action streams (ancestries resolved through a real
 /// propagation index so the update sets are faithful).
@@ -45,15 +45,10 @@ proptest! {
     /// seed count never exceeds k.
     #[test]
     fn checkpoint_value_is_monotone(stream in arb_resolved(60, 12), k in 1usize..5) {
-        let mut cp = Checkpoint::new(
-            1,
-            OracleKind::SieveStreaming,
-            OracleConfig::new(k, 0.2),
-            UnitWeight,
-        );
+        let mut cp = Checkpoint::new(1, OracleKind::SieveStreaming, OracleConfig::new(k, 0.2));
         let mut last = 0.0;
         for action in &stream {
-            cp.process(action);
+            cp.process(action, &DenseWeights::Unit);
             prop_assert!(cp.value() + 1e-9 >= last);
             prop_assert!(cp.solution().seeds.len() <= k);
             last = cp.value();

@@ -9,22 +9,30 @@
 //!
 //! * **Append-only accumulation** ([`InfluenceAccumulator`]) — inside a
 //!   checkpoint, influence sets only ever grow as actions are appended; this
-//!   is what makes the set-stream mapping of §4.2 possible.
+//!   is what makes the set-stream mapping of §4.2 possible.  Crucially,
+//!   [`InfluenceAccumulator::apply_into`] grows each affected set by
+//!   **exactly one user** (the actor), which is the delta the delta-aware
+//!   oracle path (`SsoOracle::process_grow`) exploits.
 //! * **From-scratch window computation** ([`window_influence_sets`]) — the
 //!   Greedy baseline and the quality-evaluation influence graph need the
 //!   exact influence sets of the *current* window, which are recomputed from
 //!   the window contents (no incremental expiry is ever attempted — that is
 //!   the hard problem the checkpoint frameworks solve).
+//!
+//! The per-user sets are hybrid [`InfluenceSet`]s (sorted small-vec below a
+//! threshold, bitmap above) rather than hash sets; see the
+//! [`influence_set`](crate::influence_set) module for the layout rationale.
 
 use crate::action::UserId;
+use crate::influence_set::InfluenceSet;
 use crate::propagation::PropagationIndex;
 use crate::window::SlidingWindow;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// A collection of per-user influence sets.
 #[derive(Debug, Clone, Default)]
 pub struct InfluenceSets {
-    sets: HashMap<UserId, HashSet<UserId>>,
+    sets: HashMap<UserId, InfluenceSet>,
 }
 
 impl InfluenceSets {
@@ -34,7 +42,7 @@ impl InfluenceSets {
     }
 
     /// The influence set of `u`, empty if `u` influenced nobody.
-    pub fn get(&self, u: UserId) -> Option<&HashSet<UserId>> {
+    pub fn get(&self, u: UserId) -> Option<&InfluenceSet> {
         self.sets.get(&u)
     }
 
@@ -64,11 +72,11 @@ impl InfluenceSets {
     }
 
     /// The influence set of a *set* of users: `I(S) = ∪_{u∈S} I(u)`.
-    pub fn union_of<'a>(&self, users: impl IntoIterator<Item = &'a UserId>) -> HashSet<UserId> {
-        let mut out = HashSet::new();
+    pub fn union_of<'a>(&self, users: impl IntoIterator<Item = &'a UserId>) -> InfluenceSet {
+        let mut out = InfluenceSet::new();
         for u in users {
             if let Some(s) = self.sets.get(u) {
-                out.extend(s.iter().copied());
+                out.extend(s.iter());
             }
         }
         out
@@ -80,7 +88,7 @@ impl InfluenceSets {
     }
 
     /// Iterates over `(user, influence set)` pairs.
-    pub fn iter(&self) -> impl Iterator<Item = (UserId, &HashSet<UserId>)> {
+    pub fn iter(&self) -> impl Iterator<Item = (UserId, &InfluenceSet)> {
         self.sets.iter().map(|(u, s)| (*u, s))
     }
 
@@ -94,7 +102,7 @@ impl InfluenceSets {
 ///
 /// A checkpoint created at time `c` observes only actions with `t > c`
 /// (its own append-only sub-stream); feeding every arrival through
-/// [`InfluenceAccumulator::apply`] yields exactly the influence sets
+/// [`InfluenceAccumulator::apply_into`] yields exactly the influence sets
 /// `I_{t[i]}(u)` of the paper (influence restricted to actions the checkpoint
 /// has seen).
 #[derive(Debug, Clone, Default)]
@@ -109,14 +117,15 @@ impl InfluenceAccumulator {
     }
 
     /// Applies one action performed by `actor` whose reply ancestors were
-    /// performed by `ancestor_users`.
+    /// performed by `ancestor_users`, appending the users whose influence
+    /// set actually grew to `grew` (which is **not** cleared first — callers
+    /// own the scratch buffer).
     ///
     /// Every user in `{actor} ∪ ancestor_users` influences `actor` through
-    /// this action.  Returns the users whose influence set actually grew
-    /// (i.e. `actor` was not already in their set), which is the update set
-    /// fed to the checkpoint oracle by the set-stream mapping.
-    pub fn apply(&mut self, actor: UserId, ancestor_users: &[UserId]) -> Vec<UserId> {
-        let mut grew = Vec::with_capacity(ancestor_users.len() + 1);
+    /// this action.  Each grown set grew by **exactly one element** — the
+    /// actor — which is the single-user delta the delta-aware oracle feed
+    /// (`process_grow`) relies on.
+    pub fn apply_into(&mut self, actor: UserId, ancestor_users: &[UserId], grew: &mut Vec<UserId>) {
         if self.sets.insert(actor, actor) {
             grew.push(actor);
         }
@@ -125,6 +134,16 @@ impl InfluenceAccumulator {
                 grew.push(u);
             }
         }
+    }
+
+    /// Allocating convenience wrapper around [`Self::apply_into`]: returns
+    /// the users whose influence set grew as a fresh `Vec`.
+    ///
+    /// Hot paths (e.g. `Checkpoint::process`) should prefer `apply_into`
+    /// with a reused scratch buffer — this wrapper allocates per action.
+    pub fn apply(&mut self, actor: UserId, ancestor_users: &[UserId]) -> Vec<UserId> {
+        let mut grew = Vec::with_capacity(ancestor_users.len() + 1);
+        self.apply_into(actor, ancestor_users, &mut grew);
         grew
     }
 
@@ -139,7 +158,7 @@ impl InfluenceAccumulator {
     }
 
     /// The influence set of `u` within this accumulator.
-    pub fn influence_set(&self, u: UserId) -> Option<&HashSet<UserId>> {
+    pub fn influence_set(&self, u: UserId) -> Option<&InfluenceSet> {
         self.sets.get(u)
     }
 }
@@ -151,9 +170,11 @@ impl InfluenceAccumulator {
 /// metric, and tests; the streaming frameworks never call it on the hot path.
 pub fn window_influence_sets(window: &SlidingWindow, index: &PropagationIndex) -> InfluenceSets {
     let mut acc = InfluenceAccumulator::new();
+    let mut scratch = Vec::new();
     for action in window.iter() {
         let ancestors = index.ancestor_users(action.id).unwrap_or(&[]);
-        acc.apply(action.user, ancestors);
+        scratch.clear();
+        acc.apply_into(action.user, ancestors, &mut scratch);
     }
     acc.sets
 }
@@ -188,7 +209,7 @@ mod tests {
         (w, idx)
     }
 
-    fn set(users: &[u32]) -> HashSet<UserId> {
+    fn set(users: &[u32]) -> InfluenceSet {
         users.iter().map(|&u| UserId(u)).collect()
     }
 
@@ -242,6 +263,14 @@ mod tests {
         assert!(grew.is_empty());
         assert_eq!(acc.value(UserId(1)), 1);
         assert_eq!(acc.value(UserId(2)), 1);
+    }
+
+    #[test]
+    fn apply_into_appends_to_scratch_without_clearing() {
+        let mut acc = InfluenceAccumulator::new();
+        let mut grew = vec![UserId(99)];
+        acc.apply_into(UserId(2), &[UserId(1)], &mut grew);
+        assert_eq!(grew, vec![UserId(99), UserId(2), UserId(1)]);
     }
 
     #[test]

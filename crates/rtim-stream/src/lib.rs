@@ -28,6 +28,7 @@
 
 pub mod action;
 pub mod influence;
+pub mod influence_set;
 pub mod persist;
 pub mod propagation;
 pub mod stream;
@@ -35,6 +36,7 @@ pub mod window;
 
 pub use action::{Action, ActionId, Timestamp, UserId};
 pub use influence::{window_influence_sets, InfluenceAccumulator, InfluenceSets};
+pub use influence_set::{InfluenceSet, SetIter, SetView};
 pub use persist::{decode_binary, encode_binary, read_binary, read_text, write_binary, write_text, TraceError};
 pub use propagation::{PropagationIndex, PropagationStats};
 pub use stream::{ActionBatchIter, SocialStream, StreamStats};

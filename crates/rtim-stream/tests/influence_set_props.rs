@@ -1,0 +1,75 @@
+//! Property tests of the hybrid [`InfluenceSet`] against a `HashSet`
+//! reference model, with id ranges and set sizes chosen to cross the
+//! small-vec↔bitmap promotion boundary in both directions.
+
+use proptest::prelude::*;
+use rtim_stream::{InfluenceSet, UserId};
+use std::collections::HashSet;
+
+/// Insertion sequences around the promotion threshold: lengths from far
+/// below to well above `SMALL_MAX`, ids both dense and sparse.
+fn arb_inserts(max_len: usize, universe: u32) -> impl Strategy<Value = Vec<u32>> {
+    prop::collection::vec(0u32..universe, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Insert/contains/len agree with the HashSet model across promotions.
+    #[test]
+    fn matches_hashset_model(ids in arb_inserts(3 * InfluenceSet::SMALL_MAX, 4_000)) {
+        let mut set = InfluenceSet::new();
+        let mut model: HashSet<u32> = HashSet::new();
+        for &id in &ids {
+            prop_assert_eq!(set.insert(UserId(id)), model.insert(id), "insert {}", id);
+            prop_assert_eq!(set.len(), model.len());
+            prop_assert!(set.contains(UserId(id)));
+        }
+        // Membership agrees over the whole universe sample.
+        for &id in &ids {
+            prop_assert_eq!(set.contains(UserId(id)), model.contains(&id));
+        }
+        prop_assert_eq!(set.is_empty(), model.is_empty());
+        // Promotion happened iff the model outgrew the small capacity at
+        // some prefix — at the very least, a set larger than SMALL_MAX
+        // cannot still be small.
+        if set.len() > InfluenceSet::SMALL_MAX {
+            prop_assert!(set.is_bitmap());
+        }
+    }
+
+    /// Iteration yields exactly the model's elements, in ascending order,
+    /// in both representations.
+    #[test]
+    fn iteration_is_sorted_and_complete(ids in arb_inserts(120, 10_000)) {
+        let set: InfluenceSet = ids.iter().map(|&i| UserId(i)).collect();
+        let mut expect: Vec<u32> = ids.iter().copied().collect::<HashSet<_>>().into_iter().collect();
+        expect.sort_unstable();
+        let got: Vec<u32> = set.iter().map(|u| u.0).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Equality is representation-independent: the same elements forced into
+    /// the small and the bitmap layout compare equal.
+    #[test]
+    fn equality_across_representations(ids in arb_inserts(InfluenceSet::SMALL_MAX, 500)) {
+        let small: InfluenceSet = ids.iter().map(|&i| UserId(i)).collect();
+        let mut bits = InfluenceSet::with_universe(512);
+        bits.extend(ids.iter().map(|&i| UserId(i)));
+        prop_assert!(bits.is_bitmap());
+        prop_assert_eq!(&small, &bits);
+        prop_assert_eq!(small.len(), bits.len());
+    }
+
+    /// Union via extend matches the model union.
+    #[test]
+    fn union_matches_model(a in arb_inserts(80, 3_000), b in arb_inserts(80, 3_000)) {
+        let mut set: InfluenceSet = a.iter().map(|&i| UserId(i)).collect();
+        set.extend(b.iter().map(|&i| UserId(i)));
+        let model: HashSet<u32> = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(set.len(), model.len());
+        for id in model {
+            prop_assert!(set.contains(UserId(id)));
+        }
+    }
+}

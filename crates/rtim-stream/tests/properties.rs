@@ -108,8 +108,8 @@ proptest! {
         for (u, set) in inf.iter() {
             for v in set {
                 let witnessed = window.iter().any(|a| {
-                    a.user == *v
-                        && (*v == u
+                    a.user == v
+                        && (v == u
                             || index.ancestor_users(a.id).unwrap_or(&[]).contains(&u))
                 });
                 prop_assert!(witnessed, "unwitnessed fact {u} -> {v}");
@@ -118,7 +118,7 @@ proptest! {
         // Every influenced user is active in the window.
         for (_, set) in inf.iter() {
             for v in set {
-                prop_assert!(window.is_active(*v));
+                prop_assert!(window.is_active(v));
             }
         }
     }

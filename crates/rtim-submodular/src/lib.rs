@@ -30,14 +30,15 @@ pub mod coverage;
 pub mod greedy;
 pub mod oracle;
 pub mod sieve;
+mod singles;
 pub mod swap;
 pub mod threshold_stream;
 pub mod weights;
 
-pub use coverage::CoverageState;
+pub use coverage::{reference::HashCoverageState, CoverageState};
 pub use greedy::{brute_force_best, greedy_max_coverage, lazy_greedy_max_coverage, GreedyResult};
 pub use oracle::{OracleConfig, OracleKind, SsoOracle};
 pub use sieve::SieveStreaming;
 pub use swap::SwapStreaming;
 pub use threshold_stream::ThresholdStream;
-pub use weights::{ElementWeight, MapWeight, UnitWeight};
+pub use weights::{DenseWeights, ElementWeight, MapWeight, UnitWeight};

@@ -9,12 +9,29 @@
 //! oracles must treat this as a fresh element (Theorem 2 shows the
 //! approximation ratio is preserved, and keeping only the newest copy per
 //! user can only increase the value).
+//!
+//! ## The delta-aware path
+//!
+//! Inside a checkpoint an influence set grows by **exactly one user** per
+//! action (the actor).  [`SsoOracle::process_grow`] hands the oracle that
+//! single-user delta alongside the full set, letting implementations absorb
+//! the one new user in O(1) on the existing-seed branch and maintain the
+//! element's singleton value incrementally instead of rescanning the whole
+//! set.  The default implementation falls back to [`SsoOracle::process`],
+//! so delta-awareness is an optimization, never a correctness requirement.
+//!
+//! ## Weights
+//!
+//! Oracles receive their element weights per call as a [`DenseWeights`]
+//! view — `Unit` for the cardinality objective (pure popcount coverage) or
+//! a borrowed dense `f64` table indexed by interned user id.  The weights
+//! passed to an oracle must be consistent across its lifetime (same
+//! objective, append-only table).
 
-use crate::weights::ElementWeight;
+use crate::weights::DenseWeights;
 use crate::{SieveStreaming, SwapStreaming, ThresholdStream};
-use rtim_stream::UserId;
+use rtim_stream::{InfluenceSet, UserId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
 
 /// Configuration shared by all SSO oracles.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,8 +63,26 @@ impl Default for OracleConfig {
 /// A streaming submodular optimization oracle over an append-only set-stream.
 pub trait SsoOracle: Send {
     /// Processes one element: candidate seed `key` together with its current
-    /// (possibly updated/grown) influence set.
-    fn process(&mut self, key: UserId, set: &HashSet<UserId>);
+    /// (possibly updated/grown) influence set, under the given weights.
+    fn process(&mut self, key: UserId, set: &InfluenceSet, weights: &DenseWeights);
+
+    /// Processes the re-arrival of `key` whose set grew by **exactly one**
+    /// user, `added` (already present in `set`).
+    ///
+    /// Callers must guarantee that `set` is the previously fed set of `key`
+    /// plus `added`; under that contract implementations may update cached
+    /// per-element values incrementally.  The default falls back to the
+    /// non-delta [`Self::process`].
+    fn process_grow(
+        &mut self,
+        key: UserId,
+        added: UserId,
+        set: &InfluenceSet,
+        weights: &DenseWeights,
+    ) {
+        let _ = added;
+        self.process(key, set, weights);
+    }
 
     /// The objective value `f(I(S))` of the current candidate solution.
     fn value(&self) -> f64;
@@ -58,7 +93,8 @@ pub trait SsoOracle: Send {
     /// The cardinality constraint `k`.
     fn k(&self) -> usize;
 
-    /// Number of `process` calls served so far (instrumentation).
+    /// Number of `process`/`process_grow` calls served so far
+    /// (instrumentation).
     fn elements_processed(&self) -> u64;
 
     /// Approximate memory footprint: number of `(user, covered-user)` facts
@@ -81,15 +117,12 @@ pub enum OracleKind {
 }
 
 impl OracleKind {
-    /// Instantiates the selected oracle with the given weight function.
-    pub fn build<W>(self, config: OracleConfig, weight: W) -> Box<dyn SsoOracle>
-    where
-        W: ElementWeight + Send + 'static,
-    {
+    /// Instantiates the selected oracle.
+    pub fn build(self, config: OracleConfig) -> Box<dyn SsoOracle> {
         match self {
-            OracleKind::SieveStreaming => Box::new(SieveStreaming::new(config, weight)),
-            OracleKind::ThresholdStream => Box::new(ThresholdStream::new(config, weight)),
-            OracleKind::Swap => Box::new(SwapStreaming::new(config, weight)),
+            OracleKind::SieveStreaming => Box::new(SieveStreaming::new(config)),
+            OracleKind::ThresholdStream => Box::new(ThresholdStream::new(config)),
+            OracleKind::Swap => Box::new(SwapStreaming::new(config)),
         }
     }
 
@@ -124,22 +157,52 @@ impl OracleKind {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::weights::UnitWeight;
 
-    fn set(ids: &[u32]) -> HashSet<UserId> {
+    fn set(ids: &[u32]) -> InfluenceSet {
         ids.iter().map(|&i| UserId(i)).collect()
     }
 
     #[test]
     fn factory_builds_all_kinds() {
         for kind in OracleKind::all() {
-            let mut oracle = kind.build(OracleConfig::new(2, 0.2), UnitWeight);
-            oracle.process(UserId(1), &set(&[1, 2, 3]));
-            oracle.process(UserId(2), &set(&[4]));
+            let mut oracle = kind.build(OracleConfig::new(2, 0.2));
+            oracle.process(UserId(1), &set(&[1, 2, 3]), &DenseWeights::Unit);
+            oracle.process(UserId(2), &set(&[4]), &DenseWeights::Unit);
             assert!(oracle.value() >= 3.0, "{}", kind.name());
             assert!(oracle.seeds().len() <= 2);
             assert_eq!(oracle.k(), 2);
             assert_eq!(oracle.elements_processed(), 2);
+        }
+    }
+
+    #[test]
+    fn grow_path_matches_full_reprocessing() {
+        // Feed the same grown-by-one sequence through process() and
+        // process_grow(): values must agree for every oracle kind.
+        let streams: Vec<(u32, Vec<u32>)> = vec![
+            (1, vec![1]),
+            (1, vec![1, 2]),
+            (2, vec![3]),
+            (1, vec![1, 2, 4]),
+            (2, vec![3, 4]),
+            (3, vec![5]),
+        ];
+        for kind in OracleKind::all() {
+            let mut full = kind.build(OracleConfig::new(2, 0.2));
+            let mut delta = kind.build(OracleConfig::new(2, 0.2));
+            let mut last_len: std::collections::HashMap<u32, usize> = Default::default();
+            for (u, cover) in &streams {
+                let s = set(cover);
+                full.process(UserId(*u), &s, &DenseWeights::Unit);
+                let prev = last_len.insert(*u, cover.len()).unwrap_or(0);
+                if prev + 1 == cover.len() {
+                    let added = UserId(*cover.last().unwrap());
+                    delta.process_grow(UserId(*u), added, &s, &DenseWeights::Unit);
+                } else {
+                    delta.process(UserId(*u), &s, &DenseWeights::Unit);
+                }
+                assert_eq!(full.value(), delta.value(), "{}", kind.name());
+            }
         }
     }
 

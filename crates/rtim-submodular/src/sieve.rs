@@ -17,12 +17,21 @@
 //! element by its newest version — the value can only grow, preserving the
 //! oracle monotonicity required by the SIC analysis, Lemma 2/3).  Otherwise
 //! the standard admission rule applies.
+//!
+//! ## The delta path
+//!
+//! Inside a checkpoint every re-arrival grows the set by **exactly one**
+//! user, so [`SsoOracle::process_grow`] turns the existing-seed branch into
+//! a single `absorb_one` bit-set per instance (O(1) amortized instead of
+//! O(|I(u)|)) and maintains the element's singleton value incrementally; the
+//! admission branch keeps the word-level early-exit threshold test.
 
 use crate::coverage::CoverageState;
 use crate::oracle::{OracleConfig, SsoOracle};
-use crate::weights::ElementWeight;
-use rtim_stream::UserId;
-use std::collections::{BTreeMap, HashSet};
+use crate::singles::SingletonValues;
+use crate::weights::DenseWeights;
+use rtim_stream::{InfluenceSet, UserId};
+use std::collections::BTreeMap;
 
 /// One thresholding instance for a particular guess of `OPT`.
 #[derive(Debug, Clone)]
@@ -45,12 +54,14 @@ impl Instance {
     }
 }
 
-/// The SieveStreaming oracle.  Generic over the element weight so the same
-/// implementation serves cardinality and weighted-coverage objectives.
+/// The SieveStreaming oracle.
+///
+/// Element weights arrive per call as a [`DenseWeights`] view (`Unit`
+/// cardinality or a dense table), so the same implementation serves both
+/// objectives without a generic parameter.
 #[derive(Debug, Clone)]
-pub struct SieveStreaming<W> {
+pub struct SieveStreaming {
     config: OracleConfig,
-    weight: W,
     /// Largest single-element value `m = max f({e})` observed so far.
     max_single: f64,
     /// Best single element observed (fallback solution).
@@ -63,19 +74,22 @@ pub struct SieveStreaming<W> {
     frozen: Option<(Vec<UserId>, f64)>,
     /// Instances keyed by the exponent `j` of their guess `(1+β)^j`.
     instances: BTreeMap<i64, Instance>,
+    /// Incrementally maintained singleton values `f({e})` per key (see
+    /// [`crate::singles`]).
+    singles: SingletonValues,
     elements: u64,
 }
 
-impl<W: ElementWeight> SieveStreaming<W> {
+impl SieveStreaming {
     /// Creates an empty oracle.
-    pub fn new(config: OracleConfig, weight: W) -> Self {
+    pub fn new(config: OracleConfig) -> Self {
         SieveStreaming {
             config,
-            weight,
             max_single: 0.0,
             best_single: None,
             frozen: None,
             instances: BTreeMap::new(),
+            singles: SingletonValues::new(),
             elements: 0,
         }
     }
@@ -132,10 +146,25 @@ impl<W: ElementWeight> SieveStreaming<W> {
             .max_by(|a, b| a.coverage.value().total_cmp(&b.coverage.value()))
     }
 
-    /// The best feasible solution among live instances, the frozen snapshot,
-    /// and the best single element — the single source of truth shared by
-    /// `value()` and `seeds()` so they always describe the same solution.
-    /// Ties prefer instance over frozen over single.
+    /// The best feasible value among live instances, the frozen snapshot and
+    /// the best single element — **without** cloning any seed vector.  This
+    /// is the path `value()` takes; it runs once per checkpoint per slide in
+    /// the IC/SIC policy code, so it must stay allocation-free.
+    fn best_value(&self) -> f64 {
+        let mut best = self.best_single.map_or(0.0, |(_, v)| v);
+        if let Some((_, v)) = &self.frozen {
+            best = best.max(*v);
+        }
+        if let Some(inst) = self.best_instance() {
+            best = best.max(inst.coverage.value());
+        }
+        best
+    }
+
+    /// The best feasible solution (seeds + value), cloning exactly one seed
+    /// vector.  Shared by `seeds()`; `value()` uses [`Self::best_value`]
+    /// instead.  Ties prefer instance over frozen over single, matching
+    /// `best_value`'s maximum.
     fn best_candidate(&self) -> (f64, Vec<UserId>) {
         let mut best = (0.0, Vec::new());
         if let Some((u, v)) = self.best_single {
@@ -155,12 +184,18 @@ impl<W: ElementWeight> SieveStreaming<W> {
         }
         best
     }
-}
 
-impl<W: ElementWeight + Send> SsoOracle for SieveStreaming<W> {
-    fn process(&mut self, key: UserId, set: &HashSet<UserId>) {
+    /// Shared body of `process` / `process_grow`.  `added` is `Some` when
+    /// the set grew by exactly that one user since `key` was last fed.
+    fn process_inner(
+        &mut self,
+        key: UserId,
+        set: &InfluenceSet,
+        weights: &DenseWeights,
+        added: Option<UserId>,
+    ) {
         self.elements += 1;
-        let single = CoverageState::set_value(&self.weight, set);
+        let single = self.singles.value(key, set, weights, added);
         if single > self.max_single {
             self.max_single = single;
             self.refresh_instances();
@@ -173,8 +208,16 @@ impl<W: ElementWeight + Send> SsoOracle for SieveStreaming<W> {
         let k = self.config.k;
         for inst in self.instances.values_mut() {
             if inst.seeds.contains(&key) {
-                // Updated influence set of an existing seed: refresh in place.
-                inst.coverage.absorb(&self.weight, set);
+                // Updated influence set of an existing seed: refresh in
+                // place — O(1) when the single-user delta is known.
+                match added {
+                    Some(a) => {
+                        inst.coverage.absorb_one(weights, a);
+                    }
+                    None => {
+                        inst.coverage.absorb(weights, set);
+                    }
+                }
                 continue;
             }
             if inst.seeds.len() >= k {
@@ -188,20 +231,36 @@ impl<W: ElementWeight + Send> SsoOracle for SieveStreaming<W> {
                 continue;
             }
             let gain = if threshold <= 0.0 {
-                inst.coverage.marginal_gain(&self.weight, set)
+                inst.coverage.marginal_gain(weights, set)
             } else {
                 inst.coverage
-                    .marginal_gain_at_least(&self.weight, set, threshold)
+                    .marginal_gain_at_least(weights, set, threshold)
             };
             if gain >= threshold && gain > 0.0 {
-                inst.coverage.absorb(&self.weight, set);
+                inst.coverage.absorb(weights, set);
                 inst.seeds.push(key);
             }
         }
     }
+}
+
+impl SsoOracle for SieveStreaming {
+    fn process(&mut self, key: UserId, set: &InfluenceSet, weights: &DenseWeights) {
+        self.process_inner(key, set, weights, None);
+    }
+
+    fn process_grow(
+        &mut self,
+        key: UserId,
+        added: UserId,
+        set: &InfluenceSet,
+        weights: &DenseWeights,
+    ) {
+        self.process_inner(key, set, weights, Some(added));
+    }
 
     fn value(&self) -> f64 {
-        self.best_candidate().0
+        self.best_value()
     }
 
     fn seeds(&self) -> Vec<UserId> {
@@ -231,16 +290,18 @@ mod tests {
     use crate::weights::UnitWeight;
     use rtim_stream::InfluenceSets;
 
-    fn set(ids: &[u32]) -> HashSet<UserId> {
+    const UNIT: DenseWeights<'static> = DenseWeights::Unit;
+
+    fn set(ids: &[u32]) -> InfluenceSet {
         ids.iter().map(|&i| UserId(i)).collect()
     }
 
     #[test]
     fn admits_high_value_elements() {
-        let mut s = SieveStreaming::new(OracleConfig::new(2, 0.1), UnitWeight);
-        s.process(UserId(1), &set(&[1, 2, 3]));
-        s.process(UserId(2), &set(&[4, 5]));
-        s.process(UserId(3), &set(&[1])); // dominated
+        let mut s = SieveStreaming::new(OracleConfig::new(2, 0.1));
+        s.process(UserId(1), &set(&[1, 2, 3]), &UNIT);
+        s.process(UserId(2), &set(&[4, 5]), &UNIT);
+        s.process(UserId(3), &set(&[1]), &UNIT); // dominated
         assert!(s.value() >= 4.0);
         assert!(s.seeds().len() <= 2);
         assert!(s.instance_count() > 0);
@@ -248,18 +309,55 @@ mod tests {
 
     #[test]
     fn reprocessing_a_seed_grows_its_coverage() {
-        let mut s = SieveStreaming::new(OracleConfig::new(1, 0.1), UnitWeight);
-        s.process(UserId(7), &set(&[1, 2]));
+        let mut s = SieveStreaming::new(OracleConfig::new(1, 0.1));
+        s.process(UserId(7), &set(&[1, 2]), &UNIT);
         let before = s.value();
-        s.process(UserId(7), &set(&[1, 2, 3, 4]));
+        s.process(UserId(7), &set(&[1, 2, 3, 4]), &UNIT);
         assert!(s.value() >= before);
         assert!(s.value() >= 4.0);
         assert_eq!(s.seeds(), vec![UserId(7)]);
     }
 
     #[test]
+    fn grow_delta_matches_full_reprocess() {
+        let mut full = SieveStreaming::new(OracleConfig::new(2, 0.2));
+        let mut delta = SieveStreaming::new(OracleConfig::new(2, 0.2));
+        // u1's set grows one user at a time; u2 arrives in between.
+        let grown: &[&[u32]] = &[&[1], &[1, 2], &[1, 2, 3], &[1, 2, 3, 4]];
+        for (i, cover) in grown.iter().enumerate() {
+            let s = set(cover);
+            full.process(UserId(1), &s, &UNIT);
+            if i == 0 {
+                delta.process(UserId(1), &s, &UNIT);
+            } else {
+                delta.process_grow(UserId(1), UserId(cover[i]), &s, &UNIT);
+            }
+            if i == 1 {
+                full.process(UserId(2), &set(&[9, 10]), &UNIT);
+                delta.process(UserId(2), &set(&[9, 10]), &UNIT);
+            }
+            assert_eq!(full.value(), delta.value());
+            assert_eq!(full.seeds(), delta.seeds());
+        }
+    }
+
+    #[test]
+    fn weighted_singles_are_maintained_incrementally() {
+        let table = [0.0, 2.0, 3.0, 5.0, 7.0];
+        let w = DenseWeights::Table(&table);
+        let mut s = SieveStreaming::new(OracleConfig::new(1, 0.2));
+        s.process(UserId(1), &set(&[1]), &w);
+        s.process_grow(UserId(1), UserId(3), &set(&[1, 3]), &w);
+        // Singleton value must be 2 + 5 = 7 exactly.
+        assert_eq!(s.value(), 7.0);
+        s.process_grow(UserId(1), UserId(4), &set(&[1, 3, 4]), &w);
+        assert_eq!(s.value(), 14.0);
+        assert_eq!(s.seeds(), vec![UserId(1)]);
+    }
+
+    #[test]
     fn value_is_monotone_over_the_stream() {
-        let mut s = SieveStreaming::new(OracleConfig::new(3, 0.3), UnitWeight);
+        let mut s = SieveStreaming::new(OracleConfig::new(3, 0.3));
         let mut last = 0.0;
         let elements: Vec<(u32, Vec<u32>)> = vec![
             (1, vec![1, 2]),
@@ -270,7 +368,7 @@ mod tests {
             (5, vec![2]),
         ];
         for (u, cov) in elements {
-            s.process(UserId(u), &cov.iter().map(|&c| UserId(c)).collect());
+            s.process(UserId(u), &cov.iter().map(|&c| UserId(c)).collect(), &UNIT);
             assert!(s.value() + 1e-9 >= last);
             last = s.value();
         }
@@ -296,9 +394,9 @@ mod tests {
         let opt = brute_force_best(&inf, 2, &UnitWeight).value;
         assert_eq!(opt, 5.0);
 
-        let mut s = SieveStreaming::new(OracleConfig::new(2, 0.3), UnitWeight);
+        let mut s = SieveStreaming::new(OracleConfig::new(2, 0.3));
         for (u, cov) in &elems {
-            s.process(UserId(*u), &cov.iter().map(|&c| UserId(c)).collect());
+            s.process(UserId(*u), &cov.iter().map(|&c| UserId(c)).collect(), &UNIT);
         }
         assert!(s.value() >= (0.5 - 0.3) * opt);
         // On this easy instance SieveStreaming actually finds the optimum.
@@ -308,9 +406,9 @@ mod tests {
     #[test]
     fn instance_count_is_logarithmic_in_k() {
         let beta = 0.2;
-        let mut s = SieveStreaming::new(OracleConfig::new(100, beta), UnitWeight);
+        let mut s = SieveStreaming::new(OracleConfig::new(100, beta));
         for i in 0..200u32 {
-            s.process(UserId(i), &set(&[i, i + 1000, i + 2000]));
+            s.process(UserId(i), &set(&[i, i + 1000, i + 2000]), &UNIT);
         }
         let bound = ((2.0 * 100.0f64).ln() / (1.0 + beta).ln()).ceil() as usize + 2;
         assert!(
@@ -323,7 +421,7 @@ mod tests {
 
     #[test]
     fn empty_oracle_reports_zero() {
-        let s = SieveStreaming::new(OracleConfig::new(5, 0.1), UnitWeight);
+        let s = SieveStreaming::new(OracleConfig::new(5, 0.1));
         assert_eq!(s.value(), 0.0);
         assert!(s.seeds().is_empty());
         assert_eq!(s.retained_facts(), 0);

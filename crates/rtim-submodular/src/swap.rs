@@ -17,20 +17,22 @@
 //! * the loss of evicting each held seed (the weight of the items only it
 //!   covers and the new set does not re-cover) is computed in a single pass
 //!   over the held sets, instead of rebuilding `k` candidate unions.
+//!
+//! The delta path ([`SsoOracle::process_grow`]) turns the held-seed update
+//! into a single count increment instead of a full set difference.
 
 use crate::coverage::CoverageState;
 use crate::oracle::{OracleConfig, SsoOracle};
-use crate::weights::ElementWeight;
-use rtim_stream::UserId;
-use std::collections::{HashMap, HashSet};
+use crate::weights::{DenseWeights, ElementWeight};
+use rtim_stream::{InfluenceSet, UserId};
+use std::collections::HashMap;
 
 /// The swap-based streaming oracle.
 #[derive(Debug, Clone)]
-pub struct SwapStreaming<W> {
+pub struct SwapStreaming {
     config: OracleConfig,
-    weight: W,
     /// Stored influence set per held seed.
-    held: HashMap<UserId, HashSet<UserId>>,
+    held: HashMap<UserId, InfluenceSet>,
     /// How many held sets cover each item.
     counts: HashMap<UserId, u32>,
     /// Cached union value of `held`.
@@ -38,12 +40,11 @@ pub struct SwapStreaming<W> {
     elements: u64,
 }
 
-impl<W: ElementWeight> SwapStreaming<W> {
+impl SwapStreaming {
     /// Creates an empty oracle.
-    pub fn new(config: OracleConfig, weight: W) -> Self {
+    pub fn new(config: OracleConfig) -> Self {
         SwapStreaming {
             config,
-            weight,
             held: HashMap::new(),
             counts: HashMap::new(),
             cached_value: 0.0,
@@ -51,30 +52,35 @@ impl<W: ElementWeight> SwapStreaming<W> {
         }
     }
 
+    /// Registers a single item into the coverage multiset, returning the
+    /// value gained (its weight if previously uncovered).
+    fn count_insert_one(&mut self, v: UserId, weights: &DenseWeights) -> f64 {
+        let c = self.counts.entry(v).or_insert(0);
+        let gain = if *c == 0 { weights.weight(v) } else { 0.0 };
+        *c += 1;
+        gain
+    }
+
     /// Registers `set` into the coverage multiset, returning the value gained
     /// (weight of items that were previously uncovered).
-    fn count_insert(&mut self, set: &HashSet<UserId>) -> f64 {
+    fn count_insert(&mut self, set: &InfluenceSet, weights: &DenseWeights) -> f64 {
         let mut gain = 0.0;
-        for &v in set {
-            let c = self.counts.entry(v).or_insert(0);
-            if *c == 0 {
-                gain += self.weight.weight(v);
-            }
-            *c += 1;
+        for v in set.iter() {
+            gain += self.count_insert_one(v, weights);
         }
         gain
     }
 
     /// Removes `set` from the coverage multiset, returning the value lost
     /// (weight of items that become uncovered).
-    fn count_remove(&mut self, set: &HashSet<UserId>) -> f64 {
+    fn count_remove(&mut self, set: &InfluenceSet, weights: &DenseWeights) -> f64 {
         let mut loss = 0.0;
-        for v in set {
-            if let Some(c) = self.counts.get_mut(v) {
+        for v in set.iter() {
+            if let Some(c) = self.counts.get_mut(&v) {
                 *c -= 1;
                 if *c == 0 {
-                    self.counts.remove(v);
-                    loss += self.weight.weight(*v);
+                    self.counts.remove(&v);
+                    loss += weights.weight(v);
                 }
             }
         }
@@ -82,23 +88,24 @@ impl<W: ElementWeight> SwapStreaming<W> {
     }
 }
 
-impl<W: ElementWeight + Send> SsoOracle for SwapStreaming<W> {
-    fn process(&mut self, key: UserId, set: &HashSet<UserId>) {
+impl SsoOracle for SwapStreaming {
+    fn process(&mut self, key: UserId, set: &InfluenceSet, weights: &DenseWeights) {
         self.elements += 1;
         if let Some(existing) = self.held.get(&key) {
             // Updated influence set of a held seed: keep the union of the old
             // and new copies (the value can only grow).
-            let new_items: Vec<UserId> = set.difference(existing).copied().collect();
+            let new_items: Vec<UserId> = set.iter().filter(|v| !existing.contains(*v)).collect();
             if new_items.is_empty() {
                 return;
             }
-            let added: HashSet<UserId> = new_items.iter().copied().collect();
-            self.cached_value += self.count_insert(&added);
-            self.held.get_mut(&key).expect("held").extend(added);
+            for &v in &new_items {
+                self.cached_value += self.count_insert_one(v, weights);
+            }
+            self.held.get_mut(&key).expect("held").extend(new_items);
             return;
         }
         if self.held.len() < self.config.k {
-            self.cached_value += self.count_insert(set);
+            self.cached_value += self.count_insert(set, weights);
             self.held.insert(key, set.clone());
             return;
         }
@@ -107,7 +114,7 @@ impl<W: ElementWeight + Send> SsoOracle for SwapStreaming<W> {
         let gain_x: f64 = set
             .iter()
             .filter(|v| !self.counts.contains_key(v))
-            .map(|v| self.weight.weight(*v))
+            .map(|v| weights.weight(v))
             .sum();
         // Loss of evicting y = weight of items only y covers and X does not
         // re-cover.
@@ -115,8 +122,8 @@ impl<W: ElementWeight + Send> SsoOracle for SwapStreaming<W> {
         for (&y, y_set) in &self.held {
             let loss_y: f64 = y_set
                 .iter()
-                .filter(|v| self.counts.get(v) == Some(&1) && !set.contains(v))
-                .map(|v| self.weight.weight(*v))
+                .filter(|v| self.counts.get(v) == Some(&1) && !set.contains(*v))
+                .map(|v| weights.weight(v))
                 .sum();
             let delta = gain_x - loss_y;
             match best {
@@ -127,19 +134,37 @@ impl<W: ElementWeight + Send> SsoOracle for SwapStreaming<W> {
         if let Some((y, delta)) = best {
             if delta > 0.0 {
                 let y_set = self.held.remove(&y).expect("held seed");
-                self.cached_value -= self.count_remove(&y_set);
-                self.cached_value += self.count_insert(set);
+                self.cached_value -= self.count_remove(&y_set, weights);
+                self.cached_value += self.count_insert(set, weights);
                 self.held.insert(key, set.clone());
                 debug_assert!({
                     // The incremental value matches a from-scratch recount.
                     let mut cov = CoverageState::new();
                     for s in self.held.values() {
-                        cov.absorb(&self.weight, s);
+                        cov.absorb(weights, s);
                     }
                     (cov.value() - self.cached_value).abs() < 1e-6
                 });
             }
         }
+    }
+
+    fn process_grow(
+        &mut self,
+        key: UserId,
+        added: UserId,
+        set: &InfluenceSet,
+        weights: &DenseWeights,
+    ) {
+        if let Some(existing) = self.held.get_mut(&key) {
+            // Held seed grew by exactly one item: O(1) update.
+            self.elements += 1;
+            if existing.insert(added) {
+                self.cached_value += self.count_insert_one(added, weights);
+            }
+            return;
+        }
+        self.process(key, set, weights);
     }
 
     fn value(&self) -> f64 {
@@ -168,18 +193,20 @@ mod tests {
     use super::*;
     use crate::weights::UnitWeight;
 
-    fn set(ids: &[u32]) -> HashSet<UserId> {
+    const UNIT: DenseWeights<'static> = DenseWeights::Unit;
+
+    fn set(ids: &[u32]) -> InfluenceSet {
         ids.iter().map(|&i| UserId(i)).collect()
     }
 
     #[test]
     fn fills_then_swaps_for_improvement() {
-        let mut s = SwapStreaming::new(OracleConfig::new(2, 0.1), UnitWeight);
-        s.process(UserId(1), &set(&[1]));
-        s.process(UserId(2), &set(&[2]));
+        let mut s = SwapStreaming::new(OracleConfig::new(2, 0.1));
+        s.process(UserId(1), &set(&[1]), &UNIT);
+        s.process(UserId(2), &set(&[2]), &UNIT);
         assert_eq!(s.value(), 2.0);
         // A much better set should displace one of the held singletons.
-        s.process(UserId(3), &set(&[3, 4, 5, 6]));
+        s.process(UserId(3), &set(&[3, 4, 5, 6]), &UNIT);
         assert!(s.value() >= 5.0);
         assert!(s.seeds().contains(&UserId(3)));
         assert_eq!(s.seeds().len(), 2);
@@ -187,31 +214,44 @@ mod tests {
 
     #[test]
     fn does_not_swap_when_no_improvement() {
-        let mut s = SwapStreaming::new(OracleConfig::new(2, 0.1), UnitWeight);
-        s.process(UserId(1), &set(&[1, 2, 3]));
-        s.process(UserId(2), &set(&[4, 5, 6]));
+        let mut s = SwapStreaming::new(OracleConfig::new(2, 0.1));
+        s.process(UserId(1), &set(&[1, 2, 3]), &UNIT);
+        s.process(UserId(2), &set(&[4, 5, 6]), &UNIT);
         let before = s.value();
-        s.process(UserId(3), &set(&[1, 4]));
+        s.process(UserId(3), &set(&[1, 4]), &UNIT);
         assert_eq!(s.value(), before);
         assert!(!s.seeds().contains(&UserId(3)));
     }
 
     #[test]
     fn updated_seed_keeps_growing() {
-        let mut s = SwapStreaming::new(OracleConfig::new(1, 0.1), UnitWeight);
-        s.process(UserId(9), &set(&[1]));
-        s.process(UserId(9), &set(&[1, 2, 3]));
+        let mut s = SwapStreaming::new(OracleConfig::new(1, 0.1));
+        s.process(UserId(9), &set(&[1]), &UNIT);
+        s.process(UserId(9), &set(&[1, 2, 3]), &UNIT);
         assert_eq!(s.value(), 3.0);
         assert_eq!(s.seeds(), vec![UserId(9)]);
         assert_eq!(s.retained_facts(), 3);
     }
 
     #[test]
+    fn grow_updates_held_seed_in_place() {
+        let mut s = SwapStreaming::new(OracleConfig::new(1, 0.1));
+        s.process(UserId(9), &set(&[1]), &UNIT);
+        s.process_grow(UserId(9), UserId(2), &set(&[1, 2]), &UNIT);
+        assert_eq!(s.value(), 2.0);
+        assert_eq!(s.retained_facts(), 2);
+        // Growing an unheld key falls back to the swap logic.
+        s.process_grow(UserId(5), UserId(7), &set(&[6, 7, 8]), &UNIT);
+        assert_eq!(s.value(), 3.0);
+        assert_eq!(s.seeds(), vec![UserId(5)]);
+    }
+
+    #[test]
     fn value_never_decreases() {
-        let mut s = SwapStreaming::new(OracleConfig::new(2, 0.1), UnitWeight);
+        let mut s = SwapStreaming::new(OracleConfig::new(2, 0.1));
         let mut last = 0.0;
         for i in 0..30u32 {
-            s.process(UserId(i % 6), &set(&[i % 11, (i * 3) % 11]));
+            s.process(UserId(i % 6), &set(&[i % 11, (i * 3) % 11]), &UNIT);
             assert!(s.value() + 1e-9 >= last, "value decreased at step {i}");
             last = s.value();
         }
@@ -222,10 +262,10 @@ mod tests {
         // Held: y1 = {1,2}, y2 = {3}.  Arriving X = {1,2,4}: evicting y1
         // loses nothing that X does not re-cover, so the swap is applied and
         // the value rises from 3 to 4.
-        let mut s = SwapStreaming::new(OracleConfig::new(2, 0.1), UnitWeight);
-        s.process(UserId(1), &set(&[1, 2]));
-        s.process(UserId(2), &set(&[3]));
-        s.process(UserId(3), &set(&[1, 2, 4]));
+        let mut s = SwapStreaming::new(OracleConfig::new(2, 0.1));
+        s.process(UserId(1), &set(&[1, 2]), &UNIT);
+        s.process(UserId(2), &set(&[3]), &UNIT);
+        s.process(UserId(3), &set(&[1, 2, 4]), &UNIT);
         assert_eq!(s.value(), 4.0);
         assert!(s.seeds().contains(&UserId(3)));
         assert!(s.seeds().contains(&UserId(2)));
@@ -233,10 +273,14 @@ mod tests {
 
     #[test]
     fn cached_value_matches_recount_after_many_swaps() {
-        let mut s = SwapStreaming::new(OracleConfig::new(3, 0.1), UnitWeight);
+        let mut s = SwapStreaming::new(OracleConfig::new(3, 0.1));
         for i in 0..100u32 {
             let items: Vec<u32> = (0..(1 + i % 7)).map(|j| (i * 5 + j * 3) % 40).collect();
-            s.process(UserId(i % 15), &items.iter().map(|&v| UserId(v)).collect());
+            s.process(
+                UserId(i % 15),
+                &items.iter().map(|&v| UserId(v)).collect(),
+                &UNIT,
+            );
         }
         let mut cov = CoverageState::new();
         for held in s.held.values() {

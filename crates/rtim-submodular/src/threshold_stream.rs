@@ -9,12 +9,17 @@
 //! cheaper than SieveStreaming's adaptive rule at the cost of somewhat
 //! weaker empirical values — exactly the trade-off the Table-2 ablation
 //! bench measures.
+//!
+//! The delta path ([`SsoOracle::process_grow`]) mirrors SieveStreaming's:
+//! existing seeds absorb the single new user in O(1), and singleton values
+//! are maintained incrementally for weighted objectives.
 
 use crate::coverage::CoverageState;
 use crate::oracle::{OracleConfig, SsoOracle};
-use crate::weights::ElementWeight;
-use rtim_stream::UserId;
-use std::collections::{BTreeMap, HashSet};
+use crate::singles::SingletonValues;
+use crate::weights::DenseWeights;
+use rtim_stream::{InfluenceSet, UserId};
+use std::collections::BTreeMap;
 
 #[derive(Debug, Clone)]
 struct Instance {
@@ -36,24 +41,26 @@ impl Instance {
 
 /// The ThresholdStream oracle.
 #[derive(Debug, Clone)]
-pub struct ThresholdStream<W> {
+pub struct ThresholdStream {
     config: OracleConfig,
-    weight: W,
     max_single: f64,
     best_single: Option<(UserId, f64)>,
     instances: BTreeMap<i64, Instance>,
+    /// Incrementally maintained singleton values `f({e})` per key (see
+    /// [`crate::singles`]).
+    singles: SingletonValues,
     elements: u64,
 }
 
-impl<W: ElementWeight> ThresholdStream<W> {
+impl ThresholdStream {
     /// Creates an empty oracle.
-    pub fn new(config: OracleConfig, weight: W) -> Self {
+    pub fn new(config: OracleConfig) -> Self {
         ThresholdStream {
             config,
-            weight,
             max_single: 0.0,
             best_single: None,
             instances: BTreeMap::new(),
+            singles: SingletonValues::new(),
             elements: 0,
         }
     }
@@ -84,12 +91,16 @@ impl<W: ElementWeight> ThresholdStream<W> {
             .values()
             .max_by(|a, b| a.coverage.value().total_cmp(&b.coverage.value()))
     }
-}
 
-impl<W: ElementWeight + Send> SsoOracle for ThresholdStream<W> {
-    fn process(&mut self, key: UserId, set: &HashSet<UserId>) {
+    fn process_inner(
+        &mut self,
+        key: UserId,
+        set: &InfluenceSet,
+        weights: &DenseWeights,
+        added: Option<UserId>,
+    ) {
         self.elements += 1;
-        let single = CoverageState::set_value(&self.weight, set);
+        let single = self.singles.value(key, set, weights, added);
         if single > self.max_single {
             self.max_single = single;
             self.refresh_instances();
@@ -102,7 +113,14 @@ impl<W: ElementWeight + Send> SsoOracle for ThresholdStream<W> {
         let k = self.config.k;
         for inst in self.instances.values_mut() {
             if inst.seeds.contains(&key) {
-                inst.coverage.absorb(&self.weight, set);
+                match added {
+                    Some(a) => {
+                        inst.coverage.absorb_one(weights, a);
+                    }
+                    None => {
+                        inst.coverage.absorb(weights, set);
+                    }
+                }
                 continue;
             }
             if inst.seeds.len() >= k || inst.threshold > single {
@@ -110,12 +128,28 @@ impl<W: ElementWeight + Send> SsoOracle for ThresholdStream<W> {
             }
             let gain = inst
                 .coverage
-                .marginal_gain_at_least(&self.weight, set, inst.threshold);
+                .marginal_gain_at_least(weights, set, inst.threshold);
             if gain >= inst.threshold && gain > 0.0 {
-                inst.coverage.absorb(&self.weight, set);
+                inst.coverage.absorb(weights, set);
                 inst.seeds.push(key);
             }
         }
+    }
+}
+
+impl SsoOracle for ThresholdStream {
+    fn process(&mut self, key: UserId, set: &InfluenceSet, weights: &DenseWeights) {
+        self.process_inner(key, set, weights, None);
+    }
+
+    fn process_grow(
+        &mut self,
+        key: UserId,
+        added: UserId,
+        set: &InfluenceSet,
+        weights: &DenseWeights,
+    ) {
+        self.process_inner(key, set, weights, Some(added));
     }
 
     fn value(&self) -> f64 {
@@ -151,27 +185,28 @@ impl<W: ElementWeight + Send> SsoOracle for ThresholdStream<W> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::weights::UnitWeight;
 
-    fn set(ids: &[u32]) -> HashSet<UserId> {
+    const UNIT: DenseWeights<'static> = DenseWeights::Unit;
+
+    fn set(ids: &[u32]) -> InfluenceSet {
         ids.iter().map(|&i| UserId(i)).collect()
     }
 
     #[test]
     fn admits_elements_above_threshold() {
-        let mut t = ThresholdStream::new(OracleConfig::new(2, 0.2), UnitWeight);
-        t.process(UserId(1), &set(&[1, 2, 3]));
-        t.process(UserId(2), &set(&[4, 5, 6]));
+        let mut t = ThresholdStream::new(OracleConfig::new(2, 0.2));
+        t.process(UserId(1), &set(&[1, 2, 3]), &UNIT);
+        t.process(UserId(2), &set(&[4, 5, 6]), &UNIT);
         assert!(t.value() >= 5.0);
         assert!(t.seeds().len() <= 2);
     }
 
     #[test]
     fn value_monotone_and_bounded_by_universe() {
-        let mut t = ThresholdStream::new(OracleConfig::new(3, 0.1), UnitWeight);
+        let mut t = ThresholdStream::new(OracleConfig::new(3, 0.1));
         let mut last = 0.0;
         for i in 0..20u32 {
-            t.process(UserId(i), &set(&[i % 7, (i + 1) % 7]));
+            t.process(UserId(i), &set(&[i % 7, (i + 1) % 7]), &UNIT);
             assert!(t.value() + 1e-9 >= last);
             last = t.value();
         }
@@ -180,15 +215,33 @@ mod tests {
 
     #[test]
     fn reprocessed_seed_grows() {
-        let mut t = ThresholdStream::new(OracleConfig::new(1, 0.1), UnitWeight);
-        t.process(UserId(3), &set(&[1]));
-        t.process(UserId(3), &set(&[1, 2, 3]));
+        let mut t = ThresholdStream::new(OracleConfig::new(1, 0.1));
+        t.process(UserId(3), &set(&[1]), &UNIT);
+        t.process(UserId(3), &set(&[1, 2, 3]), &UNIT);
         assert!(t.value() >= 3.0);
     }
 
     #[test]
+    fn grow_delta_matches_full_reprocess() {
+        let mut full = ThresholdStream::new(OracleConfig::new(2, 0.2));
+        let mut delta = ThresholdStream::new(OracleConfig::new(2, 0.2));
+        let grown: &[&[u32]] = &[&[1], &[1, 5], &[1, 5, 9]];
+        for (i, cover) in grown.iter().enumerate() {
+            let s = set(cover);
+            full.process(UserId(1), &s, &UNIT);
+            if i == 0 {
+                delta.process(UserId(1), &s, &UNIT);
+            } else {
+                delta.process_grow(UserId(1), UserId(cover[i]), &s, &UNIT);
+            }
+            assert_eq!(full.value(), delta.value());
+            assert_eq!(full.seeds(), delta.seeds());
+        }
+    }
+
+    #[test]
     fn empty_is_zero() {
-        let t = ThresholdStream::new(OracleConfig::default(), UnitWeight);
+        let t = ThresholdStream::new(OracleConfig::default());
         assert_eq!(t.value(), 0.0);
         assert!(t.seeds().is_empty());
     }

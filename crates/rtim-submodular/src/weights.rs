@@ -21,6 +21,16 @@ use std::sync::Arc;
 pub trait ElementWeight: Clone {
     /// The weight contributed by `user` when it appears in an influence set.
     fn weight(&self, user: UserId) -> f64;
+
+    /// `true` if this weight is the constant `1.0` for **every** user.
+    ///
+    /// Coverage operations use this to take pure word-level `popcount`
+    /// paths instead of per-element weight lookups.  The default is `false`
+    /// (conservative: per-element lookups are always correct).
+    #[inline]
+    fn is_unit(&self) -> bool {
+        false
+    }
 }
 
 /// Cardinality: every influenced user counts 1.  This is the influence
@@ -32,6 +42,48 @@ impl ElementWeight for UnitWeight {
     #[inline]
     fn weight(&self, _user: UserId) -> f64 {
         1.0
+    }
+
+    #[inline]
+    fn is_unit(&self) -> bool {
+        true
+    }
+}
+
+/// Borrowed dense weight table indexed by **interned** user id.
+///
+/// This is the weight view the checkpoint oracles run on: the engine interns
+/// raw user ids into a dense `0..n` space at ancestry-resolution time, and
+/// the checkpoint layer materializes the element weights of those users into
+/// a flat `Vec<f64>` (one entry per interned user, appended in interning
+/// order).  An oracle update then costs an array index per element — or
+/// nothing at all for the cardinality objective, where coverage operations
+/// reduce to word-level popcounts.
+///
+/// # Panics
+/// `weight` panics if a `Table` lookup is out of range: every user reaching
+/// an oracle must have been registered in the table first (the checkpoint
+/// layer guarantees this by extending the table before each feed).
+#[derive(Debug, Clone, Copy)]
+pub enum DenseWeights<'a> {
+    /// The cardinality objective: every user weighs `1.0`, no table needed.
+    Unit,
+    /// Weighted coverage: `table[dense_id]` is the user's weight.
+    Table(&'a [f64]),
+}
+
+impl ElementWeight for DenseWeights<'_> {
+    #[inline]
+    fn weight(&self, user: UserId) -> f64 {
+        match self {
+            DenseWeights::Unit => 1.0,
+            DenseWeights::Table(t) => t[user.index()],
+        }
+    }
+
+    #[inline]
+    fn is_unit(&self) -> bool {
+        matches!(self, DenseWeights::Unit)
     }
 }
 
@@ -114,5 +166,17 @@ mod tests {
         let w = MapWeight::new(HashMap::new(), -1.0);
         assert_eq!(w.weight(UserId(3)), 0.0);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn unit_flags_are_consistent() {
+        assert!(UnitWeight.is_unit());
+        assert!(!MapWeight::new(HashMap::new(), 1.0).is_unit());
+        assert!(DenseWeights::Unit.is_unit());
+        let table = [2.0, 0.5];
+        let w = DenseWeights::Table(&table);
+        assert!(!w.is_unit());
+        assert_eq!(w.weight(UserId(1)), 0.5);
+        assert_eq!(DenseWeights::Unit.weight(UserId(9)), 1.0);
     }
 }

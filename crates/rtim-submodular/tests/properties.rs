@@ -3,12 +3,11 @@
 //! guarantee, and the streaming oracles' guarantees against brute force.
 
 use proptest::prelude::*;
-use rtim_stream::{InfluenceSets, UserId};
+use rtim_stream::{InfluenceSet, InfluenceSets, UserId};
 use rtim_submodular::{
-    brute_force_best, greedy_max_coverage, lazy_greedy_max_coverage, CoverageState, OracleConfig,
-    OracleKind, UnitWeight,
+    brute_force_best, greedy_max_coverage, lazy_greedy_max_coverage, CoverageState, DenseWeights,
+    OracleConfig, OracleKind, UnitWeight,
 };
-use std::collections::HashSet;
 
 /// A random small coverage instance: up to `max_candidates` candidate users,
 /// each covering a subset of a universe of `universe` items.
@@ -46,7 +45,7 @@ proptest! {
         let mut cov = CoverageState::new();
         let mut last = 0.0;
         for (_, covered) in &instance {
-            let set: HashSet<UserId> = covered.iter().map(|&v| UserId(v)).collect();
+            let set: InfluenceSet = covered.iter().map(|&v| UserId(v)).collect();
             prop_assert!(cov.marginal_gain(&w, &set) >= 0.0);
             cov.absorb(&w, &set);
             prop_assert!(cov.value() + 1e-9 >= last);
@@ -62,11 +61,11 @@ proptest! {
         extra in prop::collection::vec(0u32..20, 1..10),
     ) {
         let w = UnitWeight;
-        let x: HashSet<UserId> = extra.into_iter().map(UserId).collect();
+        let x: InfluenceSet = extra.into_iter().map(UserId).collect();
         let mut cov = CoverageState::new();
         let mut last_gain = cov.marginal_gain(&w, &x);
         for (_, covered) in &instance {
-            cov.absorb(&w, &covered.iter().map(|&v| UserId(v)).collect::<HashSet<_>>());
+            cov.absorb(&w, &covered.iter().map(|&v| UserId(v)).collect::<InfluenceSet>());
             let gain = cov.marginal_gain(&w, &x);
             prop_assert!(gain <= last_gain + 1e-9);
             last_gain = gain;
@@ -100,9 +99,9 @@ proptest! {
         let opt = brute_force_best(&sets, k, &UnitWeight).value;
         for kind in OracleKind::all() {
             let config = OracleConfig::new(k, 0.1);
-            let mut oracle = kind.build(config, UnitWeight);
+            let mut oracle = kind.build(config);
             for (u, covered) in sets.iter() {
-                oracle.process(u, &covered.iter().copied().collect());
+                oracle.process(u, covered, &DenseWeights::Unit);
             }
             let ratio = kind.approximation_ratio(config);
             prop_assert!(
@@ -122,13 +121,13 @@ proptest! {
         k in 1usize..4,
     ) {
         for kind in OracleKind::all() {
-            let mut oracle = kind.build(OracleConfig::new(k, 0.2), UnitWeight);
-            let mut cumulative: std::collections::HashMap<u32, HashSet<UserId>> = Default::default();
+            let mut oracle = kind.build(OracleConfig::new(k, 0.2));
+            let mut cumulative: std::collections::HashMap<u32, InfluenceSet> = Default::default();
             let mut last = 0.0;
             for (u, covered) in &instance {
                 let entry = cumulative.entry(*u).or_default();
                 entry.extend(covered.iter().map(|&v| UserId(v)));
-                oracle.process(UserId(*u), entry);
+                oracle.process(UserId(*u), entry, &DenseWeights::Unit);
                 prop_assert!(oracle.value() + 1e-9 >= last, "{} value decreased", kind.name());
                 last = oracle.value();
             }

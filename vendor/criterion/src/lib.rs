@@ -1,0 +1,232 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment cannot fetch crates.io, so this crate provides the
+//! subset of the Criterion 0.5 API the `rtim-bench` benches use
+//! ([`Criterion::benchmark_group`], [`BenchmarkGroup`] builder methods,
+//! [`Bencher::iter`], the [`criterion_group!`]/[`criterion_main!`] macros).
+//! Instead of Criterion's statistical sampling it runs each benchmark
+//! closure for a handful of timed iterations and prints the mean wall-clock
+//! time — enough to compile identically, smoke-run, and give rough numbers.
+//! Swap in the real Criterion for publication-quality measurements.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed iterations per benchmark (after one warm-up call).
+const ITERATIONS: u32 = 3;
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Registers a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub always runs a fixed number
+    /// of iterations.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored by the stub.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored by the stub.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored by the stub.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_id()), &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_id()), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Finishes the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation, mirroring `criterion::Throughput`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Benchmark identifier: a function name plus a parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion of the various accepted id types into a display string.
+pub trait IntoBenchmarkId {
+    /// The rendered benchmark id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..ITERATIONS {
+            black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iterations += ITERATIONS;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let mean = bencher
+        .elapsed
+        .checked_div(bencher.iterations.max(1))
+        .unwrap_or(Duration::ZERO);
+    println!("bench {label:<60} {mean:>12.3?}/iter ({} iters)", bencher.iterations);
+}
+
+/// Declares a group function running the listed benchmark functions,
+/// mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(1))
+            .warm_up_time(Duration::from_millis(1))
+            .throughput(Throughput::Elements(4));
+        let mut total = 0u64;
+        group.bench_function("sum", |b| b.iter(|| total += 1));
+        group.bench_with_input(BenchmarkId::new("param", 3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        group.finish();
+        assert!(total >= u64::from(ITERATIONS));
+    }
+}
