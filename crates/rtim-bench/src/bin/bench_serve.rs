@@ -1,0 +1,144 @@
+//! Emits the machine-readable serving-performance artifact
+//! `BENCH_serve.json` (schema `rtim-bench-serve/v1`).
+//!
+//! Starts an in-process `rtim-server` on an ephemeral loopback port, drives
+//! it with N concurrent protocol clients (each streaming its own generated
+//! trace in framed batches, with one observer issuing periodic `QUERY`s),
+//! then drains and records the sustained end-to-end actions/sec alongside
+//! the engine-side counters.
+//!
+//! ```text
+//! cargo run --release -p rtim-bench --bin bench_serve -- \
+//!     --dataset syn-n --actions 20000 --users 2000 --window 2000 --slide 100 \
+//!     --clients 4 --threads 2 --batch 500 --capacity 32 --out BENCH_serve.json
+//! ```
+
+use rtim_bench::cli::Args;
+use rtim_bench::{CommonArgs, ServeBenchReport, ServeRun, COMMON_KEYS};
+use rtim_core::FrameworkKind;
+use rtim_datagen::DatasetConfig;
+use rtim_server::{RtimClient, RtimServer, ServerConfig};
+use std::time::Instant;
+
+fn main() {
+    let keys: Vec<&str> = COMMON_KEYS
+        .iter()
+        .copied()
+        .chain(["threads", "clients", "batch", "capacity", "out"])
+        .collect();
+    let args = match Args::parse(&keys) {
+        Ok(a) => a,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let common = CommonArgs::resolve(&args);
+    let threads: usize = args.get_or("threads", 1usize).max(1);
+    let clients: usize = args.get_or("clients", 4usize).max(1);
+    let batch: usize = args.get_or("batch", 0usize);
+    let capacity: usize = args.get_or("capacity", 32usize).max(1);
+    let out = args.get("out").unwrap_or("BENCH_serve.json").to_string();
+
+    let params = &common.params;
+    // Default batch: 5 slides per frame, aligned with L so the server's
+    // slide cuts match an offline replay.
+    let batch = if batch == 0 { 5 * params.slide } else { batch };
+    let dataset = common.datasets[0];
+
+    let mut report = ServeBenchReport::new();
+    let mut thread_counts = vec![1usize];
+    if threads > 1 {
+        thread_counts.push(threads);
+    }
+
+    for kind in [FrameworkKind::Sic, FrameworkKind::Ic] {
+        for &t in &thread_counts {
+            let config = params.sim_config().with_threads(t);
+            let server = RtimServer::bind(
+                "127.0.0.1:0",
+                ServerConfig::new(config, kind).with_queue_capacity(capacity),
+            )
+            .expect("bind loopback server");
+            let addr = server.local_addr();
+
+            // Generate every client's trace BEFORE starting the clock —
+            // the artifact measures the serving pipeline, not datagen.
+            // Each client streams its own trace (its own id space); seeds
+            // differ so the traces differ.
+            let traces: Vec<_> = (0..clients)
+                .map(|c| {
+                    let mut cfg = DatasetConfig::new(dataset, params.scale);
+                    if let Some(a) = common.actions {
+                        cfg = cfg.with_actions(a);
+                    }
+                    if let Some(u) = common.users {
+                        cfg = cfg.with_users(u);
+                    }
+                    cfg.with_seed(params.seed + 31 * c as u64).generate()
+                })
+                .collect();
+
+            let started = Instant::now();
+            let workers: Vec<_> = traces
+                .into_iter()
+                .enumerate()
+                .map(|(c, trace)| {
+                    std::thread::spawn(move || {
+                        let mut client = RtimClient::connect(addr).expect("connect");
+                        let mut busy = 0u64;
+                        let mut queries = 0u64;
+                        for (i, chunk) in trace.actions().chunks(batch).enumerate() {
+                            busy += client.ingest_blocking(chunk).expect("ingest");
+                            // The first client doubles as the observer.
+                            if c == 0 && i % 8 == 7 {
+                                let _ = client.query().expect("query");
+                                queries += 1;
+                            }
+                        }
+                        (busy, queries)
+                    })
+                })
+                .collect();
+            let mut busy_retries = 0u64;
+            let mut queries = 0u64;
+            for worker in workers {
+                let (busy, q) = worker.join().expect("client thread panicked");
+                busy_retries += busy;
+                queries += q;
+            }
+            let server_report = server.shutdown();
+            let wall_nanos = started.elapsed().as_nanos() as u64;
+
+            let name = format!(
+                "{}_c{}_t{}",
+                kind.name().to_ascii_lowercase(),
+                clients,
+                t
+            );
+            let run = ServeRun::new(
+                name,
+                kind.name(),
+                t,
+                clients,
+                batch,
+                capacity,
+                &server_report.stats,
+                wall_nanos,
+                busy_retries,
+                queries,
+            );
+            println!(
+                "{:>12}  {:>9} actions  {:>12.0} actions/s  max depth {:>3}  busy {:>6}",
+                run.name, run.actions, run.actions_per_sec, run.max_queue_depth, run.busy_retries
+            );
+            report.runs.push(run);
+        }
+    }
+
+    if let Err(e) = report.write(&out) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}

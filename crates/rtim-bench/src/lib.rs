@@ -29,11 +29,13 @@ pub mod params;
 pub mod quality;
 pub mod report;
 pub mod runner;
+pub mod servejson;
 pub mod stats;
 
 pub use covbench::{bitmap_pass, coverage_workload, hashset_pass, time_pass};
 pub use experiments::{BetaSweep, CommonArgs, MethodSweep, COMMON_KEYS};
 pub use feedjson::{CoverageOpsSample, FeedBenchReport, FeedRun, FEED_SCHEMA};
+pub use servejson::{ServeBenchReport, ServeRun, SERVE_SCHEMA};
 pub use params::{ExperimentParams, ParamGrid};
 pub use quality::evaluate_average_spread;
 pub use report::{format_series, format_table, Series};

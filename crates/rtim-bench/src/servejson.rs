@@ -1,0 +1,217 @@
+//! Machine-readable serving-performance reports (`BENCH_serve.json`).
+//!
+//! `bench_feed` tracks the *in-process* feed path; the serving workload
+//! adds framing, loopback TCP, the bounded queue and backpressure on top.
+//! [`ServeBenchReport`] captures one run of the `bench_serve` binary: per
+//! configuration (framework × clients × pool threads) the sustained
+//! end-to-end ingest rate over loopback, the engine-side feed time, and
+//! the queue behaviour (max depth, busy retries).
+//!
+//! Like `BENCH_feed.json`, the document is written by a small hand-rolled
+//! writer (the vendored `serde` is a no-op stub) and versioned via the
+//! `schema` field (`rtim-bench-serve/v1`); CI smoke-runs the emission
+//! path.
+
+use rtim_core::EngineStats;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Schema identifier of the emitted JSON document.
+pub const SERVE_SCHEMA: &str = "rtim-bench-serve/v1";
+
+/// One served run: N loopback clients streaming into one server.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// Run label, e.g. `"sic_c4_t1"`.
+    pub name: String,
+    /// Framework name (`"SIC"` / `"IC"`).
+    pub framework: String,
+    /// Worker threads backing the checkpoint set (1 = sequential).
+    pub threads: usize,
+    /// Concurrent ingest clients.
+    pub clients: usize,
+    /// Actions per `INGEST` frame.
+    pub batch: usize,
+    /// Bounded queue capacity (commands).
+    pub capacity: usize,
+    /// Total actions acknowledged and processed.
+    pub actions: u64,
+    /// Wall-clock nanoseconds from first ingest to drained shutdown.
+    pub wall_nanos: u64,
+    /// Sustained end-to-end rate: actions per wall-clock second.
+    pub actions_per_sec: f64,
+    /// Engine-side feed nanoseconds (resolution + window + checkpoints).
+    pub feed_nanos: u64,
+    /// Engine-side query nanoseconds.
+    pub query_nanos: u64,
+    /// Maximum queue depth observed at any dequeue.
+    pub max_queue_depth: u64,
+    /// `BUSY` replies absorbed by the clients (backpressure events).
+    pub busy_retries: u64,
+    /// Mid-run `QUERY` round-trips issued by the observer client.
+    pub queries: u64,
+}
+
+impl ServeRun {
+    /// Assembles a run record from the drained server stats.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        name: impl Into<String>,
+        framework: impl Into<String>,
+        threads: usize,
+        clients: usize,
+        batch: usize,
+        capacity: usize,
+        stats: &EngineStats,
+        wall_nanos: u64,
+        busy_retries: u64,
+        queries: u64,
+    ) -> ServeRun {
+        let wall_secs = wall_nanos as f64 / 1e9;
+        ServeRun {
+            name: name.into(),
+            framework: framework.into(),
+            threads,
+            clients,
+            batch,
+            capacity,
+            actions: stats.actions,
+            wall_nanos,
+            actions_per_sec: if wall_secs > 0.0 {
+                stats.actions as f64 / wall_secs
+            } else {
+                0.0
+            },
+            feed_nanos: stats.feed_nanos,
+            query_nanos: stats.query_nanos,
+            max_queue_depth: stats.max_queue_depth,
+            busy_retries,
+            queries,
+        }
+    }
+}
+
+/// The complete `BENCH_serve.json` document.
+#[derive(Debug, Clone, Default)]
+pub struct ServeBenchReport {
+    /// Served runs, in execution order.
+    pub runs: Vec<ServeRun>,
+}
+
+impl ServeBenchReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the document as a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_str(SERVE_SCHEMA));
+        out.push_str("  \"runs\": [");
+        for (i, run) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"name\": {}, ", json_str(&run.name));
+            let _ = write!(out, "\"framework\": {}, ", json_str(&run.framework));
+            let _ = write!(out, "\"threads\": {}, ", run.threads);
+            let _ = write!(out, "\"clients\": {}, ", run.clients);
+            let _ = write!(out, "\"batch\": {}, ", run.batch);
+            let _ = write!(out, "\"capacity\": {}, ", run.capacity);
+            let _ = write!(out, "\"actions\": {}, ", run.actions);
+            let _ = write!(out, "\"wall_nanos\": {}, ", run.wall_nanos);
+            let _ = write!(out, "\"actions_per_sec\": {}, ", json_f64(run.actions_per_sec));
+            let _ = write!(out, "\"feed_nanos\": {}, ", run.feed_nanos);
+            let _ = write!(out, "\"query_nanos\": {}, ", run.query_nanos);
+            let _ = write!(out, "\"max_queue_depth\": {}, ", run.max_queue_depth);
+            let _ = write!(out, "\"busy_retries\": {}, ", run.busy_retries);
+            let _ = write!(out, "\"queries\": {}", run.queries);
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes the document to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// JSON string literal with the escapes the labels here can contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite JSON number (JSON has no NaN/Inf; those become null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(actions: u64) -> EngineStats {
+        EngineStats {
+            actions,
+            feed_nanos: 1_000,
+            max_queue_depth: 7,
+            ..EngineStats::default()
+        }
+    }
+
+    #[test]
+    fn run_derives_sustained_rate() {
+        let run = ServeRun::new("sic_c4_t1", "SIC", 1, 4, 500, 64, &stats(1_000), 2_000_000_000, 3, 9);
+        assert_eq!(run.actions, 1_000);
+        assert_eq!(run.actions_per_sec, 500.0);
+        assert_eq!(run.max_queue_depth, 7);
+        assert_eq!(run.busy_retries, 3);
+    }
+
+    #[test]
+    fn json_carries_schema_and_runs() {
+        let mut report = ServeBenchReport::new();
+        report
+            .runs
+            .push(ServeRun::new("ic_c2_t4", "IC", 4, 2, 100, 8, &stats(42), 1, 0, 1));
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"rtim-bench-serve/v1\""));
+        assert!(json.contains("\"name\": \"ic_c2_t4\""));
+        assert!(json.contains("\"actions\": 42"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn zero_wall_time_is_not_a_division_crash() {
+        let run = ServeRun::new("x", "SIC", 1, 1, 1, 1, &stats(5), 0, 0, 0);
+        assert_eq!(run.actions_per_sec, 0.0);
+        assert!(ServeBenchReport { runs: vec![run] }.to_json().contains("\"actions_per_sec\": 0"));
+    }
+}

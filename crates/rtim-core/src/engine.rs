@@ -53,6 +53,11 @@ pub struct SlideReport {
     /// slide.  Filled by [`SimEngine::run_stream`] (which queries every
     /// slide); 0 when the caller never queried.
     pub query_nanos: u64,
+    /// Ingest-queue depth observed when the batch producing this slide was
+    /// dequeued.  Filled by [`crate::EngineHandle`]'s engine thread (the
+    /// asynchronous ingest pipeline); 0 for synchronous callers, which have
+    /// no queue.
+    pub queue_depth: usize,
 }
 
 /// Aggregated result of replaying a whole stream
@@ -252,6 +257,7 @@ impl SimEngine {
             oracle_updates: self.framework.oracle_updates(),
             feed_nanos: resolve_nanos + started.elapsed().as_nanos() as u64,
             query_nanos: 0,
+            queue_depth: 0,
         }
     }
 
@@ -336,6 +342,11 @@ impl SimEngine {
     /// Number of checkpoints currently maintained by the framework.
     pub fn checkpoint_count(&self) -> usize {
         self.framework.checkpoint_count()
+    }
+
+    /// Total oracle element updates performed by the framework so far.
+    pub fn oracle_updates(&self) -> u64 {
+        self.framework.oracle_updates()
     }
 
     /// Exact influence sets of the current window (recomputed from scratch;

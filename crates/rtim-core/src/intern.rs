@@ -26,15 +26,16 @@
 //! results are invariant under any injective relabeling of raw user ids —
 //! values bit-identical, seeds relabeled.
 
+use fxhash::FxHashMap;
 use rtim_stream::UserId;
 use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 
 /// Assigns dense `u32` ids to raw user ids in first-appearance order.
 #[derive(Debug, Clone, Default)]
 pub struct UserInterner {
-    /// raw id → dense id.
-    map: HashMap<UserId, UserId>,
+    /// raw id → dense id.  FxHash-keyed: the engine probes this once per
+    /// user per resolved action, making it an outer feed-path map.
+    map: FxHashMap<UserId, UserId>,
     /// dense id → raw id (index = dense id).
     raws: Vec<UserId>,
 }

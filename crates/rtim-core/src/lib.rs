@@ -29,6 +29,10 @@
 //!   answers SIM queries after every slide (including multi-action slides,
 //!   §5.3).  Batched ingestion ([`SimEngine::ingest_batch`]) and whole-stream
 //!   replay ([`SimEngine::run_stream`]) sit on top.
+//! * [`handle`] — the asynchronous ingest pipeline ([`EngineHandle`]): a
+//!   bounded queue decoupling producers from a dedicated engine thread while
+//!   preserving the one-writer determinism invariant (what the
+//!   `rtim-server` TCP front-end runs on).
 //! * [`extensions`] — topic-aware, location-aware and conformity-aware SIM
 //!   (Appendix A).
 //!
@@ -63,6 +67,7 @@ pub mod config;
 pub mod engine;
 pub mod extensions;
 pub mod framework;
+pub mod handle;
 pub mod ic;
 pub mod intern;
 pub mod parallel;
@@ -74,6 +79,10 @@ pub use checkpoint_set::CheckpointSet;
 pub use config::SimConfig;
 pub use engine::{RunReport, SimEngine, SlideReport};
 pub use framework::{Framework, FrameworkKind, ResolvedAction, Solution};
+pub use handle::{
+    EngineHandle, EngineReport, EngineStats, HandleClosed, HandleOptions, IngestError,
+    IngestSender, SenderSpawner, RECENT_SLIDES,
+};
 pub use ic::IcFramework;
 pub use intern::UserInterner;
 pub use pool::{CheckpointStat, ShardPool};

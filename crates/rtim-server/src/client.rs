@@ -1,0 +1,183 @@
+//! A small blocking client for the RTIM wire protocol.
+//!
+//! Used by the integration tests, the `bench_serve` harness and the
+//! `live_server` example; deployments with their own I/O stack only need
+//! the [`crate::protocol`] codec.
+//!
+//! One client = one connection = one private id space: action ids must be
+//! strictly increasing across everything this client ingests, and replies
+//! may reference any earlier action sent *by this client* (the server
+//! remaps them onto global arrival order).
+
+use crate::protocol::{read_frame, write_frame, Frame, FrameError, PROTOCOL_VERSION};
+use rtim_core::{EngineStats, Solution};
+use rtim_stream::Action;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Errors surfaced by the client.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The peer broke the framing.
+    Frame(FrameError),
+    /// The peer answered with a frame the protocol does not allow here.
+    Unexpected(String),
+    /// The server replied with an `ERROR` frame.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "I/O error: {e}"),
+            ClientError::Frame(e) => write!(f, "protocol error: {e}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected reply: {what}"),
+            ClientError::Server(msg) => write!(f, "server error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+/// Outcome of one ingest attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestReply {
+    /// The batch was enqueued.
+    Ack {
+        /// Actions accepted.
+        accepted: u64,
+        /// Queue occupancy right after the enqueue.
+        queue_depth: u32,
+    },
+    /// The bounded queue was full — back off and retry the same batch.
+    Busy {
+        /// The server's queue capacity (retry-pacing hint).
+        capacity: u32,
+    },
+}
+
+/// A blocking protocol client over one TCP connection.
+pub struct RtimClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl RtimClient {
+    /// Connects and validates the server's `HELLO`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<RtimClient, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut client = RtimClient {
+            reader,
+            writer: BufWriter::new(stream),
+        };
+        match read_frame(&mut client.reader)? {
+            Frame::Hello { version: PROTOCOL_VERSION } => Ok(client),
+            Frame::Hello { version } => Err(ClientError::Unexpected(format!(
+                "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
+            ))),
+            other => Err(ClientError::Unexpected(format!("{other:?} instead of HELLO"))),
+        }
+    }
+
+    /// Sends one request frame and reads one reply frame.
+    fn round_trip(&mut self, request: &Frame) -> Result<Frame, ClientError> {
+        write_frame(&mut self.writer, request)?;
+        Ok(read_frame(&mut self.reader)?)
+    }
+
+    /// Ships one batch; a full queue comes back as [`IngestReply::Busy`].
+    pub fn ingest(&mut self, actions: &[Action]) -> Result<IngestReply, ClientError> {
+        match self.round_trip(&Frame::Ingest(actions.to_vec()))? {
+            Frame::Ack {
+                accepted,
+                queue_depth,
+            } => Ok(IngestReply::Ack {
+                accepted,
+                queue_depth,
+            }),
+            Frame::Busy { capacity } => Ok(IngestReply::Busy { capacity }),
+            Frame::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to INGEST"))),
+        }
+    }
+
+    /// Ships one batch, retrying with a short backoff while the server is
+    /// busy.  Returns the number of `BUSY` replies absorbed.
+    pub fn ingest_blocking(&mut self, actions: &[Action]) -> Result<u64, ClientError> {
+        let mut retries = 0u64;
+        loop {
+            match self.ingest(actions)? {
+                IngestReply::Ack { .. } => return Ok(retries),
+                IngestReply::Busy { .. } => {
+                    retries += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        }
+    }
+
+    /// Asks for the current SIM answer (seeds in raw user-id space).
+    pub fn query(&mut self) -> Result<Solution, ClientError> {
+        match self.round_trip(&Frame::Query)? {
+            Frame::Solution(solution) => Ok(solution),
+            Frame::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to QUERY"))),
+        }
+    }
+
+    /// Asks for the pipeline counters.
+    pub fn stats(&mut self) -> Result<EngineStats, ClientError> {
+        match self.round_trip(&Frame::Stats)? {
+            Frame::StatsReply(stats) => Ok(stats),
+            Frame::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to STATS"))),
+        }
+    }
+
+    /// Requests a graceful server shutdown (queue drained, then exit).
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(&Frame::Shutdown)? {
+            Frame::Ack { .. } => Ok(()),
+            Frame::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to SHUTDOWN"))),
+        }
+    }
+
+    /// Raw access to the underlying socket — test hook for injecting
+    /// malformed bytes outside the codec.
+    pub fn raw_stream(&mut self) -> &mut TcpStream {
+        self.writer.get_mut()
+    }
+
+    /// Reads one frame and expects a server `ERROR` — test hook paired
+    /// with [`RtimClient::raw_stream`].
+    pub fn read_error(&mut self) -> Result<String, ClientError> {
+        match read_frame(&mut self.reader)? {
+            Frame::Error(msg) => Ok(msg),
+            other => Err(ClientError::Unexpected(format!("{other:?} instead of ERROR"))),
+        }
+    }
+}
+
+impl std::fmt::Debug for RtimClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtimClient").finish()
+    }
+}

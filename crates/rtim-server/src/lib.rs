@@ -1,0 +1,54 @@
+//! # rtim-server
+//!
+//! A long-running TCP front-end for continuous Stream Influence
+//! Maximization: clients stream social actions in over a small framed
+//! binary protocol and ask for the current seed set at any time, while the
+//! engine keeps sliding its window — the serving workload the paper's
+//! *real-time* premise implies.
+//!
+//! The server is deliberately `std::net`-only (no async runtime): one
+//! acceptor thread, one thread per connection, and the
+//! [`rtim_core::EngineHandle`] bounded-queue pipeline between them.
+//! Connection threads **parse and enqueue**; a single engine thread owns
+//! the [`rtim_core::SimEngine`] and drains batches in arrival order, which
+//! preserves the one-writer invariant that keeps interner minting and pool
+//! sharding bit-identical to an offline replay of the same arrival order.
+//! When the queue is full the server replies `BUSY` instead of blocking
+//! the socket — explicit backpressure, Polynesia-style isolation of the
+//! ingest path from the analytical path.
+//!
+//! See `docs/SERVER.md` for the full protocol specification (framing
+//! layout, id-space semantics, backpressure, the determinism invariant).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rtim_core::{FrameworkKind, SimConfig};
+//! use rtim_server::{RtimClient, RtimServer, ServerConfig};
+//! use rtim_stream::Action;
+//!
+//! // Bind on an ephemeral loopback port.
+//! let config = ServerConfig::new(SimConfig::new(2, 0.3, 8, 2), FrameworkKind::Sic);
+//! let server = RtimServer::bind("127.0.0.1:0", config).unwrap();
+//!
+//! let mut client = RtimClient::connect(server.local_addr()).unwrap();
+//! client
+//!     .ingest_blocking(&[Action::root(1u64, 1u32), Action::reply(2u64, 2u32, 1u64)])
+//!     .unwrap();
+//! let solution = client.query().unwrap();
+//! assert!(solution.value >= 2.0);
+//! client.shutdown().unwrap(); // graceful drain
+//! let report = server.wait();
+//! assert_eq!(report.stats.actions, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientError, IngestReply, RtimClient};
+pub use protocol::{Frame, FrameError, MAX_FRAME_LEN, PROTOCOL_VERSION};
+pub use server::{RtimServer, ServerConfig, ServerReport};

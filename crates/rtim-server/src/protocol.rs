@@ -1,0 +1,475 @@
+//! The framed wire protocol.
+//!
+//! Every message is one **frame**: a 1-byte kind tag, a little-endian
+//! `u32` payload length, then the payload.  Payloads reuse the workspace's
+//! binary codecs — an `INGEST` frame carries a `RTAB` action batch exactly
+//! as produced by [`rtim_stream::encode_batch`] — so the wire format and
+//! the on-disk trace format stay one family (see `docs/SERVER.md` for the
+//! byte-level layout of every frame).
+//!
+//! Decoding is defensive end to end: a length prefix above
+//! [`MAX_FRAME_LEN`] is rejected *before* any allocation is sized from it,
+//! a stream ending mid-frame is [`FrameError::Truncated`], payload bytes
+//! beyond the declared structure are an error, and an unknown kind byte is
+//! reported with its value.  Nothing in this module panics on wire input —
+//! property-tested in `tests/protocol_props.rs`.
+
+use bytes::{Buf, BufMut, BytesMut};
+use rtim_core::{EngineStats, Solution};
+use rtim_stream::{decode_batch, encode_batch, Action, UserId};
+use std::io::{self, Read, Write};
+
+/// Protocol version carried by the server's `HELLO` frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Magic bytes inside the `HELLO` payload.
+pub const HELLO_MAGIC: &[u8; 4] = b"RTIM";
+
+/// Upper bound on a frame payload (32 MiB ≈ 1.6 M actions per batch) —
+/// far above any sane batch, low enough that a hostile length prefix
+/// cannot drive allocation.
+pub const MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
+
+/// Frame kind tags (client requests below 0x80, server replies above).
+mod kind {
+    pub const INGEST: u8 = 0x01;
+    pub const QUERY: u8 = 0x02;
+    pub const STATS: u8 = 0x03;
+    pub const SHUTDOWN: u8 = 0x04;
+    pub const HELLO: u8 = 0x80;
+    pub const ACK: u8 = 0x81;
+    pub const SOLUTION: u8 = 0x82;
+    pub const STATS_REPLY: u8 = 0x83;
+    pub const BUSY: u8 = 0x84;
+    pub const ERROR: u8 = 0x8F;
+}
+
+/// Number of `u64` counters in a `STATS` reply payload (wire order is
+/// documented on [`encode_stats`]).
+const STATS_FIELDS: usize = 11;
+
+/// One protocol message, either direction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Server greeting, sent once per connection before anything else.
+    Hello {
+        /// Protocol version ([`PROTOCOL_VERSION`]).
+        version: u8,
+    },
+    /// Client → server: an action batch in the sender's id space.
+    Ingest(Vec<Action>),
+    /// Client → server: answer the SIM query for the current window.
+    Query,
+    /// Client → server: report pipeline counters.
+    Stats,
+    /// Client → server: drain the queue and stop the server.
+    Shutdown,
+    /// Server → client: the batch was accepted (enqueued).
+    Ack {
+        /// Actions accepted.
+        accepted: u64,
+        /// Queue occupancy observed right after the enqueue.
+        queue_depth: u32,
+    },
+    /// Server → client: the current SIM answer (seeds in raw id space).
+    Solution(Solution),
+    /// Server → client: pipeline counters.
+    StatsReply(EngineStats),
+    /// Server → client: the bounded queue is full — back off and retry.
+    Busy {
+        /// The queue capacity, as a retry-pacing hint.
+        capacity: u32,
+    },
+    /// Server → client: the request failed; the connection stays usable
+    /// unless the transport itself broke.
+    Error(String),
+}
+
+/// Errors produced while reading or decoding a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the connection at a frame boundary (clean EOF).
+    Closed,
+    /// Underlying transport failure.
+    Io(io::Error),
+    /// The stream ended in the middle of a frame.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`].
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+        /// The allowed maximum ([`MAX_FRAME_LEN`]).
+        max: u32,
+    },
+    /// The kind byte is not part of the protocol.
+    UnknownKind(u8),
+    /// The payload does not decode as the frame kind demands.
+    Payload(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Closed => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "I/O error: {e}"),
+            FrameError::Truncated => write!(f, "frame truncated mid-record"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds the maximum {max}")
+            }
+            FrameError::UnknownKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
+            FrameError::Payload(msg) => write!(f, "bad frame payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    }
+}
+
+/// Encodes a frame into `kind + len + payload` bytes.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let (tag, payload) = match frame {
+        Frame::Hello { version } => {
+            let mut p = BytesMut::with_capacity(5);
+            p.put_slice(HELLO_MAGIC);
+            p.put_u8(*version);
+            (kind::HELLO, p)
+        }
+        Frame::Ingest(actions) => {
+            let batch = encode_batch(actions);
+            let mut p = BytesMut::with_capacity(batch.len());
+            p.put_slice(&batch);
+            (kind::INGEST, p)
+        }
+        Frame::Query => (kind::QUERY, BytesMut::new()),
+        Frame::Stats => (kind::STATS, BytesMut::new()),
+        Frame::Shutdown => (kind::SHUTDOWN, BytesMut::new()),
+        Frame::Ack {
+            accepted,
+            queue_depth,
+        } => {
+            let mut p = BytesMut::with_capacity(12);
+            p.put_u64_le(*accepted);
+            p.put_u32_le(*queue_depth);
+            (kind::ACK, p)
+        }
+        Frame::Solution(solution) => {
+            let mut p = BytesMut::with_capacity(12 + 4 * solution.seeds.len());
+            p.put_u64_le(solution.value.to_bits());
+            p.put_u32_le(solution.seeds.len() as u32);
+            for seed in &solution.seeds {
+                p.put_u32_le(seed.0);
+            }
+            (kind::SOLUTION, p)
+        }
+        Frame::StatsReply(stats) => (kind::STATS_REPLY, encode_stats(stats)),
+        Frame::Busy { capacity } => {
+            let mut p = BytesMut::with_capacity(4);
+            p.put_u32_le(*capacity);
+            (kind::BUSY, p)
+        }
+        Frame::Error(msg) => {
+            let mut p = BytesMut::with_capacity(msg.len());
+            p.put_slice(msg.as_bytes());
+            (kind::ERROR, p)
+        }
+    };
+    let mut out = Vec::with_capacity(5 + payload.len());
+    out.push(tag);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Writes one frame to the transport (one `write_all`, no partial frames).
+///
+/// Refuses to emit a frame the peer is guaranteed to reject: a payload
+/// above [`MAX_FRAME_LEN`] (an ingest batch of ~1.6 M actions — chunk it)
+/// is `InvalidInput`, not a wire write.
+pub fn write_frame<W: Write>(mut writer: W, frame: &Frame) -> io::Result<()> {
+    let bytes = encode_frame(frame);
+    if bytes.len() - 5 > MAX_FRAME_LEN as usize {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!(
+                "frame payload of {} bytes exceeds the protocol maximum {MAX_FRAME_LEN}",
+                bytes.len() - 5
+            ),
+        ));
+    }
+    writer.write_all(&bytes)?;
+    writer.flush()
+}
+
+/// Reads one frame from the transport.
+///
+/// A clean EOF *before* the kind byte is [`FrameError::Closed`]; an EOF
+/// anywhere later is [`FrameError::Truncated`].
+pub fn read_frame<R: Read>(mut reader: R) -> Result<Frame, FrameError> {
+    let mut tag = [0u8; 1];
+    // Distinguish a clean close (0 bytes) from a mid-frame cut.
+    match reader.read(&mut tag) {
+        Ok(0) => return Err(FrameError::Closed),
+        Ok(_) => {}
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => return read_frame(reader),
+        Err(e) => return Err(e.into()),
+    }
+    let mut len_bytes = [0u8; 4];
+    reader.read_exact(&mut len_bytes)?;
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    reader.read_exact(&mut payload)?;
+    decode_payload(tag[0], &payload)
+}
+
+/// Decodes a payload for the given kind tag.
+fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+    let mut data = payload;
+    let frame = match tag {
+        kind::HELLO => {
+            if data.len() != 5 || &data[..4] != HELLO_MAGIC {
+                return Err(FrameError::Payload("malformed HELLO".into()));
+            }
+            Frame::Hello { version: data[4] }
+        }
+        kind::INGEST => Frame::Ingest(
+            decode_batch(data).map_err(|e| FrameError::Payload(e.to_string()))?,
+        ),
+        kind::QUERY => expect_empty(data, Frame::Query)?,
+        kind::STATS => expect_empty(data, Frame::Stats)?,
+        kind::SHUTDOWN => expect_empty(data, Frame::Shutdown)?,
+        kind::ACK => {
+            if data.len() != 12 {
+                return Err(FrameError::Payload("ACK payload must be 12 bytes".into()));
+            }
+            Frame::Ack {
+                accepted: data.get_u64_le(),
+                queue_depth: data.get_u32_le(),
+            }
+        }
+        kind::SOLUTION => {
+            if data.len() < 12 {
+                return Err(FrameError::Payload("SOLUTION payload too short".into()));
+            }
+            let value = f64::from_bits(data.get_u64_le());
+            let count = data.get_u32_le() as usize;
+            if data.remaining() != count * 4 {
+                return Err(FrameError::Payload(format!(
+                    "SOLUTION declares {count} seeds but carries {} bytes",
+                    data.remaining()
+                )));
+            }
+            let seeds = (0..count).map(|_| UserId(data.get_u32_le())).collect();
+            Frame::Solution(Solution { seeds, value })
+        }
+        kind::STATS_REPLY => Frame::StatsReply(decode_stats(data)?),
+        kind::BUSY => {
+            if data.len() != 4 {
+                return Err(FrameError::Payload("BUSY payload must be 4 bytes".into()));
+            }
+            Frame::Busy {
+                capacity: data.get_u32_le(),
+            }
+        }
+        kind::ERROR => Frame::Error(
+            String::from_utf8(data.to_vec())
+                .map_err(|_| FrameError::Payload("ERROR message is not UTF-8".into()))?,
+        ),
+        other => return Err(FrameError::UnknownKind(other)),
+    };
+    Ok(frame)
+}
+
+fn expect_empty(data: &[u8], frame: Frame) -> Result<Frame, FrameError> {
+    if data.is_empty() {
+        Ok(frame)
+    } else {
+        Err(FrameError::Payload(format!(
+            "{} trailing bytes on a bodyless frame",
+            data.len()
+        )))
+    }
+}
+
+/// Encodes [`EngineStats`] as 11 little-endian `u64`s, in field order:
+/// `actions, batches, slides, checkpoints, oracle_updates, feed_nanos,
+/// query_nanos, queue_depth, max_queue_depth, users, orphaned_replies`.
+fn encode_stats(stats: &EngineStats) -> BytesMut {
+    let mut p = BytesMut::with_capacity(8 * STATS_FIELDS);
+    for v in [
+        stats.actions,
+        stats.batches,
+        stats.slides,
+        stats.checkpoints,
+        stats.oracle_updates,
+        stats.feed_nanos,
+        stats.query_nanos,
+        stats.queue_depth,
+        stats.max_queue_depth,
+        stats.users,
+        stats.orphaned_replies,
+    ] {
+        p.put_u64_le(v);
+    }
+    p
+}
+
+fn decode_stats(mut data: &[u8]) -> Result<EngineStats, FrameError> {
+    if data.len() != 8 * STATS_FIELDS {
+        return Err(FrameError::Payload(format!(
+            "STATS payload must be {} bytes, got {}",
+            8 * STATS_FIELDS,
+            data.len()
+        )));
+    }
+    Ok(EngineStats {
+        actions: data.get_u64_le(),
+        batches: data.get_u64_le(),
+        slides: data.get_u64_le(),
+        checkpoints: data.get_u64_le(),
+        oracle_updates: data.get_u64_le(),
+        feed_nanos: data.get_u64_le(),
+        query_nanos: data.get_u64_le(),
+        queue_depth: data.get_u64_le(),
+        max_queue_depth: data.get_u64_le(),
+        users: data.get_u64_le(),
+        orphaned_replies: data.get_u64_le(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(frame: Frame) {
+        let bytes = encode_frame(&frame);
+        let decoded = read_frame(bytes.as_slice()).unwrap();
+        assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn all_frames_round_trip() {
+        round_trip(Frame::Hello {
+            version: PROTOCOL_VERSION,
+        });
+        round_trip(Frame::Ingest(vec![
+            Action::root(1u64, 7u32),
+            Action::reply(3u64, 8u32, 1u64),
+            Action::reply(5u64, 9u32, 2u64), // cross-batch parent
+        ]));
+        round_trip(Frame::Query);
+        round_trip(Frame::Stats);
+        round_trip(Frame::Shutdown);
+        round_trip(Frame::Ack {
+            accepted: 500,
+            queue_depth: 3,
+        });
+        round_trip(Frame::Solution(Solution {
+            seeds: vec![UserId(4), UserId(1_000_000)],
+            value: 42.5,
+        }));
+        round_trip(Frame::StatsReply(EngineStats {
+            actions: 1,
+            batches: 2,
+            slides: 3,
+            checkpoints: 4,
+            oracle_updates: 5,
+            feed_nanos: 6,
+            query_nanos: 7,
+            queue_depth: 8,
+            max_queue_depth: 9,
+            users: 10,
+            orphaned_replies: 11,
+        }));
+        round_trip(Frame::Busy { capacity: 64 });
+        round_trip(Frame::Error("boom".into()));
+    }
+
+    #[test]
+    fn clean_eof_is_closed_and_midframe_eof_is_truncated() {
+        assert!(matches!(read_frame(&[][..]), Err(FrameError::Closed)));
+        let bytes = encode_frame(&Frame::Query);
+        for cut in 1..bytes.len() {
+            let err = read_frame(&bytes[..cut]).unwrap_err();
+            assert!(matches!(err, FrameError::Truncated), "cut {cut}: {err}");
+        }
+        let bytes = encode_frame(&Frame::Ingest(vec![Action::root(1u64, 1u32)]));
+        let err = read_frame(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(matches!(err, FrameError::Truncated), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut bytes = vec![0x02]; // QUERY
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(bytes.as_slice()).unwrap_err();
+        assert!(
+            matches!(err, FrameError::Oversized { len: u32::MAX, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn unknown_kind_and_bad_payloads_are_typed_errors() {
+        let mut bytes = vec![0x55];
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(FrameError::UnknownKind(0x55))
+        ));
+        // QUERY with trailing payload bytes.
+        let mut bytes = vec![0x02];
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(b"xx");
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(FrameError::Payload(_))
+        ));
+        // SOLUTION whose seed count disagrees with its length.
+        let mut p = Vec::new();
+        p.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+        p.extend_from_slice(&9u32.to_le_bytes()); // claims 9 seeds, has 0
+        let mut bytes = vec![0x82];
+        bytes.extend_from_slice(&(p.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&p);
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(FrameError::Payload(_))
+        ));
+        // INGEST carrying garbage instead of an RTAB batch.
+        let mut bytes = vec![0x01];
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(b"junk");
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(FrameError::Payload(_))
+        ));
+    }
+
+    #[test]
+    fn frames_decode_back_to_back_from_one_stream() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_frame(&Frame::Ingest(vec![Action::root(1u64, 1u32)])));
+        stream.extend_from_slice(&encode_frame(&Frame::Query));
+        stream.extend_from_slice(&encode_frame(&Frame::Shutdown));
+        let mut cursor = stream.as_slice();
+        assert!(matches!(read_frame(&mut cursor).unwrap(), Frame::Ingest(_)));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Frame::Query);
+        assert_eq!(read_frame(&mut cursor).unwrap(), Frame::Shutdown);
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+}

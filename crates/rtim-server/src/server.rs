@@ -1,0 +1,506 @@
+//! The TCP server: acceptor + per-connection threads in front of the
+//! bounded-queue engine pipeline.
+//!
+//! Threading model (see the crate docs for the rationale):
+//!
+//! ```text
+//!  client ──TCP── connection thread ──┐
+//!  client ──TCP── connection thread ──┼── bounded mpsc ── engine thread
+//!  client ──TCP── connection thread ──┘      (capacity C)   (owns SimEngine)
+//! ```
+//!
+//! Connection threads do the *cheap* work — frame parsing, batch
+//! validation, backpressure replies — and never touch the engine.  Each
+//! holds its own [`rtim_core::IngestSender`], so each connection is one
+//! private id space (replies may reference the connection's earlier
+//! actions; the engine remaps them onto global arrival order).  `QUERY`
+//! and `STATS` travel through the same queue, so a client always observes
+//! its own preceding ingests.
+//!
+//! Shutdown: a `SHUTDOWN` frame (or [`RtimServer::shutdown`]) flips the
+//! accept flag, wakes the acceptor with a loopback connect, lets every
+//! connection thread finish, then drains the engine queue and joins the
+//! engine thread.  Actions acknowledged with `ACK` before the drain began
+//! are guaranteed to be processed.
+
+use crate::protocol::{read_frame, write_frame, Frame, FrameError, PROTOCOL_VERSION};
+use rtim_core::{
+    EngineHandle, FrameworkKind, HandleOptions, IngestError, IngestSender, SenderSpawner,
+    SimConfig,
+};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Server configuration: the SIM query plus pipeline knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// The continuous SIM query (k, β, N, L, oracle, pool threads).
+    pub sim: SimConfig,
+    /// Which checkpoint framework the engine runs.
+    pub kind: FrameworkKind,
+    /// Bounded ingest-queue capacity in commands (batches/queries).
+    pub queue_capacity: usize,
+    /// Record the rebased arrival-order stream (for determinism tests and
+    /// trace capture; costs memory proportional to the stream).
+    pub journal: bool,
+    /// Per-connection id-remap horizon (see
+    /// [`rtim_core::HandleOptions::remap_horizon`]); `None` retains every
+    /// mapping for the lifetime of the engine.
+    pub remap_horizon: Option<u64>,
+}
+
+impl ServerConfig {
+    /// A configuration with the default pipeline knobs (capacity 64, no
+    /// journal, unbounded remap tables).
+    pub fn new(sim: SimConfig, kind: FrameworkKind) -> Self {
+        ServerConfig {
+            sim,
+            kind,
+            queue_capacity: 64,
+            journal: false,
+            remap_horizon: None,
+        }
+    }
+
+    /// Sets the bounded queue capacity (clamped to at least 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Enables the arrival-order journal.
+    pub fn with_journal(mut self, journal: bool) -> Self {
+        self.journal = journal;
+        self
+    }
+
+    /// Bounds the per-connection id-remap tables.
+    pub fn with_remap_horizon(mut self, horizon: u64) -> Self {
+        self.remap_horizon = Some(horizon.max(1));
+        self
+    }
+}
+
+/// Final state returned when the server stops: the drained engine
+/// pipeline's report (counters, final solution, optional journal, recent
+/// slide reports with their observed queue depths).
+pub type ServerReport = rtim_core::EngineReport;
+
+/// Shared connection-side state.
+struct ServerShared {
+    /// Set once a shutdown was requested; connections refuse new ingests
+    /// and the acceptor stops accepting.
+    shutting_down: AtomicBool,
+    /// Queue capacity, echoed in `BUSY` replies.
+    capacity: u32,
+    /// One socket clone per live connection, keyed by connection id, so
+    /// `stop` can unblock connection threads parked in `read_frame` (an
+    /// idle client must not stall the drain).  Entries are removed by the
+    /// connection thread on exit.
+    peers: Mutex<std::collections::HashMap<u64, TcpStream>>,
+}
+
+/// A running RTIM server.
+///
+/// Dropping the server without calling [`RtimServer::shutdown`] or
+/// [`RtimServer::wait`] aborts the accept loop and drains the engine.
+pub struct RtimServer {
+    addr: SocketAddr,
+    handle: Option<EngineHandle>,
+    acceptor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shared: Arc<ServerShared>,
+}
+
+impl RtimServer {
+    /// Binds the listener and spawns the engine + acceptor threads.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<RtimServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let mut options = HandleOptions::default()
+            .with_capacity(config.queue_capacity)
+            .with_journal(config.journal);
+        if let Some(h) = config.remap_horizon {
+            options = options.with_remap_horizon(h);
+        }
+        let handle = EngineHandle::spawn(config.sim, config.kind, options);
+        let shared = Arc::new(ServerShared {
+            shutting_down: AtomicBool::new(false),
+            capacity: config.queue_capacity.max(1) as u32,
+            peers: Mutex::new(std::collections::HashMap::new()),
+        });
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            // One fresh sender (one private id space) per accepted
+            // connection, minted on the acceptor thread via the spawner.
+            let spawner = handle.sender_spawner();
+            std::thread::Builder::new()
+                .name("rtim-accept".into())
+                .spawn(move || accept_loop(listener, shared, connections, spawner))
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(RtimServer {
+            addr,
+            handle: Some(handle),
+            acceptor: Some(acceptor),
+            connections,
+            shared,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current ingest-queue depth (approximate).
+    pub fn queue_depth(&self) -> usize {
+        self.handle
+            .as_ref()
+            .map_or(0, |handle| handle.queue_depth())
+    }
+
+    /// Blocks until a client sends `SHUTDOWN`, then drains and reports.
+    pub fn wait(mut self) -> ServerReport {
+        self.stop(false)
+    }
+
+    /// Stops the server from the owning side: stop accepting, close out
+    /// connections, drain the queue, join the engine.
+    pub fn shutdown(mut self) -> ServerReport {
+        self.stop(true)
+    }
+
+    fn stop(&mut self, initiate: bool) -> ServerReport {
+        if initiate {
+            self.shared.shutting_down.store(true, Ordering::Release);
+            wake_acceptor(self.addr);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Unblock connection threads parked in `read_frame` on idle
+        // sockets — without this, one silent client would stall the join
+        // below (and thus the drain) indefinitely.
+        for peer in self.shared.peers.lock().expect("lock poisoned").values() {
+            let _ = peer.shutdown(std::net::Shutdown::Both);
+        }
+        // The acceptor exited, so the connection list is complete; join
+        // every connection thread (they exit on EOF or the shutdown flag).
+        let connections = std::mem::take(&mut *self.connections.lock().expect("lock poisoned"));
+        for conn in connections {
+            let _ = conn.join();
+        }
+        let handle = self.handle.take().expect("server already stopped");
+        handle.shutdown()
+    }
+}
+
+impl Drop for RtimServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            let _ = self.stop(true);
+        }
+    }
+}
+
+impl std::fmt::Debug for RtimServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RtimServer")
+            .field("addr", &self.addr)
+            .field("queue_depth", &self.queue_depth())
+            .finish()
+    }
+}
+
+/// Wakes a blocked `accept` by connecting and immediately dropping.
+fn wake_acceptor(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+/// The accept loop: one thread per connection until shutdown.
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    spawner: SenderSpawner,
+) {
+    let mut next_conn_id = 0u64;
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            break; // the wake-up connection (or a race with it) lands here
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        // Register a socket clone so `stop` can unblock a parked read.
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .peers
+                .lock()
+                .expect("lock poisoned")
+                .insert(conn_id, clone);
+        }
+        let sender = spawner.sender();
+        let conn_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("rtim-conn".into())
+            .spawn(move || {
+                let wake = connection_loop(stream, sender, &conn_shared);
+                conn_shared
+                    .peers
+                    .lock()
+                    .expect("lock poisoned")
+                    .remove(&conn_id);
+                if let Some(local) = wake {
+                    // This connection requested shutdown: wake the acceptor
+                    // so the server can finish.
+                    wake_acceptor(local);
+                }
+            })
+            .expect("spawn connection thread");
+        connections.lock().expect("lock poisoned").push(thread);
+    }
+}
+
+/// Serves one connection.  Returns `Some(local_addr)` if this connection
+/// initiated a shutdown (the caller wakes the acceptor with it).
+fn connection_loop(
+    stream: TcpStream,
+    mut sender: IngestSender,
+    shared: &ServerShared,
+) -> Option<SocketAddr> {
+    let local = stream.local_addr().ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return None;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    if write_frame(&mut writer, &Frame::Hello { version: PROTOCOL_VERSION }).is_err() {
+        return None;
+    }
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed) => return None,
+            Err(e @ (FrameError::Io(_) | FrameError::Truncated)) => {
+                // Transport is gone or mid-frame cut (a client dropping
+                // mid-batch): nothing was enqueued for the broken frame;
+                // just close.
+                let _ = e;
+                return None;
+            }
+            Err(e @ FrameError::Oversized { .. }) => {
+                // The payload was never read, so the stream cannot be
+                // resynchronized — report and close before the unread
+                // bytes would be misparsed as frames.
+                let _ = write_frame(&mut writer, &Frame::Error(e.to_string()));
+                return None;
+            }
+            Err(e) => {
+                // Bad payload / unknown kind: the payload was fully
+                // consumed, the length prefix kept us in sync — report
+                // and keep serving.
+                let _ = write_frame(&mut writer, &Frame::Error(e.to_string()));
+                continue;
+            }
+        };
+        let reply = match frame {
+            Frame::Ingest(actions) => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    Frame::Error("server is shutting down".into())
+                } else {
+                    let count = actions.len() as u64;
+                    match sender.try_ingest(actions) {
+                        Ok(()) => Frame::Ack {
+                            accepted: count,
+                            queue_depth: sender.queue_depth() as u32,
+                        },
+                        Err(IngestError::Full(_)) => Frame::Busy {
+                            capacity: shared.capacity,
+                        },
+                        Err(e @ IngestError::Invalid(_)) => Frame::Error(e.to_string()),
+                        Err(IngestError::Closed) => {
+                            let _ = write_frame(
+                                &mut writer,
+                                &Frame::Error("engine is shut down".into()),
+                            );
+                            return None;
+                        }
+                    }
+                }
+            }
+            Frame::Query => match sender.query() {
+                Ok(solution) => Frame::Solution(solution),
+                Err(_) => return None,
+            },
+            Frame::Stats => match sender.stats() {
+                Ok(stats) => Frame::StatsReply(stats),
+                Err(_) => return None,
+            },
+            Frame::Shutdown => {
+                shared.shutting_down.store(true, Ordering::Release);
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Ack {
+                        accepted: 0,
+                        queue_depth: sender.queue_depth() as u32,
+                    },
+                );
+                return local;
+            }
+            // Reply frames arriving from a confused client.
+            other => Frame::Error(format!("unexpected client frame: {other:?}")),
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::{IngestReply, RtimClient};
+    use rtim_stream::Action;
+
+    fn toy_server() -> RtimServer {
+        let config = ServerConfig::new(SimConfig::new(2, 0.3, 8, 2), FrameworkKind::Ic)
+            .with_journal(true)
+            .with_queue_capacity(8);
+        RtimServer::bind("127.0.0.1:0", config).unwrap()
+    }
+
+    fn figure1_actions() -> Vec<Action> {
+        vec![
+            Action::root(1u64, 1u32),
+            Action::reply(2u64, 2u32, 1u64),
+            Action::root(3u64, 3u32),
+            Action::reply(4u64, 3u32, 1u64),
+            Action::reply(5u64, 4u32, 3u64),
+            Action::reply(6u64, 1u32, 3u64),
+            Action::reply(7u64, 5u32, 3u64),
+            Action::reply(8u64, 4u32, 7u64),
+            Action::root(9u64, 2u32),
+            Action::reply(10u64, 6u32, 9u64),
+        ]
+    }
+
+    #[test]
+    fn ingest_query_stats_shutdown_over_loopback() {
+        let server = toy_server();
+        let mut client = RtimClient::connect(server.local_addr()).unwrap();
+        let actions = figure1_actions();
+        for batch in actions.chunks(4) {
+            match client.ingest(batch).unwrap() {
+                IngestReply::Ack { accepted, .. } => assert_eq!(accepted, batch.len() as u64),
+                IngestReply::Busy { .. } => panic!("queue of 8 cannot be full here"),
+            }
+        }
+        let solution = client.query().unwrap();
+        assert_eq!(solution.value, 6.0);
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.actions, 10);
+        assert_eq!(stats.batches, 3);
+        client.shutdown().unwrap();
+        let report = server.wait();
+        assert_eq!(report.stats.actions, 10);
+        assert_eq!(report.final_solution.value, 6.0);
+        assert_eq!(report.journal.unwrap().actions(), actions.as_slice());
+    }
+
+    #[test]
+    fn malformed_frames_get_typed_errors_and_the_connection_survives() {
+        use std::io::Write as _;
+        let server = toy_server();
+        let mut client = RtimClient::connect(server.local_addr()).unwrap();
+        // Inject a bodyless QUERY with trailing garbage at the raw socket.
+        let raw = client.raw_stream();
+        let mut bad = vec![0x02];
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(b"xx");
+        raw.write_all(&bad).unwrap();
+        let err = client.read_error().unwrap();
+        assert!(err.contains("trailing bytes"), "{err}");
+        // The connection still works afterwards.
+        client.ingest(&[Action::root(1u64, 1u32)]).unwrap();
+        assert_eq!(client.stats().unwrap().actions, 1);
+        drop(client);
+        let report = server.shutdown();
+        assert_eq!(report.stats.actions, 1);
+    }
+
+    #[test]
+    fn client_dropping_mid_batch_leaves_the_server_healthy() {
+        use std::io::Write as _;
+        let server = toy_server();
+        // A client that writes half an INGEST frame and vanishes.
+        {
+            let mut half = std::net::TcpStream::connect(server.local_addr()).unwrap();
+            let frame = crate::protocol::encode_frame(&Frame::Ingest(figure1_actions()));
+            half.write_all(&frame[..frame.len() / 2]).unwrap();
+            // dropped here, mid-frame
+        }
+        // A well-behaved client is unaffected.
+        let mut client = RtimClient::connect(server.local_addr()).unwrap();
+        client.ingest(&figure1_actions()).unwrap();
+        assert_eq!(client.query().unwrap().value, 6.0);
+        drop(client);
+        let report = server.shutdown();
+        assert_eq!(report.stats.actions, 10);
+    }
+
+    /// An idle connected client (no frames, no close) must not stall the
+    /// drain: `shutdown` unblocks its parked read via the peer registry.
+    #[test]
+    fn shutdown_is_not_stalled_by_an_idle_client() {
+        let server = toy_server();
+        let mut active = RtimClient::connect(server.local_addr()).unwrap();
+        let _idle = RtimClient::connect(server.local_addr()).unwrap(); // never speaks
+        active.ingest(&figure1_actions()).unwrap();
+        drop(active);
+        // Would deadlock in `conn.join()` without the socket shutdown.
+        let report = server.shutdown();
+        assert_eq!(report.stats.actions, 10);
+    }
+
+    /// An oversized length prefix cannot be resynchronized: the server
+    /// reports it and closes instead of misparsing the unread payload.
+    #[test]
+    fn oversized_frame_reports_then_closes() {
+        use std::io::Write as _;
+        let server = toy_server();
+        let mut client = RtimClient::connect(server.local_addr()).unwrap();
+        let raw = client.raw_stream();
+        let mut bad = vec![0x01]; // INGEST claiming a 4 GiB payload
+        bad.extend_from_slice(&u32::MAX.to_le_bytes());
+        bad.extend_from_slice(&[0x04, 0, 0, 0, 0]); // would parse as SHUTDOWN if desynced
+        raw.write_all(&bad).unwrap();
+        let err = client.read_error().unwrap();
+        assert!(err.contains("exceeds the maximum"), "{err}");
+        // The connection is closed; the server itself is still up.
+        assert!(client.query().is_err());
+        let mut fresh = RtimClient::connect(server.local_addr()).unwrap();
+        fresh.ingest(&[Action::root(1u64, 1u32)]).unwrap();
+        let report = server.shutdown();
+        assert_eq!(report.stats.actions, 1);
+    }
+
+    #[test]
+    fn owner_side_shutdown_stops_accepting() {
+        let server = toy_server();
+        let addr = server.local_addr();
+        let report = server.shutdown();
+        assert_eq!(report.stats.actions, 0);
+        // After shutdown the port is released (or at least refuses the
+        // protocol): a fresh connect must not receive a HELLO.
+        assert!(RtimClient::connect(addr).is_err());
+    }
+}

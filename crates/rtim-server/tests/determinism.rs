@@ -1,0 +1,175 @@
+//! Multi-client determinism: concurrent loopback ingest must be
+//! bit-identical to an offline replay of the same arrival order.
+//!
+//! The server enforces arrival order at the bounded queue — whatever
+//! interleaving the clients race into, the engine consumes one global
+//! sequence.  With the journal enabled that sequence is captured, so the
+//! invariant under test is:
+//!
+//! > final `QUERY` (seeds + value) == `SimEngine::run_stream` over the
+//! > journaled arrival-order trace, bit for bit, at pool threads 1 and 4.
+//!
+//! Every client batch is a multiple of the slide length `L`, so the
+//! server's within-batch slide cuts land on the same boundaries as the
+//! offline replay (see `docs/SERVER.md`, "Determinism").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtim_core::{FrameworkKind, SimConfig, SimEngine};
+use rtim_server::{IngestReply, RtimClient, RtimServer, ServerConfig};
+use rtim_stream::Action;
+
+/// One client's scripted stream: ids 1..=n in its private space, replying
+/// only to its own earlier actions (~55% replies, recency-biased).
+fn client_script(seed: u64, actions: usize, users: u32) -> Vec<Action> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(actions);
+    for t in 1..=actions as u64 {
+        let user = rng.gen_range(0..users);
+        let action = if t > 1 && rng.gen_bool(0.55) {
+            // Bias towards recent parents, like real cascades.
+            let span = (t - 1).min(200);
+            let parent = t - rng.gen_range(1..span + 1);
+            Action::reply(t, user, parent)
+        } else {
+            Action::root(t, user)
+        };
+        out.push(action);
+    }
+    out
+}
+
+/// Drives `clients` concurrent loopback connections, each shipping its
+/// script in `batch`-sized chunks, then checks the final answer against
+/// the offline replay of the journal.
+fn run_with_threads(threads: usize, clients: usize, per_client: usize) {
+    const L: usize = 100;
+    let config = SimConfig::new(5, 0.5, 1_000, L).with_threads(threads);
+    let server = RtimServer::bind(
+        "127.0.0.1:0",
+        ServerConfig::new(config, FrameworkKind::Sic)
+            .with_journal(true)
+            .with_queue_capacity(16),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let batch = 5 * L; // multiple of L: slide cuts align with run_stream
+    assert!(per_client.is_multiple_of(batch), "script must split into whole batches");
+    let workers: Vec<_> = (0..clients)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let script = client_script(0xC0FFEE + c as u64, per_client, 2_000);
+                let mut client = RtimClient::connect(addr).unwrap();
+                let mut acked = 0u64;
+                for chunk in script.chunks(batch) {
+                    client.ingest_blocking(chunk).unwrap();
+                    acked += chunk.len() as u64;
+                    // Interleave mid-stream queries on a couple of clients;
+                    // they must not perturb ingest state.
+                    if c < 2 && acked.is_multiple_of(batch as u64 * 4) {
+                        let _ = client.query().unwrap();
+                    }
+                }
+                acked
+            })
+        })
+        .collect();
+    let total_acked: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+
+    // Final answer over the wire, then drain.
+    let mut probe = RtimClient::connect(addr).unwrap();
+    let live = probe.query().unwrap();
+    probe.shutdown().unwrap();
+    let report = server.wait();
+
+    assert_eq!(total_acked, (clients * per_client) as u64);
+    assert_eq!(report.stats.actions, total_acked);
+    assert_eq!(report.final_solution, live);
+
+    // Offline replay of the journaled arrival order, same config.
+    let journal = report.journal.expect("journal enabled");
+    assert_eq!(journal.len(), total_acked as usize);
+    let mut offline = SimEngine::new_sic(config);
+    let offline_report = offline.run_stream(&journal);
+    let offline_solution = offline_report.final_solution();
+
+    assert_eq!(
+        live.seeds, offline_solution.seeds,
+        "threads={threads}: seed sets diverged"
+    );
+    assert_eq!(
+        live.value.to_bits(),
+        offline_solution.value.to_bits(),
+        "threads={threads}: values diverged ({} vs {})",
+        live.value,
+        offline_solution.value
+    );
+    assert_eq!(
+        report.stats.slides,
+        offline_report.slides.len() as u64,
+        "slide boundaries diverged"
+    );
+    assert_eq!(report.stats.checkpoints, offline.checkpoint_count() as u64);
+    assert_eq!(report.stats.oracle_updates, offline.oracle_updates());
+}
+
+/// ≥100k actions interleaved by 5 concurrent clients, sequential pool.
+#[test]
+fn concurrent_clients_match_offline_replay_sequential() {
+    run_with_threads(1, 5, 20_000);
+}
+
+/// Same workload with a 4-worker shard pool behind the engine thread.
+#[test]
+fn concurrent_clients_match_offline_replay_pool4() {
+    run_with_threads(4, 5, 20_000);
+}
+
+/// Eight clients with tiny ragged-but-aligned batches still serialize into
+/// one valid arrival order (smaller volume; exercises interleaving, not
+/// throughput).
+#[test]
+fn eight_clients_interleave_cleanly() {
+    const L: usize = 10;
+    let config = SimConfig::new(3, 0.4, 100, L);
+    let server = RtimServer::bind(
+        "127.0.0.1:0",
+        ServerConfig::new(config, FrameworkKind::Ic)
+            .with_journal(true)
+            .with_queue_capacity(4),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let workers: Vec<_> = (0..8)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let script = client_script(7 + c as u64, 600, 150);
+                let mut client = RtimClient::connect(addr).unwrap();
+                for chunk in script.chunks(3 * L) {
+                    match client.ingest(chunk).unwrap() {
+                        IngestReply::Ack { accepted, .. } => {
+                            assert_eq!(accepted, chunk.len() as u64)
+                        }
+                        IngestReply::Busy { capacity } => {
+                            assert_eq!(capacity, 4);
+                            client.ingest_blocking(chunk).unwrap();
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    let mut probe = RtimClient::connect(addr).unwrap();
+    let live = probe.query().unwrap();
+    probe.shutdown().unwrap();
+    let report = server.wait();
+    assert_eq!(report.stats.actions, 8 * 600);
+    let mut offline = SimEngine::new_ic(config);
+    let offline_solution = offline.run_stream(&report.journal.unwrap()).final_solution();
+    assert_eq!(live.seeds, offline_solution.seeds);
+    assert_eq!(live.value.to_bits(), offline_solution.value.to_bits());
+}

@@ -1,0 +1,154 @@
+//! Property tests for the framed wire protocol: every frame round-trips
+//! bit-exactly through `encode_frame`/`read_frame`, frame streams stay in
+//! sync, and hostile bytes (truncations, oversized length prefixes, random
+//! garbage) come back as typed [`FrameError`]s — never panics.
+
+use proptest::prelude::*;
+use rtim_core::{EngineStats, Solution};
+use rtim_server::protocol::{encode_frame, read_frame};
+use rtim_server::{Frame, FrameError, MAX_FRAME_LEN};
+use rtim_stream::{Action, UserId};
+
+/// A structurally valid ingest batch from free-form generator output: ids
+/// grow by `gap`; a reply's parent is any earlier id (not necessarily in
+/// the batch — the batch codec allows cross-batch references).
+fn build_batch(start: u64, spec: Vec<(u64, u32, Option<u64>)>) -> Vec<Action> {
+    let mut actions = Vec::with_capacity(spec.len());
+    let mut id = start;
+    for (gap, user, reply_back) in spec {
+        id += gap;
+        actions.push(match reply_back {
+            Some(back) if id > 1 => Action::reply(id, user, (id - 1).saturating_sub(back % (id - 1)).max(1)),
+            _ => Action::root(id, user),
+        });
+    }
+    actions
+}
+
+fn batch_strategy() -> impl Strategy<Value = Vec<Action>> {
+    (
+        1u64..1000,
+        prop::collection::vec((1u64..4, 0u32..10_000, prop::option::of(0u64..500)), 1..80),
+    )
+        .prop_map(|(start, spec)| build_batch(start, spec))
+}
+
+/// Any protocol frame, driven by a discriminant plus generic payloads.
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (
+        0usize..10,
+        batch_strategy(),
+        prop::collection::vec(0u32..5_000_000, 0..12),
+        0u64..u64::MAX,
+        0.0f64..1e12,
+        prop::collection::vec(0u16..128, 0..40),
+    )
+        .prop_map(|(pick, batch, seeds, number, value, text)| match pick {
+            0 => Frame::Hello {
+                version: (number % 256) as u8,
+            },
+            1 => Frame::Ingest(batch),
+            2 => Frame::Query,
+            3 => Frame::Stats,
+            4 => Frame::Shutdown,
+            5 => Frame::Ack {
+                accepted: number,
+                queue_depth: (number % 4096) as u32,
+            },
+            6 => Frame::Solution(Solution {
+                seeds: seeds.into_iter().map(UserId).collect(),
+                value,
+            }),
+            7 => Frame::StatsReply(EngineStats {
+                actions: number,
+                batches: number / 3,
+                slides: number / 7,
+                checkpoints: number % 100,
+                oracle_updates: number / 2,
+                feed_nanos: number,
+                query_nanos: number / 5,
+                queue_depth: number % 64,
+                max_queue_depth: number % 128,
+                users: number % 1_000_000,
+                orphaned_replies: number % 17,
+            }),
+            8 => Frame::Busy {
+                capacity: (number % 100_000) as u32,
+            },
+            _ => Frame::Error(
+                text.into_iter()
+                    .map(|c| char::from_u32(u32::from(c) + 32).unwrap_or('?'))
+                    .collect(),
+            ),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → read is the identity for every frame kind.
+    #[test]
+    fn frames_round_trip(frame in frame_strategy()) {
+        let bytes = encode_frame(&frame);
+        let decoded = read_frame(bytes.as_slice()).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Several frames back to back decode in order and end with `Closed` —
+    /// the length prefix keeps the stream in sync.
+    #[test]
+    fn frame_streams_stay_in_sync(frames in prop::collection::vec(frame_strategy(), 1..8)) {
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(&encode_frame(f));
+        }
+        let mut cursor = stream.as_slice();
+        for f in &frames {
+            prop_assert_eq!(&read_frame(&mut cursor).unwrap(), f);
+        }
+        prop_assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
+    }
+
+    /// A frame cut at ANY byte offset is `Closed` (cut before the first
+    /// byte) or `Truncated` — never a panic, never a bogus frame.
+    #[test]
+    fn truncated_frames_are_typed_errors(frame in frame_strategy(), at in 0usize..100_000) {
+        let bytes = encode_frame(&frame);
+        let cut = at % bytes.len();
+        match read_frame(&bytes[..cut]) {
+            Err(FrameError::Closed) => prop_assert_eq!(cut, 0),
+            Err(FrameError::Truncated) => prop_assert!(cut > 0),
+            other => prop_assert!(false, "cut {} gave {:?}", cut, other),
+        }
+    }
+
+    /// An oversized length prefix is rejected as `Oversized` before any
+    /// payload allocation, whatever the kind byte says.
+    #[test]
+    fn oversized_length_prefix_is_rejected(tag in 0u16..256, len in 0u32..u32::MAX) {
+        prop_assume!(len > MAX_FRAME_LEN);
+        let mut bytes = vec![tag as u8];
+        bytes.extend_from_slice(&len.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]); // some payload bytes present
+        prop_assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(FrameError::Oversized { .. })
+        ));
+    }
+
+    /// Random garbage never panics the frame reader.
+    #[test]
+    fn random_bytes_never_panic(
+        bytes in prop::collection::vec(0u16..256, 0..400)
+            .prop_map(|v| v.into_iter().map(|b| b as u8).collect::<Vec<u8>>()),
+    ) {
+        let mut cursor = bytes.as_slice();
+        // Drain frames until the reader reports an error or clean close;
+        // each step must return, not panic.
+        for _ in 0..bytes.len() + 1 {
+            if read_frame(&mut cursor).is_err() {
+                break;
+            }
+        }
+    }
+}

@@ -27,12 +27,16 @@ use crate::action::UserId;
 use crate::influence_set::InfluenceSet;
 use crate::propagation::PropagationIndex;
 use crate::window::SlidingWindow;
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// A collection of per-user influence sets.
+///
+/// The map is keyed by FxHash: the per-user set lookup sits on the feed
+/// path (every checkpoint probes it for every updated user of every
+/// action), and for 4-byte id keys SipHash costs more than the probe.
 #[derive(Debug, Clone, Default)]
 pub struct InfluenceSets {
-    sets: HashMap<UserId, InfluenceSet>,
+    sets: FxHashMap<UserId, InfluenceSet>,
 }
 
 impl InfluenceSets {

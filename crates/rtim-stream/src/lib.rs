@@ -37,7 +37,10 @@ pub mod window;
 pub use action::{Action, ActionId, Timestamp, UserId};
 pub use influence::{window_influence_sets, InfluenceAccumulator, InfluenceSets};
 pub use influence_set::{InfluenceSet, SetIter, SetView};
-pub use persist::{decode_binary, encode_binary, read_binary, read_text, write_binary, write_text, TraceError};
+pub use persist::{
+    decode_batch, decode_binary, encode_batch, encode_binary, read_binary, read_text,
+    write_binary, write_text, TraceError,
+};
 pub use propagation::{PropagationIndex, PropagationStats};
 pub use stream::{ActionBatchIter, SocialStream, StreamStats};
 pub use window::{SlideOutcome, SlidingWindow};

@@ -11,6 +11,12 @@
 //!
 //! Both encoders validate on load, so a corrupted or truncated file is
 //! reported instead of silently producing a malformed stream.
+//!
+//! A third encoding, the **batch** format (`RTAB`), carries a *fragment* of
+//! a stream: the per-record layout is identical to `RTAS`, but parents may
+//! reference actions outside the batch (an earlier batch of the same
+//! connection).  This is the payload format of the `rtim-server` wire
+//! protocol, where a client ships its stream in successive batches.
 
 use crate::action::{Action, ActionId, UserId};
 use crate::stream::SocialStream;
@@ -22,6 +28,10 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 /// Stream), followed by a format version byte.
 const MAGIC: &[u8; 4] = b"RTAS";
 const VERSION: u8 = 1;
+
+/// Magic bytes of the batch (stream-fragment) format, "RTAB" = RTim Action
+/// Batch.  Same version byte and record layout as `RTAS`.
+const BATCH_MAGIC: &[u8; 4] = b"RTAB";
 
 /// Errors produced when loading a persisted trace.
 #[derive(Debug)]
@@ -74,18 +84,22 @@ pub fn encode_binary(stream: &SocialStream) -> Bytes {
     buf.freeze()
 }
 
-/// Decodes a stream from the compact binary format, validating invariants.
-pub fn decode_binary(mut data: &[u8]) -> Result<SocialStream, TraceError> {
-    if data.len() < 13 || &data[..4] != MAGIC || data[4] != VERSION {
+/// Shared decoding core of `RTAS`/`RTAB`: checks `magic` + version, reads
+/// the declared record count (rejecting counts the payload cannot hold
+/// *before* any allocation is sized from them), parses the 20-byte
+/// records, and rejects trailing bytes.  Format-specific validation is
+/// the caller's job.
+fn decode_records(magic: &[u8; 4], mut data: &[u8]) -> Result<Vec<Action>, TraceError> {
+    if data.len() < 13 || &data[..4] != magic || data[4] != VERSION {
         return Err(TraceError::BadHeader);
     }
     data.advance(5);
     let count = data.get_u64_le() as usize;
+    if data.remaining() / 20 < count {
+        return Err(TraceError::Truncated);
+    }
     let mut actions = Vec::with_capacity(count);
     for _ in 0..count {
-        if data.remaining() < 20 {
-            return Err(TraceError::Truncated);
-        }
         let id = data.get_u64_le();
         let user = data.get_u32_le();
         let parent = data.get_u64_le();
@@ -101,7 +115,64 @@ pub fn decode_binary(mut data: &[u8]) -> Result<SocialStream, TraceError> {
             data.remaining()
         )));
     }
+    Ok(actions)
+}
+
+/// Decodes a stream from the compact binary format, validating invariants.
+pub fn decode_binary(data: &[u8]) -> Result<SocialStream, TraceError> {
+    let actions = decode_records(MAGIC, data)?;
     SocialStream::new(actions).map_err(TraceError::Invalid)
+}
+
+/// Encodes a stream *fragment* (a batch) into the binary batch format.
+///
+/// Layout: `RTAB` magic, version byte, little-endian `u64` action count,
+/// then the same 20-byte records as [`encode_binary`].  Unlike a full trace,
+/// a batch may contain replies whose parents live in an earlier batch.
+pub fn encode_batch(actions: &[Action]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 1 + 8 + actions.len() * 20);
+    buf.put_slice(BATCH_MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u64_le(actions.len() as u64);
+    for a in actions {
+        buf.put_u64_le(a.id.0);
+        buf.put_u32_le(a.user.0);
+        buf.put_u64_le(a.parent.map_or(0, |p| p.0));
+    }
+    buf.freeze()
+}
+
+/// Decodes a stream fragment from the binary batch format.
+///
+/// Validation is the *per-fragment* subset of the stream invariants: ids
+/// strictly increasing within the batch, every parent strictly earlier than
+/// its action (`t' < t`), no mid-record truncation and no trailing bytes.
+/// Parents are **not** required to be present in the batch — they may refer
+/// to an earlier batch; resolving them is the consumer's job (the server's
+/// engine thread remaps them per connection).
+pub fn decode_batch(data: &[u8]) -> Result<Vec<Action>, TraceError> {
+    let actions = decode_records(BATCH_MAGIC, data)?;
+    let mut last: Option<ActionId> = None;
+    for a in &actions {
+        if let Some(prev) = last {
+            if a.id <= prev {
+                return Err(TraceError::Invalid(format!(
+                    "batch ids must be strictly increasing: {} after {prev}",
+                    a.id
+                )));
+            }
+        }
+        if let Some(parent) = a.parent {
+            if parent >= a.id {
+                return Err(TraceError::Invalid(format!(
+                    "action {} replies to a non-earlier action {parent}",
+                    a.id
+                )));
+            }
+        }
+        last = Some(a.id);
+    }
+    Ok(actions)
 }
 
 /// Writes the binary encoding to any writer (file, socket, …).
@@ -321,6 +392,77 @@ mod tests {
         bytes.extend_from_slice(b"junk");
         let err = decode_binary(&bytes).unwrap_err().to_string();
         assert!(err.contains("4 trailing bytes"), "{err}");
+    }
+
+    /// Batches round-trip and accept parents outside the fragment (the
+    /// cross-batch replies a full trace would reject).
+    #[test]
+    fn batch_round_trip_allows_external_parents() {
+        let batch = vec![
+            Action::reply(11u64, 4u32, 3u64), // parent in an earlier batch
+            Action::root(12u64, 5u32),
+            Action::reply(14u64, 6u32, 12u64), // parent inside this batch
+        ];
+        let bytes = encode_batch(&batch);
+        assert_eq!(bytes.len(), 13 + 20 * batch.len());
+        assert_eq!(decode_batch(&bytes).unwrap(), batch);
+        // The same fragment is NOT a valid full trace.
+        assert!(matches!(decode_binary(&bytes), Err(TraceError::BadHeader)));
+    }
+
+    #[test]
+    fn batch_rejects_truncation_trailing_bytes_and_bad_order() {
+        let batch = vec![Action::root(1u64, 1u32), Action::root(2u64, 2u32)];
+        let bytes = encode_batch(&batch);
+        assert!(matches!(decode_batch(b"nope"), Err(TraceError::BadHeader)));
+        assert!(matches!(
+            decode_batch(&bytes[..bytes.len() - 1]),
+            Err(TraceError::Truncated)
+        ));
+        let mut trailing = bytes.to_vec();
+        trailing.push(0);
+        assert!(matches!(decode_batch(&trailing), Err(TraceError::Invalid(_))));
+        // Non-increasing ids within the batch.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"RTAB");
+        buf.put_u8(VERSION);
+        buf.put_u64_le(2);
+        for _ in 0..2 {
+            buf.put_u64_le(7);
+            buf.put_u32_le(1);
+            buf.put_u64_le(0);
+        }
+        assert!(matches!(decode_batch(&buf), Err(TraceError::Invalid(_))));
+        // A reply to the future.
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"RTAB");
+        buf.put_u8(VERSION);
+        buf.put_u64_le(1);
+        buf.put_u64_le(3);
+        buf.put_u32_le(1);
+        buf.put_u64_le(9);
+        assert!(matches!(decode_batch(&buf), Err(TraceError::Invalid(_))));
+    }
+
+    /// A header whose declared count exceeds what the payload can hold is
+    /// rejected before any allocation is sized from it.
+    #[test]
+    fn oversized_declared_count_is_rejected_cheaply() {
+        for magic in [b"RTAS".as_slice(), b"RTAB".as_slice()] {
+            let mut buf = BytesMut::new();
+            buf.put_slice(magic);
+            buf.put_u8(VERSION);
+            buf.put_u64_le(u64::MAX); // would be a 300-exabyte allocation
+            buf.put_u64_le(1);
+            buf.put_u32_le(1);
+            buf.put_u64_le(0);
+            let err = if magic == b"RTAS" {
+                decode_binary(&buf).unwrap_err()
+            } else {
+                decode_batch(&buf).map(|_| ()).unwrap_err()
+            };
+            assert!(matches!(err, TraceError::Truncated), "{err}");
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! runs.
 
 use crate::action::{Action, ActionId, UserId};
-use std::collections::HashMap;
+use fxhash::FxHashMap;
 
 /// Per-action record kept by the index.
 #[derive(Debug, Clone)]
@@ -88,7 +88,9 @@ impl PropagationStats {
 /// documented approximation).
 #[derive(Debug, Clone)]
 pub struct PropagationIndex {
-    records: HashMap<ActionId, ActionRecord>,
+    /// FxHash-keyed: one probe per arriving action plus one per ancestor
+    /// lookup — an outer feed-path map (see `docs/PERF.md`).
+    records: FxHashMap<ActionId, ActionRecord>,
     horizon: Option<u64>,
     /// Smallest action id still retained (used for pruning).
     oldest_retained: u64,
@@ -108,7 +110,7 @@ impl PropagationIndex {
     /// Creates an index that retains every action.
     pub fn new() -> Self {
         PropagationIndex {
-            records: HashMap::new(),
+            records: FxHashMap::default(),
             horizon: None,
             oldest_retained: 0,
             latest: 0,

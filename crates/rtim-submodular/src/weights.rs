@@ -9,6 +9,7 @@
 //! submodular for any nonnegative weights, so the frameworks' guarantees
 //! apply unchanged.
 
+use fxhash::FxHashMap;
 use rtim_stream::UserId;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -94,7 +95,10 @@ impl ElementWeight for DenseWeights<'_> {
 /// by tests exercising non-uniform objectives.
 #[derive(Debug, Clone)]
 pub struct MapWeight {
-    weights: Arc<HashMap<UserId, f64>>,
+    /// FxHash-keyed internally (the lookup runs per element on weighted
+    /// feed paths); the constructor still takes a std `HashMap` so callers
+    /// build tables with plain collections.
+    weights: Arc<FxHashMap<UserId, f64>>,
     default: f64,
 }
 
@@ -106,7 +110,7 @@ impl MapWeight {
         let cleaned = weights
             .into_iter()
             .map(|(u, w)| (u, w.max(0.0)))
-            .collect::<HashMap<_, _>>();
+            .collect::<FxHashMap<_, _>>();
         MapWeight {
             weights: Arc::new(cleaned),
             default: default.max(0.0),

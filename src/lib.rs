@@ -20,6 +20,7 @@
 //! | [`core`] | SSM, checkpoints, IC, SIC, the SIM engine, Appendix-A extensions |
 //! | [`baselines`] | Greedy, IMM, UBI |
 //! | [`datagen`] | Reddit-like / Twitter-like / SYN-O / SYN-N stream generators |
+//! | [`server`] | TCP ingest/query front-end over the bounded-queue engine pipeline |
 //!
 //! ## Quick start
 //!
@@ -55,6 +56,7 @@ pub use rtim_baselines as baselines;
 pub use rtim_core as core;
 pub use rtim_datagen as datagen;
 pub use rtim_graph as graph;
+pub use rtim_server as server;
 pub use rtim_stream as stream;
 pub use rtim_submodular as submodular;
 
@@ -62,11 +64,12 @@ pub use rtim_submodular as submodular;
 pub mod prelude {
     pub use rtim_baselines::{GreedySim, Imm, Ubi, UbiConfig};
     pub use rtim_core::{
-        FrameworkKind, IcFramework, RunReport, SicFramework, SimConfig, SimEngine, SlideReport,
-        Solution,
+        EngineHandle, EngineStats, FrameworkKind, HandleOptions, IcFramework, RunReport,
+        SicFramework, SimConfig, SimEngine, SlideReport, Solution,
     };
     pub use rtim_datagen::{DatasetConfig, DatasetKind, Scale};
     pub use rtim_graph::{build_window_graph, monte_carlo_spread, InfluenceGraph};
+    pub use rtim_server::{RtimClient, RtimServer, ServerConfig};
     pub use rtim_stream::{Action, ActionId, SlidingWindow, SocialStream, UserId};
     pub use rtim_submodular::{OracleKind, UnitWeight};
 }

@@ -1,0 +1,146 @@
+//! Offline stand-in for the [`fxhash`](https://crates.io/crates/fxhash)
+//! crate.
+//!
+//! The build environment cannot fetch crates.io, so this crate implements
+//! the FxHash function (the non-cryptographic hash used by rustc and
+//! Firefox) with the subset of the upstream API this workspace uses:
+//! [`FxHasher`], [`FxBuildHasher`], and the [`FxHashMap`] / [`FxHashSet`]
+//! aliases.
+//!
+//! FxHash folds the input 8 bytes at a time with a rotate–xor–multiply
+//! step.  It is not DoS-resistant (no random seed), which is exactly the
+//! trade-off wanted on the feed path: the keys are internal `u32`/`u64`
+//! ids, not attacker-controlled strings, and the SipHash default of
+//! `std::collections::HashMap` costs more than the rest of the probe for
+//! such small keys.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// The `BuildHasher` producing [`FxHasher`]s (zero-sized, default seed).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The multiplier of the FxHash mixing step (64-bit variant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+/// Rotation applied before each mix (one word = 64 bits / 8 steps).
+const ROTATE: u32 = 5;
+
+/// The FxHash streaming hasher: `hash = (hash <<< 5 ^ word) * SEED` per
+/// 8-byte word, with trailing bytes folded in the same way.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let mut word = [0u8; 8];
+            word.copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_and_distinct() {
+        assert_eq!(hash_one(42u32), hash_one(42u32));
+        assert_ne!(hash_one(42u32), hash_one(43u32));
+        assert_ne!(hash_one(1u64), hash_one(2u64));
+        assert_ne!(hash_one("a"), hash_one("b"));
+    }
+
+    #[test]
+    fn write_matches_wordwise_path() {
+        // Hashing 8 bytes via `write` equals hashing the same word via
+        // `write_u64` (the map key fast path).
+        let mut a = FxHasher::default();
+        a.write(&0xdead_beef_u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn maps_and_sets_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn trailing_bytes_change_the_hash() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefgh");
+        let mut b = FxHasher::default();
+        b.write(b"abcdefghi");
+        assert_ne!(a.finish(), b.finish());
+    }
+}
