@@ -1,0 +1,184 @@
+//! Emits the machine-readable recovery-performance artifact
+//! `BENCH_recover.json` (schema `rtim-bench-recover/v1`).
+//!
+//! For each framework × pool-thread configuration the harness lives one
+//! full server life around the real recovery machinery:
+//!
+//! 1. journal a generated trace batch by batch while warming an engine on
+//!    its first ~90%, then time a snapshot (capture + atomic write);
+//! 2. keep feeding the uninterrupted engine to the end (the reference
+//!    answer);
+//! 3. cold-start twice from the same files through
+//!    [`rtim_core::recover_engine`] — once with the snapshot (journal-tail
+//!    replay only) and once without it (full-journal replay) — timing each
+//!    to its first answered query;
+//! 4. record snapshot size vs. the journal and live state, the cold-start
+//!    speedup, and whether all three answers were bit-identical.
+//!
+//! ```text
+//! cargo run --release -p rtim-bench --bin bench_recover -- \
+//!     --dataset syn-n --actions 100000 --users 5000 --window 20000 \
+//!     --slide 1000 --threads 4 --out BENCH_recover.json
+//! ```
+
+use rtim_bench::cli::Args;
+use rtim_bench::{CommonArgs, RecoverBenchReport, RecoverRun, COMMON_KEYS};
+use rtim_core::{
+    recover_engine, write_snapshot_atomic, FrameworkKind, SimEngine, Solution,
+};
+use rtim_stream::persist::journal::JournalWriter;
+use std::time::Instant;
+
+fn main() {
+    let keys: Vec<&str> = COMMON_KEYS
+        .iter()
+        .copied()
+        .chain(["threads", "batch", "out"])
+        .collect();
+    let args = match Args::parse(&keys) {
+        Ok(a) => a,
+        Err(usage) => {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    };
+    let common = CommonArgs::resolve(&args);
+    let threads: usize = args.get_or("threads", 1usize).max(1);
+    let batch: usize = args.get_or("batch", 0usize);
+    let out = args.get("out").unwrap_or("BENCH_recover.json").to_string();
+
+    let params = &common.params;
+    // L-aligned batches keep the recovered slide pattern identical to the
+    // uninterrupted engine's (the documented determinism regime).
+    let batch = if batch == 0 { 5 * params.slide } else { batch };
+    let dataset = common.datasets[0];
+    let stream = common.generate(dataset);
+    let actions = stream.actions();
+
+    // Snapshot point: ~90% of the trace, rounded down to a whole batch.
+    let cut = (actions.len() * 9 / 10) / batch * batch;
+    if cut == 0 {
+        eprintln!("trace too small: need at least one full batch before the snapshot point");
+        std::process::exit(2);
+    }
+
+    let dir = std::env::temp_dir().join(format!("rtim-bench-recover-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+
+    let mut report = RecoverBenchReport::new();
+    let mut thread_counts = vec![1usize];
+    if threads > 1 {
+        thread_counts.push(threads);
+    }
+
+    for kind in [FrameworkKind::Sic, FrameworkKind::Ic] {
+        for &t in &thread_counts {
+            let config = params.sim_config().with_threads(t);
+            let snapshot_path = dir.join(format!("{}_{t}.rtss", kind.name()));
+            let journal_path = dir.join(format!("{}_{t}.rtaj", kind.name()));
+
+            // Life 1: journal every batch, warm the engine to the cut.
+            let mut journal = JournalWriter::create(&journal_path).expect("create journal");
+            let mut engine = SimEngine::new(config, kind);
+            for chunk in actions[..cut].chunks(batch) {
+                journal.append_batch(chunk).expect("journal append");
+                engine.ingest_batch(chunk);
+            }
+
+            // Snapshot: capture, then encode + atomic write.
+            let window_facts = engine.window_influence_sets().total_facts() as u64;
+            let started = Instant::now();
+            let snapshot = engine.snapshot().expect("built-in engines snapshot");
+            let capture_nanos = started.elapsed().as_nanos() as u64;
+            let checkpoints = snapshot.framework.set.checkpoints.len() as u64;
+            let watermark = snapshot.watermark;
+            let started = Instant::now();
+            let snapshot_bytes =
+                write_snapshot_atomic(&snapshot_path, &snapshot).expect("write snapshot");
+            let write_nanos = started.elapsed().as_nanos() as u64;
+
+            // Finish the uninterrupted life (journal stays ahead of the
+            // snapshot, exactly like a live server).
+            for chunk in actions[cut..].chunks(batch) {
+                journal.append_batch(chunk).expect("journal append");
+                engine.ingest_batch(chunk);
+            }
+            drop(journal);
+            let reference = engine.query();
+            let journal_bytes = std::fs::metadata(&journal_path).map_or(0, |m| m.len());
+
+            // Cold start A: snapshot + journal-tail replay, to first query.
+            let started = Instant::now();
+            let outcome = recover_engine(config, kind, &snapshot_path, &journal_path);
+            let with_snapshot = outcome.engine.query();
+            let cold_start_snapshot_nanos = started.elapsed().as_nanos() as u64;
+            assert!(outcome.used_snapshot, "snapshot was not used");
+
+            // Cold start B: full-journal replay (no snapshot file).
+            let started = Instant::now();
+            let outcome = recover_engine(
+                config,
+                kind,
+                dir.join("no-such-snapshot.rtss"),
+                &journal_path,
+            );
+            let full_replay = outcome.engine.query();
+            let cold_start_full_nanos = started.elapsed().as_nanos() as u64;
+
+            let identical = bit_identical(&with_snapshot, &reference)
+                && bit_identical(&full_replay, &reference);
+            let speedup = if cold_start_snapshot_nanos == 0 {
+                0.0
+            } else {
+                cold_start_full_nanos as f64 / cold_start_snapshot_nanos as f64
+            };
+
+            let run = RecoverRun {
+                name: format!("{}_t{t}", kind.name().to_ascii_lowercase()),
+                framework: kind.name().into(),
+                threads: t,
+                actions: actions.len() as u64,
+                snapshot_watermark: watermark,
+                capture_nanos,
+                write_nanos,
+                snapshot_bytes,
+                journal_bytes,
+                window_facts,
+                checkpoints,
+                cold_start_snapshot_nanos,
+                cold_start_full_nanos,
+                speedup,
+                identical,
+            };
+            println!(
+                "{:>8}  snap {:>9} B in {:>7.2} ms  cold-start snap {:>8.2} ms vs full {:>8.2} ms \
+                 ({:>5.2}x)  identical: {}",
+                run.name,
+                run.snapshot_bytes,
+                (run.capture_nanos + run.write_nanos) as f64 / 1e6,
+                run.cold_start_snapshot_nanos as f64 / 1e6,
+                run.cold_start_full_nanos as f64 / 1e6,
+                run.speedup,
+                run.identical,
+            );
+            report.runs.push(run);
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+
+    if report.runs.iter().any(|r| !r.identical) {
+        eprintln!("DIVERGENCE: a recovered engine did not answer bit-identically");
+        report.write(&out).ok();
+        std::process::exit(1);
+    }
+    if let Err(e) = report.write(&out) {
+        eprintln!("failed to write {out}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+/// Bit-level solution equality (seed order and value bits).
+fn bit_identical(a: &Solution, b: &Solution) -> bool {
+    a.seeds == b.seeds && a.value.to_bits() == b.value.to_bits()
+}

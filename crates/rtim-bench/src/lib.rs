@@ -27,6 +27,7 @@ pub mod experiments;
 pub mod feedjson;
 pub mod params;
 pub mod quality;
+pub mod recoverjson;
 pub mod report;
 pub mod runner;
 pub mod servejson;
@@ -35,6 +36,7 @@ pub mod stats;
 pub use covbench::{bitmap_pass, coverage_workload, hashset_pass, time_pass};
 pub use experiments::{BetaSweep, CommonArgs, MethodSweep, COMMON_KEYS};
 pub use feedjson::{CoverageOpsSample, FeedBenchReport, FeedRun, FEED_SCHEMA};
+pub use recoverjson::{RecoverBenchReport, RecoverRun, RECOVER_SCHEMA};
 pub use servejson::{ServeBenchReport, ServeRun, SERVE_SCHEMA};
 pub use params::{ExperimentParams, ParamGrid};
 pub use quality::evaluate_average_spread;

@@ -1,0 +1,213 @@
+//! Machine-readable recovery-performance reports (`BENCH_recover.json`).
+//!
+//! The recovery artifact captures the three numbers that justify the
+//! snapshot subsystem: how fast snapshots are written (actions covered per
+//! second of capture + atomic write), how large they are relative to the
+//! live state they serialize, and how much faster a snapshot-based cold
+//! start reaches serving than a full-journal replay.
+//!
+//! Like the other `BENCH_*.json` artifacts, the document is written by a
+//! small hand-rolled writer (the vendored `serde` is a no-op stub) and
+//! versioned via the `schema` field (`rtim-bench-recover/v1`); CI
+//! smoke-runs the emission path and uploads the artifact.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Schema identifier of the emitted JSON document.
+pub const RECOVER_SCHEMA: &str = "rtim-bench-recover/v1";
+
+/// One recovery measurement: warm an engine, snapshot it, then cold-start
+/// twice (with and without the snapshot) from the same journal.
+#[derive(Debug, Clone)]
+pub struct RecoverRun {
+    /// Run label, e.g. `"sic_t1"`.
+    pub name: String,
+    /// Framework name (`"SIC"` / `"IC"`).
+    pub framework: String,
+    /// Worker threads backing the checkpoint set (1 = sequential).
+    pub threads: usize,
+    /// Total actions in the journaled trace.
+    pub actions: u64,
+    /// Actions covered by the snapshot (the watermark).
+    pub snapshot_watermark: u64,
+    /// Nanoseconds to capture the engine state ([`rtim_core::SimEngine::snapshot`]).
+    pub capture_nanos: u64,
+    /// Nanoseconds to encode + atomically write the snapshot file.
+    pub write_nanos: u64,
+    /// Encoded snapshot size in bytes.
+    pub snapshot_bytes: u64,
+    /// Journal file size in bytes (the full-replay input).
+    pub journal_bytes: u64,
+    /// Live-state size proxy: total `(influencer, influenced)` facts
+    /// retained across the window's exact influence sets at snapshot time.
+    pub window_facts: u64,
+    /// Checkpoints captured in the snapshot.
+    pub checkpoints: u64,
+    /// Cold start to first answered query, using snapshot + journal tail.
+    pub cold_start_snapshot_nanos: u64,
+    /// Cold start to first answered query, replaying the whole journal.
+    pub cold_start_full_nanos: u64,
+    /// `cold_start_full_nanos / cold_start_snapshot_nanos`.
+    pub speedup: f64,
+    /// `true` iff both cold starts answered bit-identically to the
+    /// uninterrupted engine.
+    pub identical: bool,
+}
+
+impl RecoverRun {
+    /// Snapshot write throughput in actions covered per second (capture +
+    /// encode + write).
+    pub fn snapshot_actions_per_sec(&self) -> f64 {
+        let nanos = self.capture_nanos + self.write_nanos;
+        if nanos == 0 {
+            0.0
+        } else {
+            self.snapshot_watermark as f64 / (nanos as f64 / 1e9)
+        }
+    }
+}
+
+/// The complete `BENCH_recover.json` document.
+#[derive(Debug, Clone, Default)]
+pub struct RecoverBenchReport {
+    /// Measured runs, in execution order.
+    pub runs: Vec<RecoverRun>,
+}
+
+impl RecoverBenchReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Renders the document as a JSON string.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", json_str(RECOVER_SCHEMA));
+        out.push_str("  \"runs\": [");
+        for (i, run) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"name\": {}, ", json_str(&run.name));
+            let _ = write!(out, "\"framework\": {}, ", json_str(&run.framework));
+            let _ = write!(out, "\"threads\": {}, ", run.threads);
+            let _ = write!(out, "\"actions\": {}, ", run.actions);
+            let _ = write!(out, "\"snapshot_watermark\": {}, ", run.snapshot_watermark);
+            let _ = write!(out, "\"capture_nanos\": {}, ", run.capture_nanos);
+            let _ = write!(out, "\"write_nanos\": {}, ", run.write_nanos);
+            let _ = write!(
+                out,
+                "\"snapshot_actions_per_sec\": {}, ",
+                json_f64(run.snapshot_actions_per_sec())
+            );
+            let _ = write!(out, "\"snapshot_bytes\": {}, ", run.snapshot_bytes);
+            let _ = write!(out, "\"journal_bytes\": {}, ", run.journal_bytes);
+            let _ = write!(out, "\"window_facts\": {}, ", run.window_facts);
+            let _ = write!(out, "\"checkpoints\": {}, ", run.checkpoints);
+            let _ = write!(
+                out,
+                "\"cold_start_snapshot_nanos\": {}, ",
+                run.cold_start_snapshot_nanos
+            );
+            let _ = write!(
+                out,
+                "\"cold_start_full_nanos\": {}, ",
+                run.cold_start_full_nanos
+            );
+            let _ = write!(out, "\"speedup\": {}, ", json_f64(run.speedup));
+            let _ = write!(out, "\"identical\": {}", run.identical);
+            out.push('}');
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Writes the document to `path`.
+    pub fn write(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// JSON string literal with the escapes the labels here can contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite JSON number (JSON has no NaN/Inf; those become null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run() -> RecoverRun {
+        RecoverRun {
+            name: "sic_t1".into(),
+            framework: "SIC".into(),
+            threads: 1,
+            actions: 100_000,
+            snapshot_watermark: 90_000,
+            capture_nanos: 500_000,
+            write_nanos: 1_500_000,
+            snapshot_bytes: 2_000_000,
+            journal_bytes: 2_100_000,
+            window_facts: 300_000,
+            checkpoints: 12,
+            cold_start_snapshot_nanos: 50_000_000,
+            cold_start_full_nanos: 400_000_000,
+            speedup: 8.0,
+            identical: true,
+        }
+    }
+
+    #[test]
+    fn json_carries_schema_runs_and_balanced_braces() {
+        let report = RecoverBenchReport { runs: vec![run()] };
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"rtim-bench-recover/v1\""));
+        assert!(json.contains("\"name\": \"sic_t1\""));
+        assert!(json.contains("\"speedup\": 8"));
+        assert!(json.contains("\"identical\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn snapshot_throughput_is_derived() {
+        let r = run();
+        assert!((r.snapshot_actions_per_sec() - 45_000_000.0).abs() < 1.0);
+        let zero = RecoverRun {
+            capture_nanos: 0,
+            write_nanos: 0,
+            ..run()
+        };
+        assert_eq!(zero.snapshot_actions_per_sec(), 0.0);
+    }
+}

@@ -293,6 +293,77 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
             Exec::Sharded(pool) => pool.solution(self.stats[i].start),
         }
     }
+
+    /// Captures the serializable state of every live checkpoint (shard
+    /// contents are fetched from their workers without moving them), plus
+    /// the dense weight table.  `None` if any checkpoint's oracle lacks
+    /// snapshot support.
+    pub fn snapshot(&self) -> Option<crate::snapshot::CheckpointSetState> {
+        let mut checkpoints = Vec::with_capacity(self.stats.len());
+        for (i, stat) in self.stats.iter().enumerate() {
+            let state = match &self.exec {
+                Exec::Sequential(list) => list[i].snapshot(),
+                Exec::Sharded(pool) => pool.snapshot(stat.start),
+            }?;
+            checkpoints.push(state);
+        }
+        Some(crate::snapshot::CheckpointSetState {
+            identity_filled: self.identity_filled,
+            dense_weights: self.dense_weights.clone(),
+            checkpoints,
+        })
+    }
+
+    /// Rehydrates a checkpoint set from persisted state.
+    ///
+    /// Checkpoints are rebuilt oldest-first and — under a sharded
+    /// configuration — re-placed into the pool in that order, so placement
+    /// is deterministic (placement never affects answers, only balance).
+    /// Restoring a weighted table requires a non-unit `weight`; the
+    /// caller re-supplies the same weight function the snapshotted set ran
+    /// with (it is not serializable).
+    pub fn from_state(
+        oracle: OracleKind,
+        oracle_config: OracleConfig,
+        threads: usize,
+        weight: W,
+        state: crate::snapshot::CheckpointSetState,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        let mut set = Self::new(oracle, oracle_config, threads, weight);
+        if set.unit && (!state.dense_weights.is_empty() || state.identity_filled) {
+            return Err(crate::snapshot::SnapshotError::Unsupported(
+                "snapshot carries a dense weight table but the restore weight is unit".into(),
+            ));
+        }
+        set.identity_filled = state.identity_filled;
+        set.dense_weights = state.dense_weights;
+        // Workers start with empty tables; the first feed ships the whole
+        // table as one delta.
+        set.synced = 0;
+        let mut last_start: Option<u64> = None;
+        for cp_state in state.checkpoints {
+            if let Some(prev) = last_start {
+                if cp_state.start <= prev {
+                    return Err(crate::snapshot::SnapshotError::Corrupt(format!(
+                        "checkpoint starts must be strictly increasing: {} after {prev}",
+                        cp_state.start
+                    )));
+                }
+            }
+            last_start = Some(cp_state.start);
+            let checkpoint = Checkpoint::from_state(cp_state, oracle_config);
+            set.stats.push(CheckpointStat {
+                start: checkpoint.start(),
+                value: checkpoint.value(),
+                updates: checkpoint.updates(),
+            });
+            match &mut set.exec {
+                Exec::Sequential(list) => list.push(checkpoint),
+                Exec::Sharded(pool) => pool.add(checkpoint),
+            }
+        }
+        Ok(set)
+    }
 }
 
 impl<W: ElementWeight + Send + 'static> std::fmt::Debug for CheckpointSet<W> {

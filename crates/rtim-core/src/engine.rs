@@ -203,6 +203,60 @@ impl SimEngine {
         &self.interner
     }
 
+    /// Interned users already announced to the framework (snapshot
+    /// bookkeeping; equals [`UserInterner::len`] between batches).
+    pub fn registered_users(&self) -> usize {
+        self.registered
+    }
+
+    /// The framework's serializable state (`None` for custom frameworks or
+    /// oracles without snapshot support); see [`crate::snapshot`].
+    pub(crate) fn framework_snapshot(&self) -> Option<crate::snapshot::FrameworkState> {
+        self.framework.snapshot_state()
+    }
+
+    /// Reassembles an engine from restored parts (the
+    /// [`SimEngine::restore`](crate::snapshot) path), validating the
+    /// invariants the streaming constructors normally establish.
+    pub(crate) fn from_restored_parts(
+        config: SimConfig,
+        framework: Box<dyn Framework>,
+        slides: u64,
+        registered: usize,
+        interner_raws: Vec<rtim_stream::UserId>,
+        window_actions: Vec<Action>,
+        index: PropagationIndex,
+    ) -> Result<SimEngine, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let interner = UserInterner::from_raws(interner_raws).map_err(SnapshotError::Corrupt)?;
+        if registered > interner.len() {
+            return Err(SnapshotError::Corrupt(format!(
+                "{registered} users registered but only {} interned",
+                interner.len()
+            )));
+        }
+        if window_actions.len() > config.window_size {
+            return Err(SnapshotError::Corrupt(format!(
+                "window holds {} actions but N = {}",
+                window_actions.len(),
+                config.window_size
+            )));
+        }
+        let mut window = SlidingWindow::new(config.window_size);
+        for action in window_actions {
+            window.push(action);
+        }
+        Ok(SimEngine {
+            config,
+            window,
+            index,
+            framework,
+            slides,
+            interner,
+            registered,
+        })
+    }
+
     /// Resolves the reply ancestry of every action in `actions` through the
     /// propagation index, in one pass, interning every user into the dense
     /// id space as it appears.  The returned actions carry **dense** ids.

@@ -94,6 +94,17 @@ pub trait Framework: Send {
 
     /// Which framework this is.
     fn kind(&self) -> FrameworkKind;
+
+    /// The framework's serializable state, if it supports durable
+    /// snapshots (see [`crate::snapshot`]).
+    ///
+    /// The built-in IC and SIC frameworks return `Some` whenever every
+    /// checkpoint oracle does; the default is `None` so custom framework
+    /// implementations keep compiling — [`crate::SimEngine::snapshot`]
+    /// reports such an engine as unsupported instead of failing later.
+    fn snapshot_state(&self) -> Option<crate::snapshot::FrameworkState> {
+        None
+    }
 }
 
 #[cfg(test)]

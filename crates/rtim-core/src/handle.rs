@@ -37,28 +37,84 @@
 use crate::config::SimConfig;
 use crate::engine::{SimEngine, SlideReport};
 use crate::framework::{FrameworkKind, Solution};
+use crate::snapshot::{recover_engine, write_snapshot_atomic};
 use fxhash::FxHashMap;
+use rtim_stream::persist::journal::JournalWriter;
 use rtim_stream::{Action, ActionId, SocialStream};
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+/// File name of the engine snapshot inside a persistence directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.rtss";
+
+/// File name of the arrival-order journal inside a persistence directory.
+pub const JOURNAL_FILE: &str = "journal.rtaj";
+
+/// Durable-state options of an [`EngineHandle`]: where the snapshot and
+/// journal live, and how often to snapshot automatically.
+///
+/// With persistence enabled the engine thread (1) recovers at startup —
+/// latest valid snapshot plus the journal tail past its watermark, falling
+/// back to full replay if the snapshot is corrupt — and (2) journals every
+/// accepted batch *before* processing it, so the files always cover the
+/// engine state.  See `docs/RECOVERY.md`.
+#[derive(Debug, Clone)]
+pub struct PersistOptions {
+    /// Directory holding [`SNAPSHOT_FILE`] and [`JOURNAL_FILE`] (created if
+    /// absent).
+    pub dir: PathBuf,
+    /// Write a snapshot automatically after this many window slides
+    /// (`0` = only on explicit [`IngestSender::snapshot`] requests).
+    pub snapshot_every_slides: u64,
+}
+
+impl PersistOptions {
+    /// Persistence in `dir` with manual-only snapshots.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        PersistOptions {
+            dir: dir.into(),
+            snapshot_every_slides: 0,
+        }
+    }
+
+    /// Enables background snapshots every `slides` window slides.
+    pub fn with_snapshot_every_slides(mut self, slides: u64) -> Self {
+        self.snapshot_every_slides = slides;
+        self
+    }
+
+    /// Path of the snapshot file.
+    pub fn snapshot_path(&self) -> PathBuf {
+        self.dir.join(SNAPSHOT_FILE)
+    }
+
+    /// Path of the journal file.
+    pub fn journal_path(&self) -> PathBuf {
+        self.dir.join(JOURNAL_FILE)
+    }
+}
+
 /// Options of an [`EngineHandle`] pipeline.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct HandleOptions {
     /// Bounded queue capacity in **commands** (batches/queries), minimum 1.
     pub capacity: usize,
-    /// Record the rebased arrival-order stream for later replay
+    /// Record the rebased arrival-order stream in memory for later replay
     /// ([`EngineReport::journal`]).  Costs one `Action` (24 bytes) per
-    /// ingested action; meant for tests and short capture runs.
+    /// ingested action; meant for tests and short capture runs.  For the
+    /// durable on-disk journal, see [`HandleOptions::persist`].
     pub journal: bool,
     /// If set, per-sender id-remap entries more than this many positions
     /// behind the newest assigned id are pruned (amortized); replies to
     /// pruned ids degrade to roots.  `None` retains every mapping.
     pub remap_horizon: Option<u64>,
+    /// Durable snapshot/journal persistence (`None` = in-memory only).
+    pub persist: Option<PersistOptions>,
 }
 
 impl Default for HandleOptions {
@@ -67,6 +123,7 @@ impl Default for HandleOptions {
             capacity: 64,
             journal: false,
             remap_horizon: None,
+            persist: None,
         }
     }
 }
@@ -78,7 +135,7 @@ impl HandleOptions {
         self
     }
 
-    /// Enables the arrival-order journal.
+    /// Enables the in-memory arrival-order journal.
     pub fn with_journal(mut self, journal: bool) -> Self {
         self.journal = journal;
         self
@@ -87,6 +144,13 @@ impl HandleOptions {
     /// Bounds the per-sender id-remap tables to `horizon` positions.
     pub fn with_remap_horizon(mut self, horizon: u64) -> Self {
         self.remap_horizon = Some(horizon.max(1));
+        self
+    }
+
+    /// Enables durable persistence (disk journal + snapshots + startup
+    /// recovery).
+    pub fn with_persistence(mut self, persist: PersistOptions) -> Self {
+        self.persist = Some(persist);
         self
     }
 }
@@ -165,6 +229,41 @@ impl std::fmt::Display for IngestError {
 
 impl std::error::Error for IngestError {}
 
+/// Result of a successful snapshot request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SnapshotInfo {
+    /// Id of the last action covered by the snapshot (the journal offset
+    /// recovery will replay from).
+    pub watermark: u64,
+    /// Encoded snapshot size in bytes.
+    pub bytes: u64,
+}
+
+/// Why a snapshot request did not produce a snapshot.
+#[derive(Debug)]
+pub enum SnapshotRequestError {
+    /// The pipeline was spawned without [`HandleOptions::persist`].
+    Disabled,
+    /// The engine thread has shut down.
+    Closed,
+    /// Capturing or writing the snapshot failed; the message says why.
+    Failed(String),
+}
+
+impl std::fmt::Display for SnapshotRequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotRequestError::Disabled => {
+                write!(f, "snapshotting is not configured (no persistence directory)")
+            }
+            SnapshotRequestError::Closed => write!(f, "engine pipeline is shut down"),
+            SnapshotRequestError::Failed(msg) => write!(f, "snapshot failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotRequestError {}
+
 /// The engine thread is gone (shut down or panicked); no more answers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HandleClosed;
@@ -185,6 +284,11 @@ enum Command {
     Query { reply: mpsc::Sender<Solution> },
     /// Report aggregate counters.
     Stats { reply: mpsc::Sender<EngineStats> },
+    /// Write a durable snapshot now (ordered like any other command, so it
+    /// covers everything enqueued before it).
+    Snapshot {
+        reply: mpsc::Sender<Result<SnapshotInfo, SnapshotRequestError>>,
+    },
     /// Switch to draining: process what is queued, then exit.
     Shutdown,
 }
@@ -307,6 +411,13 @@ impl IngestSender {
     /// Reports aggregate pipeline counters.
     pub fn stats(&self) -> Result<EngineStats, HandleClosed> {
         round_trip(&self.tx, &self.shared, |reply| Command::Stats { reply })
+    }
+
+    /// Requests a durable snapshot covering everything this sender already
+    /// enqueued (ordered through the same queue; blocks while it is full).
+    pub fn snapshot(&self) -> Result<SnapshotInfo, SnapshotRequestError> {
+        round_trip(&self.tx, &self.shared, |reply| Command::Snapshot { reply })
+            .map_err(|HandleClosed| SnapshotRequestError::Closed)?
     }
 
     /// Commands waiting in the queue right now (approximate).
@@ -448,6 +559,13 @@ impl EngineHandle {
         round_trip(tx, &self.shared, |reply| Command::Stats { reply })
     }
 
+    /// Requests a durable snapshot of the current engine state.
+    pub fn snapshot(&self) -> Result<SnapshotInfo, SnapshotRequestError> {
+        let tx = self.tx.as_ref().expect("handle not shut down");
+        round_trip(tx, &self.shared, |reply| Command::Snapshot { reply })
+            .map_err(|HandleClosed| SnapshotRequestError::Closed)?
+    }
+
     /// Initiates a drain and waits for the engine thread to finish.
     ///
     /// The engine processes every command already enqueued (including
@@ -496,6 +614,55 @@ struct SourceState {
     remap: FxHashMap<u64, u64>,
 }
 
+/// Opens (or recovers) the durable state behind a persistence-enabled
+/// pipeline: runs the recovery decision tree, resumes the journal writer
+/// (truncating any torn tail), and reports what happened on stderr — a
+/// serving pipeline degrades to non-durable operation rather than dying
+/// when the disk misbehaves.
+fn open_persistence(
+    config: SimConfig,
+    kind: FrameworkKind,
+    persist: &PersistOptions,
+) -> (SimEngine, u64, Option<JournalWriter>) {
+    if let Err(e) = std::fs::create_dir_all(&persist.dir) {
+        eprintln!(
+            "rtim-engine: cannot create persistence directory {}: {e}; running non-durable",
+            persist.dir.display()
+        );
+        return (SimEngine::new(config, kind), 0, None);
+    }
+    let outcome = recover_engine(config, kind, persist.snapshot_path(), persist.journal_path());
+    for note in &outcome.notes {
+        eprintln!("rtim-engine recovery: {note}");
+    }
+    let writer = match JournalWriter::resume(persist.journal_path(), outcome.journal_valid_len) {
+        Ok(w) => Some(w),
+        Err(e) => {
+            eprintln!(
+                "rtim-engine: cannot resume journal {}: {e}; running non-durable",
+                persist.journal_path().display()
+            );
+            None
+        }
+    };
+    (outcome.engine, outcome.watermark, writer)
+}
+
+/// Captures and atomically writes one snapshot (the engine thread's
+/// manual-request and background-trigger paths share this).
+fn take_snapshot(
+    engine: &SimEngine,
+    path: &Path,
+) -> Result<SnapshotInfo, SnapshotRequestError> {
+    let snapshot = engine
+        .snapshot()
+        .map_err(|e| SnapshotRequestError::Failed(e.to_string()))?;
+    let watermark = snapshot.watermark;
+    let bytes = write_snapshot_atomic(path, &snapshot)
+        .map_err(|e| SnapshotRequestError::Failed(e.to_string()))?;
+    Ok(SnapshotInfo { watermark, bytes })
+}
+
 /// The engine thread: dequeues commands in arrival order and owns the
 /// [`SimEngine`] exclusively (the one-writer invariant).
 fn engine_loop(
@@ -505,14 +672,29 @@ fn engine_loop(
     rx: Receiver<Command>,
     shared: Arc<Shared>,
 ) -> EngineReport {
-    let mut engine = SimEngine::new(config, kind);
+    let mut stats = EngineStats::default();
+    let (mut engine, watermark, mut disk_journal) = match &options.persist {
+        Some(persist) => open_persistence(config, kind, persist),
+        None => (SimEngine::new(config, kind), 0, None),
+    };
+    // Continuity after recovery: global ids continue past the journal,
+    // actions/slides count everything the engine state covers (batches
+    // count from this process start).
+    let mut next_id: u64 = watermark + 1;
+    stats.actions = watermark;
+    stats.slides = engine.slides_processed();
+    let snapshot_every = options
+        .persist
+        .as_ref()
+        .map_or(0, |p| p.snapshot_every_slides);
+    let snapshot_path = options.persist.as_ref().map(|p| p.snapshot_path());
+    let mut slides_since_snapshot: u64 = 0;
+
     let mut sources: FxHashMap<u64, SourceState> = FxHashMap::default();
-    let mut next_id: u64 = 1;
     let mut last_prune: u64 = 0;
     let mut journal: Vec<Action> = Vec::new();
     let mut recent: std::collections::VecDeque<SlideReport> =
         std::collections::VecDeque::with_capacity(RECENT_SLIDES);
-    let mut stats = EngineStats::default();
     let mut draining = false;
     let mut drained: u64 = 0;
 
@@ -558,10 +740,22 @@ fn engine_loop(
                         parent: parent.map(ActionId),
                     });
                 }
+                // Journal before processing: the disk always covers at
+                // least what the engine state reflects, so a snapshot's
+                // watermark can never run ahead of the journal.
+                if let Some(writer) = &mut disk_journal {
+                    if let Err(e) = writer.append_batch(&rebased) {
+                        eprintln!(
+                            "rtim-engine: journal append failed ({e}); running non-durable"
+                        );
+                        disk_journal = None;
+                    }
+                }
                 let reports = engine.ingest_batch(&rebased);
                 stats.batches += 1;
                 stats.actions += rebased.len() as u64;
                 stats.slides += reports.len() as u64;
+                slides_since_snapshot += reports.len() as u64;
                 for mut report in reports {
                     report.queue_depth = observed;
                     stats.feed_nanos += report.feed_nanos;
@@ -585,6 +779,21 @@ fn engine_loop(
                         last_prune = next_id;
                     }
                 }
+                // Background snapshot trigger: every N slides, between
+                // batches (never mid-slide — slides never span batches).
+                if snapshot_every > 0 && slides_since_snapshot >= snapshot_every {
+                    if let Some(path) = &snapshot_path {
+                        match take_snapshot(&engine, path) {
+                            Ok(_) => slides_since_snapshot = 0,
+                            Err(e) => {
+                                eprintln!("rtim-engine: background snapshot failed: {e}");
+                                // Back off until the next trigger window
+                                // instead of retrying every batch.
+                                slides_since_snapshot = 0;
+                            }
+                        }
+                    }
+                }
             }
             Command::Query { reply } => {
                 let started = Instant::now();
@@ -595,6 +804,15 @@ fn engine_loop(
             Command::Stats { reply } => {
                 finish_stats(&mut stats, &engine, &shared);
                 let _ = reply.send(stats);
+            }
+            Command::Snapshot { reply } => {
+                let result = match &snapshot_path {
+                    None => Err(SnapshotRequestError::Disabled),
+                    Some(path) => take_snapshot(&engine, path).inspect(|_| {
+                        slides_since_snapshot = 0;
+                    }),
+                };
+                let _ = reply.send(result);
             }
             Command::Shutdown => {
                 draining = true;
@@ -820,6 +1038,105 @@ mod tests {
         drop(sender);
         let report = handle.shutdown();
         assert_eq!(report.stats.actions, 30);
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rtim-handle-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&p).unwrap();
+        p
+    }
+
+    fn spawn_persistent(dir: &std::path::Path, every: u64) -> EngineHandle {
+        EngineHandle::spawn(
+            SimConfig::new(2, 0.3, 8, 2),
+            FrameworkKind::Sic,
+            HandleOptions::default()
+                .with_capacity(8)
+                .with_persistence(PersistOptions::new(dir).with_snapshot_every_slides(every)),
+        )
+    }
+
+    /// A restarted pipeline (snapshot + journal-tail replay) continues the
+    /// global id space and answers exactly like the uninterrupted one.
+    #[test]
+    fn persistent_pipeline_recovers_across_restarts() {
+        let dir = temp_dir("restart");
+        let actions = figure1_actions();
+
+        // Life 1: ingest 6 actions, snapshot explicitly, ingest 2 more
+        // (those live only in the journal), then stop.
+        let answer_before = {
+            let handle = spawn_persistent(&dir, 0);
+            let mut sender = handle.sender();
+            sender.ingest(actions[..4].to_vec()).unwrap();
+            sender.ingest(actions[4..6].to_vec()).unwrap();
+            let info = sender.snapshot().unwrap();
+            assert_eq!(info.watermark, 6);
+            assert!(info.bytes > 0);
+            sender.ingest(actions[6..8].to_vec()).unwrap();
+            let answer = sender.query().unwrap();
+            handle.shutdown();
+            answer
+        };
+
+        // Life 2: recovery replays the journal tail past the watermark.
+        let handle = spawn_persistent(&dir, 0);
+        let mut sender = handle.sender();
+        assert_eq!(handle.query().unwrap(), answer_before);
+        let stats = sender.stats().unwrap();
+        assert_eq!(stats.actions, 8);
+        // New ingests continue the global id space: this sender's fresh id
+        // space rebases onto ids 9 and 10.
+        sender.ingest(vec![actions[8], actions[9]]).unwrap();
+        let recovered_final = sender.query().unwrap();
+        let stats = sender.stats().unwrap();
+        assert_eq!(stats.actions, 10);
+        handle.shutdown();
+
+        // Reference: an uninterrupted engine over the whole stream.
+        let mut reference = SimEngine::new_sic(SimConfig::new(2, 0.3, 8, 2));
+        reference.ingest_batch(&actions[..4]);
+        reference.ingest_batch(&actions[4..6]);
+        reference.ingest_batch(&actions[6..8]);
+        reference.ingest_batch(&actions[8..]);
+        let expected = reference.query();
+        assert_eq!(recovered_final.seeds, expected.seeds);
+        assert_eq!(recovered_final.value.to_bits(), expected.value.to_bits());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Background snapshots fire every N slides and leave a loadable file.
+    #[test]
+    fn background_snapshots_are_written_every_n_slides() {
+        let dir = temp_dir("auto");
+        {
+            let handle = spawn_persistent(&dir, 2);
+            let mut sender = handle.sender();
+            for t in 1..=12u64 {
+                sender.ingest(vec![Action::root(t, (t % 5) as u32)]).unwrap();
+            }
+            // Order a query behind the ingests so the trigger has run.
+            let _ = sender.query().unwrap();
+            let snap_path = dir.join(SNAPSHOT_FILE);
+            assert!(snap_path.exists(), "no background snapshot written");
+            let snap = crate::snapshot::load_snapshot(&snap_path).unwrap();
+            assert!(snap.watermark >= 4, "watermark {}", snap.watermark);
+            handle.shutdown();
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Without persistence, SNAPSHOT requests get the typed Disabled error.
+    #[test]
+    fn snapshot_without_persistence_is_disabled() {
+        let handle = spawn(4, false);
+        let sender = handle.sender();
+        assert!(matches!(
+            sender.snapshot(),
+            Err(SnapshotRequestError::Disabled)
+        ));
+        handle.shutdown();
     }
 
     #[test]

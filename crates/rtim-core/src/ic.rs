@@ -36,6 +36,17 @@ impl IcFramework<UnitWeight> {
     }
 }
 
+impl IcFramework<UnitWeight> {
+    /// Rehydrates a unit-weight IC framework from persisted state (see
+    /// [`crate::snapshot`]).
+    pub fn from_state(
+        config: SimConfig,
+        state: crate::snapshot::FrameworkState,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Self::from_state_with_weight(config, UnitWeight, state)
+    }
+}
+
 impl<W: ElementWeight + Send + 'static> IcFramework<W> {
     /// Creates an IC framework with a custom influence function.
     pub fn with_weight(config: SimConfig, weight: W) -> Self {
@@ -43,6 +54,25 @@ impl<W: ElementWeight + Send + 'static> IcFramework<W> {
             config,
             checkpoints: CheckpointSet::from_config(&config, weight),
         }
+    }
+
+    /// Rehydrates an IC framework from persisted state, re-supplying the
+    /// weight function the snapshotted framework ran with.
+    pub fn from_state_with_weight(
+        config: SimConfig,
+        weight: W,
+        state: crate::snapshot::FrameworkState,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(IcFramework {
+            config,
+            checkpoints: CheckpointSet::from_state(
+                config.oracle,
+                config.oracle_config(),
+                config.threads,
+                weight,
+                state.set,
+            )?,
+        })
     }
 
     /// The configuration this framework runs with.
@@ -109,6 +139,15 @@ impl<W: ElementWeight + Send + 'static> Framework for IcFramework<W> {
 
     fn kind(&self) -> FrameworkKind {
         FrameworkKind::Ic
+    }
+
+    fn snapshot_state(&self) -> Option<crate::snapshot::FrameworkState> {
+        Some(crate::snapshot::FrameworkState {
+            kind: FrameworkKind::Ic,
+            window_start: 0,
+            pruned: 0,
+            set: self.checkpoints.snapshot()?,
+        })
     }
 }
 

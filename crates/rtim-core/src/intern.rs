@@ -87,6 +87,20 @@ impl UserInterner {
     pub fn raws(&self) -> &[UserId] {
         &self.raws
     }
+
+    /// Rebuilds an interner from a persisted table of raw ids in dense-id
+    /// order (the snapshot-restore path), rejecting duplicates — a table
+    /// mapping two dense ids to one raw id could never have been minted.
+    pub fn from_raws(raws: Vec<UserId>) -> Result<Self, String> {
+        let mut map = FxHashMap::default();
+        map.reserve(raws.len());
+        for (dense, &raw) in raws.iter().enumerate() {
+            if map.insert(raw, UserId(dense as u32)).is_some() {
+                return Err(format!("duplicate raw id {raw} in the interner table"));
+            }
+        }
+        Ok(UserInterner { map, raws })
+    }
 }
 
 #[cfg(test)]

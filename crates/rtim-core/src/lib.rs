@@ -32,7 +32,11 @@
 //! * [`handle`] — the asynchronous ingest pipeline ([`EngineHandle`]): a
 //!   bounded queue decoupling producers from a dedicated engine thread while
 //!   preserving the one-writer determinism invariant (what the
-//!   `rtim-server` TCP front-end runs on).
+//!   `rtim-server` TCP front-end runs on), with optional durable
+//!   persistence (disk journal + snapshots + startup recovery).
+//! * [`snapshot`] — durable engine snapshots ([`EngineSnapshot`], `RTSS`
+//!   codec), atomic writes, and the crash-recovery decision tree
+//!   ([`recover_engine`]); see `docs/RECOVERY.md`.
 //! * [`extensions`] — topic-aware, location-aware and conformity-aware SIM
 //!   (Appendix A).
 //!
@@ -73,6 +77,7 @@ pub mod intern;
 pub mod parallel;
 pub mod pool;
 pub mod sic;
+pub mod snapshot;
 pub mod ssm;
 
 pub use checkpoint_set::CheckpointSet;
@@ -81,10 +86,15 @@ pub use engine::{RunReport, SimEngine, SlideReport};
 pub use framework::{Framework, FrameworkKind, ResolvedAction, Solution};
 pub use handle::{
     EngineHandle, EngineReport, EngineStats, HandleClosed, HandleOptions, IngestError,
-    IngestSender, SenderSpawner, RECENT_SLIDES,
+    IngestSender, PersistOptions, SenderSpawner, SnapshotInfo, SnapshotRequestError,
+    JOURNAL_FILE, RECENT_SLIDES, SNAPSHOT_FILE,
 };
 pub use ic::IcFramework;
 pub use intern::UserInterner;
 pub use pool::{CheckpointStat, ShardPool};
 pub use sic::SicFramework;
+pub use snapshot::{
+    load_snapshot, recover_engine, write_snapshot_atomic, CheckpointSetState, CheckpointState,
+    EngineSnapshot, FrameworkState, RecoveryOutcome, SnapshotError,
+};
 pub use ssm::Checkpoint;

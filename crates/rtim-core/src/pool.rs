@@ -82,6 +82,9 @@ enum ShardMsg {
     Extract(u64),
     /// Reply with the solution of the checkpoint with this start id.
     Query(u64),
+    /// Reply with the serializable state of the checkpoint with this start
+    /// id (`None` if its oracle lacks snapshot support).
+    Snapshot(u64),
     /// Exit the worker loop.
     Shutdown,
 }
@@ -91,6 +94,7 @@ enum ShardReply {
     Fed(Vec<CheckpointStat>),
     Extracted(Box<Checkpoint>),
     Solution(Box<Solution>),
+    Snapshot(Box<Option<crate::snapshot::CheckpointState>>),
 }
 
 struct Worker {
@@ -201,6 +205,24 @@ impl ShardPool {
         self.send(worker, ShardMsg::Remove(start));
         self.counts[worker] -= 1;
         self.rebalance();
+    }
+
+    /// Fetches the serializable state of the checkpoint with the given
+    /// start id (without moving it out of its shard); `None` if its oracle
+    /// lacks snapshot support.
+    pub fn snapshot(&self, start: u64) -> Option<crate::snapshot::CheckpointState> {
+        let worker = *self
+            .assignment
+            .get(&start)
+            .expect("snapshotting a checkpoint the pool does not own");
+        self.workers[worker]
+            .tx
+            .send(ShardMsg::Snapshot(start))
+            .expect("shard worker hung up");
+        match self.recv(worker) {
+            ShardReply::Snapshot(s) => *s,
+            _ => unreachable!("worker answered Snapshot with a non-Snapshot reply"),
+        }
     }
 
     /// Fetches the full solution of the checkpoint with the given start id.
@@ -357,6 +379,15 @@ fn worker_loop(rx: Receiver<ShardMsg>, tx: Sender<ShardReply>) {
                     .find(|c| c.start() == start)
                     .expect("querying a checkpoint this shard does not own");
                 if tx.send(ShardReply::Solution(Box::new(cp.solution()))).is_err() {
+                    break;
+                }
+            }
+            ShardMsg::Snapshot(start) => {
+                let cp = shard
+                    .iter()
+                    .find(|c| c.start() == start)
+                    .expect("snapshotting a checkpoint this shard does not own");
+                if tx.send(ShardReply::Snapshot(Box::new(cp.snapshot()))).is_err() {
                     break;
                 }
             }

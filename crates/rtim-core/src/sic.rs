@@ -46,6 +46,17 @@ impl SicFramework<UnitWeight> {
     }
 }
 
+impl SicFramework<UnitWeight> {
+    /// Rehydrates a unit-weight SIC framework from persisted state (see
+    /// [`crate::snapshot`]).
+    pub fn from_state(
+        config: SimConfig,
+        state: crate::snapshot::FrameworkState,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Self::from_state_with_weight(config, UnitWeight, state)
+    }
+}
+
 impl<W: ElementWeight + Send + 'static> SicFramework<W> {
     /// Creates a SIC framework with a custom influence function.
     pub fn with_weight(config: SimConfig, weight: W) -> Self {
@@ -55,6 +66,27 @@ impl<W: ElementWeight + Send + 'static> SicFramework<W> {
             window_start: 1,
             pruned: 0,
         }
+    }
+
+    /// Rehydrates a SIC framework from persisted state, re-supplying the
+    /// weight function the snapshotted framework ran with.
+    pub fn from_state_with_weight(
+        config: SimConfig,
+        weight: W,
+        state: crate::snapshot::FrameworkState,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        Ok(SicFramework {
+            config,
+            checkpoints: CheckpointSet::from_state(
+                config.oracle,
+                config.oracle_config(),
+                config.threads,
+                weight,
+                state.set,
+            )?,
+            window_start: state.window_start.max(1),
+            pruned: state.pruned,
+        })
     }
 
     /// The configuration this framework runs with.
@@ -157,6 +189,15 @@ impl<W: ElementWeight + Send + 'static> Framework for SicFramework<W> {
 
     fn kind(&self) -> FrameworkKind {
         FrameworkKind::Sic
+    }
+
+    fn snapshot_state(&self) -> Option<crate::snapshot::FrameworkState> {
+        Some(crate::snapshot::FrameworkState {
+            kind: FrameworkKind::Sic,
+            window_start: self.window_start,
+            pruned: self.pruned,
+            set: self.checkpoints.snapshot()?,
+        })
     }
 }
 

@@ -138,6 +138,29 @@ impl Checkpoint {
     pub fn tracked_users(&self) -> usize {
         self.accumulator.sets().len()
     }
+
+    /// Captures the checkpoint's serializable state, or `None` if the
+    /// wrapped oracle is a custom implementation without snapshot support.
+    pub fn snapshot(&self) -> Option<crate::snapshot::CheckpointState> {
+        Some(crate::snapshot::CheckpointState {
+            start: self.start,
+            updates: self.updates,
+            sets: self.accumulator.sets().clone(),
+            oracle: self.oracle.snapshot_state()?,
+        })
+    }
+
+    /// Rehydrates a checkpoint from persisted state under the given oracle
+    /// configuration (the engine's `k`/`β`).
+    pub fn from_state(state: crate::snapshot::CheckpointState, config: OracleConfig) -> Self {
+        Checkpoint {
+            start: state.start,
+            accumulator: rtim_stream::InfluenceAccumulator::from_sets(state.sets),
+            oracle: state.oracle.restore(config),
+            updates: state.updates,
+            scratch: Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 //! remaps them onto global arrival order).
 
 use crate::protocol::{read_frame, write_frame, Frame, FrameError, PROTOCOL_VERSION};
-use rtim_core::{EngineStats, Solution};
+use rtim_core::{EngineStats, SnapshotInfo, Solution};
 use rtim_stream::Action;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -148,6 +148,18 @@ impl RtimClient {
             Frame::StatsReply(stats) => Ok(stats),
             Frame::Error(msg) => Err(ClientError::Server(msg)),
             other => Err(ClientError::Unexpected(format!("{other:?} to STATS"))),
+        }
+    }
+
+    /// Requests a durable snapshot (covering everything this connection
+    /// already ingested).  The server answers with the snapshot's
+    /// watermark and byte size, or an `ERROR` if persistence is not
+    /// configured.
+    pub fn snapshot(&mut self) -> Result<SnapshotInfo, ClientError> {
+        match self.round_trip(&Frame::Snapshot)? {
+            Frame::SnapshotReply(info) => Ok(info),
+            Frame::Error(msg) => Err(ClientError::Server(msg)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to SNAPSHOT"))),
         }
     }
 

@@ -15,8 +15,8 @@
 //! property-tested in `tests/protocol_props.rs`.
 
 use bytes::{Buf, BufMut, BytesMut};
-use rtim_core::{EngineStats, Solution};
-use rtim_stream::{decode_batch, encode_batch, Action, UserId};
+use rtim_core::{EngineStats, SnapshotInfo, Solution};
+use rtim_stream::{decode_batch, encode_batch, Action, UserId, MAX_FRAME_BYTES};
 use std::io::{self, Read, Write};
 
 /// Protocol version carried by the server's `HELLO` frame.
@@ -27,8 +27,10 @@ pub const HELLO_MAGIC: &[u8; 4] = b"RTIM";
 
 /// Upper bound on a frame payload (32 MiB ≈ 1.6 M actions per batch) —
 /// far above any sane batch, low enough that a hostile length prefix
-/// cannot drive allocation.
-pub const MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
+/// cannot drive allocation.  This is the workspace-wide
+/// [`rtim_stream::MAX_FRAME_BYTES`] guard, shared with the `persist` batch
+/// decoder and the `RTSS` state codec.
+pub const MAX_FRAME_LEN: u32 = MAX_FRAME_BYTES as u32;
 
 /// Frame kind tags (client requests below 0x80, server replies above).
 mod kind {
@@ -36,11 +38,13 @@ mod kind {
     pub const QUERY: u8 = 0x02;
     pub const STATS: u8 = 0x03;
     pub const SHUTDOWN: u8 = 0x04;
+    pub const SNAPSHOT: u8 = 0x05;
     pub const HELLO: u8 = 0x80;
     pub const ACK: u8 = 0x81;
     pub const SOLUTION: u8 = 0x82;
     pub const STATS_REPLY: u8 = 0x83;
     pub const BUSY: u8 = 0x84;
+    pub const SNAPSHOT_REPLY: u8 = 0x85;
     pub const ERROR: u8 = 0x8F;
 }
 
@@ -64,6 +68,10 @@ pub enum Frame {
     Stats,
     /// Client → server: drain the queue and stop the server.
     Shutdown,
+    /// Client → server (admin): write a durable snapshot now, covering
+    /// every batch this connection already ingested (ordered through the
+    /// same queue).
+    Snapshot,
     /// Server → client: the batch was accepted (enqueued).
     Ack {
         /// Actions accepted.
@@ -80,6 +88,8 @@ pub enum Frame {
         /// The queue capacity, as a retry-pacing hint.
         capacity: u32,
     },
+    /// Server → client: the snapshot was written (watermark + size).
+    SnapshotReply(SnapshotInfo),
     /// Server → client: the request failed; the connection stays usable
     /// unless the transport itself broke.
     Error(String),
@@ -152,6 +162,13 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Query => (kind::QUERY, BytesMut::new()),
         Frame::Stats => (kind::STATS, BytesMut::new()),
         Frame::Shutdown => (kind::SHUTDOWN, BytesMut::new()),
+        Frame::Snapshot => (kind::SNAPSHOT, BytesMut::new()),
+        Frame::SnapshotReply(info) => {
+            let mut p = BytesMut::with_capacity(16);
+            p.put_u64_le(info.watermark);
+            p.put_u64_le(info.bytes);
+            (kind::SNAPSHOT_REPLY, p)
+        }
         Frame::Ack {
             accepted,
             queue_depth,
@@ -252,6 +269,18 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         kind::QUERY => expect_empty(data, Frame::Query)?,
         kind::STATS => expect_empty(data, Frame::Stats)?,
         kind::SHUTDOWN => expect_empty(data, Frame::Shutdown)?,
+        kind::SNAPSHOT => expect_empty(data, Frame::Snapshot)?,
+        kind::SNAPSHOT_REPLY => {
+            if data.len() != 16 {
+                return Err(FrameError::Payload(
+                    "SNAPSHOT reply payload must be 16 bytes".into(),
+                ));
+            }
+            Frame::SnapshotReply(SnapshotInfo {
+                watermark: data.get_u64_le(),
+                bytes: data.get_u64_le(),
+            })
+        }
         kind::ACK => {
             if data.len() != 12 {
                 return Err(FrameError::Payload("ACK payload must be 12 bytes".into()));
@@ -396,7 +425,32 @@ mod tests {
             orphaned_replies: 11,
         }));
         round_trip(Frame::Busy { capacity: 64 });
+        round_trip(Frame::Snapshot);
+        round_trip(Frame::SnapshotReply(SnapshotInfo {
+            watermark: 120_000,
+            bytes: 48_000,
+        }));
         round_trip(Frame::Error("boom".into()));
+    }
+
+    #[test]
+    fn snapshot_frames_reject_payload_garbage() {
+        // SNAPSHOT must be bodyless.
+        let mut bytes = vec![0x05];
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(0);
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(FrameError::Payload(_))
+        ));
+        // SNAPSHOT reply must be exactly 16 bytes.
+        let mut bytes = vec![0x85];
+        bytes.extend_from_slice(&8u32.to_le_bytes());
+        bytes.extend_from_slice(&[0; 8]);
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(FrameError::Payload(_))
+        ));
     }
 
     #[test]

@@ -25,8 +25,8 @@
 
 use crate::protocol::{read_frame, write_frame, Frame, FrameError, PROTOCOL_VERSION};
 use rtim_core::{
-    EngineHandle, FrameworkKind, HandleOptions, IngestError, IngestSender, SenderSpawner,
-    SimConfig,
+    EngineHandle, FrameworkKind, HandleOptions, IngestError, IngestSender, PersistOptions,
+    SenderSpawner, SimConfig, SnapshotRequestError,
 };
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -35,7 +35,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Server configuration: the SIM query plus pipeline knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// The continuous SIM query (k, β, N, L, oracle, pool threads).
     pub sim: SimConfig,
@@ -50,11 +50,15 @@ pub struct ServerConfig {
     /// [`rtim_core::HandleOptions::remap_horizon`]); `None` retains every
     /// mapping for the lifetime of the engine.
     pub remap_horizon: Option<u64>,
+    /// Durable persistence: disk journal, snapshots (background and via
+    /// the `SNAPSHOT` frame) and crash recovery at startup.  `None` = the
+    /// engine state lives and dies with the process.
+    pub persist: Option<PersistOptions>,
 }
 
 impl ServerConfig {
     /// A configuration with the default pipeline knobs (capacity 64, no
-    /// journal, unbounded remap tables).
+    /// journal, unbounded remap tables, no persistence).
     pub fn new(sim: SimConfig, kind: FrameworkKind) -> Self {
         ServerConfig {
             sim,
@@ -62,6 +66,7 @@ impl ServerConfig {
             queue_capacity: 64,
             journal: false,
             remap_horizon: None,
+            persist: None,
         }
     }
 
@@ -80,6 +85,13 @@ impl ServerConfig {
     /// Bounds the per-connection id-remap tables.
     pub fn with_remap_horizon(mut self, horizon: u64) -> Self {
         self.remap_horizon = Some(horizon.max(1));
+        self
+    }
+
+    /// Enables durable persistence (snapshot + journal in `persist.dir`,
+    /// startup recovery, and the `SNAPSHOT` admin frame).
+    pub fn with_persistence(mut self, persist: PersistOptions) -> Self {
+        self.persist = Some(persist);
         self
     }
 }
@@ -125,6 +137,9 @@ impl RtimServer {
             .with_journal(config.journal);
         if let Some(h) = config.remap_horizon {
             options = options.with_remap_horizon(h);
+        }
+        if let Some(p) = config.persist.clone() {
+            options = options.with_persistence(p);
         }
         let handle = EngineHandle::spawn(config.sim, config.kind, options);
         let shared = Arc::new(ServerShared {
@@ -344,6 +359,13 @@ fn connection_loop(
             Frame::Stats => match sender.stats() {
                 Ok(stats) => Frame::StatsReply(stats),
                 Err(_) => return None,
+            },
+            Frame::Snapshot => match sender.snapshot() {
+                Ok(info) => Frame::SnapshotReply(info),
+                Err(SnapshotRequestError::Closed) => return None,
+                Err(e @ (SnapshotRequestError::Disabled | SnapshotRequestError::Failed(_))) => {
+                    Frame::Error(e.to_string())
+                }
             },
             Frame::Shutdown => {
                 shared.shutting_down.store(true, Ordering::Release);

@@ -60,6 +60,13 @@ impl InfluenceSets {
         self.sets.entry(actor).or_default().insert(influenced)
     }
 
+    /// Installs a whole influence set for `user`, returning the previous
+    /// set if one existed (the snapshot-restore path; streaming ingestion
+    /// grows sets through [`InfluenceSets::insert`] instead).
+    pub fn insert_set(&mut self, user: UserId, set: InfluenceSet) -> Option<InfluenceSet> {
+        self.sets.insert(user, set)
+    }
+
     /// Users with a non-empty influence set.
     pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
         self.sets.keys().copied()
@@ -118,6 +125,12 @@ impl InfluenceAccumulator {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Rehydrates an accumulator from previously accumulated sets (the
+    /// snapshot-restore path of a checkpoint).
+    pub fn from_sets(sets: InfluenceSets) -> Self {
+        InfluenceAccumulator { sets }
     }
 
     /// Applies one action performed by `actor` whose reply ancestors were

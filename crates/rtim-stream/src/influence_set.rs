@@ -200,6 +200,25 @@ impl InfluenceSet {
     pub fn is_bitmap(&self) -> bool {
         matches!(self.repr, Repr::Bits { .. })
     }
+
+    /// Rebuilds a small-representation set from an already sorted,
+    /// deduplicated id list (the state codec's restore path — validation
+    /// happens at decode time).
+    pub(crate) fn from_sorted_vec(users: Vec<UserId>) -> Self {
+        debug_assert!(users.windows(2).all(|w| w[0] < w[1]), "unsorted restore");
+        InfluenceSet {
+            repr: Repr::Small(users),
+        }
+    }
+
+    /// Rebuilds a bitmap-representation set from its words (the state
+    /// codec's restore path); the cached length is recomputed by popcount.
+    pub(crate) fn from_words(words: Vec<u64>) -> Self {
+        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        InfluenceSet {
+            repr: Repr::Bits { words, len },
+        }
+    }
 }
 
 #[inline]

@@ -22,6 +22,11 @@
 //! The key design decision (mirroring the paper) is that influence sets are
 //! **never maintained globally under expiry**; they are either accumulated
 //! append-only inside a checkpoint, or recomputed from the window contents.
+//!
+//! Durability lives under [`persist`]: trace codecs (`RTAS`/`RTAB`/text),
+//! the CRC-checked [`persist::state`] (`RTSS`) section substrate that
+//! engine snapshots build on, and the crash-tolerant
+//! [`persist::journal`] (`RTAJ`) of ingest batches.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -37,9 +42,11 @@ pub mod window;
 pub use action::{Action, ActionId, Timestamp, UserId};
 pub use influence::{window_influence_sets, InfluenceAccumulator, InfluenceSets};
 pub use influence_set::{InfluenceSet, SetIter, SetView};
+pub use persist::journal::{read_journal, JournalContents, JournalWriter};
+pub use persist::state::{ByteReader, StateDocument, StateError, StateWriter};
 pub use persist::{
     decode_batch, decode_binary, encode_batch, encode_binary, read_binary, read_text,
-    write_binary, write_text, TraceError,
+    write_binary, write_text, TraceError, MAX_FRAME_BYTES,
 };
 pub use propagation::{PropagationIndex, PropagationStats};
 pub use stream::{ActionBatchIter, SocialStream, StreamStats};

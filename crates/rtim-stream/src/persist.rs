@@ -24,6 +24,20 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::HashSet;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
+pub mod journal;
+pub mod state;
+
+/// Upper bound, in bytes, on a single length-prefixed payload across the
+/// workspace's codecs — the wire protocol's frame cap (`rtim-server`
+/// re-exports it as `MAX_FRAME_LEN`) and the guard the batch decoders
+/// size allocations against.  32 MiB ≈ 1.6 M actions per batch: far above
+/// any sane payload, low enough that a hostile length prefix cannot drive
+/// allocation.  The `RTSS` state codec bounds allocations by the input
+/// actually present and uses 64 × this value as its absolute
+/// single-allocation ceiling (snapshot-scale arrays legitimately exceed
+/// one wire frame; see [`state::ByteReader::array_len`]).
+pub const MAX_FRAME_BYTES: usize = 32 * 1024 * 1024;
+
 /// Magic bytes identifying the binary trace format ("RTAS" = RTim Action
 /// Stream), followed by a format version byte.
 const MAGIC: &[u8; 4] = b"RTAS";
@@ -98,7 +112,10 @@ fn decode_records(magic: &[u8; 4], mut data: &[u8]) -> Result<Vec<Action>, Trace
     if data.remaining() / 20 < count {
         return Err(TraceError::Truncated);
     }
-    let mut actions = Vec::with_capacity(count);
+    // The remaining-bytes check above already bounds `count`; the clamp
+    // keeps the shared single-allocation cap explicit (same constant as
+    // the wire protocol and the RTSS state codec).
+    let mut actions = Vec::with_capacity(count.min(MAX_FRAME_BYTES / 20));
     for _ in 0..count {
         let id = data.get_u64_le();
         let user = data.get_u32_le();
@@ -204,11 +221,13 @@ pub fn write_text<W: Write>(stream: &SocialStream, mut writer: W) -> Result<(), 
 /// Reads the text format (header line optional; blank lines and `#` comments
 /// are ignored), validating invariants.
 ///
-/// Every error — malformed fields, trailing garbage after the parent field,
-/// and structural violations (non-increasing ids, unknown or future
-/// parents) — is reported as [`TraceError::Invalid`] with the offending
-/// 1-based line number, so a broken export can be fixed instead of guessed
-/// at.
+/// Built for messy real-trace exports: a UTF-8 byte-order mark on the first
+/// line is stripped, Windows line endings are accepted (fields are trimmed),
+/// and blank/comment lines still count toward line numbers.  Every error —
+/// malformed fields, trailing garbage after the parent field, and structural
+/// violations (non-increasing ids, unknown or future parents) — is reported
+/// as [`TraceError::Invalid`] with the offending 1-based line number, so a
+/// broken export can be fixed instead of guessed at.
 pub fn read_text<R: Read>(reader: R) -> Result<SocialStream, TraceError> {
     let mut actions = Vec::new();
     let mut seen: HashSet<ActionId> = HashSet::new();
@@ -217,7 +236,11 @@ pub fn read_text<R: Read>(reader: R) -> Result<SocialStream, TraceError> {
         let line_no = line_idx + 1;
         let invalid = |msg: String| TraceError::Invalid(format!("line {line_no}: {msg}"));
         let line = line?;
-        let trimmed = line.trim();
+        let mut trimmed = line.trim();
+        if line_idx == 0 {
+            // Tolerate a UTF-8 BOM, common in spreadsheet exports.
+            trimmed = trimmed.trim_start_matches('\u{feff}').trim();
+        }
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
@@ -348,6 +371,23 @@ mod tests {
         assert!(read_text("1,abc,\n".as_bytes()).is_err());
         assert!(read_text("1\n".as_bytes()).is_err());
         assert!(read_text("1,2,\n1,3,\n".as_bytes()).is_err()); // non-increasing
+    }
+
+    /// Messy real-world exports: UTF-8 BOM on the first line (before data
+    /// or before a comment), CRLF line endings, padded fields.  All accepted
+    /// — and line numbers stay accurate when such a file has an error.
+    #[test]
+    fn text_reader_tolerates_bom_crlf_and_padding() {
+        let decoded = read_text("\u{feff}# exported\r\n1, 5 ,\r\n2,6, 1\r\n".as_bytes()).unwrap();
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded.actions()[1].parent, Some(ActionId(1)));
+        let decoded = read_text("\u{feff}1,5,\n".as_bytes()).unwrap();
+        assert_eq!(decoded.len(), 1);
+        // A BOM'd, CRLF'd file still reports the right line on errors.
+        let err = read_text("\u{feff}# h\r\n1,5,\r\nbogus\r\n".as_bytes())
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("line 3:") && err.contains("bad timestamp"), "{err}");
     }
 
     /// Every text-format error carries the 1-based line number of the

@@ -18,15 +18,16 @@
 use crate::action::{Action, ActionId, UserId};
 use fxhash::FxHashMap;
 
-/// Per-action record kept by the index.
+/// Per-action record kept by the index (fields crate-visible for the
+/// `persist::state` codec).
 #[derive(Debug, Clone)]
-struct ActionRecord {
+pub(crate) struct ActionRecord {
     /// The user who performed this action.
-    user: UserId,
+    pub(crate) user: UserId,
     /// Users of all ancestor actions (deduplicated, nearest-first).
-    ancestor_users: Box<[UserId]>,
+    pub(crate) ancestor_users: Box<[UserId]>,
     /// Number of ancestor *actions* (reply depth; 0 for roots).
-    depth: u32,
+    pub(crate) depth: u32,
 }
 
 /// Aggregate statistics over all actions inserted into a [`PropagationIndex`].
@@ -90,14 +91,14 @@ impl PropagationStats {
 pub struct PropagationIndex {
     /// FxHash-keyed: one probe per arriving action plus one per ancestor
     /// lookup — an outer feed-path map (see `docs/PERF.md`).
-    records: FxHashMap<ActionId, ActionRecord>,
-    horizon: Option<u64>,
+    pub(crate) records: FxHashMap<ActionId, ActionRecord>,
+    pub(crate) horizon: Option<u64>,
     /// Smallest action id still retained (used for pruning).
-    oldest_retained: u64,
-    latest: u64,
-    stats: PropagationStats,
+    pub(crate) oldest_retained: u64,
+    pub(crate) latest: u64,
+    pub(crate) stats: PropagationStats,
     /// Maximum number of ancestor users recorded per action (0 = unlimited).
-    max_ancestors: usize,
+    pub(crate) max_ancestors: usize,
 }
 
 impl Default for PropagationIndex {
@@ -134,6 +135,51 @@ impl PropagationIndex {
     pub fn with_max_ancestors(mut self, cap: usize) -> Self {
         self.max_ancestors = cap;
         self
+    }
+
+    /// Rebuilds an index skeleton from persisted counters (the
+    /// `persist::state` restore path; records are re-inserted through
+    /// [`PropagationIndex::insert_record`]).
+    pub(crate) fn from_parts(
+        horizon: Option<u64>,
+        oldest_retained: u64,
+        latest: u64,
+        max_ancestors: usize,
+        stats: PropagationStats,
+    ) -> Self {
+        PropagationIndex {
+            records: FxHashMap::default(),
+            horizon,
+            oldest_retained,
+            latest,
+            stats,
+            max_ancestors,
+        }
+    }
+
+    /// Re-installs one persisted record verbatim (restore path; no stats
+    /// are updated — they were persisted alongside).
+    pub(crate) fn insert_record(
+        &mut self,
+        id: ActionId,
+        user: UserId,
+        depth: u32,
+        ancestor_users: Vec<UserId>,
+    ) {
+        self.records.insert(
+            id,
+            ActionRecord {
+                user,
+                ancestor_users: ancestor_users.into_boxed_slice(),
+                depth,
+            },
+        );
+    }
+
+    /// Id of the most recent action ever inserted (0 before the first) —
+    /// the natural journal watermark of a snapshot.
+    pub fn latest_id(&self) -> u64 {
+        self.latest
     }
 
     /// Number of actions currently retained.

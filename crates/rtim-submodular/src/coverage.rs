@@ -217,6 +217,25 @@ impl CoverageState {
         }
     }
 
+    /// The union bitmap words (snapshot access for the state codec).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds a coverage state from a persisted snapshot: the covered
+    /// count is recomputed from the bitmap, while the objective value is
+    /// restored verbatim — it was accumulated incrementally in arrival
+    /// order, so recomputing it could differ in the last ulp and break the
+    /// restored-equals-uninterrupted bit-identity guarantee.
+    pub fn from_snapshot(words: Vec<u64>, value: f64) -> Self {
+        let covered = words.iter().map(|w| w.count_ones() as usize).sum();
+        CoverageState {
+            words,
+            covered,
+            value,
+        }
+    }
+
     /// Weighted value of an arbitrary set of users (helper for `f({I(u)})`).
     pub fn set_value<W: ElementWeight>(weight: &W, set: &InfluenceSet) -> f64 {
         if weight.is_unit() {

@@ -31,6 +31,7 @@ pub mod greedy;
 pub mod oracle;
 pub mod sieve;
 mod singles;
+pub mod state;
 pub mod swap;
 pub mod threshold_stream;
 pub mod weights;
@@ -38,6 +39,7 @@ pub mod weights;
 pub use coverage::{reference::HashCoverageState, CoverageState};
 pub use greedy::{brute_force_best, greedy_max_coverage, lazy_greedy_max_coverage, GreedyResult};
 pub use oracle::{OracleConfig, OracleKind, SsoOracle};
+pub use state::OracleState;
 pub use sieve::SieveStreaming;
 pub use swap::SwapStreaming;
 pub use threshold_stream::ThresholdStream;

@@ -101,6 +101,17 @@ pub trait SsoOracle: Send {
     /// retained across all internal instances (instrumentation for the
     /// checkpoint-count/space experiments).
     fn retained_facts(&self) -> usize;
+
+    /// The oracle's serializable state, if it supports durable snapshots.
+    ///
+    /// Every oracle shipped by this crate returns `Some`; the default is
+    /// `None` so external implementations keep compiling — an engine whose
+    /// checkpoints hold such an oracle reports snapshotting as unsupported
+    /// instead of failing at decode time.  Restore with
+    /// [`OracleState::restore`](crate::state::OracleState::restore).
+    fn snapshot_state(&self) -> Option<crate::state::OracleState> {
+        None
+    }
 }
 
 /// Selector for the checkpoint-oracle implementation (Table 2 of the paper).

@@ -100,6 +100,32 @@ impl SieveStreaming {
         self.instances.len()
     }
 
+    /// Rebuilds an oracle from persisted state (see [`crate::state`]).
+    pub(crate) fn from_state(config: OracleConfig, state: crate::state::SieveState) -> Self {
+        SieveStreaming {
+            config,
+            max_single: state.max_single,
+            best_single: state.best_single,
+            frozen: state.frozen,
+            instances: state
+                .instances
+                .into_iter()
+                .map(|inst| {
+                    (
+                        inst.exponent,
+                        Instance {
+                            opt_guess: inst.parameter,
+                            seeds: inst.seeds,
+                            coverage: inst.coverage.restore(),
+                        },
+                    )
+                })
+                .collect(),
+            singles: SingletonValues::from_entries(state.singles),
+            elements: state.elements,
+        }
+    }
+
     fn log_base(&self) -> f64 {
         (1.0 + self.config.beta).ln()
     }
@@ -280,6 +306,27 @@ impl SsoOracle for SieveStreaming {
             .values()
             .map(|i| i.coverage.covered_count())
             .sum()
+    }
+
+    fn snapshot_state(&self) -> Option<crate::state::OracleState> {
+        use crate::state::{CoverageSnapshot, InstanceState, OracleState, SieveState};
+        Some(OracleState::Sieve(SieveState {
+            max_single: self.max_single,
+            best_single: self.best_single,
+            frozen: self.frozen.clone(),
+            instances: self
+                .instances
+                .iter()
+                .map(|(&exponent, inst)| InstanceState {
+                    exponent,
+                    parameter: inst.opt_guess,
+                    seeds: inst.seeds.clone(),
+                    coverage: CoverageSnapshot::of(&inst.coverage),
+                })
+                .collect(),
+            singles: self.singles.entries(),
+            elements: self.elements,
+        }))
     }
 }
 

@@ -31,6 +31,20 @@ impl SingletonValues {
         Self::default()
     }
 
+    /// The cached entries, ascending by user (deterministic snapshot order).
+    pub(crate) fn entries(&self) -> Vec<(UserId, f64)> {
+        let mut entries: Vec<(UserId, f64)> = self.values.iter().map(|(&u, &v)| (u, v)).collect();
+        entries.sort_unstable_by_key(|(u, _)| *u);
+        entries
+    }
+
+    /// Rebuilds the cache from persisted entries (restore path).
+    pub(crate) fn from_entries(entries: impl IntoIterator<Item = (UserId, f64)>) -> Self {
+        SingletonValues {
+            values: entries.into_iter().collect(),
+        }
+    }
+
     /// The singleton value `f({key})` of the arriving element.
     pub(crate) fn value(
         &mut self,

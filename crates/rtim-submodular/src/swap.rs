@@ -52,6 +52,25 @@ impl SwapStreaming {
         }
     }
 
+    /// Rebuilds an oracle from persisted state (see [`crate::state`]).  The
+    /// covered-item multiset is not persisted — it is derived from the held
+    /// sets here, so the two can never disagree.
+    pub(crate) fn from_state(config: OracleConfig, state: crate::state::SwapState) -> Self {
+        let mut counts: HashMap<UserId, u32> = HashMap::new();
+        for (_, set) in &state.held {
+            for v in set.iter() {
+                *counts.entry(v).or_insert(0) += 1;
+            }
+        }
+        SwapStreaming {
+            config,
+            held: state.held.into_iter().collect(),
+            counts,
+            cached_value: state.cached_value,
+            elements: state.elements,
+        }
+    }
+
     /// Registers a single item into the coverage multiset, returning the
     /// value gained (its weight if previously uncovered).
     fn count_insert_one(&mut self, v: UserId, weights: &DenseWeights) -> f64 {
@@ -117,7 +136,9 @@ impl SsoOracle for SwapStreaming {
             .map(|v| weights.weight(v))
             .sum();
         // Loss of evicting y = weight of items only y covers and X does not
-        // re-cover.
+        // re-cover.  Ties break toward the smallest y, so the chosen victim
+        // never depends on hash-map iteration order — a restored oracle
+        // must evict exactly like the one that never stopped.
         let mut best: Option<(UserId, f64)> = None;
         for (&y, y_set) in &self.held {
             let loss_y: f64 = y_set
@@ -126,9 +147,12 @@ impl SsoOracle for SwapStreaming {
                 .map(|v| weights.weight(v))
                 .sum();
             let delta = gain_x - loss_y;
-            match best {
-                Some((_, d)) if d >= delta => {}
-                _ => best = Some((y, delta)),
+            let better = match best {
+                None => true,
+                Some((by, bd)) => delta > bd || (delta == bd && y < by),
+            };
+            if better {
+                best = Some((y, delta));
             }
         }
         if let Some((y, delta)) = best {
@@ -172,7 +196,12 @@ impl SsoOracle for SwapStreaming {
     }
 
     fn seeds(&self) -> Vec<UserId> {
-        self.held.keys().copied().collect()
+        // Ascending order: the held set has no meaningful order of its own,
+        // and hash-map iteration order must not leak into answers (a
+        // restored oracle has to report identical seeds).
+        let mut seeds: Vec<UserId> = self.held.keys().copied().collect();
+        seeds.sort_unstable();
+        seeds
     }
 
     fn k(&self) -> usize {
@@ -185,6 +214,21 @@ impl SsoOracle for SwapStreaming {
 
     fn retained_facts(&self) -> usize {
         self.held.values().map(|s| s.len()).sum()
+    }
+
+    fn snapshot_state(&self) -> Option<crate::state::OracleState> {
+        use crate::state::{OracleState, SwapState};
+        let mut held: Vec<(UserId, InfluenceSet)> = self
+            .held
+            .iter()
+            .map(|(&u, set)| (u, set.clone()))
+            .collect();
+        held.sort_unstable_by_key(|(u, _)| *u);
+        Some(OracleState::Swap(SwapState {
+            held,
+            cached_value: self.cached_value,
+            elements: self.elements,
+        }))
     }
 }
 
@@ -231,6 +275,20 @@ mod tests {
         assert_eq!(s.value(), 3.0);
         assert_eq!(s.seeds(), vec![UserId(9)]);
         assert_eq!(s.retained_facts(), 3);
+    }
+
+    /// Equal-delta swaps evict the smallest held seed — never whichever
+    /// seed a hash map happens to iterate first (a restored oracle must
+    /// evict exactly like the original).
+    #[test]
+    fn tied_swaps_evict_the_smallest_seed_deterministically() {
+        let mut s = SwapStreaming::new(OracleConfig::new(2, 0.1));
+        s.process(UserId(9), &set(&[1]), &UNIT);
+        s.process(UserId(4), &set(&[2]), &UNIT);
+        // Gain 2, loss 1 for either victim: a tie. u4 must be evicted.
+        s.process(UserId(7), &set(&[3, 4]), &UNIT);
+        assert_eq!(s.seeds(), vec![UserId(7), UserId(9)]);
+        assert_eq!(s.value(), 3.0);
     }
 
     #[test]

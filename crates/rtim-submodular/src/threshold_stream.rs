@@ -70,6 +70,31 @@ impl ThresholdStream {
         self.instances.len()
     }
 
+    /// Rebuilds an oracle from persisted state (see [`crate::state`]).
+    pub(crate) fn from_state(config: OracleConfig, state: crate::state::ThresholdState) -> Self {
+        ThresholdStream {
+            config,
+            max_single: state.max_single,
+            best_single: state.best_single,
+            instances: state
+                .instances
+                .into_iter()
+                .map(|inst| {
+                    (
+                        inst.exponent,
+                        Instance {
+                            threshold: inst.parameter,
+                            seeds: inst.seeds,
+                            coverage: inst.coverage.restore(),
+                        },
+                    )
+                })
+                .collect(),
+            singles: SingletonValues::from_entries(state.singles),
+            elements: state.elements,
+        }
+    }
+
     fn refresh_instances(&mut self) {
         if self.max_single <= 0.0 {
             return;
@@ -179,6 +204,26 @@ impl SsoOracle for ThresholdStream {
             .values()
             .map(|i| i.coverage.covered_count())
             .sum()
+    }
+
+    fn snapshot_state(&self) -> Option<crate::state::OracleState> {
+        use crate::state::{CoverageSnapshot, InstanceState, OracleState, ThresholdState};
+        Some(OracleState::Threshold(ThresholdState {
+            max_single: self.max_single,
+            best_single: self.best_single,
+            instances: self
+                .instances
+                .iter()
+                .map(|(&exponent, inst)| InstanceState {
+                    exponent,
+                    parameter: inst.threshold,
+                    seeds: inst.seeds.clone(),
+                    coverage: CoverageSnapshot::of(&inst.coverage),
+                })
+                .collect(),
+            singles: self.singles.entries(),
+            elements: self.elements,
+        }))
     }
 }
 

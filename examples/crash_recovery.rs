@@ -1,0 +1,185 @@
+//! Kill-and-recover smoke: serve a toy trace with persistence enabled,
+//! **SIGKILL** the server mid-stream, restart it on the same directory,
+//! finish the stream, and assert the served answers are bit-identical to
+//! an offline `run_stream` of the recovered journal.
+//!
+//! The binary plays both roles: invoked with no arguments it is the
+//! orchestrator, which re-spawns itself with `serve <dir> <addr-file>` as
+//! the sacrificial server process (so the kill is a real process kill, not
+//! a simulation).
+//!
+//! ```text
+//! cargo run --release --example crash_recovery
+//! ```
+//!
+//! Exits non-zero on any divergence — CI runs this as the kill-and-recover
+//! smoke step.
+
+use rtim::core::{FrameworkKind, PersistOptions, SimConfig, SimEngine};
+use rtim::prelude::*;
+use rtim::server::ServerConfig;
+use rtim::stream::read_journal;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn sim_config() -> SimConfig {
+    SimConfig::new(5, 0.1, 400, 100)
+}
+
+/// The sacrificial server role: bind, advertise the address, serve until
+/// killed (or cleanly shut down).
+fn serve(dir: &Path, addr_file: &Path) {
+    let config = ServerConfig::new(sim_config(), FrameworkKind::Sic)
+        .with_queue_capacity(16)
+        .with_persistence(PersistOptions::new(dir).with_snapshot_every_slides(0));
+    let server = RtimServer::bind("127.0.0.1:0", config).expect("bind loopback server");
+    // Write to a temp name then rename, so the orchestrator never reads a
+    // half-written address.
+    let tmp = addr_file.with_extension("tmp");
+    std::fs::write(&tmp, server.local_addr().to_string()).expect("write addr");
+    std::fs::rename(&tmp, addr_file).expect("publish addr");
+    let _ = server.wait();
+}
+
+/// Spawns the server role and waits for it to advertise its address.
+fn spawn_server(dir: &Path, addr_file: &Path) -> (Child, std::net::SocketAddr) {
+    std::fs::remove_file(addr_file).ok();
+    let exe = std::env::current_exe().expect("own path");
+    let child = Command::new(exe)
+        .arg("serve")
+        .arg(dir)
+        .arg(addr_file)
+        .stdout(Stdio::inherit())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn server process");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(addr_file) {
+            if let Ok(addr) = text.trim().parse() {
+                break addr;
+            }
+        }
+        assert!(Instant::now() < deadline, "server never advertised its address");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, addr)
+}
+
+/// Renumbers a global-stream fragment into a fresh connection's private id
+/// space (ids 1.., parents kept only when inside the fragment — outside
+/// references would be orphaned by the server anyway).
+fn renumber(fragment: &[Action], base: u64) -> Vec<Action> {
+    fragment
+        .iter()
+        .map(|a| Action {
+            id: rtim::stream::ActionId(a.id.0 - base),
+            user: a.user,
+            parent: a
+                .parent
+                .and_then(|p| (p.0 > base).then(|| rtim::stream::ActionId(p.0 - base))),
+        })
+        .collect()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    if let Some(role) = args.next() {
+        assert_eq!(role, "serve", "unknown role {role:?}");
+        let dir = PathBuf::from(args.next().expect("serve <dir> <addr-file>"));
+        let addr_file = PathBuf::from(args.next().expect("serve <dir> <addr-file>"));
+        serve(&dir, &addr_file);
+        return;
+    }
+
+    let config = sim_config();
+    let dir = std::env::temp_dir().join(format!("rtim-crash-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create state dir");
+    let addr_file = dir.join("addr.txt");
+
+    // A fig6-scale toy trace, streamed in L-aligned batches.
+    let stream = DatasetConfig::new(DatasetKind::SynN, Scale::Small)
+        .with_users(500)
+        .with_actions(2_000)
+        .generate();
+    let batch = 2 * config.slide;
+
+    // Life 1: stream 60%, snapshot over the wire, stream 20% more, then
+    // kill -9 the server mid-flight.
+    let (mut child, addr) = spawn_server(&dir, &addr_file);
+    {
+        let mut client = RtimClient::connect(addr).expect("connect");
+        for chunk in stream.actions()[..1_200].chunks(batch) {
+            client.ingest_blocking(chunk).expect("ingest");
+        }
+        let info = client.snapshot().expect("SNAPSHOT frame");
+        println!(
+            "snapshot at watermark {} ({} bytes); killing the server",
+            info.watermark, info.bytes
+        );
+        assert_eq!(info.watermark, 1_200);
+        for chunk in stream.actions()[1_200..1_600].chunks(batch) {
+            client.ingest_blocking(chunk).expect("ingest");
+        }
+        // A query is ordered behind the ingests: once it answers, the
+        // engine has dequeued (and therefore journaled) all 1,600 actions —
+        // so the restart below genuinely replays a journal tail past the
+        // snapshot watermark.
+        let _ = client.query().expect("pre-kill query");
+    }
+    child.kill().expect("SIGKILL the server");
+    let _ = child.wait();
+
+    // Life 2: restart on the same directory.  Recovery = snapshot +
+    // journal-tail replay; whatever the dying process had journaled is
+    // exactly what the engine now reflects.
+    let (mut child, addr) = spawn_server(&dir, &addr_file);
+    let served = {
+        let mut client = RtimClient::connect(addr).expect("reconnect");
+        let survived = client.stats().expect("stats").actions;
+        println!("recovered server reports {survived} actions");
+        assert_eq!(
+            survived, 1_600,
+            "recovery lost journaled state (snapshot at 1200 + 400 journal-tail actions)"
+        );
+        // Finish the stream on a fresh private id space.
+        let tail = renumber(&stream.actions()[survived as usize..], survived);
+        for chunk in tail.chunks(batch) {
+            client.ingest_blocking(chunk).expect("ingest tail");
+        }
+        let served = client.query().expect("final query");
+        client.shutdown().expect("graceful shutdown");
+        served
+    };
+    let _ = child.wait();
+
+    // The journal is the ground truth of what both lives ingested; the
+    // offline replay of it must reproduce the served answer bit for bit.
+    let journal = read_journal(dir.join("journal.rtaj")).expect("read journal");
+    let actions: Vec<Action> = journal.batches.iter().flatten().copied().collect();
+    println!(
+        "journal holds {} actions in {} batches ({} torn bytes dropped)",
+        actions.len(),
+        journal.batches.len(),
+        journal.ignored_bytes
+    );
+    assert_eq!(actions.len(), 2_000, "full stream must be journaled by the end");
+    let replay = SocialStream::new(actions).expect("journal is a valid stream");
+    let mut offline = SimEngine::new_sic(config);
+    let expected = offline.run_stream(&replay).final_solution();
+    assert_eq!(
+        served.seeds, expected.seeds,
+        "served seed set diverged from the offline replay of the journal"
+    );
+    assert_eq!(
+        served.value.to_bits(),
+        expected.value.to_bits(),
+        "served influence value diverged from the offline replay of the journal"
+    );
+    println!(
+        "kill-and-recover agrees with the offline replay: influence {:.0}, seeds {:?}",
+        served.value, served.seeds
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
