@@ -1,30 +1,74 @@
 //! Emits the machine-readable serving-performance artifact
-//! `BENCH_serve.json` (schema `rtim-bench-serve/v1`).
+//! `BENCH_serve.json` (schema `rtim-bench-serve/v2`).
 //!
-//! Starts an in-process `rtim-server` on an ephemeral loopback port, drives
-//! it with N concurrent protocol clients (each streaming its own generated
-//! trace in framed batches, with one observer issuing periodic `QUERY`s),
-//! then drains and records the sustained end-to-end actions/sec alongside
-//! the engine-side counters.
+//! Starts an in-process `rtim-server` on an ephemeral loopback port and
+//! measures two things:
+//!
+//! 1. **Baseline grid** (carried over from v1): framework × pool threads
+//!    with `--clients` concurrent full-trace clients in lockstep
+//!    (window 1), one doubling as a `QUERY` observer.
+//! 2. **Connection-scaling series** (new in v2): one shared trace split
+//!    across `--connections` sockets (default 1, 8, 64, 256, 1024), each
+//!    streamed with `--in-flight` pipelined `INGEST` frames (default 1
+//!    and 16) through the readiness-driven event-loop front-end.  A small
+//!    pool of driver threads multiplexes the sockets so the client side
+//!    stays out of the way on small machines.  One thread-per-connection
+//!    run rides along as a differential point while that front-end
+//!    remains selectable.
 //!
 //! ```text
 //! cargo run --release -p rtim-bench --bin bench_serve -- \
-//!     --dataset syn-n --actions 20000 --users 2000 --window 2000 --slide 100 \
-//!     --clients 4 --threads 2 --batch 500 --capacity 32 --out BENCH_serve.json
+//!     --dataset syn-n --actions 204800 --users 2000 --window 2000 --slide 100 \
+//!     --clients 4 --threads 2 --batch 500 --capacity 32 \
+//!     --connections 1,8,64,256,1024 --in-flight 1,16 --out BENCH_serve.json
 //! ```
 
 use rtim_bench::cli::Args;
-use rtim_bench::{CommonArgs, ServeBenchReport, ServeRun, COMMON_KEYS};
+use rtim_bench::{CommonArgs, ServeBenchReport, ServeSetup, COMMON_KEYS};
 use rtim_core::FrameworkKind;
 use rtim_datagen::DatasetConfig;
-use rtim_server::{RtimClient, RtimServer, ServerConfig};
+use rtim_server::protocol::encode_frame;
+use rtim_server::{Frame, FrontEnd, RtimClient, RtimServer, ServerConfig};
+use rtim_stream::Action;
+use std::collections::VecDeque;
+use std::io::Write as _;
 use std::time::Instant;
+
+/// Driver threads multiplexing the scaling-series sockets.
+const DRIVERS: usize = 4;
+
+fn parse_list(args: &Args, key: &str, default: &[usize]) -> Vec<usize> {
+    match args.get(key) {
+        None => default.to_vec(),
+        Some(raw) => {
+            let list: Vec<usize> = raw
+                .split(',')
+                .filter(|s| !s.is_empty())
+                .filter_map(|s| s.trim().parse().ok())
+                .filter(|&v| v > 0)
+                .collect();
+            if list.is_empty() {
+                default.to_vec()
+            } else {
+                list
+            }
+        }
+    }
+}
 
 fn main() {
     let keys: Vec<&str> = COMMON_KEYS
         .iter()
         .copied()
-        .chain(["threads", "clients", "batch", "capacity", "out"])
+        .chain([
+            "threads",
+            "clients",
+            "batch",
+            "capacity",
+            "connections",
+            "in-flight",
+            "out",
+        ])
         .collect();
     let args = match Args::parse(&keys) {
         Ok(a) => a,
@@ -38,6 +82,8 @@ fn main() {
     let clients: usize = args.get_or("clients", 4usize).max(1);
     let batch: usize = args.get_or("batch", 0usize);
     let capacity: usize = args.get_or("capacity", 32usize).max(1);
+    let connection_counts = parse_list(&args, "connections", &[1, 8, 64, 256, 1024]);
+    let windows = parse_list(&args, "in-flight", &[1, 16]);
     let out = args.get("out").unwrap_or("BENCH_serve.json").to_string();
 
     let params = &common.params;
@@ -52,6 +98,7 @@ fn main() {
         thread_counts.push(threads);
     }
 
+    // ---- baseline grid: framework × pool threads, lockstep clients ----
     for kind in [FrameworkKind::Sic, FrameworkKind::Ic] {
         for &t in &thread_counts {
             let config = params.sim_config().with_threads(t);
@@ -110,28 +157,69 @@ fn main() {
             let server_report = server.shutdown();
             let wall_nanos = started.elapsed().as_nanos() as u64;
 
-            let name = format!(
-                "{}_c{}_t{}",
-                kind.name().to_ascii_lowercase(),
-                clients,
-                t
-            );
-            let run = ServeRun::new(
-                name,
-                kind.name(),
-                t,
-                clients,
+            let setup = ServeSetup {
+                name: format!("{}_el_c{}_t{}", kind.name().to_ascii_lowercase(), clients, t),
+                framework: kind.name().to_string(),
+                front_end: "event-loop".to_string(),
+                threads: t,
+                connections: clients,
+                in_flight: 1,
                 batch,
                 capacity,
-                &server_report.stats,
-                wall_nanos,
-                busy_retries,
-                queries,
+            };
+            let run = setup.finish(&server_report.stats, wall_nanos, busy_retries, queries);
+            print_run(&run);
+            report.runs.push(run);
+        }
+    }
+
+    // ---- connection-scaling series: shared trace over N sockets ----
+    // Smaller frames than the baseline grid: the pipelining win is the
+    // round trips it hides, so the axis uses one-slide batches.
+    let scale_batch = params.slide.max(1);
+    let mut cfg = DatasetConfig::new(dataset, params.scale);
+    if let Some(a) = common.actions {
+        cfg = cfg.with_actions(a);
+    }
+    if let Some(u) = common.users {
+        cfg = cfg.with_users(u);
+    }
+    let trace = cfg.with_seed(params.seed).generate();
+    let actions = trace.actions();
+
+    // Differential thread-per-connection point: the largest configured
+    // count we are still willing to spawn server threads for.
+    let threaded_at = connection_counts.iter().copied().filter(|&c| c <= 64).max();
+
+    for &connections in &connection_counts {
+        for &window in &windows {
+            let run = scaling_run(
+                params.sim_config().with_threads(threads),
+                FrontEnd::EventLoop { threads: 2 },
+                "event-loop",
+                threads,
+                capacity,
+                actions,
+                connections,
+                window,
+                scale_batch,
             );
-            println!(
-                "{:>12}  {:>9} actions  {:>12.0} actions/s  max depth {:>3}  busy {:>6}",
-                run.name, run.actions, run.actions_per_sec, run.max_queue_depth, run.busy_retries
+            print_run(&run);
+            report.runs.push(run);
+        }
+        if Some(connections) == threaded_at {
+            let run = scaling_run(
+                params.sim_config().with_threads(threads),
+                FrontEnd::ThreadPerConnection,
+                "threaded",
+                threads,
+                capacity,
+                actions,
+                connections,
+                1,
+                scale_batch,
             );
+            print_run(&run);
             report.runs.push(run);
         }
     }
@@ -141,4 +229,172 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out}");
+}
+
+/// One scaling-series measurement: the trace split across `connections`
+/// sockets, each keeping `window` `INGEST` frames in flight, multiplexed
+/// by a small pool of driver threads.
+#[allow(clippy::too_many_arguments)]
+fn scaling_run(
+    config: rtim_core::SimConfig,
+    front_end: FrontEnd,
+    front_end_name: &str,
+    threads: usize,
+    capacity: usize,
+    actions: &[Action],
+    connections: usize,
+    window: usize,
+    batch: usize,
+) -> rtim_bench::ServeRun {
+    let server = RtimServer::bind(
+        "127.0.0.1:0",
+        ServerConfig::new(config, FrameworkKind::Sic)
+            .with_queue_capacity(capacity)
+            .with_front_end(front_end),
+    )
+    .expect("bind loopback server");
+    let addr = server.local_addr();
+
+    // Contiguous slices: ids stay strictly increasing inside every
+    // connection's private sender space; cross-slice replies resolve
+    // through the server's orphan remapping like any cross-client reply.
+    let per_conn = actions.len().div_ceil(connections);
+    let slices: Vec<&[Action]> = actions.chunks(per_conn.max(1)).collect();
+
+    // Connect everything before the clock starts; the artifact measures
+    // streaming, not connection setup.
+    let mut conns: Vec<PipeConn<'_>> = slices
+        .iter()
+        .map(|slice| PipeConn {
+            client: RtimClient::connect(addr).expect("connect"),
+            chunks: slice.chunks(batch),
+            in_flight: VecDeque::with_capacity(window),
+            next_corr: 1,
+            busy: 0,
+            done: false,
+        })
+        .collect();
+
+    let drivers = DRIVERS.min(conns.len()).max(1);
+    let started = Instant::now();
+    let busy_retries: u64 = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(drivers);
+        // Deal the sockets round-robin across the driver pool.
+        let mut hands: Vec<Vec<PipeConn<'_>>> = (0..drivers).map(|_| Vec::new()).collect();
+        for (i, conn) in conns.drain(..).enumerate() {
+            hands[i % drivers].push(conn);
+        }
+        for hand in hands {
+            handles.push(scope.spawn(move || drive(hand, window)));
+        }
+        handles.into_iter().map(|h| h.join().expect("driver")).sum()
+    });
+    // The scaling series clocks the *serving phase*: every frame written
+    // and every `ACK` absorbed.  The engine drain that follows is the
+    // same work regardless of connections/window, so including it (as
+    // the baseline grid does) would flatten the front-end differences
+    // this axis exists to show.
+    let wall_nanos = started.elapsed().as_nanos() as u64;
+    let server_report = server.shutdown();
+
+    assert_eq!(
+        server_report.stats.actions,
+        actions.len() as u64,
+        "scaling run lost actions"
+    );
+    ServeSetup {
+        name: format!(
+            "sic_{}_x{}_w{}_t{}",
+            if front_end_name == "event-loop" { "el" } else { "tpc" },
+            connections,
+            window,
+            threads
+        ),
+        framework: FrameworkKind::Sic.name().to_string(),
+        front_end: front_end_name.to_string(),
+        threads,
+        connections,
+        in_flight: window,
+        batch,
+        capacity,
+    }
+    .finish(&server_report.stats, wall_nanos, busy_retries, 0)
+}
+
+/// One socket's streaming state inside a driver's hand.
+struct PipeConn<'a> {
+    client: RtimClient,
+    chunks: std::slice::Chunks<'a, Action>,
+    /// Correlation ids of unacknowledged `INGEST` frames, oldest first.
+    in_flight: VecDeque<u32>,
+    next_corr: u32,
+    busy: u64,
+    /// Chunks exhausted and every `ACK` absorbed.
+    done: bool,
+}
+
+impl PipeConn<'_> {
+    /// Blocks until the oldest in-flight frame is acknowledged.
+    fn absorb_one(&mut self) {
+        let expected = self.in_flight.pop_front().expect("nothing in flight");
+        match self.client.read_reply().expect("read reply") {
+            Frame::Ack { corr, .. } => {
+                assert_eq!(corr, Some(expected), "acks arrived out of order")
+            }
+            other => panic!("unexpected reply to pipelined ingest: {other:?}"),
+        }
+    }
+}
+
+/// Round-robin multiplexer: each visit moves one socket forward by one
+/// frame (window permitting), so every socket keeps its pipeline full
+/// without any socket starving the others.
+fn drive(mut hand: Vec<PipeConn<'_>>, window: usize) -> u64 {
+    let mut open = hand.len();
+    while open > 0 {
+        for conn in &mut hand {
+            if conn.done {
+                continue;
+            }
+            match conn.chunks.next() {
+                Some(chunk) => {
+                    if window <= 1 {
+                        // Lockstep: one frame, one ack (absorbing BUSY
+                        // retries on the threaded front-end).
+                        conn.busy += conn.client.ingest_blocking(chunk).expect("ingest");
+                    } else {
+                        if conn.in_flight.len() >= window {
+                            conn.absorb_one();
+                        }
+                        let corr = conn.next_corr;
+                        conn.next_corr = conn.next_corr.wrapping_add(1);
+                        let frame = encode_frame(&Frame::Ingest {
+                            actions: chunk.to_vec(),
+                            corr: Some(corr),
+                        });
+                        conn.client
+                            .raw_stream()
+                            .write_all(&frame)
+                            .expect("write ingest");
+                        conn.in_flight.push_back(corr);
+                    }
+                }
+                None => {
+                    while !conn.in_flight.is_empty() {
+                        conn.absorb_one();
+                    }
+                    conn.done = true;
+                    open -= 1;
+                }
+            }
+        }
+    }
+    hand.iter().map(|c| c.busy).sum()
+}
+
+fn print_run(run: &rtim_bench::ServeRun) {
+    println!(
+        "{:>18}  {:>9} actions  {:>12.0} actions/s  max depth {:>3}  busy {:>6}",
+        run.setup.name, run.actions, run.actions_per_sec, run.max_queue_depth, run.busy_retries
+    );
 }

@@ -3,14 +3,17 @@
 //! `bench_feed` tracks the *in-process* feed path; the serving workload
 //! adds framing, loopback TCP, the bounded queue and backpressure on top.
 //! [`ServeBenchReport`] captures one run of the `bench_serve` binary: per
-//! configuration (framework × clients × pool threads) the sustained
-//! end-to-end ingest rate over loopback, the engine-side feed time, and
-//! the queue behaviour (max depth, busy retries).
+//! configuration (framework × front-end × connections × in-flight window
+//! × pool threads) the sustained end-to-end ingest rate over loopback,
+//! the engine-side feed time, and the queue behaviour (max depth, busy
+//! retries).
 //!
 //! Like `BENCH_feed.json`, the document is written by a small hand-rolled
 //! writer (the vendored `serde` is a no-op stub) and versioned via the
-//! `schema` field (`rtim-bench-serve/v1`); CI smoke-runs the emission
-//! path.
+//! `schema` field.  Schema `rtim-bench-serve/v2` adds the `front_end`,
+//! `connections` and `in_flight` fields for the readiness-driven
+//! multiplexed front-end (v1's `clients` is renamed `connections`); CI
+//! smoke-runs the emission path.
 
 use rtim_core::EngineStats;
 use std::fmt::Write as _;
@@ -18,51 +21,33 @@ use std::io;
 use std::path::Path;
 
 /// Schema identifier of the emitted JSON document.
-pub const SERVE_SCHEMA: &str = "rtim-bench-serve/v1";
+pub const SERVE_SCHEMA: &str = "rtim-bench-serve/v2";
 
-/// One served run: N loopback clients streaming into one server.
+/// The fixed configuration of one served run, before it executes.
 #[derive(Debug, Clone)]
-pub struct ServeRun {
-    /// Run label, e.g. `"sic_c4_t1"`.
+pub struct ServeSetup {
+    /// Run label, e.g. `"sic_el_x64_w16_t1"`.
     pub name: String,
     /// Framework name (`"SIC"` / `"IC"`).
     pub framework: String,
+    /// Server front-end (`"event-loop"` / `"threaded"`).
+    pub front_end: String,
     /// Worker threads backing the checkpoint set (1 = sequential).
     pub threads: usize,
-    /// Concurrent ingest clients.
-    pub clients: usize,
+    /// Concurrent client connections (sockets, not driver threads).
+    pub connections: usize,
+    /// Pipelined `INGEST` frames in flight per connection (1 = lockstep).
+    pub in_flight: usize,
     /// Actions per `INGEST` frame.
     pub batch: usize,
     /// Bounded queue capacity (commands).
     pub capacity: usize,
-    /// Total actions acknowledged and processed.
-    pub actions: u64,
-    /// Wall-clock nanoseconds from first ingest to drained shutdown.
-    pub wall_nanos: u64,
-    /// Sustained end-to-end rate: actions per wall-clock second.
-    pub actions_per_sec: f64,
-    /// Engine-side feed nanoseconds (resolution + window + checkpoints).
-    pub feed_nanos: u64,
-    /// Engine-side query nanoseconds.
-    pub query_nanos: u64,
-    /// Maximum queue depth observed at any dequeue.
-    pub max_queue_depth: u64,
-    /// `BUSY` replies absorbed by the clients (backpressure events).
-    pub busy_retries: u64,
-    /// Mid-run `QUERY` round-trips issued by the observer client.
-    pub queries: u64,
 }
 
-impl ServeRun {
-    /// Assembles a run record from the drained server stats.
-    #[allow(clippy::too_many_arguments)]
-    pub fn new(
-        name: impl Into<String>,
-        framework: impl Into<String>,
-        threads: usize,
-        clients: usize,
-        batch: usize,
-        capacity: usize,
+impl ServeSetup {
+    /// Assembles the run record from the drained server stats.
+    pub fn finish(
+        self,
         stats: &EngineStats,
         wall_nanos: u64,
         busy_retries: u64,
@@ -70,12 +55,7 @@ impl ServeRun {
     ) -> ServeRun {
         let wall_secs = wall_nanos as f64 / 1e9;
         ServeRun {
-            name: name.into(),
-            framework: framework.into(),
-            threads,
-            clients,
-            batch,
-            capacity,
+            setup: self,
             actions: stats.actions,
             wall_nanos,
             actions_per_sec: if wall_secs > 0.0 {
@@ -90,6 +70,33 @@ impl ServeRun {
             queries,
         }
     }
+}
+
+/// One served run: N loopback connections streaming into one server.
+#[derive(Debug, Clone)]
+pub struct ServeRun {
+    /// The configuration that produced this run.
+    pub setup: ServeSetup,
+    /// Total actions acknowledged and processed.
+    pub actions: u64,
+    /// Wall-clock nanoseconds of the measured phase.  Baseline-grid runs
+    /// clock first ingest to drained shutdown; connection-scaling runs
+    /// clock the serving phase only (first frame to last `ACK`), since
+    /// the engine drain is identical across front-end configurations.
+    pub wall_nanos: u64,
+    /// Sustained rate over the measured phase: actions per second.
+    pub actions_per_sec: f64,
+    /// Engine-side feed nanoseconds (resolution + window + checkpoints).
+    pub feed_nanos: u64,
+    /// Engine-side query nanoseconds.
+    pub query_nanos: u64,
+    /// Maximum queue depth observed at any dequeue.
+    pub max_queue_depth: u64,
+    /// `BUSY` replies absorbed by the clients (threaded front-end only;
+    /// the event loop parks instead of bouncing).
+    pub busy_retries: u64,
+    /// Mid-run `QUERY` round-trips issued by the observer client.
+    pub queries: u64,
 }
 
 /// The complete `BENCH_serve.json` document.
@@ -116,12 +123,14 @@ impl ServeBenchReport {
                 out.push(',');
             }
             out.push_str("\n    {");
-            let _ = write!(out, "\"name\": {}, ", json_str(&run.name));
-            let _ = write!(out, "\"framework\": {}, ", json_str(&run.framework));
-            let _ = write!(out, "\"threads\": {}, ", run.threads);
-            let _ = write!(out, "\"clients\": {}, ", run.clients);
-            let _ = write!(out, "\"batch\": {}, ", run.batch);
-            let _ = write!(out, "\"capacity\": {}, ", run.capacity);
+            let _ = write!(out, "\"name\": {}, ", json_str(&run.setup.name));
+            let _ = write!(out, "\"framework\": {}, ", json_str(&run.setup.framework));
+            let _ = write!(out, "\"front_end\": {}, ", json_str(&run.setup.front_end));
+            let _ = write!(out, "\"threads\": {}, ", run.setup.threads);
+            let _ = write!(out, "\"connections\": {}, ", run.setup.connections);
+            let _ = write!(out, "\"in_flight\": {}, ", run.setup.in_flight);
+            let _ = write!(out, "\"batch\": {}, ", run.setup.batch);
+            let _ = write!(out, "\"capacity\": {}, ", run.setup.capacity);
             let _ = write!(out, "\"actions\": {}, ", run.actions);
             let _ = write!(out, "\"wall_nanos\": {}, ", run.wall_nanos);
             let _ = write!(out, "\"actions_per_sec\": {}, ", json_f64(run.actions_per_sec));
@@ -185,24 +194,41 @@ mod tests {
         }
     }
 
+    fn setup(name: &str, framework: &str, connections: usize, in_flight: usize) -> ServeSetup {
+        ServeSetup {
+            name: name.into(),
+            framework: framework.into(),
+            front_end: "event-loop".into(),
+            threads: 1,
+            connections,
+            in_flight,
+            batch: 500,
+            capacity: 64,
+        }
+    }
+
     #[test]
     fn run_derives_sustained_rate() {
-        let run = ServeRun::new("sic_c4_t1", "SIC", 1, 4, 500, 64, &stats(1_000), 2_000_000_000, 3, 9);
+        let run = setup("sic_el_x4_w1_t1", "SIC", 4, 1).finish(&stats(1_000), 2_000_000_000, 3, 9);
         assert_eq!(run.actions, 1_000);
         assert_eq!(run.actions_per_sec, 500.0);
         assert_eq!(run.max_queue_depth, 7);
         assert_eq!(run.busy_retries, 3);
+        assert_eq!(run.setup.connections, 4);
     }
 
     #[test]
-    fn json_carries_schema_and_runs() {
+    fn json_carries_schema_and_v2_fields() {
         let mut report = ServeBenchReport::new();
         report
             .runs
-            .push(ServeRun::new("ic_c2_t4", "IC", 4, 2, 100, 8, &stats(42), 1, 0, 1));
+            .push(setup("sic_el_x64_w16_t1", "SIC", 64, 16).finish(&stats(42), 1, 0, 1));
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"rtim-bench-serve/v1\""));
-        assert!(json.contains("\"name\": \"ic_c2_t4\""));
+        assert!(json.contains("\"schema\": \"rtim-bench-serve/v2\""));
+        assert!(json.contains("\"name\": \"sic_el_x64_w16_t1\""));
+        assert!(json.contains("\"front_end\": \"event-loop\""));
+        assert!(json.contains("\"connections\": 64"));
+        assert!(json.contains("\"in_flight\": 16"));
         assert!(json.contains("\"actions\": 42"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -210,7 +236,7 @@ mod tests {
 
     #[test]
     fn zero_wall_time_is_not_a_division_crash() {
-        let run = ServeRun::new("x", "SIC", 1, 1, 1, 1, &stats(5), 0, 0, 0);
+        let run = setup("x", "SIC", 1, 1).finish(&stats(5), 0, 0, 0);
         assert_eq!(run.actions_per_sec, 0.0);
         assert!(ServeBenchReport { runs: vec![run] }.to_json().contains("\"actions_per_sec\": 0"));
     }

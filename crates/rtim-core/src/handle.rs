@@ -264,6 +264,90 @@ impl std::fmt::Display for SnapshotRequestError {
 
 impl std::error::Error for SnapshotRequestError {}
 
+/// Why a non-blocking asynchronous request did not enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AsyncRequestError {
+    /// The bounded queue is full; retry after the engine drains a slot.
+    Full,
+    /// The engine thread has shut down.
+    Closed,
+}
+
+impl std::fmt::Display for AsyncRequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsyncRequestError::Full => write!(f, "ingest queue full"),
+            AsyncRequestError::Closed => write!(f, "engine pipeline is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for AsyncRequestError {}
+
+/// The payload of an asynchronously completed request.
+#[derive(Debug)]
+pub enum CompletionPayload {
+    /// Answer to [`IngestSender::try_query_async`].
+    Solution(Solution),
+    /// Answer to [`IngestSender::try_stats_async`].
+    Stats(EngineStats),
+    /// Answer to [`IngestSender::try_snapshot_async`].
+    Snapshot(Result<SnapshotInfo, SnapshotRequestError>),
+}
+
+/// One completed asynchronous request, tagged with the caller's token so
+/// an event loop can demultiplex it back to the originating connection.
+#[derive(Debug)]
+pub struct Completion {
+    /// The token the caller attached to the request (e.g. an encoded
+    /// `(connection, correlation-id)` pair).
+    pub token: u64,
+    /// The engine's answer.
+    pub payload: CompletionPayload,
+}
+
+/// A non-blocking reply route from the engine thread back to an
+/// event-driven front-end.
+///
+/// The blocking request paths ([`IngestSender::query`] & friends) park the
+/// calling thread on a one-shot channel — one parked thread per in-flight
+/// request, exactly what a readiness-driven front-end must avoid.  A
+/// `CompletionSink` instead carries (1) a plain mpsc sender the engine
+/// pushes [`Completion`]s into and (2) a **waker** callback invoked after
+/// each push.  An event loop passes a waker that writes one byte into its
+/// self-pipe wakeup fd (registered in the same `poll(2)` set as the
+/// sockets), so engine completions interrupt the poll like any other
+/// readiness event and zero threads park per request.
+#[derive(Clone)]
+pub struct CompletionSink {
+    tx: mpsc::Sender<Completion>,
+    waker: Arc<dyn Fn() + Send + Sync>,
+}
+
+impl CompletionSink {
+    /// Builds a sink from a completion queue and a wake callback.  The
+    /// waker runs on the engine thread after every completion push; it
+    /// must be cheap and non-blocking (a self-pipe write, a condvar
+    /// notify).
+    pub fn new(tx: mpsc::Sender<Completion>, waker: Arc<dyn Fn() + Send + Sync>) -> Self {
+        CompletionSink { tx, waker }
+    }
+
+    /// Delivers one completion and wakes the receiver.  A gone receiver
+    /// (the front-end already shut down) is ignored — completions are
+    /// best-effort once nobody listens.
+    fn complete(&self, token: u64, payload: CompletionPayload) {
+        let _ = self.tx.send(Completion { token, payload });
+        (self.waker)();
+    }
+}
+
+impl std::fmt::Debug for CompletionSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompletionSink").finish()
+    }
+}
+
 /// The engine thread is gone (shut down or panicked); no more answers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct HandleClosed;
@@ -289,6 +373,13 @@ enum Command {
     Snapshot {
         reply: mpsc::Sender<Result<SnapshotInfo, SnapshotRequestError>>,
     },
+    /// Asynchronous [`Command::Query`]: the answer travels through the
+    /// sink instead of parking the requester.
+    QueryAsync { token: u64, sink: CompletionSink },
+    /// Asynchronous [`Command::Stats`].
+    StatsAsync { token: u64, sink: CompletionSink },
+    /// Asynchronous [`Command::Snapshot`].
+    SnapshotAsync { token: u64, sink: CompletionSink },
     /// Switch to draining: process what is queued, then exit.
     Shutdown,
 }
@@ -418,6 +509,57 @@ impl IngestSender {
     pub fn snapshot(&self) -> Result<SnapshotInfo, SnapshotRequestError> {
         round_trip(&self.tx, &self.shared, |reply| Command::Snapshot { reply })
             .map_err(|HandleClosed| SnapshotRequestError::Closed)?
+    }
+
+    /// Enqueues a `QUERY` without blocking; the [`Solution`] arrives on
+    /// `sink` tagged with `token`.  A full queue is
+    /// [`AsyncRequestError::Full`] — nothing was enqueued, retry later.
+    pub fn try_query_async(
+        &self,
+        token: u64,
+        sink: &CompletionSink,
+    ) -> Result<(), AsyncRequestError> {
+        self.try_async(Command::QueryAsync {
+            token,
+            sink: sink.clone(),
+        })
+    }
+
+    /// Enqueues a `STATS` request without blocking (see
+    /// [`IngestSender::try_query_async`]).
+    pub fn try_stats_async(
+        &self,
+        token: u64,
+        sink: &CompletionSink,
+    ) -> Result<(), AsyncRequestError> {
+        self.try_async(Command::StatsAsync {
+            token,
+            sink: sink.clone(),
+        })
+    }
+
+    /// Enqueues a `SNAPSHOT` request without blocking (see
+    /// [`IngestSender::try_query_async`]).
+    pub fn try_snapshot_async(
+        &self,
+        token: u64,
+        sink: &CompletionSink,
+    ) -> Result<(), AsyncRequestError> {
+        self.try_async(Command::SnapshotAsync {
+            token,
+            sink: sink.clone(),
+        })
+    }
+
+    fn try_async(&self, command: Command) -> Result<(), AsyncRequestError> {
+        match self.tx.try_send(command) {
+            Ok(()) => {
+                self.shared.enqueued.fetch_add(1, Ordering::AcqRel);
+                Ok(())
+            }
+            Err(TrySendError::Full(_)) => Err(AsyncRequestError::Full),
+            Err(TrySendError::Disconnected(_)) => Err(AsyncRequestError::Closed),
+        }
     }
 
     /// Commands waiting in the queue right now (approximate).
@@ -813,6 +955,25 @@ fn engine_loop(
                     }),
                 };
                 let _ = reply.send(result);
+            }
+            Command::QueryAsync { token, sink } => {
+                let started = Instant::now();
+                let solution = engine.query();
+                stats.query_nanos += started.elapsed().as_nanos() as u64;
+                sink.complete(token, CompletionPayload::Solution(solution));
+            }
+            Command::StatsAsync { token, sink } => {
+                finish_stats(&mut stats, &engine, &shared);
+                sink.complete(token, CompletionPayload::Stats(stats));
+            }
+            Command::SnapshotAsync { token, sink } => {
+                let result = match &snapshot_path {
+                    None => Err(SnapshotRequestError::Disabled),
+                    Some(path) => take_snapshot(&engine, path).inspect(|_| {
+                        slides_since_snapshot = 0;
+                    }),
+                };
+                sink.complete(token, CompletionPayload::Snapshot(result));
             }
             Command::Shutdown => {
                 draining = true;

@@ -85,9 +85,9 @@ pub use config::SimConfig;
 pub use engine::{RunReport, SimEngine, SlideReport};
 pub use framework::{Framework, FrameworkKind, ResolvedAction, Solution};
 pub use handle::{
-    EngineHandle, EngineReport, EngineStats, HandleClosed, HandleOptions, IngestError,
-    IngestSender, PersistOptions, SenderSpawner, SnapshotInfo, SnapshotRequestError,
-    JOURNAL_FILE, RECENT_SLIDES, SNAPSHOT_FILE,
+    AsyncRequestError, Completion, CompletionPayload, CompletionSink, EngineHandle, EngineReport,
+    EngineStats, HandleClosed, HandleOptions, IngestError, IngestSender, PersistOptions,
+    SenderSpawner, SnapshotInfo, SnapshotRequestError, JOURNAL_FILE, RECENT_SLIDES, SNAPSHOT_FILE,
 };
 pub use ic::IcFramework;
 pub use intern::UserInterner;

@@ -8,11 +8,19 @@
 //! strictly increasing across everything this client ingests, and replies
 //! may reference any earlier action sent *by this client* (the server
 //! remaps them onto global arrival order).
+//!
+//! The plain methods ([`RtimClient::ingest`], [`RtimClient::query`], …)
+//! are strict request/reply: one frame out, one frame back.  For
+//! throughput, [`RtimClient::pipelined`] opens a [`PipelinedIngest`]
+//! session that keeps a window of correlated `INGEST`s in flight on the
+//! same socket — the mode `bench_serve` drives and the reason the event
+//! loop's round-trip stalls disappear.
 
 use crate::protocol::{read_frame, write_frame, Frame, FrameError, PROTOCOL_VERSION};
 use rtim_core::{EngineStats, SnapshotInfo, Solution};
 use rtim_stream::Action;
-use std::io::{self, BufReader, BufWriter};
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Write as _};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -65,6 +73,8 @@ pub enum IngestReply {
         queue_depth: u32,
     },
     /// The bounded queue was full — back off and retry the same batch.
+    /// Only the thread-per-connection front-end answers this; the event
+    /// loop parks the request instead.
     Busy {
         /// The server's queue capacity (retry-pacing hint).
         capacity: u32,
@@ -88,11 +98,15 @@ impl RtimClient {
             writer: BufWriter::new(stream),
         };
         match read_frame(&mut client.reader)? {
-            Frame::Hello { version: PROTOCOL_VERSION } => Ok(client),
+            Frame::Hello {
+                version: PROTOCOL_VERSION,
+            } => Ok(client),
             Frame::Hello { version } => Err(ClientError::Unexpected(format!(
                 "server speaks protocol v{version}, client v{PROTOCOL_VERSION}"
             ))),
-            other => Err(ClientError::Unexpected(format!("{other:?} instead of HELLO"))),
+            other => Err(ClientError::Unexpected(format!(
+                "{other:?} instead of HELLO"
+            ))),
         }
     }
 
@@ -104,16 +118,20 @@ impl RtimClient {
 
     /// Ships one batch; a full queue comes back as [`IngestReply::Busy`].
     pub fn ingest(&mut self, actions: &[Action]) -> Result<IngestReply, ClientError> {
-        match self.round_trip(&Frame::Ingest(actions.to_vec()))? {
+        match self.round_trip(&Frame::Ingest {
+            actions: actions.to_vec(),
+            corr: None,
+        })? {
             Frame::Ack {
                 accepted,
                 queue_depth,
+                ..
             } => Ok(IngestReply::Ack {
                 accepted,
                 queue_depth,
             }),
-            Frame::Busy { capacity } => Ok(IngestReply::Busy { capacity }),
-            Frame::Error(msg) => Err(ClientError::Server(msg)),
+            Frame::Busy { capacity, .. } => Ok(IngestReply::Busy { capacity }),
+            Frame::Error { message, .. } => Err(ClientError::Server(message)),
             other => Err(ClientError::Unexpected(format!("{other:?} to INGEST"))),
         }
     }
@@ -133,20 +151,37 @@ impl RtimClient {
         }
     }
 
+    /// Opens a pipelined ingest session with up to `max_in_flight`
+    /// unacknowledged correlated `INGEST`s on this connection.  Requires a
+    /// server front-end that accepts pipelining (the event loop; the
+    /// thread-per-connection baseline still serializes, gaining nothing,
+    /// and its `BUSY` replies fail the session).  Drop-safe: the session
+    /// borrows the client, and [`PipelinedIngest::drain`] must be called
+    /// to collect outstanding `ACK`s before issuing plain requests again.
+    pub fn pipelined(&mut self, max_in_flight: usize) -> PipelinedIngest<'_> {
+        PipelinedIngest {
+            client: self,
+            window: max_in_flight.max(1),
+            in_flight: VecDeque::new(),
+            next_corr: 0,
+            acked_actions: 0,
+        }
+    }
+
     /// Asks for the current SIM answer (seeds in raw user-id space).
     pub fn query(&mut self) -> Result<Solution, ClientError> {
-        match self.round_trip(&Frame::Query)? {
-            Frame::Solution(solution) => Ok(solution),
-            Frame::Error(msg) => Err(ClientError::Server(msg)),
+        match self.round_trip(&Frame::Query { corr: None })? {
+            Frame::Solution { solution, .. } => Ok(solution),
+            Frame::Error { message, .. } => Err(ClientError::Server(message)),
             other => Err(ClientError::Unexpected(format!("{other:?} to QUERY"))),
         }
     }
 
     /// Asks for the pipeline counters.
     pub fn stats(&mut self) -> Result<EngineStats, ClientError> {
-        match self.round_trip(&Frame::Stats)? {
-            Frame::StatsReply(stats) => Ok(stats),
-            Frame::Error(msg) => Err(ClientError::Server(msg)),
+        match self.round_trip(&Frame::Stats { corr: None })? {
+            Frame::StatsReply { stats, .. } => Ok(stats),
+            Frame::Error { message, .. } => Err(ClientError::Server(message)),
             other => Err(ClientError::Unexpected(format!("{other:?} to STATS"))),
         }
     }
@@ -158,7 +193,7 @@ impl RtimClient {
     pub fn snapshot(&mut self) -> Result<SnapshotInfo, ClientError> {
         match self.round_trip(&Frame::Snapshot)? {
             Frame::SnapshotReply(info) => Ok(info),
-            Frame::Error(msg) => Err(ClientError::Server(msg)),
+            Frame::Error { message, .. } => Err(ClientError::Server(message)),
             other => Err(ClientError::Unexpected(format!("{other:?} to SNAPSHOT"))),
         }
     }
@@ -167,7 +202,7 @@ impl RtimClient {
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.round_trip(&Frame::Shutdown)? {
             Frame::Ack { .. } => Ok(()),
-            Frame::Error(msg) => Err(ClientError::Server(msg)),
+            Frame::Error { message, .. } => Err(ClientError::Server(message)),
             other => Err(ClientError::Unexpected(format!("{other:?} to SHUTDOWN"))),
         }
     }
@@ -178,12 +213,21 @@ impl RtimClient {
         self.writer.get_mut()
     }
 
+    /// Reads one reply frame as-is — test hook paired with
+    /// [`RtimClient::raw_stream`] for driving the protocol below the
+    /// request/reply helpers (e.g. hand-rolled pipelined bursts).
+    pub fn read_reply(&mut self) -> Result<Frame, ClientError> {
+        Ok(read_frame(&mut self.reader)?)
+    }
+
     /// Reads one frame and expects a server `ERROR` — test hook paired
     /// with [`RtimClient::raw_stream`].
     pub fn read_error(&mut self) -> Result<String, ClientError> {
         match read_frame(&mut self.reader)? {
-            Frame::Error(msg) => Ok(msg),
-            other => Err(ClientError::Unexpected(format!("{other:?} instead of ERROR"))),
+            Frame::Error { message, .. } => Ok(message),
+            other => Err(ClientError::Unexpected(format!(
+                "{other:?} instead of ERROR"
+            ))),
         }
     }
 }
@@ -191,5 +235,105 @@ impl RtimClient {
 impl std::fmt::Debug for RtimClient {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RtimClient").finish()
+    }
+}
+
+/// A pipelined ingest session: up to `window` correlated `INGEST`s stay
+/// unacknowledged at once, so the socket never idles on a round trip.
+///
+/// `ACK`s are verified against the order of issue — the server guarantees
+/// per-connection FIFO ingest acknowledgement (an ingest is `ACK`ed at
+/// enqueue time, in arrival order), so a mismatched correlation id means a
+/// broken peer.  Call [`PipelinedIngest::drain`] before dropping the
+/// session; an undrained drop leaves replies in the socket which the next
+/// plain request would misread.
+pub struct PipelinedIngest<'c> {
+    client: &'c mut RtimClient,
+    window: usize,
+    /// Issue-ordered `(corr, batch_len)` of unacknowledged ingests.
+    in_flight: VecDeque<(u32, u64)>,
+    next_corr: u32,
+    acked_actions: u64,
+}
+
+impl PipelinedIngest<'_> {
+    /// Ships one batch without waiting for its `ACK`, absorbing older
+    /// `ACK`s only when the window is full.
+    pub fn ingest(&mut self, actions: &[Action]) -> Result<(), ClientError> {
+        while self.in_flight.len() >= self.window {
+            self.absorb_one()?;
+        }
+        let corr = self.next_corr;
+        self.next_corr = self.next_corr.wrapping_add(1);
+        write_frame(
+            &mut self.client.writer,
+            &Frame::Ingest {
+                actions: actions.to_vec(),
+                corr: Some(corr),
+            },
+        )?;
+        self.in_flight.push_back((corr, actions.len() as u64));
+        Ok(())
+    }
+
+    /// Number of unacknowledged ingests right now.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.len()
+    }
+
+    /// Waits for every outstanding `ACK`; returns the total actions the
+    /// server acknowledged over this session.  The client is back in
+    /// strict request/reply state afterwards.
+    pub fn drain(&mut self) -> Result<u64, ClientError> {
+        self.client.writer.flush()?;
+        while !self.in_flight.is_empty() {
+            self.absorb_one()?;
+        }
+        Ok(self.acked_actions)
+    }
+
+    fn absorb_one(&mut self) -> Result<(), ClientError> {
+        self.client.writer.flush()?;
+        let (corr, len) = self
+            .in_flight
+            .pop_front()
+            .expect("absorb_one with nothing in flight");
+        match read_frame(&mut self.client.reader)? {
+            Frame::Ack {
+                accepted,
+                corr: echoed,
+                ..
+            } => {
+                if echoed != Some(corr) {
+                    return Err(ClientError::Unexpected(format!(
+                        "ACK for corr {echoed:?}, expected {corr}"
+                    )));
+                }
+                if accepted != len {
+                    return Err(ClientError::Unexpected(format!(
+                        "ACK for {accepted} actions, sent {len}"
+                    )));
+                }
+                self.acked_actions += accepted;
+                Ok(())
+            }
+            Frame::Busy { .. } => Err(ClientError::Server(
+                "BUSY during pipelined ingest — pipelining requires the event-loop front-end"
+                    .into(),
+            )),
+            Frame::Error { message, .. } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!(
+                "{other:?} to pipelined INGEST"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Debug for PipelinedIngest<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PipelinedIngest")
+            .field("window", &self.window)
+            .field("in_flight", &self.in_flight.len())
+            .finish()
     }
 }

@@ -1,0 +1,820 @@
+//! The readiness-driven multiplexed front-end: a small pool of event-loop
+//! threads driving every connection through non-blocking sockets and
+//! [`crate::poll`], in place of a thread per connection.
+//!
+//! ```text
+//!  client ─┐                       ┌─ poll ── loop thread 0 (+ listener) ─┐
+//!  client ─┼─ non-blocking sockets ┤                                      ├─ bounded mpsc ─ engine thread
+//!  client ─┘                       └─ poll ── loop thread 1 ──────────────┘
+//!            completions (self-pipe wakeup) ◄──────────────────────────────┘
+//! ```
+//!
+//! Each connection lives on exactly one loop thread as an explicit state
+//! machine over two buffers: bytes from `read(2)` land in a per-connection
+//! read buffer and are parsed in place ([`parse_frame`] borrows payloads
+//! straight out of it — an `INGEST` batch is decoded from the socket bytes
+//! with no intermediate payload copy), and replies are appended to a
+//! per-connection outbound buffer that drains opportunistically, with
+//! `POLLOUT` interest only while bytes remain.  Requests that need the
+//! engine travel the same bounded queue as ever: `ACK`s are written at
+//! enqueue time, while `QUERY`/`STATS`/`SNAPSHOT` results come back on a
+//! per-thread completion channel whose sender wakes the loop through a
+//! self-pipe registered in the poll set, carrying a token that routes the
+//! reply to its connection and correlation id.
+//!
+//! **Backpressure** works differently from the threaded front-end: a full
+//! engine queue never answers `BUSY` here.  A pipelined client may have
+//! more ingests in flight behind the full one, and a `BUSY`'d batch
+//! retried after a later batch was accepted would break the sender's
+//! strictly-increasing id invariant.  Instead the loop *parks* the request
+//! (at most one per connection), stops reading that connection — TCP flow
+//! control propagates the stall to the sender — and retries on a short
+//! poll timeout until the queue drains.  Replies therefore stay
+//! per-connection FIFO in engine completion order.
+//!
+//! **Shutdown** needs no loopback-connect or socket-shutdown tricks: the
+//! initiator (owner or a `SHUTDOWN` frame) flips the flag and writes every
+//! loop's self-pipe; each loop stops reading, fails parked requests,
+//! flushes outbound buffers, waits for in-flight completions (the engine
+//! stays up until the loops exit), and closes — with a deadline guard so a
+//! peer that never drains its socket cannot stall the server.
+
+use crate::poll::{poll, PollFd, WakePipe, POLLIN, POLLNVAL, POLLOUT};
+use crate::protocol::{
+    encode_frame_into, parse_error_consumed, parse_frame, Frame, PROTOCOL_VERSION,
+};
+use rtim_core::{
+    AsyncRequestError, Completion, CompletionPayload, CompletionSink, IngestError, IngestSender,
+    SenderSpawner,
+};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Bytes read from a socket per `read(2)` call.
+const READ_CHUNK: usize = 64 * 1024;
+/// Bytes read from one connection per readiness event before yielding to
+/// the others (level-triggered poll re-fires if more is pending).
+const READ_BUDGET: usize = 256 * 1024;
+/// Outbound bytes above which the loop stops reading a connection until
+/// the peer drains its replies.
+const OUT_PAUSE: usize = 4 * 1024 * 1024;
+/// Idle buffer capacity above which a drained buffer is shrunk, so a
+/// one-off giant frame does not pin its memory for the connection's life.
+const SHRINK_ABOVE: usize = 1024 * 1024;
+const SHRINK_TO: usize = 64 * 1024;
+/// Poll timeout while a parked request waits for queue space.
+const PARK_RETRY_MS: i32 = 1;
+/// How long shutdown waits for peers to drain their replies before
+/// force-closing them.
+const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+
+/// State shared by every loop thread and the owner.
+struct EvShared {
+    shutting_down: AtomicBool,
+    /// One self-pipe per loop thread — the only cross-thread wake channel.
+    wakes: Vec<Arc<WakePipe>>,
+    /// Handoff queues for connections accepted on thread 0 but assigned
+    /// elsewhere (round-robin).
+    injects: Vec<Mutex<Vec<(TcpStream, IngestSender)>>>,
+    next_conn_id: AtomicU64,
+}
+
+/// The running event-loop front-end.
+pub(crate) struct EventLoopRuntime {
+    threads: Vec<JoinHandle<()>>,
+    shared: Arc<EvShared>,
+}
+
+impl EventLoopRuntime {
+    /// Spawns `threads` loop threads over an already-bound listener
+    /// (thread 0 owns it and distributes accepted connections).
+    pub(crate) fn start(
+        listener: TcpListener,
+        spawner: SenderSpawner,
+        threads: usize,
+    ) -> io::Result<EventLoopRuntime> {
+        let threads = threads.max(1);
+        listener.set_nonblocking(true)?;
+        let mut wakes = Vec::with_capacity(threads);
+        let mut injects = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            wakes.push(Arc::new(WakePipe::new()?));
+            injects.push(Mutex::new(Vec::new()));
+        }
+        let shared = Arc::new(EvShared {
+            shutting_down: AtomicBool::new(false),
+            wakes,
+            injects,
+            next_conn_id: AtomicU64::new(0),
+        });
+        let mut handles = Vec::with_capacity(threads);
+        for index in 0..threads {
+            let shared = Arc::clone(&shared);
+            let listener = (index == 0).then(|| listener.try_clone()).transpose()?;
+            let spawner = spawner.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rtim-loop-{index}"))
+                    .spawn(move || LoopThread::new(index, shared, listener, spawner).run())
+                    .expect("spawn event-loop thread"),
+            );
+        }
+        drop(listener);
+        Ok(EventLoopRuntime {
+            threads: handles,
+            shared,
+        })
+    }
+
+    /// Stops the front-end: flags shutdown (when initiating), wakes every
+    /// loop, and joins them.  The engine queue is still live — the caller
+    /// drains it afterwards.
+    pub(crate) fn stop(self, initiate: bool) {
+        if initiate {
+            self.shared.shutting_down.store(true, Ordering::Release);
+        }
+        // Always wake: on `wait()` the flag was set by the loop that saw
+        // the SHUTDOWN frame, which already woke its peers, but a second
+        // byte in the pipe is harmless and closes any race.
+        for wake in &self.shared.wakes {
+            wake.wake();
+        }
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// A request that could not be submitted to the full engine queue and
+/// waits on its connection for a retry (reads stay paused meanwhile).
+enum Parked {
+    Ingest {
+        actions: Vec<rtim_stream::Action>,
+        corr: Option<u32>,
+    },
+    Query {
+        corr: Option<u32>,
+    },
+    Stats {
+        corr: Option<u32>,
+    },
+    Snapshot,
+}
+
+/// Routing entry for an in-flight engine completion.
+struct PendingReply {
+    slot: usize,
+    conn_id: u64,
+    corr: Option<u32>,
+}
+
+/// One connection's state machine.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    sender: IngestSender,
+    /// Unparsed inbound bytes (compacted after each parse pass).
+    rbuf: Vec<u8>,
+    /// Encoded replies not yet accepted by the socket.
+    out: Vec<u8>,
+    out_pos: usize,
+    parked: Option<Parked>,
+    /// Completions still owed to this connection.
+    pending: usize,
+    /// No more reads; close once `out` is flushed and `pending` is 0.
+    closing: bool,
+}
+
+impl Conn {
+    fn flushed(&self) -> bool {
+        self.out_pos >= self.out.len()
+    }
+
+    /// Whether the loop should read (and parse) this connection now.
+    fn wants_read(&self, shutting: bool) -> bool {
+        !self.closing
+            && !shutting
+            && self.parked.is_none()
+            && self.out.len() - self.out_pos < OUT_PAUSE
+    }
+
+    /// Nothing left to deliver: safe to close once `closing` (or
+    /// shutdown) says so.
+    fn drained(&self) -> bool {
+        self.flushed() && self.pending == 0 && self.parked.is_none()
+    }
+}
+
+/// Appends one encoded reply to the connection's outbound buffer.
+fn push_reply(conn: &mut Conn, frame: &Frame) {
+    encode_frame_into(frame, &mut conn.out);
+}
+
+/// Writes as much outbound as the socket accepts.  `Err` means the
+/// transport is gone.
+fn flush(conn: &mut Conn) -> io::Result<()> {
+    while conn.out_pos < conn.out.len() {
+        match conn.stream.write(&conn.out[conn.out_pos..]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => conn.out_pos += n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    conn.out.clear();
+    conn.out_pos = 0;
+    if conn.out.capacity() > SHRINK_ABOVE {
+        conn.out.shrink_to(SHRINK_TO);
+    }
+    Ok(())
+}
+
+/// What the poll set's non-wake entries point at.
+#[derive(Clone, Copy)]
+enum Slot {
+    Listener,
+    Conn(usize),
+}
+
+struct LoopThread {
+    index: usize,
+    shared: Arc<EvShared>,
+    wake: Arc<WakePipe>,
+    listener: Option<TcpListener>,
+    spawner: SenderSpawner,
+    /// Round-robin assignment counter for accepted connections.
+    rr: usize,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    live: usize,
+    completions: mpsc::Receiver<Completion>,
+    sink: CompletionSink,
+    pending: HashMap<u64, PendingReply>,
+    next_token: u64,
+}
+
+impl LoopThread {
+    fn new(
+        index: usize,
+        shared: Arc<EvShared>,
+        listener: Option<TcpListener>,
+        spawner: SenderSpawner,
+    ) -> LoopThread {
+        let (tx, rx) = mpsc::channel();
+        let waker = Arc::clone(&shared.wakes[index]);
+        let sink = CompletionSink::new(tx, Arc::new(move || waker.wake()));
+        LoopThread {
+            index,
+            wake: Arc::clone(&shared.wakes[index]),
+            shared,
+            listener,
+            spawner,
+            rr: 0,
+            conns: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            completions: rx,
+            sink,
+            pending: HashMap::new(),
+            next_token: 0,
+        }
+    }
+
+    fn shutting(&self) -> bool {
+        self.shared.shutting_down.load(Ordering::Acquire)
+    }
+
+    fn run(mut self) {
+        let mut fds: Vec<PollFd> = Vec::new();
+        let mut slots: Vec<Slot> = Vec::new();
+        let mut shutdown_since: Option<Instant> = None;
+        loop {
+            let shutting = self.shutting();
+            if shutting && shutdown_since.is_none() {
+                shutdown_since = Some(Instant::now());
+                self.begin_shutdown();
+            }
+            self.drain_injected(shutting);
+            self.drain_completions();
+            self.retry_parked(shutting);
+            let deadline_passed =
+                shutdown_since.is_some_and(|since| since.elapsed() > DRAIN_DEADLINE);
+            self.sweep(shutting, deadline_passed);
+            if shutting && self.live == 0 {
+                return;
+            }
+
+            fds.clear();
+            slots.clear();
+            fds.push(PollFd::new(self.wake.fd(), POLLIN));
+            slots.push(Slot::Listener); // placeholder, index 0 is special-cased
+            if let Some(listener) = &self.listener {
+                fds.push(PollFd::new(listener.as_raw_fd(), POLLIN));
+                slots.push(Slot::Listener);
+            }
+            let mut any_parked = false;
+            for (i, conn) in self.conns.iter().enumerate() {
+                let Some(conn) = conn else { continue };
+                any_parked |= conn.parked.is_some();
+                let mut events = 0i16;
+                if conn.wants_read(shutting) {
+                    events |= POLLIN;
+                }
+                if !conn.flushed() {
+                    events |= POLLOUT;
+                }
+                fds.push(PollFd::new(conn.stream.as_raw_fd(), events));
+                slots.push(Slot::Conn(i));
+            }
+            let timeout = if any_parked {
+                PARK_RETRY_MS
+            } else if shutting {
+                20
+            } else {
+                -1
+            };
+            if poll(&mut fds, timeout).is_err() {
+                // A poll failure is a bookkeeping bug (EBADF-class); take
+                // the whole server down cleanly rather than spin on it.
+                self.shared.shutting_down.store(true, Ordering::Release);
+                for wake in &self.shared.wakes {
+                    wake.wake();
+                }
+                continue;
+            }
+            if fds[0].readable() {
+                self.wake.drain();
+            }
+            for (fd, slot) in fds.iter().zip(&slots).skip(1) {
+                let revents = fd.revents();
+                if revents == 0 {
+                    continue;
+                }
+                match *slot {
+                    Slot::Listener => self.accept_new(),
+                    Slot::Conn(i) => self.dispatch(i, revents),
+                }
+            }
+        }
+    }
+
+    /// Handles one connection's readiness events.
+    fn dispatch(&mut self, i: usize, revents: i16) {
+        let Some(conn) = self.conns[i].as_mut() else {
+            return;
+        };
+        if revents & POLLNVAL != 0 {
+            self.close(i);
+            return;
+        }
+        if revents & POLLOUT != 0 && flush(conn).is_err() {
+            self.close(i);
+            return;
+        }
+        let shutting = self.shutting();
+        if self.conns[i]
+            .as_ref()
+            .is_some_and(|c| c.wants_read(shutting))
+        {
+            self.readable(i, shutting);
+        } else if revents & (crate::poll::POLLHUP | crate::poll::POLLERR) != 0 {
+            // Peer errored or vanished while we were not reading (parked,
+            // throttled, closing, or shutting down): nothing more can be
+            // delivered either way.
+            self.close(i);
+        }
+    }
+
+    /// Reads and parses as much as the budget allows.
+    fn readable(&mut self, i: usize, shutting: bool) {
+        let mut taken = 0usize;
+        loop {
+            let Some(conn) = self.conns[i].as_mut() else {
+                return;
+            };
+            if !conn.wants_read(shutting) {
+                break;
+            }
+            let old = conn.rbuf.len();
+            conn.rbuf.resize(old + READ_CHUNK, 0);
+            match conn.stream.read(&mut conn.rbuf[old..]) {
+                Ok(0) => {
+                    conn.rbuf.truncate(old);
+                    // Clean EOF: whatever parsed before this is served;
+                    // replies still owed are delivered, then close.
+                    conn.closing = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.rbuf.truncate(old + n);
+                    taken += n;
+                    if !self.parse(i) {
+                        self.close(i);
+                        return;
+                    }
+                    if taken >= READ_BUDGET {
+                        break;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    conn.rbuf.truncate(old);
+                    break;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    conn.rbuf.truncate(old);
+                }
+                Err(_) => {
+                    conn.rbuf.truncate(old);
+                    self.close(i);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Parses every complete frame in the read buffer (stopping if a
+    /// request parks).  Returns `false` when the connection must close
+    /// immediately.
+    fn parse(&mut self, i: usize) -> bool {
+        let mut pos = 0usize;
+        loop {
+            let Some(conn) = self.conns[i].as_mut() else {
+                return true;
+            };
+            if conn.parked.is_some() || conn.closing {
+                break;
+            }
+            match parse_frame(&conn.rbuf[pos..]) {
+                Ok(None) => break,
+                Ok(Some((frame, used))) => {
+                    pos += used;
+                    self.handle_frame(i, frame);
+                }
+                Err(e) => match parse_error_consumed(&conn.rbuf[pos..], &e) {
+                    Some(used) => {
+                        // The bad frame was well-delimited; report it and
+                        // stay in sync (threaded-path parity).
+                        pos += used;
+                        push_reply(
+                            conn,
+                            &Frame::Error {
+                                message: e.to_string(),
+                                corr: None,
+                            },
+                        );
+                    }
+                    None => {
+                        // Oversized prefix: the stream cannot be
+                        // resynchronized — report, drop the garbage, and
+                        // close once the error is flushed.
+                        push_reply(
+                            conn,
+                            &Frame::Error {
+                                message: e.to_string(),
+                                corr: None,
+                            },
+                        );
+                        conn.rbuf.clear();
+                        conn.closing = true;
+                        return true;
+                    }
+                },
+            }
+        }
+        let Some(conn) = self.conns[i].as_mut() else {
+            return true;
+        };
+        if pos > 0 {
+            let len = conn.rbuf.len();
+            conn.rbuf.copy_within(pos.., 0);
+            conn.rbuf.truncate(len - pos);
+        }
+        if conn.rbuf.is_empty() && conn.rbuf.capacity() > SHRINK_ABOVE {
+            conn.rbuf.shrink_to(SHRINK_TO);
+        }
+        true
+    }
+
+    /// Executes one parsed frame against the engine pipeline.
+    fn handle_frame(&mut self, i: usize, frame: Frame) {
+        match frame {
+            Frame::Ingest { actions, corr } => self.submit_ingest(i, actions, corr),
+            Frame::Query { corr } => self.submit_async(i, Parked::Query { corr }),
+            Frame::Stats { corr } => self.submit_async(i, Parked::Stats { corr }),
+            Frame::Snapshot => self.submit_async(i, Parked::Snapshot),
+            Frame::Shutdown => {
+                self.shared.shutting_down.store(true, Ordering::Release);
+                let Some(conn) = self.conns[i].as_mut() else {
+                    return;
+                };
+                push_reply(
+                    conn,
+                    &Frame::Ack {
+                        accepted: 0,
+                        queue_depth: conn.sender.queue_depth() as u32,
+                        corr: None,
+                    },
+                );
+                for wake in &self.shared.wakes {
+                    wake.wake();
+                }
+            }
+            // Reply frames arriving from a confused client.
+            other => {
+                let Some(conn) = self.conns[i].as_mut() else {
+                    return;
+                };
+                push_reply(
+                    conn,
+                    &Frame::Error {
+                        message: format!("unexpected client frame: {other:?}"),
+                        corr: None,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Enqueues an ingest, parking it when the queue is full (never
+    /// `BUSY`: see the module docs on pipelined id-order).
+    fn submit_ingest(&mut self, i: usize, actions: Vec<rtim_stream::Action>, corr: Option<u32>) {
+        if self.shutting() {
+            if let Some(conn) = self.conns[i].as_mut() {
+                push_reply(
+                    conn,
+                    &Frame::Error {
+                        message: "server is shutting down".into(),
+                        corr,
+                    },
+                );
+            }
+            return;
+        }
+        let Some(conn) = self.conns[i].as_mut() else {
+            return;
+        };
+        let count = actions.len() as u64;
+        match conn.sender.try_ingest(actions) {
+            Ok(()) => {
+                let queue_depth = conn.sender.queue_depth() as u32;
+                push_reply(
+                    conn,
+                    &Frame::Ack {
+                        accepted: count,
+                        queue_depth,
+                        corr,
+                    },
+                );
+            }
+            Err(IngestError::Full(actions)) => {
+                conn.parked = Some(Parked::Ingest { actions, corr });
+            }
+            Err(e @ IngestError::Invalid(_)) => push_reply(
+                conn,
+                &Frame::Error {
+                    message: e.to_string(),
+                    corr,
+                },
+            ),
+            Err(IngestError::Closed) => {
+                push_reply(
+                    conn,
+                    &Frame::Error {
+                        message: "engine is shut down".into(),
+                        corr,
+                    },
+                );
+                conn.rbuf.clear();
+                conn.closing = true;
+            }
+        }
+    }
+
+    /// Enqueues a completion-routed request (`QUERY`/`STATS`/`SNAPSHOT`),
+    /// parking it when the queue is full.
+    fn submit_async(&mut self, i: usize, request: Parked) {
+        let Some(conn) = self.conns[i].as_mut() else {
+            return;
+        };
+        let token = self.next_token;
+        let (result, corr) = match &request {
+            Parked::Query { corr } => (conn.sender.try_query_async(token, &self.sink), *corr),
+            Parked::Stats { corr } => (conn.sender.try_stats_async(token, &self.sink), *corr),
+            Parked::Snapshot => (conn.sender.try_snapshot_async(token, &self.sink), None),
+            Parked::Ingest { .. } => unreachable!("ingest goes through submit_ingest"),
+        };
+        match result {
+            Ok(()) => {
+                self.next_token += 1;
+                self.pending.insert(
+                    token,
+                    PendingReply {
+                        slot: i,
+                        conn_id: conn.id,
+                        corr,
+                    },
+                );
+                conn.pending += 1;
+            }
+            Err(AsyncRequestError::Full) => conn.parked = Some(request),
+            Err(AsyncRequestError::Closed) => {
+                push_reply(
+                    conn,
+                    &Frame::Error {
+                        message: "engine is shut down".into(),
+                        corr,
+                    },
+                );
+                conn.rbuf.clear();
+                conn.closing = true;
+            }
+        }
+    }
+
+    /// Delivers every completion the engine has produced so far.
+    fn drain_completions(&mut self) {
+        while let Ok(completion) = self.completions.try_recv() {
+            let Some(route) = self.pending.remove(&completion.token) else {
+                continue;
+            };
+            let Some(conn) = self.conns.get_mut(route.slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.id != route.conn_id {
+                continue; // slot was reused; the original peer is gone
+            }
+            conn.pending -= 1;
+            let frame = match completion.payload {
+                CompletionPayload::Solution(solution) => Frame::Solution {
+                    solution,
+                    corr: route.corr,
+                },
+                CompletionPayload::Stats(stats) => Frame::StatsReply {
+                    stats,
+                    corr: route.corr,
+                },
+                CompletionPayload::Snapshot(Ok(info)) => Frame::SnapshotReply(info),
+                CompletionPayload::Snapshot(Err(e)) => Frame::Error {
+                    message: e.to_string(),
+                    corr: route.corr,
+                },
+            };
+            push_reply(conn, &frame);
+        }
+    }
+
+    /// Retries every parked request once; on success resumes parsing the
+    /// connection's buffered frames.
+    fn retry_parked(&mut self, shutting: bool) {
+        for i in 0..self.conns.len() {
+            let Some(conn) = self.conns[i].as_mut() else {
+                continue;
+            };
+            let Some(request) = conn.parked.take() else {
+                continue;
+            };
+            match request {
+                Parked::Ingest { actions, corr } => self.submit_ingest(i, actions, corr),
+                other => self.submit_async(i, other),
+            }
+            let resumed = self.conns[i]
+                .as_ref()
+                .is_some_and(|c| c.parked.is_none() && !c.closing && !shutting);
+            if resumed {
+                // The buffered frames behind the parked one can move now.
+                if !self.parse(i) {
+                    self.close(i);
+                }
+            }
+        }
+    }
+
+    /// Flush pass + close-when-drained pass over every connection.
+    fn sweep(&mut self, shutting: bool, deadline_passed: bool) {
+        for i in 0..self.conns.len() {
+            let mut close = false;
+            if let Some(conn) = self.conns[i].as_mut() {
+                if !conn.flushed() && flush(conn).is_err() {
+                    close = true;
+                } else {
+                    close = deadline_passed || ((conn.closing || shutting) && conn.drained());
+                }
+            }
+            if close {
+                self.close(i);
+            }
+        }
+    }
+
+    /// On the first iteration that observes shutdown: stop accepting and
+    /// fail parked requests (their batches were never `ACK`ed).
+    fn begin_shutdown(&mut self) {
+        self.listener = None;
+        for conn in self.conns.iter_mut().flatten() {
+            if let Some(request) = conn.parked.take() {
+                let corr = match request {
+                    Parked::Ingest { corr, .. }
+                    | Parked::Query { corr }
+                    | Parked::Stats { corr } => corr,
+                    Parked::Snapshot => None,
+                };
+                push_reply(
+                    conn,
+                    &Frame::Error {
+                        message: "server is shutting down".into(),
+                        corr,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Accepts until the backlog is empty, assigning connections to loop
+    /// threads round-robin.
+    fn accept_new(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else { return };
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let sender = self.spawner.sender();
+                    let target = self.rr % self.shared.wakes.len();
+                    self.rr += 1;
+                    if target == self.index {
+                        self.add_conn(stream, sender);
+                    } else {
+                        self.shared.injects[target]
+                            .lock()
+                            .expect("lock poisoned")
+                            .push((stream, sender));
+                        self.shared.wakes[target].wake();
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Adopts connections handed over by the accepting thread.
+    fn drain_injected(&mut self, shutting: bool) {
+        let injected = std::mem::take(
+            &mut *self.shared.injects[self.index]
+                .lock()
+                .expect("lock poisoned"),
+        );
+        for (stream, sender) in injected {
+            if !shutting {
+                self.add_conn(stream, sender);
+            }
+        }
+    }
+
+    /// Registers a fresh connection and queues its `HELLO`.
+    fn add_conn(&mut self, stream: TcpStream, sender: IngestSender) {
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let id = self.shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+        let mut conn = Conn {
+            id,
+            stream,
+            sender,
+            rbuf: Vec::new(),
+            out: Vec::new(),
+            out_pos: 0,
+            parked: None,
+            pending: 0,
+            closing: false,
+        };
+        push_reply(
+            &mut conn,
+            &Frame::Hello {
+                version: PROTOCOL_VERSION,
+            },
+        );
+        // The HELLO flushes on the sweep pass of this same iteration.
+        let slot = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.conns.len() - 1
+        });
+        self.conns[slot] = Some(conn);
+        self.live += 1;
+    }
+
+    /// Drops a connection (closing its socket) and recycles the slot.
+    fn close(&mut self, i: usize) {
+        if self.conns[i].take().is_some() {
+            self.free.push(i);
+            self.live -= 1;
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! A hand-rolled readiness API over libc `poll(2)`.
+//!
+//! The event-loop front-end needs exactly two OS facilities `std` does not
+//! expose: *readiness multiplexing* (block one thread until any of N fds
+//! is readable/writable) and a *self-pipe* (an fd another thread can write
+//! to so the multiplexer wakes up).  Both are decades-old POSIX; this
+//! module is the ~50-line `extern "C"` shim that binds them directly — no
+//! vendored crate, no async runtime.  Everything `unsafe` in the server
+//! lives here, behind safe wrappers:
+//!
+//! * [`poll`] — a safe `poll(2)` over a borrowed `&mut [PollFd]`, with
+//!   `EINTR` folded into "no events" so callers simply loop;
+//! * [`WakePipe`] — a non-blocking self-pipe: `wake()` writes one byte
+//!   (from any thread), `drain()` empties it, the read end is registered
+//!   in the poll set like any socket.
+//!
+//! Sockets themselves stay `std`: `TcpListener`/`TcpStream` with
+//! `set_nonblocking(true)`, and `AsRawFd` supplies the fds.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::RawFd;
+
+/// Readable data available (or a listener has a pending connection).
+pub const POLLIN: i16 = 0x001;
+/// Writing now would not block.
+pub const POLLOUT: i16 = 0x004;
+/// Error condition (output only).
+pub const POLLERR: i16 = 0x008;
+/// Peer hung up (output only).
+pub const POLLHUP: i16 = 0x010;
+/// Fd not open (output only) — a bug in the caller's bookkeeping.
+pub const POLLNVAL: i16 = 0x020;
+
+/// One entry of a `poll(2)` set — layout-compatible with `struct pollfd`.
+#[repr(C)]
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// An entry watching `fd` for `events` (a bitwise-or of [`POLLIN`] /
+    /// [`POLLOUT`]).
+    pub fn new(fd: RawFd, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// Events the kernel reported on the last [`poll`] call.
+    pub fn revents(&self) -> i16 {
+        self.revents
+    }
+
+    /// True if the last poll reported the fd readable (or in an error /
+    /// hangup state, which a reader must also observe to learn of it).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL) != 0
+    }
+
+    /// True if the last poll reported the fd writable.
+    pub fn writable(&self) -> bool {
+        self.revents & POLLOUT != 0
+    }
+}
+
+mod ffi {
+    use std::ffi::{c_int, c_ulong, c_void};
+
+    unsafe extern "C" {
+        pub fn poll(fds: *mut super::PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+        pub fn pipe(fds: *mut c_int) -> c_int;
+        pub fn fcntl(fd: c_int, cmd: c_int, arg: c_int) -> c_int;
+        pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+        pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+        pub fn close(fd: c_int) -> c_int;
+    }
+
+    pub const F_SETFL: c_int = 4;
+    #[cfg(target_os = "linux")]
+    pub const O_NONBLOCK: c_int = 0o4000;
+    #[cfg(not(target_os = "linux"))]
+    pub const O_NONBLOCK: c_int = 0x4; // BSD-family value (macOS, *BSD)
+}
+
+/// Blocks until at least one watched event fires, the timeout elapses, or
+/// a signal interrupts the wait.  Returns the number of entries with
+/// non-zero `revents` (0 on timeout or `EINTR` — callers just re-loop).
+/// `timeout_ms < 0` waits forever.
+pub fn poll(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    let rc = unsafe { ffi::poll(fds.as_mut_ptr(), fds.len() as std::ffi::c_ulong, timeout_ms) };
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::Interrupted {
+        Ok(0)
+    } else {
+        Err(err)
+    }
+}
+
+/// A non-blocking self-pipe: the classic mechanism for waking a thread
+/// parked in `poll(2)` from another thread.  Register [`WakePipe::fd`]
+/// with [`POLLIN`]; any thread calls [`WakePipe::wake`]; the poller calls
+/// [`WakePipe::drain`] once woken.  Multiple wakes before a drain coalesce
+/// (the pipe holds at most its buffer of bytes, and `wake` treats a full
+/// pipe as already-woken).
+pub struct WakePipe {
+    read_fd: RawFd,
+    write_fd: RawFd,
+}
+
+impl WakePipe {
+    /// Creates the pipe with both ends non-blocking.
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0 as std::ffi::c_int; 2];
+        if unsafe { ffi::pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        for fd in fds {
+            if unsafe { ffi::fcntl(fd, ffi::F_SETFL, ffi::O_NONBLOCK) } < 0 {
+                let err = io::Error::last_os_error();
+                unsafe {
+                    ffi::close(fds[0]);
+                    ffi::close(fds[1]);
+                }
+                return Err(err);
+            }
+        }
+        Ok(WakePipe {
+            read_fd: fds[0],
+            write_fd: fds[1],
+        })
+    }
+
+    /// The fd to register in the poll set (with [`POLLIN`]).
+    pub fn fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    /// Wakes the poller.  Callable from any thread; a full pipe (poller
+    /// already has wakes pending) and a closed pipe are both fine.
+    pub fn wake(&self) {
+        let byte = 1u8;
+        unsafe { ffi::write(self.write_fd, (&raw const byte).cast(), 1) };
+    }
+
+    /// Empties the pipe after a wakeup so the next poll blocks again.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        loop {
+            let n = unsafe { ffi::read(self.read_fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                break; // empty (EAGAIN) or closed — either way, drained
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            ffi::close(self.read_fd);
+            ffi::close(self.write_fd);
+        }
+    }
+}
+
+// The pipe is only ever touched through thread-safe fd syscalls.
+unsafe impl Send for WakePipe {}
+unsafe impl Sync for WakePipe {}
+
+impl std::fmt::Debug for WakePipe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WakePipe")
+            .field("read_fd", &self.read_fd)
+            .field("write_fd", &self.write_fd)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poll_times_out_with_no_events() {
+        let pipe = WakePipe::new().unwrap();
+        let mut fds = [PollFd::new(pipe.fd(), POLLIN)];
+        let fired = poll(&mut fds, 10).unwrap();
+        assert_eq!(fired, 0);
+        assert!(!fds[0].readable());
+    }
+
+    #[test]
+    fn wake_makes_the_pipe_readable_and_drain_resets_it() {
+        let pipe = WakePipe::new().unwrap();
+        pipe.wake();
+        pipe.wake(); // coalesces
+        let mut fds = [PollFd::new(pipe.fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 1000).unwrap(), 1);
+        assert!(fds[0].readable());
+        pipe.drain();
+        let mut fds = [PollFd::new(pipe.fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 10).unwrap(), 0);
+    }
+
+    #[test]
+    fn wake_from_another_thread_interrupts_a_blocking_poll() {
+        let pipe = std::sync::Arc::new(WakePipe::new().unwrap());
+        let waker = std::sync::Arc::clone(&pipe);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            waker.wake();
+        });
+        let mut fds = [PollFd::new(pipe.fd(), POLLIN)];
+        let fired = poll(&mut fds, 5_000).unwrap();
+        assert_eq!(fired, 1);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn sockets_report_readiness_through_poll() {
+        use std::io::Write as _;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        server_side.set_nonblocking(true).unwrap();
+        use std::os::fd::AsRawFd as _;
+        // Nothing to read yet, but writable.
+        let mut fds = [PollFd::new(server_side.as_raw_fd(), POLLIN | POLLOUT)];
+        assert!(poll(&mut fds, 100).unwrap() >= 1);
+        assert!(fds[0].writable());
+        assert!(!fds[0].readable());
+        // After the client writes, readable fires.
+        client.write_all(b"hi").unwrap();
+        let mut fds = [PollFd::new(server_side.as_raw_fd(), POLLIN)];
+        assert_eq!(poll(&mut fds, 1_000).unwrap(), 1);
+        assert!(fds[0].readable());
+    }
+}

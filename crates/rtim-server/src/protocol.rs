@@ -7,6 +7,22 @@
 //! the on-disk trace format stay one family (see `docs/SERVER.md` for the
 //! byte-level layout of every frame).
 //!
+//! ## Pipelining and correlation ids (protocol v2)
+//!
+//! Since version 2, `INGEST`/`QUERY`/`STATS` may carry an optional `u32`
+//! **correlation id**, which the server echoes verbatim on the matching
+//! reply (`ACK`/`SOLUTION`/`STATS`/`BUSY`/`ERROR`).  A client that tags
+//! its requests may keep a whole window of them in flight on one socket
+//! instead of stalling on a round trip per request.  On the wire, a
+//! correlated frame uses a sibling kind tag (`0x1X` for requests, `0x9X`
+//! for replies) whose payload is the `corr: u32 LE` followed by the
+//! uncorrelated payload; the version-1 tags remain valid and correlate
+//! nothing, so v1 clients keep working unmodified.  Replies on one
+//! connection arrive in **engine completion order**, which for pipelined
+//! traffic is not request order — `ACK`s are emitted at enqueue time while
+//! `SOLUTION`s wait for the engine; the correlation id is what lets a
+//! client match them up (ordering contract in `docs/SERVER.md`).
+//!
 //! Decoding is defensive end to end: a length prefix above
 //! [`MAX_FRAME_LEN`] is rejected *before* any allocation is sized from it,
 //! a stream ending mid-frame is [`FrameError::Truncated`], payload bytes
@@ -14,13 +30,15 @@
 //! reported with its value.  Nothing in this module panics on wire input —
 //! property-tested in `tests/protocol_props.rs`.
 
-use bytes::{Buf, BufMut, BytesMut};
+use bytes::Buf;
 use rtim_core::{EngineStats, SnapshotInfo, Solution};
 use rtim_stream::{decode_batch, encode_batch, Action, UserId, MAX_FRAME_BYTES};
 use std::io::{self, Read, Write};
 
-/// Protocol version carried by the server's `HELLO` frame.
-pub const PROTOCOL_VERSION: u8 = 1;
+/// Protocol version carried by the server's `HELLO` frame.  Version 2
+/// added pipelining: optional correlation ids on requests, echoed on
+/// replies (the v1 frame tags are still accepted).
+pub const PROTOCOL_VERSION: u8 = 2;
 
 /// Magic bytes inside the `HELLO` payload.
 pub const HELLO_MAGIC: &[u8; 4] = b"RTIM";
@@ -32,13 +50,18 @@ pub const HELLO_MAGIC: &[u8; 4] = b"RTIM";
 /// decoder and the `RTSS` state codec.
 pub const MAX_FRAME_LEN: u32 = MAX_FRAME_BYTES as u32;
 
-/// Frame kind tags (client requests below 0x80, server replies above).
+/// Frame kind tags.  Client requests have the high bit clear, server
+/// replies have it set; the `0x10`/`0x90` bit marks the correlated
+/// sibling of a v1 tag (payload prefixed with `corr: u32 LE`).
 mod kind {
     pub const INGEST: u8 = 0x01;
     pub const QUERY: u8 = 0x02;
     pub const STATS: u8 = 0x03;
     pub const SHUTDOWN: u8 = 0x04;
     pub const SNAPSHOT: u8 = 0x05;
+    pub const INGEST_CORR: u8 = 0x11;
+    pub const QUERY_CORR: u8 = 0x12;
+    pub const STATS_CORR: u8 = 0x13;
     pub const HELLO: u8 = 0x80;
     pub const ACK: u8 = 0x81;
     pub const SOLUTION: u8 = 0x82;
@@ -46,10 +69,15 @@ mod kind {
     pub const BUSY: u8 = 0x84;
     pub const SNAPSHOT_REPLY: u8 = 0x85;
     pub const ERROR: u8 = 0x8F;
+    pub const ACK_CORR: u8 = 0x91;
+    pub const SOLUTION_CORR: u8 = 0x92;
+    pub const STATS_REPLY_CORR: u8 = 0x93;
+    pub const BUSY_CORR: u8 = 0x94;
+    pub const ERROR_CORR: u8 = 0x9F;
 }
 
 /// Number of `u64` counters in a `STATS` reply payload (wire order is
-/// documented on [`encode_stats`]).
+/// documented on `encode_stats`).
 const STATS_FIELDS: usize = 11;
 
 /// One protocol message, either direction.
@@ -61,11 +89,22 @@ pub enum Frame {
         version: u8,
     },
     /// Client → server: an action batch in the sender's id space.
-    Ingest(Vec<Action>),
+    Ingest {
+        /// The batch (ids strictly increasing, parents earlier).
+        actions: Vec<Action>,
+        /// Correlation id echoed on the `ACK`/`BUSY`/`ERROR` reply.
+        corr: Option<u32>,
+    },
     /// Client → server: answer the SIM query for the current window.
-    Query,
+    Query {
+        /// Correlation id echoed on the `SOLUTION`/`BUSY`/`ERROR` reply.
+        corr: Option<u32>,
+    },
     /// Client → server: report pipeline counters.
-    Stats,
+    Stats {
+        /// Correlation id echoed on the `STATS`/`BUSY`/`ERROR` reply.
+        corr: Option<u32>,
+    },
     /// Client → server: drain the queue and stop the server.
     Shutdown,
     /// Client → server (admin): write a durable snapshot now, covering
@@ -78,21 +117,60 @@ pub enum Frame {
         accepted: u64,
         /// Queue occupancy observed right after the enqueue.
         queue_depth: u32,
+        /// Echo of the request's correlation id.
+        corr: Option<u32>,
     },
     /// Server → client: the current SIM answer (seeds in raw id space).
-    Solution(Solution),
+    Solution {
+        /// The answer.
+        solution: Solution,
+        /// Echo of the request's correlation id.
+        corr: Option<u32>,
+    },
     /// Server → client: pipeline counters.
-    StatsReply(EngineStats),
+    StatsReply {
+        /// The counters.
+        stats: EngineStats,
+        /// Echo of the request's correlation id.
+        corr: Option<u32>,
+    },
     /// Server → client: the bounded queue is full — back off and retry.
     Busy {
         /// The queue capacity, as a retry-pacing hint.
         capacity: u32,
+        /// Echo of the request's correlation id.
+        corr: Option<u32>,
     },
     /// Server → client: the snapshot was written (watermark + size).
     SnapshotReply(SnapshotInfo),
     /// Server → client: the request failed; the connection stays usable
     /// unless the transport itself broke.
-    Error(String),
+    Error {
+        /// Human-readable failure description.
+        message: String,
+        /// Echo of the request's correlation id, when the request's
+        /// framing survived far enough to know it.
+        corr: Option<u32>,
+    },
+}
+
+impl Frame {
+    /// The correlation id carried by this frame, if any.
+    pub fn corr(&self) -> Option<u32> {
+        match self {
+            Frame::Ingest { corr, .. }
+            | Frame::Query { corr }
+            | Frame::Stats { corr }
+            | Frame::Ack { corr, .. }
+            | Frame::Solution { corr, .. }
+            | Frame::StatsReply { corr, .. }
+            | Frame::Busy { corr, .. }
+            | Frame::Error { corr, .. } => *corr,
+            Frame::Hello { .. } | Frame::Shutdown | Frame::Snapshot | Frame::SnapshotReply(_) => {
+                None
+            }
+        }
+    }
 }
 
 /// Errors produced while reading or decoding a frame.
@@ -144,65 +222,111 @@ impl From<io::Error> for FrameError {
     }
 }
 
-/// Encodes a frame into `kind + len + payload` bytes.
-pub fn encode_frame(frame: &Frame) -> Vec<u8> {
-    let (tag, payload) = match frame {
+/// Appends one encoded frame (`kind + len + payload`) to `out` — the
+/// allocation-free path an event loop uses to build a connection's
+/// outbound buffer in place.
+pub fn encode_frame_into(frame: &Frame, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 5]); // tag + length, patched below
+    // A correlated frame is its v1 sibling with the corr prepended.
+    let corr = frame.corr();
+    if let Some(c) = corr {
+        out.extend_from_slice(&c.to_le_bytes());
+    }
+    let tag = match frame {
         Frame::Hello { version } => {
-            let mut p = BytesMut::with_capacity(5);
-            p.put_slice(HELLO_MAGIC);
-            p.put_u8(*version);
-            (kind::HELLO, p)
+            out.extend_from_slice(HELLO_MAGIC);
+            out.push(*version);
+            kind::HELLO
         }
-        Frame::Ingest(actions) => {
-            let batch = encode_batch(actions);
-            let mut p = BytesMut::with_capacity(batch.len());
-            p.put_slice(&batch);
-            (kind::INGEST, p)
+        Frame::Ingest { actions, .. } => {
+            out.extend_from_slice(&encode_batch(actions));
+            if corr.is_some() {
+                kind::INGEST_CORR
+            } else {
+                kind::INGEST
+            }
         }
-        Frame::Query => (kind::QUERY, BytesMut::new()),
-        Frame::Stats => (kind::STATS, BytesMut::new()),
-        Frame::Shutdown => (kind::SHUTDOWN, BytesMut::new()),
-        Frame::Snapshot => (kind::SNAPSHOT, BytesMut::new()),
+        Frame::Query { .. } => {
+            if corr.is_some() {
+                kind::QUERY_CORR
+            } else {
+                kind::QUERY
+            }
+        }
+        Frame::Stats { .. } => {
+            if corr.is_some() {
+                kind::STATS_CORR
+            } else {
+                kind::STATS
+            }
+        }
+        Frame::Shutdown => kind::SHUTDOWN,
+        Frame::Snapshot => kind::SNAPSHOT,
         Frame::SnapshotReply(info) => {
-            let mut p = BytesMut::with_capacity(16);
-            p.put_u64_le(info.watermark);
-            p.put_u64_le(info.bytes);
-            (kind::SNAPSHOT_REPLY, p)
+            out.extend_from_slice(&info.watermark.to_le_bytes());
+            out.extend_from_slice(&info.bytes.to_le_bytes());
+            kind::SNAPSHOT_REPLY
         }
         Frame::Ack {
             accepted,
             queue_depth,
+            ..
         } => {
-            let mut p = BytesMut::with_capacity(12);
-            p.put_u64_le(*accepted);
-            p.put_u32_le(*queue_depth);
-            (kind::ACK, p)
-        }
-        Frame::Solution(solution) => {
-            let mut p = BytesMut::with_capacity(12 + 4 * solution.seeds.len());
-            p.put_u64_le(solution.value.to_bits());
-            p.put_u32_le(solution.seeds.len() as u32);
-            for seed in &solution.seeds {
-                p.put_u32_le(seed.0);
+            out.extend_from_slice(&accepted.to_le_bytes());
+            out.extend_from_slice(&queue_depth.to_le_bytes());
+            if corr.is_some() {
+                kind::ACK_CORR
+            } else {
+                kind::ACK
             }
-            (kind::SOLUTION, p)
         }
-        Frame::StatsReply(stats) => (kind::STATS_REPLY, encode_stats(stats)),
-        Frame::Busy { capacity } => {
-            let mut p = BytesMut::with_capacity(4);
-            p.put_u32_le(*capacity);
-            (kind::BUSY, p)
+        Frame::Solution { solution, .. } => {
+            out.extend_from_slice(&solution.value.to_bits().to_le_bytes());
+            out.extend_from_slice(&(solution.seeds.len() as u32).to_le_bytes());
+            for seed in &solution.seeds {
+                out.extend_from_slice(&seed.0.to_le_bytes());
+            }
+            if corr.is_some() {
+                kind::SOLUTION_CORR
+            } else {
+                kind::SOLUTION
+            }
         }
-        Frame::Error(msg) => {
-            let mut p = BytesMut::with_capacity(msg.len());
-            p.put_slice(msg.as_bytes());
-            (kind::ERROR, p)
+        Frame::StatsReply { stats, .. } => {
+            encode_stats(stats, out);
+            if corr.is_some() {
+                kind::STATS_REPLY_CORR
+            } else {
+                kind::STATS_REPLY
+            }
+        }
+        Frame::Busy { capacity, .. } => {
+            out.extend_from_slice(&capacity.to_le_bytes());
+            if corr.is_some() {
+                kind::BUSY_CORR
+            } else {
+                kind::BUSY
+            }
+        }
+        Frame::Error { message, .. } => {
+            out.extend_from_slice(message.as_bytes());
+            if corr.is_some() {
+                kind::ERROR_CORR
+            } else {
+                kind::ERROR
+            }
         }
     };
-    let mut out = Vec::with_capacity(5 + payload.len());
-    out.push(tag);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
+    out[start] = tag;
+    let len = (out.len() - start - 5) as u32;
+    out[start + 1..start + 5].copy_from_slice(&len.to_le_bytes());
+}
+
+/// Encodes a frame into fresh `kind + len + payload` bytes.
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::new();
+    encode_frame_into(frame, &mut out);
     out
 }
 
@@ -253,21 +377,90 @@ pub fn read_frame<R: Read>(mut reader: R) -> Result<Frame, FrameError> {
     decode_payload(tag[0], &payload)
 }
 
+/// Incremental frame parser over a byte buffer — the event loop's entry
+/// point.  Returns `Ok(None)` while the buffer does not yet hold one
+/// complete frame, `Ok(Some((frame, consumed)))` once it does (the caller
+/// discards `consumed` bytes), and an error for hostile input.  Payload
+/// bytes are decoded **in place**, borrowed straight from `buf` — a
+/// connection's read buffer feeds the batch decoder with no intermediate
+/// copy (see [`rtim_stream::decode_batch_into`]).
+///
+/// Of the error cases, only [`FrameError::Oversized`] poisons the stream
+/// (the payload cannot be skipped safely); for `UnknownKind`/`Payload`
+/// errors the frame's `consumed` bytes were well-delimited, so the caller
+/// may report the error and keep parsing at `consumed` — the same
+/// resynchronization contract as [`read_frame`].
+pub fn parse_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, FrameError> {
+    if buf.len() < 5 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes"));
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let total = 5 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    decode_payload(buf[0], &buf[5..total]).map(|frame| Some((frame, total)))
+}
+
+/// How many well-delimited bytes a [`parse_frame`] error consumed: the
+/// whole frame for payload-level errors (the stream stays in sync), `None`
+/// for an oversized prefix (resynchronization impossible).
+pub fn parse_error_consumed(buf: &[u8], err: &FrameError) -> Option<usize> {
+    match err {
+        FrameError::Oversized { .. } => None,
+        _ if buf.len() >= 5 => {
+            let len = u32::from_le_bytes(buf[1..5].try_into().expect("4 bytes"));
+            Some(5 + len as usize)
+        }
+        _ => None,
+    }
+}
+
+/// Splits an optional leading correlation id off a correlated payload.
+fn take_corr(data: &mut &[u8]) -> Result<u32, FrameError> {
+    if data.len() < 4 {
+        return Err(FrameError::Payload(
+            "correlated frame payload shorter than its corr id".into(),
+        ));
+    }
+    Ok(data.get_u32_le())
+}
+
 /// Decodes a payload for the given kind tag.
 fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
     let mut data = payload;
-    let frame = match tag {
+    // Correlated tags: strip the corr, then decode as the v1 sibling.
+    let corr = match tag {
+        kind::INGEST_CORR
+        | kind::QUERY_CORR
+        | kind::STATS_CORR
+        | kind::ACK_CORR
+        | kind::SOLUTION_CORR
+        | kind::STATS_REPLY_CORR
+        | kind::BUSY_CORR
+        | kind::ERROR_CORR => Some(take_corr(&mut data)?),
+        _ => None,
+    };
+    let base_tag = if corr.is_some() { tag & !0x10 } else { tag };
+    let frame = match base_tag {
         kind::HELLO => {
             if data.len() != 5 || &data[..4] != HELLO_MAGIC {
                 return Err(FrameError::Payload("malformed HELLO".into()));
             }
             Frame::Hello { version: data[4] }
         }
-        kind::INGEST => Frame::Ingest(
-            decode_batch(data).map_err(|e| FrameError::Payload(e.to_string()))?,
-        ),
-        kind::QUERY => expect_empty(data, Frame::Query)?,
-        kind::STATS => expect_empty(data, Frame::Stats)?,
+        kind::INGEST => Frame::Ingest {
+            actions: decode_batch(data).map_err(|e| FrameError::Payload(e.to_string()))?,
+            corr,
+        },
+        kind::QUERY => expect_empty(data, Frame::Query { corr })?,
+        kind::STATS => expect_empty(data, Frame::Stats { corr })?,
         kind::SHUTDOWN => expect_empty(data, Frame::Shutdown)?,
         kind::SNAPSHOT => expect_empty(data, Frame::Snapshot)?,
         kind::SNAPSHOT_REPLY => {
@@ -288,6 +481,7 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
             Frame::Ack {
                 accepted: data.get_u64_le(),
                 queue_depth: data.get_u32_le(),
+                corr,
             }
         }
         kind::SOLUTION => {
@@ -303,21 +497,29 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
                 )));
             }
             let seeds = (0..count).map(|_| UserId(data.get_u32_le())).collect();
-            Frame::Solution(Solution { seeds, value })
+            Frame::Solution {
+                solution: Solution { seeds, value },
+                corr,
+            }
         }
-        kind::STATS_REPLY => Frame::StatsReply(decode_stats(data)?),
+        kind::STATS_REPLY => Frame::StatsReply {
+            stats: decode_stats(data)?,
+            corr,
+        },
         kind::BUSY => {
             if data.len() != 4 {
                 return Err(FrameError::Payload("BUSY payload must be 4 bytes".into()));
             }
             Frame::Busy {
                 capacity: data.get_u32_le(),
+                corr,
             }
         }
-        kind::ERROR => Frame::Error(
-            String::from_utf8(data.to_vec())
+        kind::ERROR => Frame::Error {
+            message: String::from_utf8(data.to_vec())
                 .map_err(|_| FrameError::Payload("ERROR message is not UTF-8".into()))?,
-        ),
+            corr,
+        },
         other => return Err(FrameError::UnknownKind(other)),
     };
     Ok(frame)
@@ -337,8 +539,8 @@ fn expect_empty(data: &[u8], frame: Frame) -> Result<Frame, FrameError> {
 /// Encodes [`EngineStats`] as 11 little-endian `u64`s, in field order:
 /// `actions, batches, slides, checkpoints, oracle_updates, feed_nanos,
 /// query_nanos, queue_depth, max_queue_depth, users, orphaned_replies`.
-fn encode_stats(stats: &EngineStats) -> BytesMut {
-    let mut p = BytesMut::with_capacity(8 * STATS_FIELDS);
+fn encode_stats(stats: &EngineStats, out: &mut Vec<u8>) {
+    out.reserve(8 * STATS_FIELDS);
     for v in [
         stats.actions,
         stats.batches,
@@ -352,9 +554,8 @@ fn encode_stats(stats: &EngineStats) -> BytesMut {
         stats.users,
         stats.orphaned_replies,
     ] {
-        p.put_u64_le(v);
+        out.extend_from_slice(&v.to_le_bytes());
     }
-    p
 }
 
 fn decode_stats(mut data: &[u8]) -> Result<EngineStats, FrameError> {
@@ -388,49 +589,91 @@ mod tests {
         let bytes = encode_frame(&frame);
         let decoded = read_frame(bytes.as_slice()).unwrap();
         assert_eq!(decoded, frame);
+        // The incremental parser agrees with the blocking reader.
+        let (parsed, consumed) = parse_frame(&bytes).unwrap().unwrap();
+        assert_eq!(parsed, frame);
+        assert_eq!(consumed, bytes.len());
     }
 
     #[test]
     fn all_frames_round_trip() {
+        for corr in [None, Some(0u32), Some(u32::MAX)] {
+            round_trip(Frame::Ingest {
+                actions: vec![
+                    Action::root(1u64, 7u32),
+                    Action::reply(3u64, 8u32, 1u64),
+                    Action::reply(5u64, 9u32, 2u64), // cross-batch parent
+                ],
+                corr,
+            });
+            round_trip(Frame::Query { corr });
+            round_trip(Frame::Stats { corr });
+            round_trip(Frame::Ack {
+                accepted: 500,
+                queue_depth: 3,
+                corr,
+            });
+            round_trip(Frame::Solution {
+                solution: Solution {
+                    seeds: vec![UserId(4), UserId(1_000_000)],
+                    value: 42.5,
+                },
+                corr,
+            });
+            round_trip(Frame::StatsReply {
+                stats: EngineStats {
+                    actions: 1,
+                    batches: 2,
+                    slides: 3,
+                    checkpoints: 4,
+                    oracle_updates: 5,
+                    feed_nanos: 6,
+                    query_nanos: 7,
+                    queue_depth: 8,
+                    max_queue_depth: 9,
+                    users: 10,
+                    orphaned_replies: 11,
+                },
+                corr,
+            });
+            round_trip(Frame::Busy { capacity: 64, corr });
+            round_trip(Frame::Error {
+                message: "boom".into(),
+                corr,
+            });
+        }
         round_trip(Frame::Hello {
             version: PROTOCOL_VERSION,
         });
-        round_trip(Frame::Ingest(vec![
-            Action::root(1u64, 7u32),
-            Action::reply(3u64, 8u32, 1u64),
-            Action::reply(5u64, 9u32, 2u64), // cross-batch parent
-        ]));
-        round_trip(Frame::Query);
-        round_trip(Frame::Stats);
         round_trip(Frame::Shutdown);
-        round_trip(Frame::Ack {
-            accepted: 500,
-            queue_depth: 3,
-        });
-        round_trip(Frame::Solution(Solution {
-            seeds: vec![UserId(4), UserId(1_000_000)],
-            value: 42.5,
-        }));
-        round_trip(Frame::StatsReply(EngineStats {
-            actions: 1,
-            batches: 2,
-            slides: 3,
-            checkpoints: 4,
-            oracle_updates: 5,
-            feed_nanos: 6,
-            query_nanos: 7,
-            queue_depth: 8,
-            max_queue_depth: 9,
-            users: 10,
-            orphaned_replies: 11,
-        }));
-        round_trip(Frame::Busy { capacity: 64 });
         round_trip(Frame::Snapshot);
         round_trip(Frame::SnapshotReply(SnapshotInfo {
             watermark: 120_000,
             bytes: 48_000,
         }));
-        round_trip(Frame::Error("boom".into()));
+    }
+
+    #[test]
+    fn correlated_tags_are_the_v1_sibling_plus_a_corr_prefix() {
+        let plain = encode_frame(&Frame::Query { corr: None });
+        let tagged = encode_frame(&Frame::Query { corr: Some(7) });
+        assert_eq!(plain[0], 0x02);
+        assert_eq!(tagged[0], 0x12);
+        assert_eq!(&tagged[5..9], &7u32.to_le_bytes());
+        assert_eq!(&tagged[9..], &plain[5..]);
+    }
+
+    #[test]
+    fn correlated_frame_too_short_for_its_corr_is_a_payload_error() {
+        for tag in [0x11u8, 0x12, 0x13, 0x91, 0x92, 0x93, 0x94, 0x9F] {
+            let mut bytes = vec![tag];
+            bytes.extend_from_slice(&2u32.to_le_bytes());
+            bytes.extend_from_slice(&[0, 0]); // 2 bytes < 4-byte corr
+            assert!(
+                matches!(read_frame(bytes.as_slice()), Err(FrameError::Payload(_))),
+                "tag 0x{tag:02x}"
+            );
+        }
     }
 
     #[test]
@@ -456,14 +699,39 @@ mod tests {
     #[test]
     fn clean_eof_is_closed_and_midframe_eof_is_truncated() {
         assert!(matches!(read_frame(&[][..]), Err(FrameError::Closed)));
-        let bytes = encode_frame(&Frame::Query);
+        let bytes = encode_frame(&Frame::Query { corr: None });
         for cut in 1..bytes.len() {
             let err = read_frame(&bytes[..cut]).unwrap_err();
             assert!(matches!(err, FrameError::Truncated), "cut {cut}: {err}");
         }
-        let bytes = encode_frame(&Frame::Ingest(vec![Action::root(1u64, 1u32)]));
+        let bytes = encode_frame(&Frame::Ingest {
+            actions: vec![Action::root(1u64, 1u32)],
+            corr: None,
+        });
         let err = read_frame(&bytes[..bytes.len() - 3]).unwrap_err();
         assert!(matches!(err, FrameError::Truncated), "{err}");
+    }
+
+    #[test]
+    fn incremental_parser_waits_for_whole_frames() {
+        let bytes = encode_frame(&Frame::Ingest {
+            actions: vec![Action::root(1u64, 1u32), Action::root(2u64, 2u32)],
+            corr: Some(9),
+        });
+        for cut in 0..bytes.len() {
+            assert!(
+                parse_frame(&bytes[..cut]).unwrap().is_none(),
+                "cut {cut} should be incomplete"
+            );
+        }
+        let (frame, consumed) = parse_frame(&bytes).unwrap().unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(frame.corr(), Some(9));
+        // Trailing bytes of the next frame don't confuse it.
+        let mut two = bytes.clone();
+        two.extend_from_slice(&encode_frame(&Frame::Query { corr: None }));
+        let (_, consumed) = parse_frame(&two).unwrap().unwrap();
+        assert_eq!(consumed, bytes.len());
     }
 
     #[test]
@@ -475,6 +743,9 @@ mod tests {
             matches!(err, FrameError::Oversized { len: u32::MAX, .. }),
             "{err}"
         );
+        let err = parse_frame(bytes.as_slice()).unwrap_err();
+        assert!(matches!(err, FrameError::Oversized { .. }), "{err}");
+        assert_eq!(parse_error_consumed(&bytes, &err), None);
     }
 
     #[test]
@@ -485,6 +756,8 @@ mod tests {
             read_frame(bytes.as_slice()),
             Err(FrameError::UnknownKind(0x55))
         ));
+        let err = parse_frame(bytes.as_slice()).unwrap_err();
+        assert_eq!(parse_error_consumed(&bytes, &err), Some(bytes.len()));
         // QUERY with trailing payload bytes.
         let mut bytes = vec![0x02];
         bytes.extend_from_slice(&2u32.to_le_bytes());
@@ -517,12 +790,18 @@ mod tests {
     #[test]
     fn frames_decode_back_to_back_from_one_stream() {
         let mut stream = Vec::new();
-        stream.extend_from_slice(&encode_frame(&Frame::Ingest(vec![Action::root(1u64, 1u32)])));
-        stream.extend_from_slice(&encode_frame(&Frame::Query));
+        stream.extend_from_slice(&encode_frame(&Frame::Ingest {
+            actions: vec![Action::root(1u64, 1u32)],
+            corr: Some(1),
+        }));
+        stream.extend_from_slice(&encode_frame(&Frame::Query { corr: None }));
         stream.extend_from_slice(&encode_frame(&Frame::Shutdown));
         let mut cursor = stream.as_slice();
-        assert!(matches!(read_frame(&mut cursor).unwrap(), Frame::Ingest(_)));
-        assert_eq!(read_frame(&mut cursor).unwrap(), Frame::Query);
+        assert!(matches!(
+            read_frame(&mut cursor).unwrap(),
+            Frame::Ingest { .. }
+        ));
+        assert_eq!(read_frame(&mut cursor).unwrap(), Frame::Query { corr: None });
         assert_eq!(read_frame(&mut cursor).unwrap(), Frame::Shutdown);
         assert!(matches!(read_frame(&mut cursor), Err(FrameError::Closed)));
     }

@@ -1,38 +1,51 @@
-//! The TCP server: acceptor + per-connection threads in front of the
-//! bounded-queue engine pipeline.
+//! The TCP server: a front-end (event loop or legacy thread-per-
+//! connection) in front of the bounded-queue engine pipeline.
 //!
-//! Threading model (see the crate docs for the rationale):
+//! The default front-end is the poll-based event loop
+//! ([`FrontEnd::EventLoop`], see [`crate::event_loop`]): a small pool of
+//! loop threads drives every connection through non-blocking sockets, so
+//! connection count no longer dictates thread count and clients may
+//! pipeline correlated requests.  The previous thread-per-connection
+//! model ([`crate::threaded`]) remains selectable for one release as a
+//! differential baseline.
 //!
-//! ```text
-//!  client ──TCP── connection thread ──┐
-//!  client ──TCP── connection thread ──┼── bounded mpsc ── engine thread
-//!  client ──TCP── connection thread ──┘      (capacity C)   (owns SimEngine)
-//! ```
-//!
-//! Connection threads do the *cheap* work — frame parsing, batch
-//! validation, backpressure replies — and never touch the engine.  Each
-//! holds its own [`rtim_core::IngestSender`], so each connection is one
-//! private id space (replies may reference the connection's earlier
-//! actions; the engine remaps them onto global arrival order).  `QUERY`
-//! and `STATS` travel through the same queue, so a client always observes
-//! its own preceding ingests.
-//!
-//! Shutdown: a `SHUTDOWN` frame (or [`RtimServer::shutdown`]) flips the
-//! accept flag, wakes the acceptor with a loopback connect, lets every
-//! connection thread finish, then drains the engine queue and joins the
-//! engine thread.  Actions acknowledged with `ACK` before the drain began
-//! are guaranteed to be processed.
+//! Whichever front-end runs, the engine contract is identical: every
+//! connection holds its own [`rtim_core::IngestSender`] (one private id
+//! space, remapped onto global arrival order), all requests travel the
+//! same bounded queue, and a client always observes its own preceding
+//! ingests.  Shutdown — from a `SHUTDOWN` frame or the owner — stops
+//! accepting, lets the front-end drain what it owes, then drains the
+//! engine queue; actions `ACK`ed before the drain began are guaranteed to
+//! be processed.
 
-use crate::protocol::{read_frame, write_frame, Frame, FrameError, PROTOCOL_VERSION};
-use rtim_core::{
-    EngineHandle, FrameworkKind, HandleOptions, IngestError, IngestSender, PersistOptions,
-    SenderSpawner, SimConfig, SnapshotRequestError,
-};
-use std::io::{self, BufReader, BufWriter};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
+use crate::{event_loop, threaded};
+use rtim_core::{EngineHandle, FrameworkKind, HandleOptions, PersistOptions, SimConfig};
+use std::io;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+
+/// Which connection-handling model the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontEnd {
+    /// The poll-based event loop: `threads` loop threads multiplex every
+    /// connection (default, with 2 threads).
+    EventLoop {
+        /// Loop threads (clamped to at least 1).  Thread 0 also owns the
+        /// listener; connections are assigned round-robin.
+        threads: usize,
+    },
+    /// One OS thread per connection.  **Deprecated**: kept one release as
+    /// a differential baseline for the event loop, then it will be
+    /// removed.  Does not support request pipelining (replies are
+    /// emitted strictly in request order, and a full queue answers
+    /// `BUSY` instead of parking).
+    ThreadPerConnection,
+}
+
+impl Default for FrontEnd {
+    fn default() -> Self {
+        FrontEnd::EventLoop { threads: 2 }
+    }
+}
 
 /// Server configuration: the SIM query plus pipeline knobs.
 #[derive(Debug, Clone)]
@@ -54,11 +67,14 @@ pub struct ServerConfig {
     /// the `SNAPSHOT` frame) and crash recovery at startup.  `None` = the
     /// engine state lives and dies with the process.
     pub persist: Option<PersistOptions>,
+    /// The connection-handling front-end.
+    pub front_end: FrontEnd,
 }
 
 impl ServerConfig {
     /// A configuration with the default pipeline knobs (capacity 64, no
-    /// journal, unbounded remap tables, no persistence).
+    /// journal, unbounded remap tables, no persistence, event-loop
+    /// front-end).
     pub fn new(sim: SimConfig, kind: FrameworkKind) -> Self {
         ServerConfig {
             sim,
@@ -67,6 +83,7 @@ impl ServerConfig {
             journal: false,
             remap_horizon: None,
             persist: None,
+            front_end: FrontEnd::default(),
         }
     }
 
@@ -94,6 +111,20 @@ impl ServerConfig {
         self.persist = Some(persist);
         self
     }
+
+    /// Selects the connection-handling front-end.
+    pub fn with_front_end(mut self, front_end: FrontEnd) -> Self {
+        self.front_end = front_end;
+        self
+    }
+
+    /// Shorthand for the event-loop front-end with `threads` loop threads.
+    pub fn with_event_loop_threads(mut self, threads: usize) -> Self {
+        self.front_end = FrontEnd::EventLoop {
+            threads: threads.max(1),
+        };
+        self
+    }
 }
 
 /// Final state returned when the server stops: the drained engine
@@ -101,18 +132,10 @@ impl ServerConfig {
 /// slide reports with their observed queue depths).
 pub type ServerReport = rtim_core::EngineReport;
 
-/// Shared connection-side state.
-struct ServerShared {
-    /// Set once a shutdown was requested; connections refuse new ingests
-    /// and the acceptor stops accepting.
-    shutting_down: AtomicBool,
-    /// Queue capacity, echoed in `BUSY` replies.
-    capacity: u32,
-    /// One socket clone per live connection, keyed by connection id, so
-    /// `stop` can unblock connection threads parked in `read_frame` (an
-    /// idle client must not stall the drain).  Entries are removed by the
-    /// connection thread on exit.
-    peers: Mutex<std::collections::HashMap<u64, TcpStream>>,
+/// The running front-end, whichever model was configured.
+enum Runtime {
+    EventLoop(event_loop::EventLoopRuntime),
+    Threaded(threaded::ThreadedRuntime),
 }
 
 /// A running RTIM server.
@@ -122,13 +145,11 @@ struct ServerShared {
 pub struct RtimServer {
     addr: SocketAddr,
     handle: Option<EngineHandle>,
-    acceptor: Option<JoinHandle<()>>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    shared: Arc<ServerShared>,
+    runtime: Option<Runtime>,
 }
 
 impl RtimServer {
-    /// Binds the listener and spawns the engine + acceptor threads.
+    /// Binds the listener and spawns the engine + front-end threads.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<RtimServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
@@ -142,31 +163,23 @@ impl RtimServer {
             options = options.with_persistence(p);
         }
         let handle = EngineHandle::spawn(config.sim, config.kind, options);
-        let shared = Arc::new(ServerShared {
-            shutting_down: AtomicBool::new(false),
-            capacity: config.queue_capacity.max(1) as u32,
-            peers: Mutex::new(std::collections::HashMap::new()),
-        });
-        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
-
-        let acceptor = {
-            let shared = Arc::clone(&shared);
-            let connections = Arc::clone(&connections);
-            // One fresh sender (one private id space) per accepted
-            // connection, minted on the acceptor thread via the spawner.
-            let spawner = handle.sender_spawner();
-            std::thread::Builder::new()
-                .name("rtim-accept".into())
-                .spawn(move || accept_loop(listener, shared, connections, spawner))
-                .expect("spawn acceptor thread")
+        // One fresh sender (one private id space) per accepted connection,
+        // minted on the accepting thread via the spawner.
+        let spawner = handle.sender_spawner();
+        let runtime = match config.front_end {
+            FrontEnd::EventLoop { threads } => Runtime::EventLoop(
+                event_loop::EventLoopRuntime::start(listener, spawner, threads)?,
+            ),
+            FrontEnd::ThreadPerConnection => Runtime::Threaded(threaded::ThreadedRuntime::start(
+                listener,
+                spawner,
+                config.queue_capacity.max(1) as u32,
+            )),
         };
-
         Ok(RtimServer {
             addr,
             handle: Some(handle),
-            acceptor: Some(acceptor),
-            connections,
-            shared,
+            runtime: Some(runtime),
         })
     }
 
@@ -194,24 +207,12 @@ impl RtimServer {
     }
 
     fn stop(&mut self, initiate: bool) -> ServerReport {
-        if initiate {
-            self.shared.shutting_down.store(true, Ordering::Release);
-            wake_acceptor(self.addr);
-        }
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        // Unblock connection threads parked in `read_frame` on idle
-        // sockets — without this, one silent client would stall the join
-        // below (and thus the drain) indefinitely.
-        for peer in self.shared.peers.lock().expect("lock poisoned").values() {
-            let _ = peer.shutdown(std::net::Shutdown::Both);
-        }
-        // The acceptor exited, so the connection list is complete; join
-        // every connection thread (they exit on EOF or the shutdown flag).
-        let connections = std::mem::take(&mut *self.connections.lock().expect("lock poisoned"));
-        for conn in connections {
-            let _ = conn.join();
+        // The front-end threads exit first (the engine must stay up while
+        // they deliver in-flight completions), then the queue drains.
+        match self.runtime.take() {
+            Some(Runtime::EventLoop(runtime)) => runtime.stop(initiate),
+            Some(Runtime::Threaded(runtime)) => runtime.stop(initiate, self.addr),
+            None => {}
         }
         let handle = self.handle.take().expect("server already stopped");
         handle.shutdown()
@@ -235,168 +236,26 @@ impl std::fmt::Debug for RtimServer {
     }
 }
 
-/// Wakes a blocked `accept` by connecting and immediately dropping.
-fn wake_acceptor(addr: SocketAddr) {
-    let _ = TcpStream::connect(addr);
-}
-
-/// The accept loop: one thread per connection until shutdown.
-fn accept_loop(
-    listener: TcpListener,
-    shared: Arc<ServerShared>,
-    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    spawner: SenderSpawner,
-) {
-    let mut next_conn_id = 0u64;
-    for stream in listener.incoming() {
-        if shared.shutting_down.load(Ordering::Acquire) {
-            break; // the wake-up connection (or a race with it) lands here
-        }
-        let Ok(stream) = stream else { continue };
-        let conn_id = next_conn_id;
-        next_conn_id += 1;
-        // Register a socket clone so `stop` can unblock a parked read.
-        if let Ok(clone) = stream.try_clone() {
-            shared
-                .peers
-                .lock()
-                .expect("lock poisoned")
-                .insert(conn_id, clone);
-        }
-        let sender = spawner.sender();
-        let conn_shared = Arc::clone(&shared);
-        let thread = std::thread::Builder::new()
-            .name("rtim-conn".into())
-            .spawn(move || {
-                let wake = connection_loop(stream, sender, &conn_shared);
-                conn_shared
-                    .peers
-                    .lock()
-                    .expect("lock poisoned")
-                    .remove(&conn_id);
-                if let Some(local) = wake {
-                    // This connection requested shutdown: wake the acceptor
-                    // so the server can finish.
-                    wake_acceptor(local);
-                }
-            })
-            .expect("spawn connection thread");
-        connections.lock().expect("lock poisoned").push(thread);
-    }
-}
-
-/// Serves one connection.  Returns `Some(local_addr)` if this connection
-/// initiated a shutdown (the caller wakes the acceptor with it).
-fn connection_loop(
-    stream: TcpStream,
-    mut sender: IngestSender,
-    shared: &ServerShared,
-) -> Option<SocketAddr> {
-    let local = stream.local_addr().ok();
-    let Ok(read_half) = stream.try_clone() else {
-        return None;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = BufWriter::new(stream);
-    if write_frame(&mut writer, &Frame::Hello { version: PROTOCOL_VERSION }).is_err() {
-        return None;
-    }
-    loop {
-        let frame = match read_frame(&mut reader) {
-            Ok(frame) => frame,
-            Err(FrameError::Closed) => return None,
-            Err(e @ (FrameError::Io(_) | FrameError::Truncated)) => {
-                // Transport is gone or mid-frame cut (a client dropping
-                // mid-batch): nothing was enqueued for the broken frame;
-                // just close.
-                let _ = e;
-                return None;
-            }
-            Err(e @ FrameError::Oversized { .. }) => {
-                // The payload was never read, so the stream cannot be
-                // resynchronized — report and close before the unread
-                // bytes would be misparsed as frames.
-                let _ = write_frame(&mut writer, &Frame::Error(e.to_string()));
-                return None;
-            }
-            Err(e) => {
-                // Bad payload / unknown kind: the payload was fully
-                // consumed, the length prefix kept us in sync — report
-                // and keep serving.
-                let _ = write_frame(&mut writer, &Frame::Error(e.to_string()));
-                continue;
-            }
-        };
-        let reply = match frame {
-            Frame::Ingest(actions) => {
-                if shared.shutting_down.load(Ordering::Acquire) {
-                    Frame::Error("server is shutting down".into())
-                } else {
-                    let count = actions.len() as u64;
-                    match sender.try_ingest(actions) {
-                        Ok(()) => Frame::Ack {
-                            accepted: count,
-                            queue_depth: sender.queue_depth() as u32,
-                        },
-                        Err(IngestError::Full(_)) => Frame::Busy {
-                            capacity: shared.capacity,
-                        },
-                        Err(e @ IngestError::Invalid(_)) => Frame::Error(e.to_string()),
-                        Err(IngestError::Closed) => {
-                            let _ = write_frame(
-                                &mut writer,
-                                &Frame::Error("engine is shut down".into()),
-                            );
-                            return None;
-                        }
-                    }
-                }
-            }
-            Frame::Query => match sender.query() {
-                Ok(solution) => Frame::Solution(solution),
-                Err(_) => return None,
-            },
-            Frame::Stats => match sender.stats() {
-                Ok(stats) => Frame::StatsReply(stats),
-                Err(_) => return None,
-            },
-            Frame::Snapshot => match sender.snapshot() {
-                Ok(info) => Frame::SnapshotReply(info),
-                Err(SnapshotRequestError::Closed) => return None,
-                Err(e @ (SnapshotRequestError::Disabled | SnapshotRequestError::Failed(_))) => {
-                    Frame::Error(e.to_string())
-                }
-            },
-            Frame::Shutdown => {
-                shared.shutting_down.store(true, Ordering::Release);
-                let _ = write_frame(
-                    &mut writer,
-                    &Frame::Ack {
-                        accepted: 0,
-                        queue_depth: sender.queue_depth() as u32,
-                    },
-                );
-                return local;
-            }
-            // Reply frames arriving from a confused client.
-            other => Frame::Error(format!("unexpected client frame: {other:?}")),
-        };
-        if write_frame(&mut writer, &reply).is_err() {
-            return None;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::client::{IngestReply, RtimClient};
+    use crate::protocol::Frame;
     use rtim_stream::Action;
 
-    fn toy_server() -> RtimServer {
+    /// Both front-ends, so every test in this module runs against each.
+    fn front_ends() -> [FrontEnd; 2] {
+        [
+            FrontEnd::EventLoop { threads: 2 },
+            FrontEnd::ThreadPerConnection,
+        ]
+    }
+
+    fn toy_server_with(front_end: FrontEnd) -> RtimServer {
         let config = ServerConfig::new(SimConfig::new(2, 0.3, 8, 2), FrameworkKind::Ic)
             .with_journal(true)
-            .with_queue_capacity(8);
+            .with_queue_capacity(8)
+            .with_front_end(front_end);
         RtimServer::bind("127.0.0.1:0", config).unwrap()
     }
 
@@ -417,80 +276,96 @@ mod tests {
 
     #[test]
     fn ingest_query_stats_shutdown_over_loopback() {
-        let server = toy_server();
-        let mut client = RtimClient::connect(server.local_addr()).unwrap();
-        let actions = figure1_actions();
-        for batch in actions.chunks(4) {
-            match client.ingest(batch).unwrap() {
-                IngestReply::Ack { accepted, .. } => assert_eq!(accepted, batch.len() as u64),
-                IngestReply::Busy { .. } => panic!("queue of 8 cannot be full here"),
+        for front_end in front_ends() {
+            let server = toy_server_with(front_end);
+            let mut client = RtimClient::connect(server.local_addr()).unwrap();
+            let actions = figure1_actions();
+            for batch in actions.chunks(4) {
+                // A full queue surfaces as BUSY (threaded) or as a parked
+                // retry the client never sees (event loop); either way a
+                // blocking ingest lands every batch exactly once instead
+                // of panicking on backpressure.
+                client.ingest_blocking(batch).unwrap();
             }
+            let solution = client.query().unwrap();
+            assert_eq!(solution.value, 6.0, "{front_end:?}");
+            let stats = client.stats().unwrap();
+            assert_eq!(stats.actions, 10, "{front_end:?}");
+            assert_eq!(stats.batches, 3, "{front_end:?}");
+            client.shutdown().unwrap();
+            let report = server.wait();
+            assert_eq!(report.stats.actions, 10, "{front_end:?}");
+            assert_eq!(report.final_solution.value, 6.0, "{front_end:?}");
+            assert_eq!(
+                report.journal.unwrap().actions(),
+                actions.as_slice(),
+                "{front_end:?}"
+            );
         }
-        let solution = client.query().unwrap();
-        assert_eq!(solution.value, 6.0);
-        let stats = client.stats().unwrap();
-        assert_eq!(stats.actions, 10);
-        assert_eq!(stats.batches, 3);
-        client.shutdown().unwrap();
-        let report = server.wait();
-        assert_eq!(report.stats.actions, 10);
-        assert_eq!(report.final_solution.value, 6.0);
-        assert_eq!(report.journal.unwrap().actions(), actions.as_slice());
     }
 
     #[test]
     fn malformed_frames_get_typed_errors_and_the_connection_survives() {
         use std::io::Write as _;
-        let server = toy_server();
-        let mut client = RtimClient::connect(server.local_addr()).unwrap();
-        // Inject a bodyless QUERY with trailing garbage at the raw socket.
-        let raw = client.raw_stream();
-        let mut bad = vec![0x02];
-        bad.extend_from_slice(&2u32.to_le_bytes());
-        bad.extend_from_slice(b"xx");
-        raw.write_all(&bad).unwrap();
-        let err = client.read_error().unwrap();
-        assert!(err.contains("trailing bytes"), "{err}");
-        // The connection still works afterwards.
-        client.ingest(&[Action::root(1u64, 1u32)]).unwrap();
-        assert_eq!(client.stats().unwrap().actions, 1);
-        drop(client);
-        let report = server.shutdown();
-        assert_eq!(report.stats.actions, 1);
+        for front_end in front_ends() {
+            let server = toy_server_with(front_end);
+            let mut client = RtimClient::connect(server.local_addr()).unwrap();
+            // Inject a bodyless QUERY with trailing garbage at the raw socket.
+            let raw = client.raw_stream();
+            let mut bad = vec![0x02];
+            bad.extend_from_slice(&2u32.to_le_bytes());
+            bad.extend_from_slice(b"xx");
+            raw.write_all(&bad).unwrap();
+            let err = client.read_error().unwrap();
+            assert!(err.contains("trailing bytes"), "{front_end:?}: {err}");
+            // The connection still works afterwards.
+            client.ingest(&[Action::root(1u64, 1u32)]).unwrap();
+            assert_eq!(client.stats().unwrap().actions, 1, "{front_end:?}");
+            drop(client);
+            let report = server.shutdown();
+            assert_eq!(report.stats.actions, 1, "{front_end:?}");
+        }
     }
 
     #[test]
     fn client_dropping_mid_batch_leaves_the_server_healthy() {
         use std::io::Write as _;
-        let server = toy_server();
-        // A client that writes half an INGEST frame and vanishes.
-        {
-            let mut half = std::net::TcpStream::connect(server.local_addr()).unwrap();
-            let frame = crate::protocol::encode_frame(&Frame::Ingest(figure1_actions()));
-            half.write_all(&frame[..frame.len() / 2]).unwrap();
-            // dropped here, mid-frame
+        for front_end in front_ends() {
+            let server = toy_server_with(front_end);
+            // A client that writes half an INGEST frame and vanishes.
+            {
+                let mut half = std::net::TcpStream::connect(server.local_addr()).unwrap();
+                let frame = crate::protocol::encode_frame(&Frame::Ingest {
+                    actions: figure1_actions(),
+                    corr: None,
+                });
+                half.write_all(&frame[..frame.len() / 2]).unwrap();
+                // dropped here, mid-frame
+            }
+            // A well-behaved client is unaffected.
+            let mut client = RtimClient::connect(server.local_addr()).unwrap();
+            client.ingest(&figure1_actions()).unwrap();
+            assert_eq!(client.query().unwrap().value, 6.0, "{front_end:?}");
+            drop(client);
+            let report = server.shutdown();
+            assert_eq!(report.stats.actions, 10, "{front_end:?}");
         }
-        // A well-behaved client is unaffected.
-        let mut client = RtimClient::connect(server.local_addr()).unwrap();
-        client.ingest(&figure1_actions()).unwrap();
-        assert_eq!(client.query().unwrap().value, 6.0);
-        drop(client);
-        let report = server.shutdown();
-        assert_eq!(report.stats.actions, 10);
     }
 
     /// An idle connected client (no frames, no close) must not stall the
-    /// drain: `shutdown` unblocks its parked read via the peer registry.
+    /// drain.  The threaded path unblocks its parked read via the peer
+    /// registry; the event loop simply closes the drained connection.
     #[test]
     fn shutdown_is_not_stalled_by_an_idle_client() {
-        let server = toy_server();
-        let mut active = RtimClient::connect(server.local_addr()).unwrap();
-        let _idle = RtimClient::connect(server.local_addr()).unwrap(); // never speaks
-        active.ingest(&figure1_actions()).unwrap();
-        drop(active);
-        // Would deadlock in `conn.join()` without the socket shutdown.
-        let report = server.shutdown();
-        assert_eq!(report.stats.actions, 10);
+        for front_end in front_ends() {
+            let server = toy_server_with(front_end);
+            let mut active = RtimClient::connect(server.local_addr()).unwrap();
+            let _idle = RtimClient::connect(server.local_addr()).unwrap(); // never speaks
+            active.ingest(&figure1_actions()).unwrap();
+            drop(active);
+            let report = server.shutdown();
+            assert_eq!(report.stats.actions, 10, "{front_end:?}");
+        }
     }
 
     /// An oversized length prefix cannot be resynchronized: the server
@@ -498,31 +373,82 @@ mod tests {
     #[test]
     fn oversized_frame_reports_then_closes() {
         use std::io::Write as _;
-        let server = toy_server();
-        let mut client = RtimClient::connect(server.local_addr()).unwrap();
-        let raw = client.raw_stream();
-        let mut bad = vec![0x01]; // INGEST claiming a 4 GiB payload
-        bad.extend_from_slice(&u32::MAX.to_le_bytes());
-        bad.extend_from_slice(&[0x04, 0, 0, 0, 0]); // would parse as SHUTDOWN if desynced
-        raw.write_all(&bad).unwrap();
-        let err = client.read_error().unwrap();
-        assert!(err.contains("exceeds the maximum"), "{err}");
-        // The connection is closed; the server itself is still up.
-        assert!(client.query().is_err());
-        let mut fresh = RtimClient::connect(server.local_addr()).unwrap();
-        fresh.ingest(&[Action::root(1u64, 1u32)]).unwrap();
-        let report = server.shutdown();
-        assert_eq!(report.stats.actions, 1);
+        for front_end in front_ends() {
+            let server = toy_server_with(front_end);
+            let mut client = RtimClient::connect(server.local_addr()).unwrap();
+            let raw = client.raw_stream();
+            let mut bad = vec![0x01]; // INGEST claiming a 4 GiB payload
+            bad.extend_from_slice(&u32::MAX.to_le_bytes());
+            bad.extend_from_slice(&[0x04, 0, 0, 0, 0]); // would parse as SHUTDOWN if desynced
+            raw.write_all(&bad).unwrap();
+            let err = client.read_error().unwrap();
+            assert!(err.contains("exceeds the maximum"), "{front_end:?}: {err}");
+            // The connection is closed; the server itself is still up.
+            assert!(client.query().is_err(), "{front_end:?}");
+            let mut fresh = RtimClient::connect(server.local_addr()).unwrap();
+            fresh.ingest(&[Action::root(1u64, 1u32)]).unwrap();
+            let report = server.shutdown();
+            assert_eq!(report.stats.actions, 1, "{front_end:?}");
+        }
     }
 
     #[test]
     fn owner_side_shutdown_stops_accepting() {
-        let server = toy_server();
-        let addr = server.local_addr();
+        for front_end in front_ends() {
+            let server = toy_server_with(front_end);
+            let addr = server.local_addr();
+            let report = server.shutdown();
+            assert_eq!(report.stats.actions, 0, "{front_end:?}");
+            // After shutdown the port is released (or at least refuses the
+            // protocol): a fresh connect must not receive a HELLO.
+            assert!(RtimClient::connect(addr).is_err(), "{front_end:?}");
+        }
+    }
+
+    /// The event loop never answers `BUSY`: a full queue parks the ingest
+    /// and TCP flow control stalls the sender, so a tiny queue capacity
+    /// with a barrage of one-action batches still lands every batch in
+    /// order — the exact scenario that used to trip `BUSY` handling.
+    #[test]
+    fn event_loop_parks_instead_of_busy_on_a_tiny_queue() {
+        let config = ServerConfig::new(SimConfig::new(2, 0.3, 8, 2), FrameworkKind::Ic)
+            .with_journal(true)
+            .with_queue_capacity(1)
+            .with_event_loop_threads(1);
+        let server = RtimServer::bind("127.0.0.1:0", config).unwrap();
+        let mut client = RtimClient::connect(server.local_addr()).unwrap();
+        let actions = figure1_actions();
+        for action in &actions {
+            match client.ingest(std::slice::from_ref(action)).unwrap() {
+                IngestReply::Ack { accepted, .. } => assert_eq!(accepted, 1),
+                IngestReply::Busy { .. } => panic!("event loop must park, not BUSY"),
+            }
+        }
         let report = server.shutdown();
-        assert_eq!(report.stats.actions, 0);
-        // After shutdown the port is released (or at least refuses the
-        // protocol): a fresh connect must not receive a HELLO.
-        assert!(RtimClient::connect(addr).is_err());
+        assert_eq!(report.stats.actions, actions.len() as u64);
+        assert_eq!(report.journal.unwrap().actions(), actions.as_slice());
+    }
+
+    /// Pipelined ingest over the event loop: correlation ids come back in
+    /// order on a single in-flight window, and the stream lands intact.
+    #[test]
+    fn pipelined_ingest_round_trips_with_correlation_ids() {
+        let config = ServerConfig::new(SimConfig::new(2, 0.3, 8, 2), FrameworkKind::Ic)
+            .with_journal(true)
+            .with_queue_capacity(4)
+            .with_event_loop_threads(1);
+        let server = RtimServer::bind("127.0.0.1:0", config).unwrap();
+        let mut client = RtimClient::connect(server.local_addr()).unwrap();
+        let actions = figure1_actions();
+        {
+            let mut pipe = client.pipelined(16);
+            for batch in actions.chunks(2) {
+                pipe.ingest(batch).unwrap();
+            }
+            assert_eq!(pipe.drain().unwrap(), actions.len() as u64);
+        }
+        assert_eq!(client.query().unwrap().value, 6.0);
+        let report = server.shutdown();
+        assert_eq!(report.journal.unwrap().actions(), actions.as_slice());
     }
 }

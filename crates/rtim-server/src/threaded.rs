@@ -1,0 +1,300 @@
+//! The legacy thread-per-connection front-end.
+//!
+//! This was the only front-end before the poll-based event loop
+//! ([`crate::event_loop`]) landed; it is retained for one release as a
+//! differential baseline (select it with
+//! [`crate::FrontEnd::ThreadPerConnection`]) and will be removed once the
+//! event loop has soaked.  Threading model:
+//!
+//! ```text
+//!  client ──TCP── connection thread ──┐
+//!  client ──TCP── connection thread ──┼── bounded mpsc ── engine thread
+//!  client ──TCP── connection thread ──┘      (capacity C)   (owns SimEngine)
+//! ```
+//!
+//! Connection threads do the *cheap* work — frame parsing, batch
+//! validation, backpressure replies — and never touch the engine.  Each
+//! holds its own [`rtim_core::IngestSender`], so each connection is one
+//! private id space.  Requests are served strictly one at a time per
+//! connection (a `QUERY` blocks its thread on the engine round-trip), so
+//! correlation ids are echoed but pipelining wins nothing here — replies
+//! are emitted in request order, and a full queue answers `BUSY` rather
+//! than parking the request the way the event loop does.
+//!
+//! Shutdown: a `SHUTDOWN` frame (or the owner) flips the accept flag,
+//! wakes the acceptor with a loopback connect, unblocks parked reads by
+//! shutting down the registered peer sockets, joins the connection
+//! threads, then the caller drains the engine queue.
+
+use crate::protocol::{read_frame, write_frame, Frame, FrameError, PROTOCOL_VERSION};
+use rtim_core::{IngestError, IngestSender, SenderSpawner, SnapshotRequestError};
+use std::io::{BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Shared connection-side state.
+struct ServerShared {
+    /// Set once a shutdown was requested; connections refuse new ingests
+    /// and the acceptor stops accepting.
+    shutting_down: AtomicBool,
+    /// Queue capacity, echoed in `BUSY` replies.
+    capacity: u32,
+    /// One socket clone per live connection, keyed by connection id, so
+    /// `stop` can unblock connection threads parked in `read_frame` (an
+    /// idle client must not stall the drain).  Entries are removed by the
+    /// connection thread on exit.
+    peers: Mutex<std::collections::HashMap<u64, TcpStream>>,
+}
+
+/// The running thread-per-connection front-end: acceptor thread plus one
+/// thread per live connection.
+pub(crate) struct ThreadedRuntime {
+    acceptor: Option<JoinHandle<()>>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    shared: Arc<ServerShared>,
+}
+
+impl ThreadedRuntime {
+    /// Spawns the acceptor over an already-bound listener.
+    pub(crate) fn start(
+        listener: TcpListener,
+        spawner: SenderSpawner,
+        capacity: u32,
+    ) -> ThreadedRuntime {
+        let shared = Arc::new(ServerShared {
+            shutting_down: AtomicBool::new(false),
+            capacity,
+            peers: Mutex::new(std::collections::HashMap::new()),
+        });
+        let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            let connections = Arc::clone(&connections);
+            std::thread::Builder::new()
+                .name("rtim-accept".into())
+                .spawn(move || accept_loop(listener, shared, connections, spawner))
+                .expect("spawn acceptor thread")
+        };
+        ThreadedRuntime {
+            acceptor: Some(acceptor),
+            connections,
+            shared,
+        }
+    }
+
+    /// Stops accepting, closes out the connection threads, and returns
+    /// once every front-end thread has exited (the engine queue is still
+    /// live — the caller drains it afterwards).
+    pub(crate) fn stop(mut self, initiate: bool, addr: SocketAddr) {
+        if initiate {
+            self.shared.shutting_down.store(true, Ordering::Release);
+            wake_acceptor(addr);
+        }
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Unblock connection threads parked in `read_frame` on idle
+        // sockets — without this, one silent client would stall the join
+        // below (and thus the drain) indefinitely.
+        for peer in self.shared.peers.lock().expect("lock poisoned").values() {
+            let _ = peer.shutdown(std::net::Shutdown::Both);
+        }
+        // The acceptor exited, so the connection list is complete; join
+        // every connection thread (they exit on EOF or the shutdown flag).
+        let connections = std::mem::take(&mut *self.connections.lock().expect("lock poisoned"));
+        for conn in connections {
+            let _ = conn.join();
+        }
+    }
+}
+
+/// Wakes a blocked `accept` by connecting and immediately dropping.
+fn wake_acceptor(addr: SocketAddr) {
+    let _ = TcpStream::connect(addr);
+}
+
+/// The accept loop: one thread per connection until shutdown.
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<ServerShared>,
+    connections: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    spawner: SenderSpawner,
+) {
+    let mut next_conn_id = 0u64;
+    for stream in listener.incoming() {
+        if shared.shutting_down.load(Ordering::Acquire) {
+            break; // the wake-up connection (or a race with it) lands here
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_id = next_conn_id;
+        next_conn_id += 1;
+        // Register a socket clone so `stop` can unblock a parked read.
+        if let Ok(clone) = stream.try_clone() {
+            shared
+                .peers
+                .lock()
+                .expect("lock poisoned")
+                .insert(conn_id, clone);
+        }
+        let sender = spawner.sender();
+        let conn_shared = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("rtim-conn".into())
+            .spawn(move || {
+                let wake = connection_loop(stream, sender, &conn_shared);
+                conn_shared
+                    .peers
+                    .lock()
+                    .expect("lock poisoned")
+                    .remove(&conn_id);
+                if let Some(local) = wake {
+                    // This connection requested shutdown: wake the acceptor
+                    // so the server can finish.
+                    wake_acceptor(local);
+                }
+            })
+            .expect("spawn connection thread");
+        connections.lock().expect("lock poisoned").push(thread);
+    }
+}
+
+/// Serves one connection.  Returns `Some(local_addr)` if this connection
+/// initiated a shutdown (the caller wakes the acceptor with it).
+fn connection_loop(
+    stream: TcpStream,
+    mut sender: IngestSender,
+    shared: &ServerShared,
+) -> Option<SocketAddr> {
+    let local = stream.local_addr().ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return None;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    if write_frame(
+        &mut writer,
+        &Frame::Hello {
+            version: PROTOCOL_VERSION,
+        },
+    )
+    .is_err()
+    {
+        return None;
+    }
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(frame) => frame,
+            Err(FrameError::Closed) => return None,
+            Err(e @ (FrameError::Io(_) | FrameError::Truncated)) => {
+                // Transport is gone or mid-frame cut (a client dropping
+                // mid-batch): nothing was enqueued for the broken frame;
+                // just close.
+                let _ = e;
+                return None;
+            }
+            Err(e @ FrameError::Oversized { .. }) => {
+                // The payload was never read, so the stream cannot be
+                // resynchronized — report and close before the unread
+                // bytes would be misparsed as frames.
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Error {
+                        message: e.to_string(),
+                        corr: None,
+                    },
+                );
+                return None;
+            }
+            Err(e) => {
+                // Bad payload / unknown kind: the payload was fully
+                // consumed, the length prefix kept us in sync — report
+                // and keep serving.
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Error {
+                        message: e.to_string(),
+                        corr: None,
+                    },
+                );
+                continue;
+            }
+        };
+        let reply = match frame {
+            Frame::Ingest { actions, corr } => {
+                if shared.shutting_down.load(Ordering::Acquire) {
+                    Frame::Error {
+                        message: "server is shutting down".into(),
+                        corr,
+                    }
+                } else {
+                    let count = actions.len() as u64;
+                    match sender.try_ingest(actions) {
+                        Ok(()) => Frame::Ack {
+                            accepted: count,
+                            queue_depth: sender.queue_depth() as u32,
+                            corr,
+                        },
+                        Err(IngestError::Full(_)) => Frame::Busy {
+                            capacity: shared.capacity,
+                            corr,
+                        },
+                        Err(e @ IngestError::Invalid(_)) => Frame::Error {
+                            message: e.to_string(),
+                            corr,
+                        },
+                        Err(IngestError::Closed) => {
+                            let _ = write_frame(
+                                &mut writer,
+                                &Frame::Error {
+                                    message: "engine is shut down".into(),
+                                    corr,
+                                },
+                            );
+                            return None;
+                        }
+                    }
+                }
+            }
+            Frame::Query { corr } => match sender.query() {
+                Ok(solution) => Frame::Solution { solution, corr },
+                Err(_) => return None,
+            },
+            Frame::Stats { corr } => match sender.stats() {
+                Ok(stats) => Frame::StatsReply { stats, corr },
+                Err(_) => return None,
+            },
+            Frame::Snapshot => match sender.snapshot() {
+                Ok(info) => Frame::SnapshotReply(info),
+                Err(SnapshotRequestError::Closed) => return None,
+                Err(e @ (SnapshotRequestError::Disabled | SnapshotRequestError::Failed(_))) => {
+                    Frame::Error {
+                        message: e.to_string(),
+                        corr: None,
+                    }
+                }
+            },
+            Frame::Shutdown => {
+                shared.shutting_down.store(true, Ordering::Release);
+                let _ = write_frame(
+                    &mut writer,
+                    &Frame::Ack {
+                        accepted: 0,
+                        queue_depth: sender.queue_depth() as u32,
+                        corr: None,
+                    },
+                );
+                return local;
+            }
+            // Reply frames arriving from a confused client.
+            other => Frame::Error {
+                message: format!("unexpected client frame: {other:?}"),
+                corr: None,
+            },
+        };
+        if write_frame(&mut writer, &reply).is_err() {
+            return None;
+        }
+    }
+}

@@ -7,7 +7,9 @@
 //! invariant under test is:
 //!
 //! > final `QUERY` (seeds + value) == `SimEngine::run_stream` over the
-//! > journaled arrival-order trace, bit for bit, at pool threads 1 and 4.
+//! > journaled arrival-order trace, bit for bit, at pool threads 1 and 4,
+//! > on the event-loop front-end (window 1 and pipelined window 16) and
+//! > on the thread-per-connection baseline.
 //!
 //! Every client batch is a multiple of the slide length `L`, so the
 //! server's within-batch slide cuts land on the same boundaries as the
@@ -16,7 +18,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rtim_core::{FrameworkKind, SimConfig, SimEngine};
-use rtim_server::{IngestReply, RtimClient, RtimServer, ServerConfig};
+use rtim_server::{FrontEnd, IngestReply, RtimClient, RtimServer, ServerConfig};
 use rtim_stream::Action;
 
 /// One client's scripted stream: ids 1..=n in its private space, replying
@@ -40,38 +42,63 @@ fn client_script(seed: u64, actions: usize, users: u32) -> Vec<Action> {
 }
 
 /// Drives `clients` concurrent loopback connections, each shipping its
-/// script in `batch`-sized chunks, then checks the final answer against
-/// the offline replay of the journal.
-fn run_with_threads(threads: usize, clients: usize, per_client: usize) {
+/// script in `batch`-sized chunks (with `window` correlated ingests in
+/// flight when `window > 1`), then checks the final answer against the
+/// offline replay of the journal.
+fn run_case(
+    threads: usize,
+    clients: usize,
+    per_client: usize,
+    front_end: FrontEnd,
+    window: usize,
+) {
     const L: usize = 100;
     let config = SimConfig::new(5, 0.5, 1_000, L).with_threads(threads);
     let server = RtimServer::bind(
         "127.0.0.1:0",
         ServerConfig::new(config, FrameworkKind::Sic)
             .with_journal(true)
-            .with_queue_capacity(16),
+            .with_queue_capacity(16)
+            .with_front_end(front_end),
     )
     .unwrap();
     let addr = server.local_addr();
 
     let batch = 5 * L; // multiple of L: slide cuts align with run_stream
-    assert!(per_client.is_multiple_of(batch), "script must split into whole batches");
+    assert!(
+        per_client.is_multiple_of(batch),
+        "script must split into whole batches"
+    );
     let workers: Vec<_> = (0..clients)
         .map(|c| {
             std::thread::spawn(move || {
                 let script = client_script(0xC0FFEE + c as u64, per_client, 2_000);
                 let mut client = RtimClient::connect(addr).unwrap();
-                let mut acked = 0u64;
-                for chunk in script.chunks(batch) {
-                    client.ingest_blocking(chunk).unwrap();
-                    acked += chunk.len() as u64;
-                    // Interleave mid-stream queries on a couple of clients;
-                    // they must not perturb ingest state.
-                    if c < 2 && acked.is_multiple_of(batch as u64 * 4) {
+                if window > 1 {
+                    // Pipelined: keep `window` unacked batches in flight.
+                    let mut pipe = client.pipelined(window);
+                    for chunk in script.chunks(batch) {
+                        pipe.ingest(chunk).unwrap();
+                    }
+                    let acked = pipe.drain().unwrap();
+                    // Queries still serialize after the drained ingests.
+                    if c < 2 {
                         let _ = client.query().unwrap();
                     }
+                    acked
+                } else {
+                    let mut acked = 0u64;
+                    for chunk in script.chunks(batch) {
+                        client.ingest_blocking(chunk).unwrap();
+                        acked += chunk.len() as u64;
+                        // Interleave mid-stream queries on a couple of
+                        // clients; they must not perturb ingest state.
+                        if c < 2 && acked.is_multiple_of(batch as u64 * 4) {
+                            let _ = client.query().unwrap();
+                        }
+                    }
+                    acked
                 }
-                acked
             })
         })
         .collect();
@@ -96,12 +123,12 @@ fn run_with_threads(threads: usize, clients: usize, per_client: usize) {
 
     assert_eq!(
         live.seeds, offline_solution.seeds,
-        "threads={threads}: seed sets diverged"
+        "threads={threads} {front_end:?} window={window}: seed sets diverged"
     );
     assert_eq!(
         live.value.to_bits(),
         offline_solution.value.to_bits(),
-        "threads={threads}: values diverged ({} vs {})",
+        "threads={threads} {front_end:?} window={window}: values diverged ({} vs {})",
         live.value,
         offline_solution.value
     );
@@ -114,62 +141,97 @@ fn run_with_threads(threads: usize, clients: usize, per_client: usize) {
     assert_eq!(report.stats.oracle_updates, offline.oracle_updates());
 }
 
-/// ≥100k actions interleaved by 5 concurrent clients, sequential pool.
+/// ≥100k actions interleaved by 5 concurrent clients over the event loop,
+/// sequential pool.
 #[test]
 fn concurrent_clients_match_offline_replay_sequential() {
-    run_with_threads(1, 5, 20_000);
+    run_case(1, 5, 20_000, FrontEnd::EventLoop { threads: 2 }, 1);
 }
 
 /// Same workload with a 4-worker shard pool behind the engine thread.
 #[test]
 fn concurrent_clients_match_offline_replay_pool4() {
-    run_with_threads(4, 5, 20_000);
+    run_case(4, 5, 20_000, FrontEnd::EventLoop { threads: 2 }, 1);
+}
+
+/// Eight pipelined clients, each with a 16-batch in-flight window racing
+/// through a single loop thread: completions interleave out of lockstep,
+/// yet the served answers stay bit-identical to the offline replay.
+#[test]
+fn pipelined_eight_clients_window16_match_offline_replay() {
+    run_case(1, 8, 10_000, FrontEnd::EventLoop { threads: 1 }, 16);
+}
+
+/// Pipelined interleave across a 2-thread loop pool with the shard pool
+/// behind the engine — the full concurrency stack at once.
+#[test]
+fn pipelined_clients_over_two_loop_threads_pool4() {
+    run_case(4, 8, 10_000, FrontEnd::EventLoop { threads: 2 }, 16);
+}
+
+/// The deprecated thread-per-connection baseline still satisfies the same
+/// invariant (differential check while it remains selectable).
+#[test]
+fn threaded_baseline_matches_offline_replay() {
+    run_case(1, 5, 10_000, FrontEnd::ThreadPerConnection, 1);
 }
 
 /// Eight clients with tiny ragged-but-aligned batches still serialize into
 /// one valid arrival order (smaller volume; exercises interleaving, not
-/// throughput).
+/// throughput), on both front-ends.
 #[test]
 fn eight_clients_interleave_cleanly() {
-    const L: usize = 10;
-    let config = SimConfig::new(3, 0.4, 100, L);
-    let server = RtimServer::bind(
-        "127.0.0.1:0",
-        ServerConfig::new(config, FrameworkKind::Ic)
-            .with_journal(true)
-            .with_queue_capacity(4),
-    )
-    .unwrap();
-    let addr = server.local_addr();
-    let workers: Vec<_> = (0..8)
-        .map(|c| {
-            std::thread::spawn(move || {
-                let script = client_script(7 + c as u64, 600, 150);
-                let mut client = RtimClient::connect(addr).unwrap();
-                for chunk in script.chunks(3 * L) {
-                    match client.ingest(chunk).unwrap() {
-                        IngestReply::Ack { accepted, .. } => {
-                            assert_eq!(accepted, chunk.len() as u64)
-                        }
-                        IngestReply::Busy { capacity } => {
-                            assert_eq!(capacity, 4);
-                            client.ingest_blocking(chunk).unwrap();
+    for front_end in [
+        FrontEnd::EventLoop { threads: 2 },
+        FrontEnd::ThreadPerConnection,
+    ] {
+        const L: usize = 10;
+        let config = SimConfig::new(3, 0.4, 100, L);
+        let server = RtimServer::bind(
+            "127.0.0.1:0",
+            ServerConfig::new(config, FrameworkKind::Ic)
+                .with_journal(true)
+                .with_queue_capacity(4)
+                .with_front_end(front_end),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let workers: Vec<_> = (0..8)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    let script = client_script(7 + c as u64, 600, 150);
+                    let mut client = RtimClient::connect(addr).unwrap();
+                    for chunk in script.chunks(3 * L) {
+                        match client.ingest(chunk).unwrap() {
+                            IngestReply::Ack { accepted, .. } => {
+                                assert_eq!(accepted, chunk.len() as u64)
+                            }
+                            // Only the threaded front-end answers BUSY;
+                            // the event loop parks instead.
+                            IngestReply::Busy { capacity } => {
+                                assert_eq!(capacity, 4);
+                                client.ingest_blocking(chunk).unwrap();
+                            }
                         }
                     }
-                }
+                })
             })
-        })
-        .collect();
-    for w in workers {
-        w.join().unwrap();
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let mut probe = RtimClient::connect(addr).unwrap();
+        let live = probe.query().unwrap();
+        probe.shutdown().unwrap();
+        let report = server.wait();
+        assert_eq!(report.stats.actions, 8 * 600, "{front_end:?}");
+        let mut offline = SimEngine::new_ic(config);
+        let offline_solution = offline.run_stream(&report.journal.unwrap()).final_solution();
+        assert_eq!(live.seeds, offline_solution.seeds, "{front_end:?}");
+        assert_eq!(
+            live.value.to_bits(),
+            offline_solution.value.to_bits(),
+            "{front_end:?}"
+        );
     }
-    let mut probe = RtimClient::connect(addr).unwrap();
-    let live = probe.query().unwrap();
-    probe.shutdown().unwrap();
-    let report = server.wait();
-    assert_eq!(report.stats.actions, 8 * 600);
-    let mut offline = SimEngine::new_ic(config);
-    let offline_solution = offline.run_stream(&report.journal.unwrap()).final_solution();
-    assert_eq!(live.seeds, offline_solution.seeds);
-    assert_eq!(live.value.to_bits(), offline_solution.value.to_bits());
 }

@@ -45,8 +45,8 @@ pub use influence_set::{InfluenceSet, SetIter, SetView};
 pub use persist::journal::{read_journal, JournalContents, JournalWriter};
 pub use persist::state::{ByteReader, StateDocument, StateError, StateWriter};
 pub use persist::{
-    decode_batch, decode_binary, encode_batch, encode_binary, read_binary, read_text,
-    write_binary, write_text, TraceError, MAX_FRAME_BYTES,
+    decode_batch, decode_batch_into, decode_binary, encode_batch, encode_binary, read_binary,
+    read_text, write_binary, write_text, TraceError, MAX_FRAME_BYTES,
 };
 pub use propagation::{PropagationIndex, PropagationStats};
 pub use stream::{ActionBatchIter, SocialStream, StreamStats};

@@ -101,9 +101,14 @@ pub fn encode_binary(stream: &SocialStream) -> Bytes {
 /// Shared decoding core of `RTAS`/`RTAB`: checks `magic` + version, reads
 /// the declared record count (rejecting counts the payload cannot hold
 /// *before* any allocation is sized from them), parses the 20-byte
-/// records, and rejects trailing bytes.  Format-specific validation is
-/// the caller's job.
-fn decode_records(magic: &[u8; 4], mut data: &[u8]) -> Result<Vec<Action>, TraceError> {
+/// records into `out` (cleared first, capacity reused), and rejects
+/// trailing bytes.  Format-specific validation is the caller's job.
+fn decode_records_into(
+    magic: &[u8; 4],
+    mut data: &[u8],
+    out: &mut Vec<Action>,
+) -> Result<(), TraceError> {
+    out.clear();
     if data.len() < 13 || &data[..4] != magic || data[4] != VERSION {
         return Err(TraceError::BadHeader);
     }
@@ -115,12 +120,12 @@ fn decode_records(magic: &[u8; 4], mut data: &[u8]) -> Result<Vec<Action>, Trace
     // The remaining-bytes check above already bounds `count`; the clamp
     // keeps the shared single-allocation cap explicit (same constant as
     // the wire protocol and the RTSS state codec).
-    let mut actions = Vec::with_capacity(count.min(MAX_FRAME_BYTES / 20));
+    out.reserve(count.min(MAX_FRAME_BYTES / 20));
     for _ in 0..count {
         let id = data.get_u64_le();
         let user = data.get_u32_le();
         let parent = data.get_u64_le();
-        actions.push(Action {
+        out.push(Action {
             id: ActionId(id),
             user: UserId(user),
             parent: if parent == 0 { None } else { Some(ActionId(parent)) },
@@ -132,6 +137,13 @@ fn decode_records(magic: &[u8; 4], mut data: &[u8]) -> Result<Vec<Action>, Trace
             data.remaining()
         )));
     }
+    Ok(())
+}
+
+/// Owned-result wrapper around [`decode_records_into`].
+fn decode_records(magic: &[u8; 4], data: &[u8]) -> Result<Vec<Action>, TraceError> {
+    let mut actions = Vec::new();
+    decode_records_into(magic, data, &mut actions)?;
     Ok(actions)
 }
 
@@ -168,9 +180,22 @@ pub fn encode_batch(actions: &[Action]) -> Bytes {
 /// to an earlier batch; resolving them is the consumer's job (the server's
 /// engine thread remaps them per connection).
 pub fn decode_batch(data: &[u8]) -> Result<Vec<Action>, TraceError> {
-    let actions = decode_records(BATCH_MAGIC, data)?;
+    let mut actions = Vec::new();
+    decode_batch_into(data, &mut actions)?;
+    Ok(actions)
+}
+
+/// Borrowing variant of [`decode_batch`]: parses the batch records
+/// straight out of `data` (e.g. a network connection's read buffer)
+/// into the caller-owned `out`, which is cleared first and whose
+/// capacity is reused across calls.  This is the wire-ingest hot path:
+/// no intermediate payload `Vec<u8>` and no fresh per-frame `Vec<Action>`
+/// allocation once `out`'s capacity has warmed up.
+pub fn decode_batch_into(data: &[u8], out: &mut Vec<Action>) -> Result<(), TraceError> {
+    decode_records_into(BATCH_MAGIC, data, out)?;
+    let actions: &[Action] = out;
     let mut last: Option<ActionId> = None;
-    for a in &actions {
+    for a in actions {
         if let Some(prev) = last {
             if a.id <= prev {
                 return Err(TraceError::Invalid(format!(
@@ -189,7 +214,7 @@ pub fn decode_batch(data: &[u8]) -> Result<Vec<Action>, TraceError> {
         }
         last = Some(a.id);
     }
-    Ok(actions)
+    Ok(())
 }
 
 /// Writes the binary encoding to any writer (file, socket, …).

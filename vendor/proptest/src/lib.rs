@@ -145,6 +145,8 @@ impl_strategy_for_tuple!(A, B, C);
 impl_strategy_for_tuple!(A, B, C, D);
 impl_strategy_for_tuple!(A, B, C, D, E);
 impl_strategy_for_tuple!(A, B, C, D, E, F);
+impl_strategy_for_tuple!(A, B, C, D, E, F, G);
+impl_strategy_for_tuple!(A, B, C, D, E, F, G, H);
 
 /// Strategy combinators under their upstream paths (`prop::collection`,
 /// `prop::option`).
