@@ -4,27 +4,83 @@
 //! synthetic stream (per-slide `feed_nanos`/`query_nanos` come from the
 //! engine's own instrumentation) and the `coverage_ops` micro-comparison of
 //! the bitmap coverage state against the retained hash-set baseline, then
-//! writes everything as JSON so the perf trajectory can be tracked across
-//! PRs on the same machine.
+//! writes everything as schema-v2 JSON so the perf trajectory can be
+//! tracked across PRs on the same machine.
+//!
+//! `--hot-frac P` additionally replays the stream with `P` percent of the
+//! actions remapped onto a handful of hot users — the skewed workload the
+//! pool's timing-driven placement exists for — and records the resulting
+//! `shard_migrations` / EWMA spread per run.
 //!
 //! ```text
 //! cargo run --release -p rtim-bench --bin bench_feed -- \
 //!     --dataset syn-n --actions 2000 --users 500 --window 400 --slide 100 \
-//!     --threads 4 --out BENCH_feed.json
+//!     --threads 4 --hot-frac 30 --out BENCH_feed.json
 //! ```
 
 use rtim_bench::cli::Args;
 use rtim_bench::{
-    bitmap_pass, coverage_workload, hashset_pass, time_pass, CommonArgs, CoverageOpsSample,
-    FeedBenchReport, FeedRun, COMMON_KEYS,
+    bitmap_pass, coverage_workload, hashset_pass, time_pass, BaselineSample, CommonArgs,
+    CoverageOpsSample, FeedBenchReport, FeedRun, COMMON_KEYS,
 };
 use rtim_core::{FrameworkKind, SimEngine};
+use rtim_stream::{SocialStream, UserId};
+
+/// Number of distinct hot users the `--hot-frac` remap concentrates on.
+const HOT_USERS: u32 = 4;
+
+/// Reference per-slide feed times measured on this repository's CI/dev
+/// machine at the PR 6 head (commit 4ee98f3), with the canonical artifact
+/// arguments below.  Attached to the report only when the current
+/// invocation matches those arguments — trajectory numbers from different
+/// workloads are not comparable.
+const PR6_BASELINE_SOURCE: &str = "PR6 @ 4ee98f3 (pre-kernel scalar hot path)";
+const PR6_BASELINE: &[(&str, f64)] = &[
+    ("sic_syn-n_t1", 13_442_587.725),
+    ("sic_syn-n_t4", 12_644_833.175),
+    ("ic_syn-n_t1", 12_092_878.15),
+    ("ic_syn-n_t4", 12_942_741.025),
+];
+
+/// The canonical artifact arguments the PR 6 baseline was recorded with:
+/// `--dataset syn-n --actions 20000 --users 2000 --window 4000 --slide 500
+/// --threads 4`.
+fn matches_baseline_workload(common: &CommonArgs, threads: usize) -> bool {
+    common.actions == Some(20_000)
+        && common.users == Some(2_000)
+        && common.params.window == 4_000
+        && common.params.slide == 500
+        && threads == 4
+}
+
+/// Remaps `percent`% of the actions (every ⌊100/percent⌋-th, deterministic)
+/// onto [`HOT_USERS`] users, concentrating influence-set growth — and
+/// therefore checkpoint feed time — on whichever shards own the oldest
+/// checkpoints.  Ids and reply structure are untouched, so the stream
+/// stays valid.
+fn hotify(stream: &SocialStream, percent: u32) -> SocialStream {
+    let actions: Vec<_> = stream
+        .iter()
+        .enumerate()
+        .map(|(i, a)| {
+            if (i as u64 * percent as u64) % 100 < percent as u64 {
+                rtim_stream::Action {
+                    user: UserId(a.user.0 % HOT_USERS),
+                    ..*a
+                }
+            } else {
+                *a
+            }
+        })
+        .collect();
+    SocialStream::new(actions).expect("user remap preserves stream validity")
+}
 
 fn main() {
     let keys: Vec<&str> = COMMON_KEYS
         .iter()
         .copied()
-        .chain(["threads", "out", "cov-sets", "cov-iters"])
+        .chain(["threads", "out", "cov-sets", "cov-iters", "hot-frac"])
         .collect();
     let args = match Args::parse(&keys) {
         Ok(a) => a,
@@ -38,12 +94,14 @@ fn main() {
     let out = args.get("out").unwrap_or("BENCH_feed.json").to_string();
     let cov_sets: usize = args.get_or("cov-sets", 400usize);
     let cov_iters: u32 = args.get_or("cov-iters", 5u32);
+    let hot_frac: u32 = args.get_or("hot-frac", 0u32).min(100);
 
     let dataset = common.datasets[0];
     let stream = common.generate(dataset);
     let params = &common.params;
 
     let mut report = FeedBenchReport::new();
+    report.simd = cfg!(feature = "simd");
 
     // Framework feed runs: sequential always, plus the pool when asked.
     let mut thread_counts = vec![1usize];
@@ -61,7 +119,43 @@ fn main() {
                 dataset.name().to_ascii_lowercase(),
                 t
             );
-            report.runs.push(FeedRun::from_report(name, kind.name(), t, &run));
+            report.runs.push(
+                FeedRun::from_report(name, kind.name(), t, &run)
+                    .with_pool_stats(engine.pool_stats()),
+            );
+        }
+    }
+
+    // Hot-key skew runs: the same stream with a fraction of the actions
+    // concentrated on a few users, replayed at the full thread count so
+    // the adaptive placement has shards to migrate between.
+    if hot_frac > 0 && threads > 1 {
+        let hot = hotify(&stream, hot_frac);
+        for kind in [FrameworkKind::Sic, FrameworkKind::Ic] {
+            let config = params.sim_config().with_threads(threads);
+            let mut engine = SimEngine::new(config, kind);
+            let run = engine.run_stream(&hot);
+            let name = format!(
+                "{}_{}_hot{}_t{}",
+                kind.name().to_ascii_lowercase(),
+                dataset.name().to_ascii_lowercase(),
+                hot_frac,
+                threads
+            );
+            report.runs.push(
+                FeedRun::from_report(name, kind.name(), threads, &run)
+                    .with_pool_stats(engine.pool_stats()),
+            );
+        }
+    }
+
+    if matches_baseline_workload(&common, threads) {
+        for &(name, mean) in PR6_BASELINE {
+            report.baselines.push(BaselineSample {
+                name: name.into(),
+                feed_nanos_per_slide_mean: mean,
+                source: PR6_BASELINE_SOURCE.into(),
+            });
         }
     }
 
@@ -89,9 +183,18 @@ fn main() {
     }
 
     for run in &report.runs {
+        let vs = report
+            .speedup_vs_baseline(&run.name)
+            .map(|s| format!("  {s:.2}x vs baseline"))
+            .unwrap_or_default();
         println!(
-            "{:>16}  slides {:>5}  feed/slide {:>12.0} ns  {:>12.0} actions/s",
-            run.name, run.slides, run.feed_nanos_per_slide_mean, run.elements_per_sec
+            "{:>20}  slides {:>5}  feed/slide {:>12.0} ns  {:>12.0} actions/s  migrations {:>3}{}",
+            run.name,
+            run.slides,
+            run.feed_nanos_per_slide_mean,
+            run.elements_per_sec,
+            run.shard_migrations,
+            vs
         );
     }
     println!(

@@ -18,16 +18,32 @@
 //! The JSON is emitted by a small hand-rolled writer: the vendored `serde`
 //! is a no-op stub (see `vendor/serde`), and the schema is flat enough that
 //! a dedicated writer is simpler than growing the stub.  The schema is
-//! versioned via the `schema` field (`rtim-bench-feed/v1`); CI smoke-runs
-//! the emission path so schema bitrot is caught.
+//! versioned via the `schema` field; CI smoke-runs the emission path so
+//! schema bitrot is caught.
+//!
+//! ## Schema v2
+//!
+//! `rtim-bench-feed/v2` extends v1 with
+//!
+//! * a top-level `simd` flag recording whether the kernels ran with the
+//!   `simd` feature,
+//! * per-run `shard_migrations` / `shard_ewma_min_nanos` /
+//!   `shard_ewma_max_nanos` from the pool's adaptive placement,
+//! * a `baselines` array of reference per-slide feed times recorded on the
+//!   same machine by an earlier run, and
+//! * `speedups_vs_baseline`, pairing each run with its baseline by name
+//!   (`baseline_mean / run_mean`, > 1 is a win).
+//!
+//! v1 fields are unchanged, so v1 consumers that ignore unknown fields
+//! keep working.
 
-use rtim_core::RunReport;
+use rtim_core::{PoolStats, RunReport};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
 /// Schema identifier of the emitted JSON document.
-pub const FEED_SCHEMA: &str = "rtim-bench-feed/v1";
+pub const FEED_SCHEMA: &str = "rtim-bench-feed/v2";
 
 /// Cap on the per-slide arrays embedded in the JSON (aggregates always cover
 /// every slide; the arrays exist for shape inspection, not bulk storage).
@@ -60,6 +76,13 @@ pub struct FeedRun {
     pub per_slide_query_nanos: Vec<u64>,
     /// `true` if the per-slide arrays were truncated to the cap.
     pub per_slide_truncated: bool,
+    /// Checkpoints migrated by the pool's timing-driven placement
+    /// (0 for sequential runs).
+    pub shard_migrations: u64,
+    /// Smallest per-shard feed-time EWMA after the run, nanoseconds.
+    pub shard_ewma_min_nanos: u64,
+    /// Largest per-shard feed-time EWMA after the run, nanoseconds.
+    pub shard_ewma_max_nanos: u64,
 }
 
 impl FeedRun {
@@ -104,8 +127,31 @@ impl FeedRun {
                 .map(|s| s.query_nanos)
                 .collect(),
             per_slide_truncated: slides > PER_SLIDE_CAP,
+            shard_migrations: 0,
+            shard_ewma_min_nanos: 0,
+            shard_ewma_max_nanos: 0,
         }
     }
+
+    /// Attaches the engine's post-run [`PoolStats`] to the run record.
+    pub fn with_pool_stats(mut self, stats: PoolStats) -> Self {
+        self.shard_migrations = stats.migrations;
+        self.shard_ewma_min_nanos = stats.ewma_min_nanos;
+        self.shard_ewma_max_nanos = stats.ewma_max_nanos;
+        self
+    }
+}
+
+/// A reference per-slide feed time recorded by an earlier run on the same
+/// machine, keyed by run name (schema v2).
+#[derive(Debug, Clone)]
+pub struct BaselineSample {
+    /// Run name the baseline pairs with (e.g. `"sic_syn-n_t4"`).
+    pub name: String,
+    /// The earlier run's mean feed nanoseconds per slide.
+    pub feed_nanos_per_slide_mean: f64,
+    /// Where the number came from (e.g. a PR/commit label).
+    pub source: String,
 }
 
 /// One measured coverage micro-operation.
@@ -128,6 +174,10 @@ pub struct FeedBenchReport {
     pub runs: Vec<FeedRun>,
     /// Bitmap-vs-hashset coverage micro-comparison.
     pub coverage_ops: Vec<CoverageOpsSample>,
+    /// Whether the kernels ran with the `simd` feature enabled.
+    pub simd: bool,
+    /// Reference numbers from an earlier run on the same machine.
+    pub baselines: Vec<BaselineSample>,
 }
 
 impl FeedBenchReport {
@@ -155,11 +205,25 @@ impl FeedBenchReport {
         }
     }
 
+    /// Speedup of the named run over its same-named baseline
+    /// (`baseline_mean / run_mean`; > 1 means the run got faster), or
+    /// `None` if either side is missing or non-positive.
+    pub fn speedup_vs_baseline(&self, name: &str) -> Option<f64> {
+        let run = self.runs.iter().find(|r| r.name == name)?;
+        let base = self.baselines.iter().find(|b| b.name == name)?;
+        if run.feed_nanos_per_slide_mean > 0.0 && base.feed_nanos_per_slide_mean > 0.0 {
+            Some(base.feed_nanos_per_slide_mean / run.feed_nanos_per_slide_mean)
+        } else {
+            None
+        }
+    }
+
     /// Renders the document as a JSON string.
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push_str("{\n");
         let _ = writeln!(out, "  \"schema\": {},", json_str(FEED_SCHEMA));
+        let _ = writeln!(out, "  \"simd\": {},", self.simd);
         out.push_str("  \"runs\": [");
         for (i, run) in self.runs.iter().enumerate() {
             if i > 0 {
@@ -188,6 +252,17 @@ impl FeedBenchReport {
                 "\"per_slide_truncated\": {}, ",
                 run.per_slide_truncated
             );
+            let _ = write!(out, "\"shard_migrations\": {}, ", run.shard_migrations);
+            let _ = write!(
+                out,
+                "\"shard_ewma_min_nanos\": {}, ",
+                run.shard_ewma_min_nanos
+            );
+            let _ = write!(
+                out,
+                "\"shard_ewma_max_nanos\": {}, ",
+                run.shard_ewma_max_nanos
+            );
             let _ = write!(
                 out,
                 "\"per_slide_feed_nanos\": {}, ",
@@ -212,6 +287,37 @@ impl FeedBenchReport {
             let _ = write!(out, "\"ns_per_op\": {}, ", json_f64(s.ns_per_op));
             let _ = write!(out, "\"ops\": {}", s.ops);
             out.push('}');
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"baselines\": [");
+        for (i, b) in self.baselines.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"name\": {}, ", json_str(&b.name));
+            let _ = write!(
+                out,
+                "\"feed_nanos_per_slide_mean\": {}, ",
+                json_f64(b.feed_nanos_per_slide_mean)
+            );
+            let _ = write!(out, "\"source\": {}", json_str(&b.source));
+            out.push('}');
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"speedups_vs_baseline\": [");
+        let mut first = true;
+        for run in &self.runs {
+            if let Some(speedup) = self.speedup_vs_baseline(&run.name) {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str("\n    {");
+                let _ = write!(out, "\"name\": {}, ", json_str(&run.name));
+                let _ = write!(out, "\"speedup\": {}", json_f64(speedup));
+                out.push('}');
+            }
         }
         out.push_str("\n  ],\n");
         match self.bitmap_speedup() {
@@ -325,9 +431,11 @@ mod tests {
             ops: 1000,
         });
         let json = r.to_json();
-        assert!(json.contains("\"schema\": \"rtim-bench-feed/v1\""));
+        assert!(json.contains("\"schema\": \"rtim-bench-feed/v2\""));
+        assert!(json.contains("\"simd\": false"));
         assert!(json.contains("\"name\": \"ic_x\""));
         assert!(json.contains("\"per_slide_feed_nanos\": [7]"));
+        assert!(json.contains("\"shard_migrations\": 0"));
         assert!(json.contains("\"impl\": \"hashset\""));
         assert!(json.contains("\"bitmap_speedup_vs_hashset\": 4"));
         // Balanced braces/brackets (cheap well-formedness check).
@@ -350,6 +458,38 @@ mod tests {
         });
         assert_eq!(r.bitmap_speedup(), None);
         assert!(r.to_json().contains("\"bitmap_speedup_vs_hashset\": null"));
+    }
+
+    #[test]
+    fn baseline_speedup_pairs_by_name() {
+        let mut r = FeedBenchReport::new();
+        r.runs
+            .push(FeedRun::from_report("sic_a_t4", "SIC", 4, &report_with(&[100, 100])));
+        assert_eq!(r.speedup_vs_baseline("sic_a_t4"), None);
+        r.baselines.push(BaselineSample {
+            name: "sic_a_t4".into(),
+            feed_nanos_per_slide_mean: 250.0,
+            source: "earlier run".into(),
+        });
+        assert_eq!(r.speedup_vs_baseline("sic_a_t4"), Some(2.5));
+        assert_eq!(r.speedup_vs_baseline("nope"), None);
+        let json = r.to_json();
+        assert!(json.contains("\"speedups_vs_baseline\": ["));
+        assert!(json.contains("\"speedup\": 2.5"));
+        assert!(json.contains("\"source\": \"earlier run\""));
+    }
+
+    #[test]
+    fn pool_stats_attach_to_runs() {
+        let run = FeedRun::from_report("x", "IC", 4, &report_with(&[10]))
+            .with_pool_stats(PoolStats {
+                migrations: 3,
+                ewma_min_nanos: 5,
+                ewma_max_nanos: 9,
+            });
+        assert_eq!(run.shard_migrations, 3);
+        assert_eq!(run.shard_ewma_min_nanos, 5);
+        assert_eq!(run.shard_ewma_max_nanos, 9);
     }
 
     #[test]

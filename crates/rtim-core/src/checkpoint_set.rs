@@ -41,15 +41,18 @@
 
 use crate::config::SimConfig;
 use crate::framework::{ResolvedAction, Solution};
-use crate::pool::{CheckpointStat, ShardPool};
+use crate::pool::{AdaptiveConfig, CheckpointStat, PoolStats, ShardPool};
 use crate::ssm::Checkpoint;
-use rtim_stream::UserId;
+use rtim_stream::{UserId, WordArena};
 use rtim_submodular::{DenseWeights, ElementWeight, OracleConfig, OracleKind};
 
 /// Where the checkpoints physically live.
 enum Exec {
-    /// Inline on the calling thread, parallel to the stats list.
-    Sequential(Vec<Checkpoint>),
+    /// Inline on the calling thread, parallel to the stats list.  The
+    /// [`WordArena`] recycles expired checkpoints' bitmap backing stores
+    /// into the next slide's set promotions (sharded execution keeps one
+    /// arena per worker instead).
+    Sequential(Vec<Checkpoint>, WordArena),
     /// Sharded across persistent worker threads.
     Sharded(ShardPool),
 }
@@ -87,7 +90,7 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
     /// (1 = sequential, no worker threads at all).
     pub fn new(oracle: OracleKind, oracle_config: OracleConfig, threads: usize, weight: W) -> Self {
         let exec = if threads.max(1) == 1 {
-            Exec::Sequential(Vec::new())
+            Exec::Sequential(Vec::new(), WordArena::new())
         } else {
             Exec::Sharded(ShardPool::new(threads))
         };
@@ -124,8 +127,25 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
     /// Number of worker threads backing the set (1 = sequential).
     pub fn threads(&self) -> usize {
         match &self.exec {
-            Exec::Sequential(_) => 1,
+            Exec::Sequential(..) => 1,
             Exec::Sharded(pool) => pool.threads(),
+        }
+    }
+
+    /// Adaptive-placement counters of the backing [`ShardPool`]
+    /// (all-zero under sequential execution, which has no placement).
+    pub fn pool_stats(&self) -> PoolStats {
+        match &self.exec {
+            Exec::Sequential(..) => PoolStats::default(),
+            Exec::Sharded(pool) => pool.stats(),
+        }
+    }
+
+    /// Reconfigures the backing pool's timing-driven placement (no-op
+    /// under sequential execution).  See [`AdaptiveConfig`].
+    pub fn set_adaptive(&mut self, config: AdaptiveConfig) {
+        if let Exec::Sharded(pool) = &mut self.exec {
+            pool.set_adaptive(config);
         }
     }
 
@@ -187,7 +207,7 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
         }
         let checkpoint = Checkpoint::new(start, self.oracle, self.oracle_config);
         match &mut self.exec {
-            Exec::Sequential(list) => list.push(checkpoint),
+            Exec::Sequential(list, _) => list.push(checkpoint),
             Exec::Sharded(pool) => pool.add(checkpoint),
         }
         self.stats.push(CheckpointStat {
@@ -205,7 +225,7 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
         }
         self.cover_slide(slide);
         match &mut self.exec {
-            Exec::Sequential(list) => {
+            Exec::Sequential(list, arena) => {
                 let weights = if self.unit {
                     DenseWeights::Unit
                 } else {
@@ -213,11 +233,12 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
                 };
                 for (cp, stat) in list.iter_mut().zip(self.stats.iter_mut()) {
                     for action in slide {
-                        cp.process(action, &weights);
+                        cp.process_in(action, &weights, arena);
                     }
                     stat.value = cp.value();
                     stat.updates = cp.updates();
                 }
+                arena.end_slide();
             }
             Exec::Sharded(pool) => {
                 let delta: Option<&[f64]> = if self.unit {
@@ -244,8 +265,10 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
     pub fn remove(&mut self, i: usize) {
         let stat = self.stats.remove(i);
         match &mut self.exec {
-            Exec::Sequential(list) => {
-                list.remove(i);
+            Exec::Sequential(list, arena) => {
+                // Expired checkpoints donate their bitmap backing stores
+                // to the next slide's promotions.
+                list.remove(i).recycle_into(arena);
             }
             Exec::Sharded(pool) => pool.remove(stat.start),
         }
@@ -289,7 +312,7 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
     /// query boundary).
     pub fn solution(&self, i: usize) -> Solution {
         match &self.exec {
-            Exec::Sequential(list) => list[i].solution(),
+            Exec::Sequential(list, _) => list[i].solution(),
             Exec::Sharded(pool) => pool.solution(self.stats[i].start),
         }
     }
@@ -302,7 +325,7 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
         let mut checkpoints = Vec::with_capacity(self.stats.len());
         for (i, stat) in self.stats.iter().enumerate() {
             let state = match &self.exec {
-                Exec::Sequential(list) => list[i].snapshot(),
+                Exec::Sequential(list, _) => list[i].snapshot(),
                 Exec::Sharded(pool) => pool.snapshot(stat.start),
             }?;
             checkpoints.push(state);
@@ -358,7 +381,7 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
                 updates: checkpoint.updates(),
             });
             match &mut set.exec {
-                Exec::Sequential(list) => list.push(checkpoint),
+                Exec::Sequential(list, _) => list.push(checkpoint),
                 Exec::Sharded(pool) => pool.add(checkpoint),
             }
         }

@@ -198,6 +198,19 @@ impl SimEngine {
         self.slides
     }
 
+    /// Adaptive-placement counters of the framework's shard pool (all
+    /// zeros under sequential execution); see [`crate::pool::PoolStats`].
+    pub fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.framework.pool_stats()
+    }
+
+    /// Reconfigures the timing-driven checkpoint placement of the
+    /// framework's shard pool (no-op under sequential execution);
+    /// placement never affects answers, only load balance.
+    pub fn set_adaptive(&mut self, config: crate::pool::AdaptiveConfig) {
+        self.framework.set_adaptive(config);
+    }
+
     /// The engine's user interner (raw ↔ dense id mapping).
     pub fn interner(&self) -> &UserInterner {
         &self.interner

@@ -95,6 +95,22 @@ pub trait Framework: Send {
     /// Which framework this is.
     fn kind(&self) -> FrameworkKind;
 
+    /// Adaptive-placement counters of the framework's backing shard pool
+    /// (migrations performed, min/max per-shard feed-time EWMA).  The
+    /// default — correct for sequential execution and for custom
+    /// frameworks without a pool — is all zeros.
+    fn pool_stats(&self) -> crate::pool::PoolStats {
+        crate::pool::PoolStats::default()
+    }
+
+    /// Reconfigures the backing pool's timing-driven checkpoint placement
+    /// (see [`crate::pool::AdaptiveConfig`]).  Placement never affects
+    /// answers, only load balance, so this is a pure tuning knob; the
+    /// default is a no-op.
+    fn set_adaptive(&mut self, config: crate::pool::AdaptiveConfig) {
+        let _ = config;
+    }
+
     /// The framework's serializable state, if it supports durable
     /// snapshots (see [`crate::snapshot`]).
     ///

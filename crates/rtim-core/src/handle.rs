@@ -181,6 +181,14 @@ pub struct EngineStats {
     /// Replies whose parent was unknown to the sender's remap table (never
     /// sent, or pruned by the horizon) and were degraded to roots.
     pub orphaned_replies: u64,
+    /// Checkpoints migrated between shards by the pool's timing-driven
+    /// placement (0 under sequential execution).
+    pub shard_migrations: u64,
+    /// Smallest per-shard feed-time EWMA, in nanoseconds (0 under
+    /// sequential execution or before the first sharded feed).
+    pub shard_ewma_min_nanos: u64,
+    /// Largest per-shard feed-time EWMA, in nanoseconds.
+    pub shard_ewma_max_nanos: u64,
 }
 
 /// Number of trailing [`SlideReport`]s retained in an [`EngineReport`].
@@ -998,6 +1006,10 @@ fn finish_stats(stats: &mut EngineStats, engine: &SimEngine, shared: &Shared) {
     stats.oracle_updates = engine.oracle_updates();
     stats.users = engine.interner().len() as u64;
     stats.queue_depth = shared.depth() as u64;
+    let pool = engine.pool_stats();
+    stats.shard_migrations = pool.migrations;
+    stats.shard_ewma_min_nanos = pool.ewma_min_nanos;
+    stats.shard_ewma_max_nanos = pool.ewma_max_nanos;
 }
 
 #[cfg(test)]

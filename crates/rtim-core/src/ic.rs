@@ -141,6 +141,14 @@ impl<W: ElementWeight + Send + 'static> Framework for IcFramework<W> {
         FrameworkKind::Ic
     }
 
+    fn pool_stats(&self) -> crate::pool::PoolStats {
+        self.checkpoints.pool_stats()
+    }
+
+    fn set_adaptive(&mut self, config: crate::pool::AdaptiveConfig) {
+        self.checkpoints.set_adaptive(config);
+    }
+
     fn snapshot_state(&self) -> Option<crate::snapshot::FrameworkState> {
         Some(crate::snapshot::FrameworkState {
             kind: FrameworkKind::Ic,

@@ -91,7 +91,7 @@ pub use handle::{
 };
 pub use ic::IcFramework;
 pub use intern::UserInterner;
-pub use pool::{CheckpointStat, ShardPool};
+pub use pool::{AdaptiveConfig, CheckpointStat, PoolStats, ShardPool};
 pub use sic::SicFramework;
 pub use snapshot::{
     load_snapshot, recover_engine, write_snapshot_atomic, CheckpointSetState, CheckpointState,

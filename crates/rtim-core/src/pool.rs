@@ -26,8 +26,28 @@
 //!   sets) are fetched on demand by [`ShardPool::solution`].
 //! * New checkpoints go to the least-loaded worker (lowest index on ties),
 //!   and [`ShardPool::remove`] rebalances whenever shard sizes drift apart
-//!   by ≥ 2 — SIC's pruning and IC's rotation both delete checkpoints in
-//!   patterns that would otherwise starve some shards.
+//!   by ≥ 3 — SIC's pruning and IC's rotation both delete checkpoints in
+//!   patterns that would otherwise starve some shards.  (The slack of 2
+//!   leaves room for the timing-driven migrations below without the two
+//!   mechanisms thrashing against each other.)
+//!
+//! ## Adaptive, timing-driven placement
+//!
+//! Checkpoint *counts* are a poor proxy for shard cost: an old checkpoint
+//! has accumulated large influence sets and can cost an order of magnitude
+//! more per slide than a fresh one.  Every worker therefore times its feed
+//! round and reports `feed_nanos` with its stats; the pool folds these into
+//! a per-shard EWMA and, when the measured skew exceeds
+//! [`AdaptiveConfig::skew_ratio`] (plus gates: an absolute floor, a
+//! post-migration cooldown, and a no-count-skew guard), migrates the
+//! *oldest* checkpoint of the hottest shard to the coldest shard — at a
+//! slide boundary, through the same Extract/Add machinery rebalancing uses.
+//!
+//! Migrating whole checkpoints is what keeps this safe: a checkpoint's
+//! arithmetic is completely determined by the slides it observes, never by
+//! which worker hosts it, so placement decisions (even timing-driven,
+//! inherently non-deterministic ones) cannot change any result bit.  See
+//! `docs/PERF.md` for the invariant writeup and knob guidance.
 //!
 //! ## Determinism
 //!
@@ -35,7 +55,8 @@
 //! checkpoint still observes the slide in stream order against its own
 //! state, and shard placement never influences any checkpoint's arithmetic.
 //! The determinism property tests in `tests/determinism.rs` assert this for
-//! both frameworks at 2–8 workers.
+//! both frameworks at 2–8 workers, including under an aggressive adaptive
+//! configuration that migrates constantly.
 //!
 //! ## Shutdown
 //!
@@ -45,6 +66,7 @@
 
 use crate::framework::{ResolvedAction, Solution};
 use crate::ssm::Checkpoint;
+use rtim_stream::WordArena;
 use rtim_submodular::DenseWeights;
 use std::collections::HashMap;
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -62,6 +84,66 @@ pub struct CheckpointStat {
     pub value: f64,
     /// Total oracle element updates performed by this checkpoint so far.
     pub updates: u64,
+}
+
+/// Knobs of the timing-driven adaptive placement (see the
+/// [module docs](self)).  Runtime-only state — deliberately **not** part of
+/// [`SimConfig`](crate::SimConfig) or the snapshot codec: placement never
+/// affects results, so the knobs need no durability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveConfig {
+    /// EWMA smoothing factor `α ∈ (0, 1]` applied to per-shard feed nanos
+    /// (`ewma ← α·measured + (1−α)·ewma`).  Higher reacts faster, lower
+    /// rides out noise.
+    pub alpha: f64,
+    /// Migration trigger: the hottest shard's EWMA must exceed the coldest
+    /// shard's by at least this ratio.
+    pub skew_ratio: f64,
+    /// Absolute floor: no migration while the hottest shard's EWMA is
+    /// below this many nanoseconds per slide (skew between trivially cheap
+    /// shards is all noise).
+    pub min_nanos: f64,
+    /// Slides to wait after a migration before considering the next one
+    /// (lets the EWMAs re-converge on the new placement).
+    pub cooldown_slides: u32,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            alpha: 0.3,
+            skew_ratio: 1.5,
+            min_nanos: 200_000.0,
+            cooldown_slides: 4,
+        }
+    }
+}
+
+impl AdaptiveConfig {
+    /// A maximally trigger-happy configuration (no floor, no cooldown,
+    /// any skew migrates).  Used by the determinism proptests to force
+    /// constant migration; not a sensible production setting.
+    pub fn aggressive() -> Self {
+        AdaptiveConfig {
+            alpha: 1.0,
+            skew_ratio: 1.0,
+            min_nanos: 0.0,
+            cooldown_slides: 0,
+        }
+    }
+}
+
+/// Observability snapshot of the adaptive pool, surfaced on
+/// [`EngineStats`](crate::EngineStats) and the server `STATS` reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Checkpoints migrated between shards by the adaptive placement since
+    /// the pool was created.
+    pub migrations: u64,
+    /// Smallest per-shard feed-time EWMA, in nanoseconds (rounded).
+    pub ewma_min_nanos: u64,
+    /// Largest per-shard feed-time EWMA, in nanoseconds (rounded).
+    pub ewma_max_nanos: u64,
 }
 
 /// Messages from the pool to a worker.
@@ -91,7 +173,9 @@ enum ShardMsg {
 
 /// Replies from a worker to the pool.
 enum ShardReply {
-    Fed(Vec<CheckpointStat>),
+    /// Per-checkpoint stats plus the wall-clock nanoseconds the worker
+    /// spent processing the slide (input to the adaptive placement).
+    Fed(Vec<CheckpointStat>, u64),
     Extracted(Box<Checkpoint>),
     Solution(Box<Solution>),
     Snapshot(Box<Option<crate::snapshot::CheckpointState>>),
@@ -113,6 +197,14 @@ pub struct ShardPool {
     assignment: HashMap<u64, usize>,
     /// Number of checkpoints currently owned by each worker.
     counts: Vec<usize>,
+    /// Adaptive-placement knobs (see [`AdaptiveConfig`]).
+    adaptive: AdaptiveConfig,
+    /// Per-shard feed-time EWMA in nanoseconds (`0` until first feed).
+    ewma: Vec<f64>,
+    /// Slides remaining before the next migration is considered.
+    cooldown: u32,
+    /// Checkpoints migrated by the adaptive placement so far.
+    migrations: u64,
 }
 
 impl ShardPool {
@@ -139,12 +231,42 @@ impl ShardPool {
             workers,
             assignment: HashMap::new(),
             counts: vec![0; threads],
+            adaptive: AdaptiveConfig::default(),
+            ewma: vec![0.0; threads],
+            cooldown: 0,
+            migrations: 0,
         }
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Replaces the adaptive-placement knobs (takes effect from the next
+    /// feed round; never affects results, only where checkpoints live).
+    pub fn set_adaptive(&mut self, config: AdaptiveConfig) {
+        self.adaptive = config;
+    }
+
+    /// The current adaptive-placement knobs.
+    pub fn adaptive(&self) -> AdaptiveConfig {
+        self.adaptive
+    }
+
+    /// Migration count and the current EWMA spread (observability; see
+    /// [`PoolStats`]).
+    pub fn stats(&self) -> PoolStats {
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for &e in &self.ewma {
+            lo = lo.min(e);
+            hi = hi.max(e);
+        }
+        PoolStats {
+            migrations: self.migrations,
+            ewma_min_nanos: if lo.is_finite() { lo as u64 } else { 0 },
+            ewma_max_nanos: hi as u64,
+        }
     }
 
     /// Number of checkpoints currently owned across all shards.
@@ -188,11 +310,99 @@ impl ShardPool {
         let mut stats = Vec::with_capacity(self.assignment.len());
         for i in 0..self.workers.len() {
             match self.recv(i) {
-                ShardReply::Fed(s) => stats.extend(s),
+                ShardReply::Fed(s, nanos) => {
+                    stats.extend(s);
+                    self.observe_feed_nanos(i, nanos);
+                }
                 _ => unreachable!("worker answered Feed with a non-Fed reply"),
             }
         }
+        self.adapt();
         stats
+    }
+
+    /// Folds one measured per-shard feed time into the EWMA.
+    fn observe_feed_nanos(&mut self, worker: usize, nanos: u64) {
+        let alpha = self.adaptive.alpha.clamp(0.0, 1.0);
+        let e = &mut self.ewma[worker];
+        *e = if *e <= 0.0 {
+            nanos as f64
+        } else {
+            alpha * nanos as f64 + (1.0 - alpha) * *e
+        };
+    }
+
+    /// Timing-driven migration, run once per feed round (i.e. at slide
+    /// boundaries only): moves the oldest checkpoint of the hottest shard
+    /// to the coldest shard when the measured skew warrants it.
+    ///
+    /// Whole-checkpoint moves cannot change results — a checkpoint's
+    /// arithmetic depends only on the slides it observes (see the module
+    /// docs) — so the gates below are pure performance heuristics.
+    fn adapt(&mut self) {
+        if self.workers.len() < 2 || self.assignment.is_empty() {
+            return;
+        }
+        if self.cooldown > 0 {
+            self.cooldown -= 1;
+            return;
+        }
+        let (mut hot, mut cold) = (0usize, 0usize);
+        for (i, &e) in self.ewma.iter().enumerate() {
+            if e > self.ewma[hot] {
+                hot = i;
+            }
+            if e < self.ewma[cold] {
+                cold = i;
+            }
+        }
+        if hot == cold || self.counts[hot] == 0 {
+            return;
+        }
+        if self.ewma[hot] < self.adaptive.min_nanos {
+            return;
+        }
+        if self.ewma[hot] < self.adaptive.skew_ratio * self.ewma[cold].max(1.0) {
+            return;
+        }
+        // Never create count skew the count-based rebalancer (slack 2)
+        // would bounce straight back: after the move the cold shard may
+        // hold at most one more checkpoint than the hot one.
+        if self.counts[cold] > self.counts[hot] {
+            return;
+        }
+        // Oldest checkpoint first: it has accumulated the largest
+        // influence sets, so it is the likeliest cause of the skew (and a
+        // deterministic choice).
+        let moved = self
+            .assignment
+            .iter()
+            .filter(|&(_, &w)| w == hot)
+            .map(|(&start, _)| start)
+            .min()
+            .expect("hot shard is non-empty");
+        self.transfer(moved, hot, cold);
+        self.migrations += 1;
+        self.cooldown = self.adaptive.cooldown_slides;
+        // The placement just changed under both EWMAs; meet in the middle
+        // and let fresh measurements re-skew if the move was not enough.
+        let mid = (self.ewma[hot] + self.ewma[cold]) / 2.0;
+        self.ewma[hot] = mid;
+        self.ewma[cold] = mid;
+    }
+
+    /// Moves the checkpoint with start id `moved` from shard `from` to
+    /// shard `to` through the worker channels, updating the bookkeeping.
+    fn transfer(&mut self, moved: u64, from: usize, to: usize) {
+        self.send(from, ShardMsg::Extract(moved));
+        let checkpoint = match self.recv(from) {
+            ShardReply::Extracted(cp) => cp,
+            _ => unreachable!("worker answered Extract with a non-Extracted reply"),
+        };
+        self.send(to, ShardMsg::Add(checkpoint));
+        self.assignment.insert(moved, to);
+        self.counts[from] -= 1;
+        self.counts[to] += 1;
     }
 
     /// Deletes the checkpoint with the given start id, then rebalances if
@@ -253,9 +463,11 @@ impl ShardPool {
     }
 
     /// Moves checkpoints from the richest to the poorest shard until shard
-    /// sizes differ by at most 1.  The newest checkpoint of the richest
+    /// sizes differ by at most 2.  The newest checkpoint of the richest
     /// shard moves first (deterministic choice; which checkpoint lives where
-    /// never affects results, only balance).
+    /// never affects results, only balance).  The slack of 2 leaves the
+    /// timing-driven [`Self::adapt`] room to deliberately unbalance counts
+    /// by one without the two mechanisms thrashing.
     fn rebalance(&mut self) {
         loop {
             let poorest = self.least_loaded();
@@ -266,7 +478,7 @@ impl ShardPool {
                 .max_by_key(|&(i, &c)| (c, std::cmp::Reverse(i)))
                 .map(|(i, _)| i)
                 .expect("pool has at least one worker");
-            if self.counts[richest] <= self.counts[poorest] + 1 {
+            if self.counts[richest] <= self.counts[poorest] + 2 {
                 return;
             }
             let moved = self
@@ -276,15 +488,7 @@ impl ShardPool {
                 .map(|(&start, _)| start)
                 .max()
                 .expect("richest shard is non-empty");
-            self.send(richest, ShardMsg::Extract(moved));
-            let checkpoint = match self.recv(richest) {
-                ShardReply::Extracted(cp) => cp,
-                _ => unreachable!("worker answered Extract with a non-Extracted reply"),
-            };
-            self.send(poorest, ShardMsg::Add(checkpoint));
-            self.assignment.insert(moved, poorest);
-            self.counts[richest] -= 1;
-            self.counts[poorest] += 1;
+            self.transfer(moved, richest, poorest);
         }
     }
 
@@ -330,12 +534,16 @@ impl std::fmt::Debug for ShardPool {
     }
 }
 
-/// The worker loop: owns its shard (and its copy of the dense weight
-/// table), serves messages until shutdown.
+/// The worker loop: owns its shard (plus its copy of the dense weight
+/// table and its bitmap-recycling [`WordArena`]), serves messages until
+/// shutdown.
 fn worker_loop(rx: Receiver<ShardMsg>, tx: Sender<ShardReply>) {
     let mut shard: Vec<Checkpoint> = Vec::new();
     // `Some` once any feed carried a weight table (weighted objective).
     let mut table: Option<Vec<f64>> = None;
+    // Slide-loop bitmap recycling: expired checkpoints (Remove) donate
+    // their bitmap backing stores to the next slide's set promotions.
+    let mut arena = WordArena::new();
     while let Ok(msg) = rx.recv() {
         match msg {
             ShardMsg::Feed(slide, delta) => {
@@ -346,10 +554,11 @@ fn worker_loop(rx: Receiver<ShardMsg>, tx: Sender<ShardReply>) {
                     None => DenseWeights::Unit,
                     Some(t) => DenseWeights::Table(t),
                 };
+                let started = std::time::Instant::now();
                 let mut stats = Vec::with_capacity(shard.len());
                 for cp in shard.iter_mut() {
                     for action in slide.iter() {
-                        cp.process(action, &weights);
+                        cp.process_in(action, &weights, &mut arena);
                     }
                     stats.push(CheckpointStat {
                         start: cp.start(),
@@ -357,12 +566,18 @@ fn worker_loop(rx: Receiver<ShardMsg>, tx: Sender<ShardReply>) {
                         updates: cp.updates(),
                     });
                 }
-                if tx.send(ShardReply::Fed(stats)).is_err() {
+                arena.end_slide();
+                let nanos = started.elapsed().as_nanos() as u64;
+                if tx.send(ShardReply::Fed(stats, nanos)).is_err() {
                     break;
                 }
             }
             ShardMsg::Add(cp) => shard.push(*cp),
-            ShardMsg::Remove(start) => shard.retain(|c| c.start() != start),
+            ShardMsg::Remove(start) => {
+                if let Some(pos) = shard.iter().position(|c| c.start() == start) {
+                    shard.swap_remove(pos).recycle_into(&mut arena);
+                }
+            }
             ShardMsg::Extract(start) => {
                 let pos = shard
                     .iter()
@@ -515,6 +730,71 @@ mod tests {
         let s = pool.solution(1);
         assert!(s.value > 0.0);
         assert!(!s.seeds.is_empty());
+    }
+
+    #[test]
+    fn aggressive_adaptation_migrates_and_stays_bit_identical() {
+        // Sequential ground truth: 3 checkpoints over repeated slides.
+        let slide = slide();
+        let fed = &slide[6..];
+        let rounds = 10usize;
+        let mut seq: Vec<Checkpoint> = (0..3usize)
+            .map(|i| checkpoint(1 + i as u64, 1 + (i % 4)))
+            .collect();
+        for _ in 0..rounds {
+            for cp in seq.iter_mut() {
+                for a in fed {
+                    cp.process(a, &DenseWeights::Unit);
+                }
+            }
+        }
+
+        // 2 workers, 3 checkpoints: shard 0 starts with 2 of them, so its
+        // EWMA genuinely dominates and the zero-threshold config migrates.
+        let mut pool = ShardPool::new(2);
+        pool.set_adaptive(AdaptiveConfig::aggressive());
+        assert_eq!(pool.adaptive(), AdaptiveConfig::aggressive());
+        for i in 0..3usize {
+            pool.add(checkpoint(1 + i as u64, 1 + (i % 4)));
+        }
+        for _ in 0..rounds {
+            pool.feed(fed, None);
+        }
+        let stats = pool.stats();
+        assert!(stats.migrations >= 1, "no migration in {rounds} rounds");
+        assert!(stats.ewma_max_nanos >= stats.ewma_min_nanos);
+        assert!(stats.ewma_min_nanos > 0);
+        // Count skew introduced by migration stays within the rebalance
+        // slack, and every checkpoint still answers bit-identically.
+        let max = *pool.counts.iter().max().unwrap();
+        let min = *pool.counts.iter().min().unwrap();
+        assert!(max - min <= 2, "counts: {:?}", pool.counts);
+        for cp in &seq {
+            let s = pool.solution(cp.start());
+            let want = cp.solution();
+            assert_eq!(s.seeds, want.seeds);
+            assert_eq!(s.value.to_bits(), want.value.to_bits());
+        }
+    }
+
+    #[test]
+    fn adapt_holds_off_below_the_time_floor() {
+        // Default config: min_nanos is far above anything these tiny
+        // slides can accumulate, so no migration may ever fire.
+        let slide = slide();
+        let mut pool = ShardPool::new(2);
+        for i in 0..4u64 {
+            pool.add(checkpoint(i + 1, 2));
+        }
+        let config = AdaptiveConfig {
+            min_nanos: 1e15,
+            ..AdaptiveConfig::default()
+        };
+        pool.set_adaptive(config);
+        for _ in 0..10 {
+            pool.feed(&slide[6..], None);
+        }
+        assert_eq!(pool.stats().migrations, 0);
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! checkpoint itself stays weight-agnostic.
 
 use crate::framework::{ResolvedAction, Solution};
-use rtim_stream::InfluenceAccumulator;
+use rtim_stream::{InfluenceAccumulator, WordArena};
 use rtim_submodular::{DenseWeights, OracleConfig, OracleKind, SsoOracle};
 
 /// A checkpoint: an SSO oracle adapted to the action stream through SSM.
@@ -110,6 +110,41 @@ impl Checkpoint {
             self.oracle.process_grow(user, action.actor, set, weights);
             self.updates += 1;
         }
+    }
+
+    /// [`Self::process`] with slide-time bitmap allocation routed through a
+    /// per-worker [`WordArena`] — the path the slide loops
+    /// (`CheckpointSet`/`ShardPool` workers) take.  Bit-identical to
+    /// `process`: the arena only changes where bitmap backing stores come
+    /// from, never their contents (property-tested in
+    /// `rtim-stream/tests/kernel_props.rs` and `tests/determinism.rs`).
+    pub fn process_in(
+        &mut self,
+        action: &ResolvedAction,
+        weights: &DenseWeights,
+        arena: &mut WordArena,
+    ) {
+        debug_assert!(action.id >= self.start, "checkpoint fed an older action");
+        self.scratch.clear();
+        self.accumulator
+            .apply_into_arena(action.actor, &action.ancestors, &mut self.scratch, arena);
+        for &user in &self.scratch {
+            let set = self
+                .accumulator
+                .influence_set(user)
+                .expect("grown set exists");
+            // Every grown set grew by exactly one user: the actor.
+            self.oracle
+                .process_grow_in(user, action.actor, set, weights, arena);
+            self.updates += 1;
+        }
+    }
+
+    /// Tears the checkpoint down, recycling its accumulator's bitmap
+    /// backing stores into `arena` so the next slide's set promotions skip
+    /// the global allocator (the expiry path of the slide loops).
+    pub fn recycle_into(self, arena: &mut WordArena) {
+        self.accumulator.recycle_into(arena);
     }
 
     /// The influence value of the checkpoint's current candidate solution

@@ -8,7 +8,9 @@
 //! depends on them.
 
 use proptest::prelude::*;
-use rtim_core::{Framework, IcFramework, ResolvedAction, SicFramework, SimConfig, SimEngine};
+use rtim_core::{
+    AdaptiveConfig, Framework, IcFramework, ResolvedAction, SicFramework, SimConfig, SimEngine,
+};
 use rtim_stream::{PropagationIndex, SocialStream};
 
 /// Resolves one action's reply ancestry through the index, the way the
@@ -198,6 +200,43 @@ proptest! {
                 prop_assert_eq!(mapped_seeds, got);
             }
         }
+    }
+
+    /// Timing-driven checkpoint migration cannot perturb results: with the
+    /// maximally trigger-happy [`AdaptiveConfig::aggressive`] (no skew
+    /// threshold, no cooldown, no time floor — a migration attempt after
+    /// *every* slide, keyed on nondeterministic wall-clock EWMAs) a 1–8
+    /// worker pool stays bit-identical to sequential execution for both
+    /// frameworks.  Whole-checkpoint moves at slide boundaries change
+    /// placement only, never arithmetic.
+    #[test]
+    fn aggressive_rebalancing_is_bit_identical_to_sequential(
+        actions in arb_actions(70, 12),
+        threads in 1usize..9,
+        slide in 1usize..5,
+    ) {
+        let window = 16usize;
+        let config = SimConfig::new(3, 0.25, window, slide);
+        let mut ic = IcFramework::new(config.with_threads(threads));
+        ic.set_adaptive(AdaptiveConfig::aggressive());
+        check_framework(
+            IcFramework::new(config),
+            ic,
+            |f: &IcFramework| (f.checkpoint_starts(), f.checkpoint_values()),
+            &actions,
+            window as u64,
+            slide,
+        )?;
+        let mut sic = SicFramework::new(config.with_threads(threads));
+        sic.set_adaptive(AdaptiveConfig::aggressive());
+        check_framework(
+            SicFramework::new(config),
+            sic,
+            |f: &SicFramework| (f.checkpoint_starts(), f.checkpoint_values()),
+            &actions,
+            window as u64,
+            slide,
+        )?;
     }
 
     /// The full engine path (`run_stream`, which routes through

@@ -78,7 +78,7 @@ mod kind {
 
 /// Number of `u64` counters in a `STATS` reply payload (wire order is
 /// documented on `encode_stats`).
-const STATS_FIELDS: usize = 11;
+const STATS_FIELDS: usize = 14;
 
 /// One protocol message, either direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -536,9 +536,10 @@ fn expect_empty(data: &[u8], frame: Frame) -> Result<Frame, FrameError> {
     }
 }
 
-/// Encodes [`EngineStats`] as 11 little-endian `u64`s, in field order:
+/// Encodes [`EngineStats`] as 14 little-endian `u64`s, in field order:
 /// `actions, batches, slides, checkpoints, oracle_updates, feed_nanos,
-/// query_nanos, queue_depth, max_queue_depth, users, orphaned_replies`.
+/// query_nanos, queue_depth, max_queue_depth, users, orphaned_replies,
+/// shard_migrations, shard_ewma_min_nanos, shard_ewma_max_nanos`.
 fn encode_stats(stats: &EngineStats, out: &mut Vec<u8>) {
     out.reserve(8 * STATS_FIELDS);
     for v in [
@@ -553,6 +554,9 @@ fn encode_stats(stats: &EngineStats, out: &mut Vec<u8>) {
         stats.max_queue_depth,
         stats.users,
         stats.orphaned_replies,
+        stats.shard_migrations,
+        stats.shard_ewma_min_nanos,
+        stats.shard_ewma_max_nanos,
     ] {
         out.extend_from_slice(&v.to_le_bytes());
     }
@@ -578,6 +582,9 @@ fn decode_stats(mut data: &[u8]) -> Result<EngineStats, FrameError> {
         max_queue_depth: data.get_u64_le(),
         users: data.get_u64_le(),
         orphaned_replies: data.get_u64_le(),
+        shard_migrations: data.get_u64_le(),
+        shard_ewma_min_nanos: data.get_u64_le(),
+        shard_ewma_max_nanos: data.get_u64_le(),
     })
 }
 
@@ -633,6 +640,9 @@ mod tests {
                     max_queue_depth: 9,
                     users: 10,
                     orphaned_replies: 11,
+                    shard_migrations: 12,
+                    shard_ewma_min_nanos: 13,
+                    shard_ewma_max_nanos: 14,
                 },
                 corr,
             });

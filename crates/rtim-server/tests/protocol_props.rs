@@ -88,6 +88,9 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
                     max_queue_depth: number % 128,
                     users: number % 1_000_000,
                     orphaned_replies: number % 17,
+                    shard_migrations: number % 23,
+                    shard_ewma_min_nanos: number / 11,
+                    shard_ewma_max_nanos: number / 9,
                 },
                 corr,
             },

@@ -60,6 +60,28 @@ impl InfluenceSets {
         self.sets.entry(actor).or_default().insert(influenced)
     }
 
+    /// [`Self::insert`] with bitmap allocation routed through a
+    /// [`WordArena`](crate::WordArena) (the slide-loop path).
+    pub fn insert_in(
+        &mut self,
+        actor: UserId,
+        influenced: UserId,
+        arena: &mut crate::WordArena,
+    ) -> bool {
+        self.sets
+            .entry(actor)
+            .or_default()
+            .insert_in(influenced, arena)
+    }
+
+    /// Tears the map down, recycling every bitmap backing store into
+    /// `arena` (used when a checkpoint expires).
+    pub fn recycle_into(mut self, arena: &mut crate::WordArena) {
+        for (_, set) in self.sets.drain() {
+            set.recycle_into(arena);
+        }
+    }
+
     /// Installs a whole influence set for `user`, returning the previous
     /// set if one existed (the snapshot-restore path; streaming ingestion
     /// grows sets through [`InfluenceSets::insert`] instead).
@@ -151,6 +173,31 @@ impl InfluenceAccumulator {
                 grew.push(u);
             }
         }
+    }
+
+    /// [`Self::apply_into`] with bitmap allocation routed through a
+    /// [`WordArena`](crate::WordArena) — the per-worker slide-loop path.
+    pub fn apply_into_arena(
+        &mut self,
+        actor: UserId,
+        ancestor_users: &[UserId],
+        grew: &mut Vec<UserId>,
+        arena: &mut crate::WordArena,
+    ) {
+        if self.sets.insert_in(actor, actor, arena) {
+            grew.push(actor);
+        }
+        for &u in ancestor_users {
+            if u != actor && self.sets.insert_in(u, actor, arena) {
+                grew.push(u);
+            }
+        }
+    }
+
+    /// Tears the accumulator down, recycling bitmap backing stores into
+    /// `arena` (the checkpoint-expiry path).
+    pub fn recycle_into(self, arena: &mut crate::WordArena) {
+        self.sets.recycle_into(arena);
     }
 
     /// Allocating convenience wrapper around [`Self::apply_into`]: returns

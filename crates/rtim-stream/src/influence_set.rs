@@ -131,6 +131,19 @@ impl InfluenceSet {
     /// [`Self::SMALL_MAX`] **and** the ids are dense enough for the bitmap
     /// to be worth its memory (see [`Self::WORDS_PER_ELEMENT_MAX`]).
     pub fn insert(&mut self, user: UserId) -> bool {
+        self.insert_impl(user, None)
+    }
+
+    /// [`Self::insert`] with bitmap allocation (promotion and growth)
+    /// routed through a [`WordArena`](crate::WordArena) — the slide-loop
+    /// path.  The resulting set is content-identical to a heap-backed one
+    /// (only the backing store's capacity provenance differs; equality,
+    /// iteration and the snapshot codec are all content/length-based).
+    pub fn insert_in(&mut self, user: UserId, arena: &mut crate::WordArena) -> bool {
+        self.insert_impl(user, Some(arena))
+    }
+
+    fn insert_impl(&mut self, user: UserId, arena: Option<&mut crate::WordArena>) -> bool {
         match &mut self.repr {
             Repr::Small(v) => match v.binary_search(&user) {
                 Ok(_) => false,
@@ -143,7 +156,10 @@ impl InfluenceSet {
                     {
                         v.insert(pos, user);
                     } else {
-                        let mut words = vec![0u64; words_needed];
+                        let mut words = match arena {
+                            Some(a) => a.take_zeroed(words_needed),
+                            None => vec![0u64; words_needed],
+                        };
                         for &u in v.iter() {
                             set_bit(&mut words, u.index());
                         }
@@ -160,7 +176,10 @@ impl InfluenceSet {
                 let i = user.index();
                 let (w, bit) = (i / 64, 1u64 << (i % 64));
                 if words.len() <= w {
-                    words.resize(w + 1, 0);
+                    match arena {
+                        Some(a) => a.grow_zeroed(words, w + 1),
+                        None => words.resize(w + 1, 0),
+                    }
                 }
                 if words[w] & bit != 0 {
                     false
@@ -214,9 +233,18 @@ impl InfluenceSet {
     /// Rebuilds a bitmap-representation set from its words (the state
     /// codec's restore path); the cached length is recomputed by popcount.
     pub(crate) fn from_words(words: Vec<u64>) -> Self {
-        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        let len = crate::kernels::popcount_words(&words);
         InfluenceSet {
             repr: Repr::Bits { words, len },
+        }
+    }
+
+    /// Tears the set down, recycling a bitmap backing store into `arena`
+    /// (small representations just drop).  Used when a checkpoint expires
+    /// so its thousands of bitmaps feed the next slide's promotions.
+    pub fn recycle_into(self, arena: &mut crate::WordArena) {
+        if let Repr::Bits { words, .. } = self.repr {
+            arena.recycle(words);
         }
     }
 }

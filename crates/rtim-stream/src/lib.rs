@@ -27,19 +27,32 @@
 //! the CRC-checked [`persist::state`] (`RTSS`) section substrate that
 //! engine snapshots build on, and the crash-tolerant
 //! [`persist::journal`] (`RTAJ`) of ingest batches.
+//!
+//! The hot-path word loops live in [`kernels`] (unrolled, with an optional
+//! stable-`std::arch` SIMD path behind the `simd` feature) and slide-time
+//! bitmap allocation recycles through [`WordArena`].
 
-#![forbid(unsafe_code)]
+// Unsafe is forbidden except for the `simd` feature, whose only unsafe is
+// the runtime-dispatched `#[target_feature]` call boundary in
+// `kernels::simd` (module-scoped allow there, same containment pattern as
+// rtim-server's poll FFI).
+#![cfg_attr(not(feature = "simd"), forbid(unsafe_code))]
+#![cfg_attr(feature = "simd", deny(unsafe_code))]
 #![warn(missing_docs)]
 
 pub mod action;
+pub mod arena;
 pub mod influence;
 pub mod influence_set;
+pub mod kernels;
 pub mod persist;
 pub mod propagation;
 pub mod stream;
 pub mod window;
 
 pub use action::{Action, ActionId, Timestamp, UserId};
+pub use arena::WordArena;
+pub use kernels::{absorb_count, and_not_popcount, and_not_popcount_at_least, popcount_words};
 pub use influence::{window_influence_sets, InfluenceAccumulator, InfluenceSets};
 pub use influence_set::{InfluenceSet, SetIter, SetView};
 pub use persist::journal::{read_journal, JournalContents, JournalWriter};

@@ -27,7 +27,10 @@
 //! tests.
 
 use crate::weights::ElementWeight;
-use rtim_stream::{InfluenceSet, SetView, UserId};
+use rtim_stream::{
+    absorb_count, and_not_popcount, and_not_popcount_at_least, popcount_words, InfluenceSet,
+    SetView, UserId, WordArena,
+};
 
 /// The union coverage of a seed set together with its weighted value.
 #[derive(Debug, Clone, Default)]
@@ -82,12 +85,15 @@ impl CoverageState {
         })
     }
 
-    #[inline]
-    fn word(&self, i: usize) -> u64 {
-        self.words.get(i).copied().unwrap_or(0)
-    }
-
     /// Marginal gain of adding a seed whose influence set is `set`.
+    ///
+    /// The bitmap arm splits at the covered/set common prefix so both loops
+    /// index directly (no per-word `get().unwrap_or(0)` bounds check); the
+    /// unit-weight prefix runs the unrolled
+    /// [`and_not_popcount`]/[`popcount_words`] kernels, summing integral
+    /// popcounts and converting to `f64` once (bit-identical — unit gains
+    /// are exact integers).  Weighted accumulation keeps the scalar
+    /// per-word order, part of the bit-identity contract.
     pub fn marginal_gain<W: ElementWeight>(&self, weight: &W, set: &InfluenceSet) -> f64 {
         match set.view() {
             SetView::Small(users) => {
@@ -100,19 +106,25 @@ impl CoverageState {
                 gain
             }
             SetView::Bits(words) => {
-                let mut gain = 0.0;
-                for (i, &sw) in words.iter().enumerate() {
-                    let new = sw & !self.word(i);
-                    if new == 0 {
-                        continue;
+                let n = words.len().min(self.words.len());
+                if weight.is_unit() {
+                    let covered_prefix = and_not_popcount(&words[..n], &self.words[..n]);
+                    (covered_prefix + popcount_words(&words[n..])) as f64
+                } else {
+                    let mut gain = 0.0;
+                    for (i, (&w, &c)) in words[..n].iter().zip(&self.words[..n]).enumerate() {
+                        let new = w & !c;
+                        if new != 0 {
+                            gain += weigh_bits(weight, i, new);
+                        }
                     }
-                    if weight.is_unit() {
-                        gain += new.count_ones() as f64;
-                    } else {
-                        gain += weigh_bits(weight, i, new);
+                    for (i, &new) in words.iter().enumerate().skip(n) {
+                        if new != 0 {
+                            gain += weigh_bits(weight, i, new);
+                        }
                     }
+                    gain
                 }
-                gain
             }
         }
     }
@@ -120,6 +132,13 @@ impl CoverageState {
     /// Marginal gain with an early-exit upper bound: stops summing as soon as
     /// the accumulated gain reaches `target` (useful for threshold tests where
     /// only "≥ target" matters).  Returns the (possibly truncated) gain.
+    ///
+    /// The unit-weight bitmap arm exits at 4-word-block granularity (the
+    /// unrolled [`and_not_popcount_at_least`] kernel), so the truncated
+    /// return value may differ from a per-word exit — callers only use it
+    /// in `gain >= target` / `gain > 0` predicates, both invariant under
+    /// the exit point (see the kernel docs).  The weighted arm keeps the
+    /// original per-word exit and accumulation order.
     pub fn marginal_gain_at_least<W: ElementWeight>(
         &self,
         weight: &W,
@@ -139,18 +158,40 @@ impl CoverageState {
                 }
             }
             SetView::Bits(words) => {
-                for (i, &sw) in words.iter().enumerate() {
-                    let new = sw & !self.word(i);
-                    if new == 0 {
-                        continue;
-                    }
-                    if weight.is_unit() {
-                        gain += new.count_ones() as f64;
-                    } else {
-                        gain += weigh_bits(weight, i, new);
-                    }
+                let n = words.len().min(self.words.len());
+                if weight.is_unit() {
+                    gain = and_not_popcount_at_least(&words[..n], &self.words[..n], target) as f64;
                     if gain >= target {
                         return gain;
+                    }
+                    for &new in &words[n..] {
+                        if new == 0 {
+                            continue;
+                        }
+                        gain += new.count_ones() as f64;
+                        if gain >= target {
+                            return gain;
+                        }
+                    }
+                } else {
+                    for (i, (&w, &c)) in words[..n].iter().zip(&self.words[..n]).enumerate() {
+                        let new = w & !c;
+                        if new == 0 {
+                            continue;
+                        }
+                        gain += weigh_bits(weight, i, new);
+                        if gain >= target {
+                            return gain;
+                        }
+                    }
+                    for (i, &new) in words.iter().enumerate().skip(n) {
+                        if new == 0 {
+                            continue;
+                        }
+                        gain += weigh_bits(weight, i, new);
+                        if gain >= target {
+                            return gain;
+                        }
                     }
                 }
             }
@@ -160,27 +201,48 @@ impl CoverageState {
 
     /// Adds a seed's influence set to the union, returning the realized gain.
     pub fn absorb<W: ElementWeight>(&mut self, weight: &W, set: &InfluenceSet) -> f64 {
+        self.absorb_impl(weight, set, None)
+    }
+
+    /// [`Self::absorb`] with bitmap growth routed through a [`WordArena`]
+    /// (the slide-loop path; content-identical, only the backing-store
+    /// provenance differs).
+    pub fn absorb_in<W: ElementWeight>(
+        &mut self,
+        weight: &W,
+        set: &InfluenceSet,
+        arena: &mut WordArena,
+    ) -> f64 {
+        self.absorb_impl(weight, set, Some(arena))
+    }
+
+    fn absorb_impl<W: ElementWeight>(
+        &mut self,
+        weight: &W,
+        set: &InfluenceSet,
+        mut arena: Option<&mut WordArena>,
+    ) -> f64 {
         let mut gain = 0.0;
         match set.view() {
             SetView::Small(users) => {
                 for &u in users {
-                    gain += self.absorb_bit(weight, u);
+                    gain += self.absorb_bit(weight, u, arena.as_deref_mut());
                 }
             }
             SetView::Bits(words) => {
-                if self.words.len() < words.len() {
-                    self.words.resize(words.len(), 0);
-                }
-                for (i, &sw) in words.iter().enumerate() {
-                    let new = sw & !self.words[i];
-                    if new == 0 {
-                        continue;
-                    }
-                    self.words[i] |= new;
-                    self.covered += new.count_ones() as usize;
-                    if weight.is_unit() {
-                        gain += new.count_ones() as f64;
-                    } else {
+                self.grow_words(words.len(), arena);
+                if weight.is_unit() {
+                    let newly = absorb_count(words, &mut self.words[..words.len()]);
+                    self.covered += newly;
+                    gain = newly as f64;
+                } else {
+                    for (i, &sw) in words.iter().enumerate() {
+                        let new = sw & !self.words[i];
+                        if new == 0 {
+                            continue;
+                        }
+                        self.words[i] |= new;
+                        self.covered += new.count_ones() as usize;
                         gain += weigh_bits(weight, i, new);
                     }
                 }
@@ -194,19 +256,50 @@ impl CoverageState {
     /// already covered).  This is the O(1) path the delta-aware set-stream
     /// mapping uses when an existing seed's influence set grows by one user.
     pub fn absorb_one<W: ElementWeight>(&mut self, weight: &W, user: UserId) -> f64 {
-        let gain = self.absorb_bit(weight, user);
+        let gain = self.absorb_bit(weight, user, None);
         self.value += gain;
         gain
+    }
+
+    /// [`Self::absorb_one`] with bitmap growth routed through a
+    /// [`WordArena`].
+    pub fn absorb_one_in<W: ElementWeight>(
+        &mut self,
+        weight: &W,
+        user: UserId,
+        arena: &mut WordArena,
+    ) -> f64 {
+        let gain = self.absorb_bit(weight, user, Some(arena));
+        self.value += gain;
+        gain
+    }
+
+    /// Zero-extends the bitmap to at least `words` words, recycling the old
+    /// backing store when an arena is available.
+    #[inline]
+    fn grow_words(&mut self, words: usize, arena: Option<&mut WordArena>) {
+        if self.words.len() >= words {
+            return;
+        }
+        match arena {
+            Some(a) => a.grow_zeroed(&mut self.words, words),
+            None => self.words.resize(words, 0),
+        }
     }
 
     /// Sets the bit of `user`, updating the count, and returns the weight
     /// gained (without touching `value` — callers accumulate it).
     #[inline]
-    fn absorb_bit<W: ElementWeight>(&mut self, weight: &W, user: UserId) -> f64 {
+    fn absorb_bit<W: ElementWeight>(
+        &mut self,
+        weight: &W,
+        user: UserId,
+        arena: Option<&mut WordArena>,
+    ) -> f64 {
         let i = user.index();
         let (w, bit) = (i / 64, 1u64 << (i % 64));
         if self.words.len() <= w {
-            self.words.resize(w + 1, 0);
+            self.grow_words(w + 1, arena);
         }
         if self.words[w] & bit != 0 {
             0.0
@@ -228,7 +321,7 @@ impl CoverageState {
     /// order, so recomputing it could differ in the last ulp and break the
     /// restored-equals-uninterrupted bit-identity guarantee.
     pub fn from_snapshot(words: Vec<u64>, value: f64) -> Self {
-        let covered = words.iter().map(|w| w.count_ones() as usize).sum();
+        let covered = popcount_words(&words);
         CoverageState {
             words,
             covered,

@@ -30,7 +30,7 @@
 
 use crate::weights::DenseWeights;
 use crate::{SieveStreaming, SwapStreaming, ThresholdStream};
-use rtim_stream::{InfluenceSet, UserId};
+use rtim_stream::{InfluenceSet, UserId, WordArena};
 use serde::{Deserialize, Serialize};
 
 /// Configuration shared by all SSO oracles.
@@ -82,6 +82,36 @@ pub trait SsoOracle: Send {
     ) {
         let _ = added;
         self.process(key, set, weights);
+    }
+
+    /// [`Self::process`] with slide-time bitmap growth routed through a
+    /// per-worker [`WordArena`] (see `rtim_stream::arena`).  The default
+    /// ignores the arena and delegates, so arena awareness — like
+    /// delta awareness — is an optimization, never a correctness
+    /// requirement for external oracle implementations.
+    fn process_in(
+        &mut self,
+        key: UserId,
+        set: &InfluenceSet,
+        weights: &DenseWeights,
+        arena: &mut WordArena,
+    ) {
+        let _ = arena;
+        self.process(key, set, weights);
+    }
+
+    /// [`Self::process_grow`] with arena-routed bitmap growth; same
+    /// delegation contract as [`Self::process_in`].
+    fn process_grow_in(
+        &mut self,
+        key: UserId,
+        added: UserId,
+        set: &InfluenceSet,
+        weights: &DenseWeights,
+        arena: &mut WordArena,
+    ) {
+        let _ = arena;
+        self.process_grow(key, added, set, weights);
     }
 
     /// The objective value `f(I(S))` of the current candidate solution.

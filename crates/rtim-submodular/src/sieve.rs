@@ -40,6 +40,11 @@ struct Instance {
     opt_guess: f64,
     /// Selected seeds, in admission order.
     seeds: Vec<UserId>,
+    /// Membership index over `seeds`: every element's first touch per
+    /// instance is a seed test, and a linear `seeds.contains` scan (up to
+    /// `k` ids, across `O(log k / β)` instances) dominated the whole
+    /// process loop before this index existed.
+    seed_set: InfluenceSet,
     /// Union coverage of the seeds' sets with its value.
     coverage: CoverageState,
 }
@@ -49,6 +54,7 @@ impl Instance {
         Instance {
             opt_guess,
             seeds: Vec::new(),
+            seed_set: InfluenceSet::new(),
             coverage: CoverageState::new(),
         }
     }
@@ -115,6 +121,7 @@ impl SieveStreaming {
                         inst.exponent,
                         Instance {
                             opt_guess: inst.parameter,
+                            seed_set: inst.seeds.iter().copied().collect(),
                             seeds: inst.seeds,
                             coverage: inst.coverage.restore(),
                         },
@@ -211,14 +218,18 @@ impl SieveStreaming {
         best
     }
 
-    /// Shared body of `process` / `process_grow`.  `added` is `Some` when
-    /// the set grew by exactly that one user since `key` was last fed.
+    /// Shared body of `process` / `process_grow` (and their `_in` arena
+    /// variants).  `added` is `Some` when the set grew by exactly that one
+    /// user since `key` was last fed; `arena` is `Some` on the slide-loop
+    /// path, where coverage-bitmap growth recycles through the per-worker
+    /// [`WordArena`](rtim_stream::WordArena).
     fn process_inner(
         &mut self,
         key: UserId,
         set: &InfluenceSet,
         weights: &DenseWeights,
         added: Option<UserId>,
+        mut arena: Option<&mut rtim_stream::WordArena>,
     ) {
         self.elements += 1;
         let single = self.singles.value(key, set, weights, added);
@@ -233,14 +244,20 @@ impl SieveStreaming {
 
         let k = self.config.k;
         for inst in self.instances.values_mut() {
-            if inst.seeds.contains(&key) {
+            if inst.seed_set.contains(key) {
                 // Updated influence set of an existing seed: refresh in
                 // place — O(1) when the single-user delta is known.
-                match added {
-                    Some(a) => {
+                match (added, arena.as_deref_mut()) {
+                    (Some(a), Some(arena)) => {
+                        inst.coverage.absorb_one_in(weights, a, arena);
+                    }
+                    (Some(a), None) => {
                         inst.coverage.absorb_one(weights, a);
                     }
-                    None => {
+                    (None, Some(arena)) => {
+                        inst.coverage.absorb_in(weights, set, arena);
+                    }
+                    (None, None) => {
                         inst.coverage.absorb(weights, set);
                     }
                 }
@@ -263,8 +280,16 @@ impl SieveStreaming {
                     .marginal_gain_at_least(weights, set, threshold)
             };
             if gain >= threshold && gain > 0.0 {
-                inst.coverage.absorb(weights, set);
+                match arena.as_deref_mut() {
+                    Some(arena) => {
+                        inst.coverage.absorb_in(weights, set, arena);
+                    }
+                    None => {
+                        inst.coverage.absorb(weights, set);
+                    }
+                }
                 inst.seeds.push(key);
+                inst.seed_set.insert(key);
             }
         }
     }
@@ -272,7 +297,7 @@ impl SieveStreaming {
 
 impl SsoOracle for SieveStreaming {
     fn process(&mut self, key: UserId, set: &InfluenceSet, weights: &DenseWeights) {
-        self.process_inner(key, set, weights, None);
+        self.process_inner(key, set, weights, None, None);
     }
 
     fn process_grow(
@@ -282,7 +307,28 @@ impl SsoOracle for SieveStreaming {
         set: &InfluenceSet,
         weights: &DenseWeights,
     ) {
-        self.process_inner(key, set, weights, Some(added));
+        self.process_inner(key, set, weights, Some(added), None);
+    }
+
+    fn process_in(
+        &mut self,
+        key: UserId,
+        set: &InfluenceSet,
+        weights: &DenseWeights,
+        arena: &mut rtim_stream::WordArena,
+    ) {
+        self.process_inner(key, set, weights, None, Some(arena));
+    }
+
+    fn process_grow_in(
+        &mut self,
+        key: UserId,
+        added: UserId,
+        set: &InfluenceSet,
+        weights: &DenseWeights,
+        arena: &mut rtim_stream::WordArena,
+    ) {
+        self.process_inner(key, set, weights, Some(added), Some(arena));
     }
 
     fn value(&self) -> f64 {

@@ -26,6 +26,9 @@ struct Instance {
     /// Fixed admission threshold `v / (2k)` for this guess `v`.
     threshold: f64,
     seeds: Vec<UserId>,
+    /// Membership index over `seeds` (O(1) seed test instead of a linear
+    /// scan; see the same field on the SieveStreaming instance).
+    seed_set: InfluenceSet,
     coverage: CoverageState,
 }
 
@@ -34,6 +37,7 @@ impl Instance {
         Instance {
             threshold: opt_guess / (2.0 * k as f64),
             seeds: Vec::new(),
+            seed_set: InfluenceSet::new(),
             coverage: CoverageState::new(),
         }
     }
@@ -84,6 +88,7 @@ impl ThresholdStream {
                         inst.exponent,
                         Instance {
                             threshold: inst.parameter,
+                            seed_set: inst.seeds.iter().copied().collect(),
                             seeds: inst.seeds,
                             coverage: inst.coverage.restore(),
                         },
@@ -137,7 +142,7 @@ impl ThresholdStream {
 
         let k = self.config.k;
         for inst in self.instances.values_mut() {
-            if inst.seeds.contains(&key) {
+            if inst.seed_set.contains(key) {
                 match added {
                     Some(a) => {
                         inst.coverage.absorb_one(weights, a);
@@ -157,6 +162,7 @@ impl ThresholdStream {
             if gain >= inst.threshold && gain > 0.0 {
                 inst.coverage.absorb(weights, set);
                 inst.seeds.push(key);
+                inst.seed_set.insert(key);
             }
         }
     }

@@ -111,3 +111,42 @@ proptest! {
             "exact {} truncated {} target {}", exact, truncated, target);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arena-backed coverage is bit-identical to heap-backed coverage:
+    /// routing bitmap growth through a `WordArena` — including buffers
+    /// recycled across slides — changes backing-store provenance only,
+    /// never a gain, value, or membership answer.
+    #[test]
+    fn arena_backed_coverage_matches_heap_backed(
+        rounds in prop::collection::vec(arb_sets(12, 600), 1..4),
+        unit in 0u32..2,
+    ) {
+        use rtim_stream::WordArena;
+        let weighted = weight_for(600);
+        let mut arena = WordArena::new();
+        for sets in &rounds {
+            let mut heap = CoverageState::new();
+            let mut pooled = CoverageState::new();
+            for ids in sets {
+                let set: InfluenceSet = ids.iter().map(|&v| UserId(v)).collect();
+                let (a, b) = if unit == 0 {
+                    (heap.absorb(&UnitWeight, &set),
+                     pooled.absorb_in(&UnitWeight, &set, &mut arena))
+                } else {
+                    (heap.absorb(&weighted, &set),
+                     pooled.absorb_in(&weighted, &set, &mut arena))
+                };
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+                prop_assert_eq!(heap.value().to_bits(), pooled.value().to_bits());
+                prop_assert_eq!(heap.covered_count(), pooled.covered_count());
+                for &v in ids {
+                    prop_assert_eq!(heap.covers(UserId(v)), pooled.covers(UserId(v)));
+                }
+            }
+            arena.end_slide();
+        }
+    }
+}
