@@ -1,19 +1,29 @@
 //! Emits the machine-readable recovery-performance artifact
-//! `BENCH_recover.json` (schema `rtim-bench-recover/v1`).
+//! `BENCH_recover.json` (schema `rtim-bench-recover/v2`).
 //!
-//! For each framework × pool-thread configuration the harness lives one
-//! full server life around the real recovery machinery:
+//! For each framework × pool-thread × rotation configuration the harness
+//! lives one full server life around the real recovery machinery:
 //!
-//! 1. journal a generated trace batch by batch while warming an engine on
-//!    its first ~90%, then time a snapshot (capture + atomic write);
+//! 1. journal a generated trace batch by batch — split across 1 or 4
+//!    rotated segments — while warming an engine on its first ~90%, then
+//!    time a snapshot (capture + atomic write);
 //! 2. keep feeding the uninterrupted engine to the end (the reference
-//!    answer);
-//! 3. cold-start twice from the same files through
-//!    [`rtim_core::recover_engine`] — once with the snapshot (journal-tail
-//!    replay only) and once without it (full-journal replay) — timing each
-//!    to its first answered query;
+//!    answer), with the post-snapshot tail in its own segment, exactly
+//!    like a live server that rotates at each snapshot;
+//! 3. cold-start twice from the same directory through
+//!    [`rtim_core::recover_engine`] — once with the snapshot
+//!    (journal-tail replay only) and once without it (full replay across
+//!    every segment) — timing each to its first answered query;
 //! 4. record snapshot size vs. the journal and live state, the cold-start
 //!    speedup, and whether all three answers were bit-identical.
+//!
+//! A final stall probe pushes the trace through the live pipeline twice —
+//! background snapshots off, then on a cadence of ~3 snapshots per run —
+//! and records the caller-side per-slide round-trip p99 of each: snapshot
+//! encoding and file I/O run on a dedicated writer thread, so the two
+//! percentiles should be close (capture still runs on the engine thread
+//! and shows up at p100, but is too rare to move p99 at realistic
+//! cadences).
 //!
 //! ```text
 //! cargo run --release -p rtim-bench --bin bench_recover -- \
@@ -22,11 +32,13 @@
 //! ```
 
 use rtim_bench::cli::Args;
-use rtim_bench::{CommonArgs, RecoverBenchReport, RecoverRun, COMMON_KEYS};
+use rtim_bench::{CommonArgs, RecoverBenchReport, RecoverRun, StallProbe, COMMON_KEYS};
 use rtim_core::{
-    recover_engine, write_snapshot_atomic, FrameworkKind, SimEngine, Solution,
+    recover_engine, write_snapshot_atomic, EngineHandle, FrameworkKind, HandleOptions,
+    PersistOptions, SimConfig, SimEngine, Solution, SNAPSHOT_FILE,
 };
-use rtim_stream::persist::journal::JournalWriter;
+use rtim_stream::{segment_file_name, Action, JournalWriter};
+use std::path::Path;
 use std::time::Instant;
 
 fn main() {
@@ -73,96 +85,51 @@ fn main() {
 
     for kind in [FrameworkKind::Sic, FrameworkKind::Ic] {
         for &t in &thread_counts {
-            let config = params.sim_config().with_threads(t);
-            let snapshot_path = dir.join(format!("{}_{t}.rtss", kind.name()));
-            let journal_path = dir.join(format!("{}_{t}.rtaj", kind.name()));
-
-            // Life 1: journal every batch, warm the engine to the cut.
-            let mut journal = JournalWriter::create(&journal_path).expect("create journal");
-            let mut engine = SimEngine::new(config, kind);
-            for chunk in actions[..cut].chunks(batch) {
-                journal.append_batch(chunk).expect("journal append");
-                engine.ingest_batch(chunk);
+            for pre_cut_segments in [1usize, 4] {
+                let config = params.sim_config().with_threads(t);
+                let run = measure_run(
+                    &dir,
+                    config,
+                    kind,
+                    t,
+                    actions,
+                    cut,
+                    batch,
+                    pre_cut_segments,
+                );
+                println!(
+                    "{:>12}  snap {:>9} B in {:>7.2} ms  {} segs  cold-start snap {:>8.2} ms \
+                     vs full {:>8.2} ms ({:>5.2}x)  identical: {}",
+                    run.name,
+                    run.snapshot_bytes,
+                    (run.capture_nanos + run.write_nanos) as f64 / 1e6,
+                    run.segments,
+                    run.cold_start_snapshot_nanos as f64 / 1e6,
+                    run.cold_start_full_nanos as f64 / 1e6,
+                    run.speedup,
+                    run.identical,
+                );
+                report.runs.push(run);
             }
-
-            // Snapshot: capture, then encode + atomic write.
-            let window_facts = engine.window_influence_sets().total_facts() as u64;
-            let started = Instant::now();
-            let snapshot = engine.snapshot().expect("built-in engines snapshot");
-            let capture_nanos = started.elapsed().as_nanos() as u64;
-            let checkpoints = snapshot.framework.set.checkpoints.len() as u64;
-            let watermark = snapshot.watermark;
-            let started = Instant::now();
-            let snapshot_bytes =
-                write_snapshot_atomic(&snapshot_path, &snapshot).expect("write snapshot");
-            let write_nanos = started.elapsed().as_nanos() as u64;
-
-            // Finish the uninterrupted life (journal stays ahead of the
-            // snapshot, exactly like a live server).
-            for chunk in actions[cut..].chunks(batch) {
-                journal.append_batch(chunk).expect("journal append");
-                engine.ingest_batch(chunk);
-            }
-            drop(journal);
-            let reference = engine.query();
-            let journal_bytes = std::fs::metadata(&journal_path).map_or(0, |m| m.len());
-
-            // Cold start A: snapshot + journal-tail replay, to first query.
-            let started = Instant::now();
-            let outcome = recover_engine(config, kind, &snapshot_path, &journal_path);
-            let with_snapshot = outcome.engine.query();
-            let cold_start_snapshot_nanos = started.elapsed().as_nanos() as u64;
-            assert!(outcome.used_snapshot, "snapshot was not used");
-
-            // Cold start B: full-journal replay (no snapshot file).
-            let started = Instant::now();
-            let outcome = recover_engine(
-                config,
-                kind,
-                dir.join("no-such-snapshot.rtss"),
-                &journal_path,
-            );
-            let full_replay = outcome.engine.query();
-            let cold_start_full_nanos = started.elapsed().as_nanos() as u64;
-
-            let identical = bit_identical(&with_snapshot, &reference)
-                && bit_identical(&full_replay, &reference);
-            let speedup = if cold_start_snapshot_nanos == 0 {
-                0.0
-            } else {
-                cold_start_full_nanos as f64 / cold_start_snapshot_nanos as f64
-            };
-
-            let run = RecoverRun {
-                name: format!("{}_t{t}", kind.name().to_ascii_lowercase()),
-                framework: kind.name().into(),
-                threads: t,
-                actions: actions.len() as u64,
-                snapshot_watermark: watermark,
-                capture_nanos,
-                write_nanos,
-                snapshot_bytes,
-                journal_bytes,
-                window_facts,
-                checkpoints,
-                cold_start_snapshot_nanos,
-                cold_start_full_nanos,
-                speedup,
-                identical,
-            };
-            println!(
-                "{:>8}  snap {:>9} B in {:>7.2} ms  cold-start snap {:>8.2} ms vs full {:>8.2} ms \
-                 ({:>5.2}x)  identical: {}",
-                run.name,
-                run.snapshot_bytes,
-                (run.capture_nanos + run.write_nanos) as f64 / 1e6,
-                run.cold_start_snapshot_nanos as f64 / 1e6,
-                run.cold_start_full_nanos as f64 / 1e6,
-                run.speedup,
-                run.identical,
-            );
-            report.runs.push(run);
         }
+    }
+
+    // Stall probe at each thread count, SIC (the heavier framework).
+    // One-slide laps: "slide-time p99" is the claim the writer thread has
+    // to defend.
+    for &t in &thread_counts {
+        let config = params.sim_config().with_threads(t);
+        let probe = measure_stall(&dir, config, t, actions, params.slide);
+        println!(
+            "{:>12}  stall p99 {:>8.2} ms baseline vs {:>8.2} ms with snapshots \
+             ({:.3}x, {} samples)",
+            probe.name,
+            probe.baseline_p99_nanos as f64 / 1e6,
+            probe.snapshot_p99_nanos as f64 / 1e6,
+            probe.ratio,
+            probe.samples,
+        );
+        report.stalls.push(probe);
     }
     std::fs::remove_dir_all(&dir).ok();
 
@@ -176,6 +143,187 @@ fn main() {
         std::process::exit(1);
     }
     println!("wrote {out}");
+}
+
+/// One recovery life: journal `actions[..cut]` across `pre_cut_segments`
+/// rotated segment files, snapshot at the cut (timed), journal the tail
+/// into its own segment, then cold-start with and without the snapshot.
+#[allow(clippy::too_many_arguments)]
+fn measure_run(
+    root: &Path,
+    config: SimConfig,
+    kind: FrameworkKind,
+    threads: usize,
+    actions: &[Action],
+    cut: usize,
+    batch: usize,
+    pre_cut_segments: usize,
+) -> RecoverRun {
+    let name = format!(
+        "{}_t{threads}_s{pre_cut_segments}",
+        kind.name().to_ascii_lowercase()
+    );
+    let run_dir = root.join(&name);
+    std::fs::remove_dir_all(&run_dir).ok();
+    std::fs::create_dir_all(&run_dir).expect("create run dir");
+
+    // Life 1: journal every batch, rotating so the pre-cut stream spans
+    // `pre_cut_segments` files, while warming the uninterrupted engine.
+    let pre_batches: Vec<&[Action]> = actions[..cut].chunks(batch).collect();
+    let per_segment = pre_batches.len().div_ceil(pre_cut_segments);
+    let mut engine = SimEngine::new(config, kind);
+    for (seg, seg_batches) in pre_batches.chunks(per_segment.max(1)).enumerate() {
+        let path = run_dir.join(segment_file_name(seg as u64 + 1));
+        let mut journal = JournalWriter::create(&path).expect("create segment");
+        for chunk in seg_batches {
+            journal.append_batch(chunk).expect("journal append");
+            engine.ingest_batch(chunk);
+        }
+    }
+
+    // Snapshot: capture, then encode + atomic write.
+    let snapshot_path = run_dir.join(SNAPSHOT_FILE);
+    let window_facts = engine.window_influence_sets().total_facts() as u64;
+    let started = Instant::now();
+    let snapshot = engine.snapshot().expect("built-in engines snapshot");
+    let capture_nanos = started.elapsed().as_nanos() as u64;
+    let checkpoints = snapshot.framework.set.checkpoints.len() as u64;
+    let watermark = snapshot.watermark;
+    let started = Instant::now();
+    let snapshot_bytes =
+        write_snapshot_atomic(&snapshot_path, &snapshot).expect("write snapshot");
+    let write_nanos = started.elapsed().as_nanos() as u64;
+
+    // Finish the uninterrupted life; a live server rotates at the
+    // snapshot, so the tail goes to a fresh segment.
+    let tail_path = run_dir.join(segment_file_name(pre_cut_segments as u64 + 1));
+    let mut journal = JournalWriter::create(&tail_path).expect("create tail segment");
+    for chunk in actions[cut..].chunks(batch) {
+        journal.append_batch(chunk).expect("journal append");
+        engine.ingest_batch(chunk);
+    }
+    drop(journal);
+    let reference = engine.query();
+
+    let mut journal_bytes = 0u64;
+    let mut segments = 0u64;
+    for entry in std::fs::read_dir(&run_dir).expect("list run dir") {
+        let entry = entry.expect("dir entry");
+        if entry.file_name().to_string_lossy().ends_with(".rtaj") {
+            segments += 1;
+            journal_bytes += entry.metadata().map_or(0, |m| m.len());
+        }
+    }
+
+    // Cold start A: snapshot + journal-tail replay, to first query.
+    let started = Instant::now();
+    let outcome = recover_engine(config, kind, &run_dir);
+    let with_snapshot = outcome.engine.query();
+    let cold_start_snapshot_nanos = started.elapsed().as_nanos() as u64;
+    assert!(outcome.used_snapshot, "snapshot was not used");
+
+    // Cold start B: full replay across every segment (snapshot removed).
+    std::fs::remove_file(&snapshot_path).expect("drop snapshot");
+    let started = Instant::now();
+    let outcome = recover_engine(config, kind, &run_dir);
+    let full_replay = outcome.engine.query();
+    let cold_start_full_nanos = started.elapsed().as_nanos() as u64;
+    assert!(!outcome.used_snapshot);
+
+    let identical =
+        bit_identical(&with_snapshot, &reference) && bit_identical(&full_replay, &reference);
+    let speedup = if cold_start_snapshot_nanos == 0 {
+        0.0
+    } else {
+        cold_start_full_nanos as f64 / cold_start_snapshot_nanos as f64
+    };
+    std::fs::remove_dir_all(&run_dir).ok();
+
+    RecoverRun {
+        name,
+        framework: kind.name().into(),
+        threads,
+        actions: actions.len() as u64,
+        snapshot_watermark: watermark,
+        capture_nanos,
+        write_nanos,
+        snapshot_bytes,
+        journal_bytes,
+        segments,
+        window_facts,
+        checkpoints,
+        cold_start_snapshot_nanos,
+        cold_start_full_nanos,
+        speedup,
+        identical,
+    }
+}
+
+/// Pushes the trace through the live pipeline twice — background
+/// snapshots off, then on a cadence that fires ~3 snapshots over the run
+/// — and returns the caller-side per-batch round-trip p99 of each side.
+/// Snapshot capture runs on the engine thread, so a lap that dispatches a
+/// snapshot pays for it; at any realistic cadence those laps are rarer
+/// than 1-in-100 and p99 stays flat, which is exactly the property this
+/// probe guards.
+fn measure_stall(
+    root: &Path,
+    config: SimConfig,
+    threads: usize,
+    actions: &[Action],
+    batch: usize,
+) -> StallProbe {
+    const REPS: usize = 3;
+    let name = format!("sic_t{threads}");
+    let slides = (actions.len() / config.slide.max(1)) as u64;
+    let snapshot_cadence = (slides / 3).max(1);
+    let mut p99s = [u64::MAX; 2];
+    let mut samples = 0u64;
+    // Best-of-3 per side: the p99 tail is where scheduler noise lives, and
+    // the minimum over repetitions is the standard way to see through it.
+    for rep in 0..REPS {
+        for (side, cadence) in [(0usize, 0u64), (1, snapshot_cadence)] {
+            let probe_dir = root.join(format!("stall_{name}_{side}_{rep}"));
+            std::fs::remove_dir_all(&probe_dir).ok();
+            let persist =
+                PersistOptions::new(&probe_dir).with_snapshot_every_slides(cadence);
+            let handle = EngineHandle::spawn(
+                config,
+                FrameworkKind::Sic,
+                HandleOptions::default().with_persistence(persist),
+            );
+            let mut sender = handle.sender();
+            let mut laps = Vec::with_capacity(actions.len() / batch + 1);
+            for chunk in actions.chunks(batch) {
+                let started = Instant::now();
+                sender.ingest(chunk.to_vec()).expect("ingest");
+                // The stats round trip fences the batch: the engine has
+                // finished its slides (and dispatched any snapshot) when
+                // the reply arrives, so the lap covers real slide time.
+                let _ = sender.stats().expect("stats");
+                laps.push(started.elapsed().as_nanos() as u64);
+            }
+            handle.shutdown();
+            std::fs::remove_dir_all(&probe_dir).ok();
+            laps.sort_unstable();
+            samples = laps.len() as u64;
+            let idx = (laps.len().saturating_sub(1)) * 99 / 100;
+            p99s[side] = p99s[side].min(laps.get(idx).copied().unwrap_or(0));
+        }
+    }
+    let ratio = if p99s[0] == 0 {
+        0.0
+    } else {
+        p99s[1] as f64 / p99s[0] as f64
+    };
+    StallProbe {
+        name,
+        samples,
+        snapshot_cadence_slides: snapshot_cadence,
+        baseline_p99_nanos: p99s[0],
+        snapshot_p99_nanos: p99s[1],
+        ratio,
+    }
 }
 
 /// Bit-level solution equality (seed order and value bits).

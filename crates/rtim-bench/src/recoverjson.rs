@@ -8,15 +8,20 @@
 //!
 //! Like the other `BENCH_*.json` artifacts, the document is written by a
 //! small hand-rolled writer (the vendored `serde` is a no-op stub) and
-//! versioned via the `schema` field (`rtim-bench-recover/v1`); CI
+//! versioned via the `schema` field (`rtim-bench-recover/v2`); CI
 //! smoke-runs the emission path and uploads the artifact.
+//!
+//! Version 2 added the journal-rotation axis (each run records how many
+//! segments the cold start replayed across) and the background-snapshot
+//! stall probe (per-batch round-trip p99 with and without background
+//! snapshots — off-engine-thread snapshot writes must not stall slides).
 
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
 /// Schema identifier of the emitted JSON document.
-pub const RECOVER_SCHEMA: &str = "rtim-bench-recover/v1";
+pub const RECOVER_SCHEMA: &str = "rtim-bench-recover/v2";
 
 /// One recovery measurement: warm an engine, snapshot it, then cold-start
 /// twice (with and without the snapshot) from the same journal.
@@ -38,8 +43,11 @@ pub struct RecoverRun {
     pub write_nanos: u64,
     /// Encoded snapshot size in bytes.
     pub snapshot_bytes: u64,
-    /// Journal file size in bytes (the full-replay input).
+    /// Total journal bytes across all segments (the full-replay input).
     pub journal_bytes: u64,
+    /// Journal segment files the cold start replayed across (1 = no
+    /// rotation happened before the crash).
+    pub segments: u64,
     /// Live-state size proxy: total `(influencer, influenced)` facts
     /// retained across the window's exact influence sets at snapshot time.
     pub window_facts: u64,
@@ -69,11 +77,35 @@ impl RecoverRun {
     }
 }
 
+/// The background-snapshot stall probe: the same trace pushed through the
+/// live pipeline twice — once with background snapshots off, once with
+/// them on — measuring the per-batch ingest round-trip p99 caller-side.
+/// Snapshot capture happens on the engine thread but encoding and file
+/// I/O run on the writer thread, so the two percentiles should be close.
+#[derive(Debug, Clone)]
+pub struct StallProbe {
+    /// Probe label, e.g. `"sic_t1"`.
+    pub name: String,
+    /// Round-trip samples per side (one per ingest batch).
+    pub samples: u64,
+    /// Background snapshots requested during the snapshot side.
+    pub snapshot_cadence_slides: u64,
+    /// p99 per-batch round-trip, background snapshots disabled.
+    pub baseline_p99_nanos: u64,
+    /// p99 per-batch round-trip, background snapshots every
+    /// `snapshot_cadence_slides` slides.
+    pub snapshot_p99_nanos: u64,
+    /// `snapshot_p99_nanos / baseline_p99_nanos`.
+    pub ratio: f64,
+}
+
 /// The complete `BENCH_recover.json` document.
 #[derive(Debug, Clone, Default)]
 pub struct RecoverBenchReport {
     /// Measured runs, in execution order.
     pub runs: Vec<RecoverRun>,
+    /// Background-snapshot stall probes, in execution order.
+    pub stalls: Vec<StallProbe>,
 }
 
 impl RecoverBenchReport {
@@ -107,6 +139,7 @@ impl RecoverBenchReport {
             );
             let _ = write!(out, "\"snapshot_bytes\": {}, ", run.snapshot_bytes);
             let _ = write!(out, "\"journal_bytes\": {}, ", run.journal_bytes);
+            let _ = write!(out, "\"segments\": {}, ", run.segments);
             let _ = write!(out, "\"window_facts\": {}, ", run.window_facts);
             let _ = write!(out, "\"checkpoints\": {}, ", run.checkpoints);
             let _ = write!(
@@ -121,6 +154,25 @@ impl RecoverBenchReport {
             );
             let _ = write!(out, "\"speedup\": {}, ", json_f64(run.speedup));
             let _ = write!(out, "\"identical\": {}", run.identical);
+            out.push('}');
+        }
+        out.push_str("\n  ],\n");
+        out.push_str("  \"stalls\": [");
+        for (i, probe) in self.stalls.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"name\": {}, ", json_str(&probe.name));
+            let _ = write!(out, "\"samples\": {}, ", probe.samples);
+            let _ = write!(
+                out,
+                "\"snapshot_cadence_slides\": {}, ",
+                probe.snapshot_cadence_slides
+            );
+            let _ = write!(out, "\"baseline_p99_nanos\": {}, ", probe.baseline_p99_nanos);
+            let _ = write!(out, "\"snapshot_p99_nanos\": {}, ", probe.snapshot_p99_nanos);
+            let _ = write!(out, "\"ratio\": {}", json_f64(probe.ratio));
             out.push('}');
         }
         out.push_str("\n  ]\n}\n");
@@ -178,6 +230,7 @@ mod tests {
             write_nanos: 1_500_000,
             snapshot_bytes: 2_000_000,
             journal_bytes: 2_100_000,
+            segments: 4,
             window_facts: 300_000,
             checkpoints: 12,
             cold_start_snapshot_nanos: 50_000_000,
@@ -189,12 +242,25 @@ mod tests {
 
     #[test]
     fn json_carries_schema_runs_and_balanced_braces() {
-        let report = RecoverBenchReport { runs: vec![run()] };
+        let report = RecoverBenchReport {
+            runs: vec![run()],
+            stalls: vec![StallProbe {
+                name: "sic_t1".into(),
+                samples: 200,
+                snapshot_cadence_slides: 8,
+                baseline_p99_nanos: 1_000_000,
+                snapshot_p99_nanos: 1_050_000,
+                ratio: 1.05,
+            }],
+        };
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"rtim-bench-recover/v1\""));
+        assert!(json.contains("\"schema\": \"rtim-bench-recover/v2\""));
         assert!(json.contains("\"name\": \"sic_t1\""));
         assert!(json.contains("\"speedup\": 8"));
         assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"segments\": 4"));
+        assert!(json.contains("\"snapshot_p99_nanos\": 1050000"));
+        assert!(json.contains("\"ratio\": 1.05"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

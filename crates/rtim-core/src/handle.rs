@@ -37,48 +37,132 @@
 use crate::config::SimConfig;
 use crate::engine::{SimEngine, SlideReport};
 use crate::framework::{FrameworkKind, Solution};
-use crate::snapshot::{recover_engine, write_snapshot_atomic};
+pub use crate::snapshot::SNAPSHOT_FILE;
+use crate::snapshot::{
+    recover_engine_with, write_snapshot_atomic_with, write_snapshot_bytes_atomic, EngineSnapshot,
+};
 use fxhash::FxHashMap;
-use rtim_stream::persist::journal::JournalWriter;
+use rtim_stream::persist::faultfs::Fs;
+use rtim_stream::persist::segjournal::{
+    segment_file_name, CompletedSegment, SegmentedJournal, LEGACY_JOURNAL_FILE,
+};
 use rtim_stream::{Action, ActionId, SocialStream};
 use serde::{Deserialize, Serialize};
-use std::path::{Path, PathBuf};
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-/// File name of the engine snapshot inside a persistence directory.
-pub const SNAPSHOT_FILE: &str = "snapshot.rtss";
+/// File name of the first (legacy, pre-rotation) journal segment inside a
+/// persistence directory.  Rotated segments are named `journal.NNNNNN.rtaj`
+/// (see [`rtim_stream::persist::segjournal::segment_file_name`]).
+pub const JOURNAL_FILE: &str = LEGACY_JOURNAL_FILE;
 
-/// File name of the arrival-order journal inside a persistence directory.
-pub const JOURNAL_FILE: &str = "journal.rtaj";
+/// When the engine thread `fsync`s the active journal segment.
+///
+/// Journal *writes* happen on every batch regardless; the policy only
+/// controls how much a **machine** crash (power loss) can lose.  A process
+/// crash (SIGKILL) loses nothing under any policy — the page cache
+/// survives the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// Never fsync on the batch path; segments are synced when rotated and
+    /// when a snapshot is dispatched.  Fastest; a machine crash can lose
+    /// every batch since the last rotation/snapshot.
+    #[default]
+    Never,
+    /// fsync after every appended batch: a machine crash loses at most the
+    /// batch being written.  Slowest.
+    EveryBatch,
+    /// fsync once every `n` appended batches (`n` is clamped to ≥ 1): a
+    /// machine crash loses at most `n` batches.
+    EveryNBatches(u64),
+    /// Like [`FsyncPolicy::Never`], but stated explicitly: durability
+    /// points are exactly the snapshot dispatches.
+    OnSnapshot,
+}
+
+/// The durability condition of a running pipeline, surfaced through
+/// [`EngineStats::durability_state`] and [`EngineReport::durability`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DurabilityState {
+    /// No persistence configured; nothing is journaled.
+    Disabled,
+    /// The journal is armed: every ingested batch hits the disk before the
+    /// engine processes it.
+    Durable,
+    /// A journal I/O error suspended journaling.  Ingest continues from
+    /// memory; the engine retries with exponential backoff, and a
+    /// successful re-arm writes a snapshot covering the un-journaled gap
+    /// before the state returns to [`DurabilityState::Durable`].
+    Degraded,
+}
+
+impl DurabilityState {
+    /// The stable wire encoding used by the `STATS` protocol frame.
+    pub fn wire_code(self) -> u64 {
+        match self {
+            DurabilityState::Disabled => 0,
+            DurabilityState::Durable => 1,
+            DurabilityState::Degraded => 2,
+        }
+    }
+
+    /// Decodes [`DurabilityState::wire_code`].
+    pub fn from_wire_code(code: u64) -> Option<DurabilityState> {
+        match code {
+            0 => Some(DurabilityState::Disabled),
+            1 => Some(DurabilityState::Durable),
+            2 => Some(DurabilityState::Degraded),
+            _ => None,
+        }
+    }
+}
 
 /// Durable-state options of an [`EngineHandle`]: where the snapshot and
-/// journal live, and how often to snapshot automatically.
+/// journal segments live, how often to snapshot, when to fsync, and which
+/// (possibly fault-injected) filesystem to do it all through.
 ///
 /// With persistence enabled the engine thread (1) recovers at startup —
-/// latest valid snapshot plus the journal tail past its watermark, falling
-/// back to full replay if the snapshot is corrupt — and (2) journals every
-/// accepted batch *before* processing it, so the files always cover the
-/// engine state.  See `docs/RECOVERY.md`.
+/// latest valid snapshot plus the segmented journal past its watermark,
+/// falling back to full replay if the snapshot is corrupt — and
+/// (2) journals every accepted batch *before* processing it, so the files
+/// always cover the engine state.  Snapshots are encoded and written on a
+/// background writer thread; the journal rotates at each snapshot and
+/// segments older than the latest durable snapshot are deleted.  See
+/// `docs/RECOVERY.md`.
 #[derive(Debug, Clone)]
 pub struct PersistOptions {
-    /// Directory holding [`SNAPSHOT_FILE`] and [`JOURNAL_FILE`] (created if
-    /// absent).
+    /// Directory holding [`SNAPSHOT_FILE`] and the journal segments
+    /// (created if absent).
     pub dir: PathBuf,
     /// Write a snapshot automatically after this many window slides
     /// (`0` = only on explicit [`IngestSender::snapshot`] requests).
     pub snapshot_every_slides: u64,
+    /// Journal fsync cadence.
+    pub fsync: FsyncPolicy,
+    /// Size backstop for journal rotation in bytes (`0` = rotate only when
+    /// snapshots are dispatched).  Keeps single segments bounded when
+    /// snapshots are rare.
+    pub rotate_segment_bytes: u64,
+    /// The filesystem every journal/snapshot operation flows through —
+    /// [`Fs::real`] in production, a fault-injecting handle in tests.
+    pub fs: Fs,
 }
 
 impl PersistOptions {
-    /// Persistence in `dir` with manual-only snapshots.
+    /// Persistence in `dir` with manual-only snapshots and default
+    /// policies.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
         PersistOptions {
             dir: dir.into(),
             snapshot_every_slides: 0,
+            fsync: FsyncPolicy::default(),
+            rotate_segment_bytes: 0,
+            fs: Fs::real(),
         }
     }
 
@@ -88,12 +172,31 @@ impl PersistOptions {
         self
     }
 
+    /// Sets the journal fsync cadence.
+    pub fn with_fsync(mut self, fsync: FsyncPolicy) -> Self {
+        self.fsync = fsync;
+        self
+    }
+
+    /// Sets the journal-segment size backstop.
+    pub fn with_rotate_segment_bytes(mut self, bytes: u64) -> Self {
+        self.rotate_segment_bytes = bytes;
+        self
+    }
+
+    /// Routes all durability I/O through `fs` (fault injection).
+    pub fn with_fs(mut self, fs: Fs) -> Self {
+        self.fs = fs;
+        self
+    }
+
     /// Path of the snapshot file.
     pub fn snapshot_path(&self) -> PathBuf {
         self.dir.join(SNAPSHOT_FILE)
     }
 
-    /// Path of the journal file.
+    /// Path of the first (legacy-named) journal segment.  Recovery reads
+    /// every `journal*.rtaj` segment in the directory, not just this one.
     pub fn journal_path(&self) -> PathBuf {
         self.dir.join(JOURNAL_FILE)
     }
@@ -189,6 +292,16 @@ pub struct EngineStats {
     pub shard_ewma_min_nanos: u64,
     /// Largest per-shard feed-time EWMA, in nanoseconds.
     pub shard_ewma_max_nanos: u64,
+    /// Ingested batches whose journal persistence is not yet guaranteed:
+    /// batches appended since the last fsync while durable, batches never
+    /// journaled since the degrade while degraded, 0 without persistence.
+    pub journal_lag_batches: u64,
+    /// Window slides processed since the last *successful* snapshot write
+    /// (equals `slides` when none has ever been written).
+    pub snapshot_age_slides: u64,
+    /// [`DurabilityState`] wire code (see
+    /// [`DurabilityState::wire_code`]): 0 disabled, 1 durable, 2 degraded.
+    pub durability_state: u64,
 }
 
 /// Number of trailing [`SlideReport`]s retained in an [`EngineReport`].
@@ -208,6 +321,8 @@ pub struct EngineReport {
     /// dequeued ([`SlideReport::queue_depth`]) — a shape sample of the
     /// pipeline's tail, not bulk storage (aggregates live in `stats`).
     pub recent_slides: Vec<SlideReport>,
+    /// The durability condition at shutdown.
+    pub durability: DurabilityState,
 }
 
 /// Why an ingest attempt did not enqueue.
@@ -764,53 +879,502 @@ struct SourceState {
     remap: FxHashMap<u64, u64>,
 }
 
-/// Opens (or recovers) the durable state behind a persistence-enabled
-/// pipeline: runs the recovery decision tree, resumes the journal writer
-/// (truncating any torn tail), and reports what happened on stderr — a
-/// serving pipeline degrades to non-durable operation rather than dying
-/// when the disk misbehaves.
-fn open_persistence(
-    config: SimConfig,
-    kind: FrameworkKind,
-    persist: &PersistOptions,
-) -> (SimEngine, u64, Option<JournalWriter>) {
-    if let Err(e) = std::fs::create_dir_all(&persist.dir) {
-        eprintln!(
-            "rtim-engine: cannot create persistence directory {}: {e}; running non-durable",
-            persist.dir.display()
-        );
-        return (SimEngine::new(config, kind), 0, None);
-    }
-    let outcome = recover_engine(config, kind, persist.snapshot_path(), persist.journal_path());
-    for note in &outcome.notes {
-        eprintln!("rtim-engine recovery: {note}");
-    }
-    let writer = match JournalWriter::resume(persist.journal_path(), outcome.journal_valid_len) {
-        Ok(w) => Some(w),
-        Err(e) => {
-            eprintln!(
-                "rtim-engine: cannot resume journal {}: {e}; running non-durable",
-                persist.journal_path().display()
-            );
-            None
-        }
-    };
-    (outcome.engine, outcome.watermark, writer)
+/// Failed re-arm retries double their batch-count backoff up to this cap.
+const REARM_BACKOFF_CAP: u64 = 1024;
+
+/// How a completed snapshot answers its requester.
+enum SnapshotReply {
+    /// Slide-cadence background snapshot: nobody to answer.
+    Background,
+    /// A blocking [`IngestSender::snapshot`] round trip.
+    Channel(mpsc::Sender<Result<SnapshotInfo, SnapshotRequestError>>),
+    /// An asynchronous request routed back through a completion sink.
+    Sink { token: u64, sink: CompletionSink },
 }
 
-/// Captures and atomically writes one snapshot (the engine thread's
-/// manual-request and background-trigger paths share this).
-fn take_snapshot(
-    engine: &SimEngine,
-    path: &Path,
-) -> Result<SnapshotInfo, SnapshotRequestError> {
-    let snapshot = engine
-        .snapshot()
-        .map_err(|e| SnapshotRequestError::Failed(e.to_string()))?;
-    let watermark = snapshot.watermark;
-    let bytes = write_snapshot_atomic(path, &snapshot)
-        .map_err(|e| SnapshotRequestError::Failed(e.to_string()))?;
-    Ok(SnapshotInfo { watermark, bytes })
+/// Answers a requester with a snapshot failure (a background snapshot has
+/// no requester; its failure is logged by the caller).
+fn reply_snapshot_error(reply: SnapshotReply, msg: String) {
+    let failed = Err(SnapshotRequestError::Failed(msg));
+    match reply {
+        SnapshotReply::Background => {}
+        SnapshotReply::Channel(tx) => drop(tx.send(failed)),
+        SnapshotReply::Sink { token, sink } => {
+            sink.complete(token, CompletionPayload::Snapshot(failed));
+        }
+    }
+}
+
+/// One snapshot handed to the writer thread.  The state was *captured* on
+/// the engine thread (preserving the one-writer invariant and the
+/// command-order guarantee); encoding and file I/O happen off-thread so
+/// slides never stall behind the disk.
+struct SnapshotJob {
+    snapshot: EngineSnapshot,
+    path: PathBuf,
+    fs: Fs,
+    reply: SnapshotReply,
+}
+
+/// The writer thread's completion report, drained by the engine thread
+/// (which compacts the journal behind a successful watermark).
+struct SnapshotDone {
+    watermark: u64,
+    slides: u64,
+    result: Result<u64, String>,
+}
+
+/// The background snapshot writer thread: encodes and atomically writes
+/// each captured snapshot, answers the requester directly, and reports
+/// back to the engine thread.  Exits when the job channel closes at
+/// shutdown (after finishing every queued job).
+fn snapshot_writer_loop(jobs: Receiver<SnapshotJob>, done: mpsc::Sender<SnapshotDone>) {
+    while let Ok(job) = jobs.recv() {
+        let watermark = job.snapshot.watermark;
+        let slides = job.snapshot.slides;
+        let bytes = job.snapshot.encode();
+        let result = write_snapshot_bytes_atomic(&job.path, &bytes, &job.fs)
+            .map_err(|e| e.to_string());
+        let info = result
+            .as_ref()
+            .map(|&bytes| SnapshotInfo { watermark, bytes })
+            .map_err(|e| SnapshotRequestError::Failed(e.clone()));
+        match job.reply {
+            SnapshotReply::Background => {}
+            SnapshotReply::Channel(tx) => drop(tx.send(info)),
+            SnapshotReply::Sink { token, sink } => {
+                sink.complete(token, CompletionPayload::Snapshot(info));
+            }
+        }
+        let _ = done.send(SnapshotDone {
+            watermark,
+            slides,
+            result,
+        });
+    }
+}
+
+/// The engine thread's journal state machine (see `docs/RECOVERY.md`):
+/// `Durable` appends every batch before it is ingested; any journal I/O
+/// error drops to `Degraded`, which keeps serving from memory and retries
+/// a full re-arm — fresh segment plus a snapshot covering the un-journaled
+/// gap — with exponential batch-count backoff.
+enum Durability {
+    /// No persistence configured.
+    Disabled,
+    /// Journal armed.
+    Durable(SegmentedJournal),
+    /// Journaling suspended after an I/O error.
+    Degraded {
+        /// The first error of this degraded period.
+        cause: String,
+        /// Batches ingested without journal coverage since the degrade.
+        lost_batches: u64,
+        /// Current backoff width in batches.
+        backoff: u64,
+        /// Batches left before the next re-arm attempt.
+        until_retry: u64,
+        /// Sequence number the re-armed fresh segment will use.
+        next_seq: u64,
+        /// Pre-degrade segments still on disk: compaction candidates once
+        /// a post-re-arm snapshot covers them.
+        stale: Vec<CompletedSegment>,
+    },
+}
+
+impl Durability {
+    fn state(&self) -> DurabilityState {
+        match self {
+            Durability::Disabled => DurabilityState::Disabled,
+            Durability::Durable(_) => DurabilityState::Durable,
+            Durability::Degraded { .. } => DurabilityState::Degraded,
+        }
+    }
+
+    fn lag_batches(&self) -> u64 {
+        match self {
+            Durability::Disabled => 0,
+            Durability::Durable(journal) => journal.unsynced_batches(),
+            Durability::Degraded { lost_batches, .. } => *lost_batches,
+        }
+    }
+
+    /// Demotes a failed journal to `Degraded`, keeping every on-disk
+    /// segment tracked for compaction after a later covering snapshot.
+    fn degrade(journal: SegmentedJournal, lost: u64, what: &str, e: &io::Error) -> Durability {
+        eprintln!("rtim-engine: {what} failed ({e}); journaling degraded, will re-arm");
+        let cause = format!("{what}: {e}");
+        let (next_seq, stale) = journal.decommission();
+        Durability::Degraded {
+            cause,
+            lost_batches: lost,
+            backoff: 1,
+            until_retry: 1,
+            next_seq,
+            stale,
+        }
+    }
+}
+
+/// Everything durable owned by the engine thread: the journal state
+/// machine, the background snapshot writer, and snapshot-cadence
+/// bookkeeping.
+struct Persistence {
+    opts: PersistOptions,
+    durability: Durability,
+    job_tx: Option<mpsc::Sender<SnapshotJob>>,
+    done_rx: Receiver<SnapshotDone>,
+    writer: Option<JoinHandle<()>>,
+    /// A dispatched snapshot has not completed yet.  Gates *background*
+    /// triggers only; explicit requests always enqueue (the writer
+    /// serializes them).
+    snapshot_in_flight: bool,
+    /// Engine slide count at the last successful snapshot write.
+    last_snapshot_slides: u64,
+    /// Slide count at which the next background snapshot dispatches.
+    next_background_at: u64,
+}
+
+impl Persistence {
+    /// Recovers the durable state and arms the machinery: runs the
+    /// recovery decision tree over the persistence directory, orphans
+    /// unreachable journal files, resumes the newest segment, and spawns
+    /// the snapshot writer thread.  Every disk failure degrades (typed,
+    /// retried with backoff) instead of dying or silently going
+    /// non-durable.
+    fn open(
+        config: SimConfig,
+        kind: FrameworkKind,
+        opts: PersistOptions,
+    ) -> (SimEngine, u64, Persistence) {
+        let (job_tx, job_rx) = mpsc::channel();
+        let (done_tx, done_rx) = mpsc::channel();
+        let writer = std::thread::Builder::new()
+            .name("rtim-snapwriter".into())
+            .spawn(move || snapshot_writer_loop(job_rx, done_tx))
+            .expect("spawn snapshot writer thread");
+        let mut persistence = Persistence {
+            opts,
+            durability: Durability::Disabled,
+            job_tx: Some(job_tx),
+            done_rx,
+            writer: Some(writer),
+            snapshot_in_flight: false,
+            last_snapshot_slides: 0,
+            next_background_at: 0,
+        };
+        let opts = &persistence.opts;
+        if let Err(e) = opts.fs.create_dir_all(&opts.dir) {
+            eprintln!(
+                "rtim-engine: cannot create persistence directory {}: {e}; \
+                 degraded (will retry)",
+                opts.dir.display()
+            );
+            persistence.durability = Durability::Degraded {
+                cause: format!("create persistence directory: {e}"),
+                lost_batches: 0,
+                backoff: 1,
+                until_retry: 1,
+                next_seq: 1,
+                stale: Vec::new(),
+            };
+            return (SimEngine::new(config, kind), 0, persistence);
+        }
+        let outcome = recover_engine_with(config, kind, &opts.dir, &opts.fs);
+        for note in &outcome.notes {
+            eprintln!("rtim-engine recovery: {note}");
+        }
+        persistence.durability = match SegmentedJournal::open(
+            &opts.dir,
+            &opts.fs,
+            opts.rotate_segment_bytes,
+            &outcome.journal_resume,
+        ) {
+            Ok(journal) => Durability::Durable(journal),
+            Err(e) => {
+                eprintln!(
+                    "rtim-engine: cannot arm the journal in {}: {e}; degraded (will retry)",
+                    opts.dir.display()
+                );
+                Durability::Degraded {
+                    cause: format!("arm journal: {e}"),
+                    lost_batches: 0,
+                    backoff: 1,
+                    until_retry: 1,
+                    next_seq: outcome.journal_resume.next_seq,
+                    stale: outcome.journal_resume.completed.clone(),
+                }
+            }
+        };
+        persistence.last_snapshot_slides = outcome.snapshot_slides;
+        (outcome.engine, outcome.watermark, persistence)
+    }
+
+    /// Journals one rebased batch ahead of ingestion, driving the
+    /// durability state machine.  Returns `true` when a degraded-mode
+    /// re-arm just succeeded — the caller must publish the covering
+    /// snapshot ([`Persistence::finish_rearm`]) right after ingesting this
+    /// batch.
+    fn journal_before_ingest(&mut self, batch: &[Action]) -> bool {
+        let fsync = self.opts.fsync;
+        let current = std::mem::replace(&mut self.durability, Durability::Disabled);
+        let (next, rearmed) = match current {
+            Durability::Disabled => (Durability::Disabled, false),
+            Durability::Durable(mut journal) => {
+                let result = journal.append_batch(batch).and_then(|()| {
+                    let due = match fsync {
+                        FsyncPolicy::EveryBatch => true,
+                        FsyncPolicy::EveryNBatches(n) => journal.unsynced_batches() >= n.max(1),
+                        FsyncPolicy::Never | FsyncPolicy::OnSnapshot => false,
+                    };
+                    if due {
+                        journal.sync()
+                    } else {
+                        Ok(())
+                    }
+                });
+                match result {
+                    Ok(()) => (Durability::Durable(journal), false),
+                    // The batch's durability is unknown at best: count it
+                    // lost, so the re-arm snapshot is required to cover it.
+                    Err(e) => (Durability::degrade(journal, 1, "journal append", &e), false),
+                }
+            }
+            Durability::Degraded {
+                cause,
+                lost_batches,
+                backoff,
+                until_retry,
+                next_seq,
+                stale,
+            } => {
+                if until_retry > 1 {
+                    let next = Durability::Degraded {
+                        cause,
+                        lost_batches: lost_batches + 1,
+                        backoff,
+                        until_retry: until_retry - 1,
+                        next_seq,
+                        stale,
+                    };
+                    (next, false)
+                } else {
+                    match self.try_rearm(batch, next_seq, stale.clone()) {
+                        Ok(journal) => {
+                            eprintln!(
+                                "rtim-engine: journal re-armed on segment {next_seq} after \
+                                 {lost_batches} un-journaled batches; writing the covering \
+                                 snapshot"
+                            );
+                            (Durability::Durable(journal), true)
+                        }
+                        Err(e) => {
+                            let widened = (backoff * 2).min(REARM_BACKOFF_CAP);
+                            eprintln!(
+                                "rtim-engine: journal re-arm failed ({e}); \
+                                 retrying in {widened} batches"
+                            );
+                            let next = Durability::Degraded {
+                                cause,
+                                lost_batches: lost_batches + 1,
+                                backoff: widened,
+                                until_retry: widened,
+                                next_seq,
+                                stale,
+                            };
+                            (next, false)
+                        }
+                    }
+                }
+            }
+        };
+        self.durability = next;
+        rearmed
+    }
+
+    /// One re-arm attempt: (re)create the persistence directory, open a
+    /// fresh segment at `seq`, append and fsync the current batch.  The
+    /// same `seq` is reused across failed attempts — recreating truncates
+    /// a torn previous attempt, so no two segments ever hold overlapping
+    /// ids.
+    fn try_rearm(
+        &self,
+        batch: &[Action],
+        seq: u64,
+        stale: Vec<CompletedSegment>,
+    ) -> io::Result<SegmentedJournal> {
+        self.opts.fs.create_dir_all(&self.opts.dir)?;
+        let result = SegmentedJournal::rearm(
+            &self.opts.dir,
+            &self.opts.fs,
+            self.opts.rotate_segment_bytes,
+            seq,
+            stale,
+            0,
+        )
+        .and_then(|mut journal| {
+            journal.append_batch(batch)?;
+            journal.sync()?;
+            Ok(journal)
+        });
+        if result.is_err() {
+            // Best effort: a torn half-armed segment must not linger.
+            let _ = self
+                .opts
+                .fs
+                .remove_file(&self.opts.dir.join(segment_file_name(seq)));
+        }
+        result
+    }
+
+    /// Completes a re-arm: writes a snapshot covering everything ingested
+    /// so far — including every batch the degraded period never journaled
+    /// — *synchronously* on the engine thread.  Re-arming must prove its
+    /// covering snapshot before the pipeline claims durability again; a
+    /// failure here drops straight back to degraded (doubled backoff
+    /// happens at the next failed re-arm, not here — the journal side
+    /// already worked).
+    fn finish_rearm(&mut self, engine: &SimEngine) {
+        let written = engine
+            .snapshot()
+            .map_err(|e| io::Error::other(e.to_string()))
+            .and_then(|snap| {
+                write_snapshot_atomic_with(&self.opts.snapshot_path(), &snap, &self.opts.fs)
+                    .map(|_| (snap.watermark, snap.slides))
+            });
+        match written {
+            Ok((watermark, slides)) => {
+                self.last_snapshot_slides = slides;
+                if let Durability::Durable(journal) = &mut self.durability {
+                    if let Err(e) = journal.compact(watermark) {
+                        eprintln!(
+                            "rtim-engine: post-re-arm compaction failed ({e}); \
+                             covered segments will be retried"
+                        );
+                    }
+                }
+                eprintln!(
+                    "rtim-engine: durability restored (covering snapshot at watermark \
+                     {watermark})"
+                );
+            }
+            Err(e) => {
+                let current = std::mem::replace(&mut self.durability, Durability::Disabled);
+                self.durability = match current {
+                    Durability::Durable(journal) => {
+                        Durability::degrade(journal, 0, "re-arm covering snapshot", &e)
+                    }
+                    other => other,
+                };
+            }
+        }
+    }
+
+    /// Captures the engine state and hands it to the snapshot writer
+    /// thread.  The journal rotates first (rotation seals and fsyncs the
+    /// active segment), so the snapshot's watermark lands on a segment
+    /// boundary and completion can compact whole segments — and the
+    /// journal is never less durable than the snapshot that watermarks it.
+    fn dispatch_snapshot(&mut self, engine: &SimEngine, reply: SnapshotReply) {
+        let current = std::mem::replace(&mut self.durability, Durability::Disabled);
+        self.durability = match current {
+            Durability::Durable(mut journal) => match journal.rotate() {
+                Ok(()) => Durability::Durable(journal),
+                Err(e) => Durability::degrade(journal, 0, "journal rotation", &e),
+            },
+            other => other,
+        };
+        self.next_background_at =
+            engine.slides_processed() + self.opts.snapshot_every_slides;
+        let snapshot = match engine.snapshot() {
+            Ok(snapshot) => snapshot,
+            Err(e) => {
+                if matches!(reply, SnapshotReply::Background) {
+                    eprintln!("rtim-engine: background snapshot capture failed: {e}");
+                }
+                reply_snapshot_error(reply, e.to_string());
+                return;
+            }
+        };
+        let job = SnapshotJob {
+            snapshot,
+            path: self.opts.snapshot_path(),
+            fs: self.opts.fs.clone(),
+            reply,
+        };
+        let tx = self.job_tx.as_ref().expect("snapshot writer armed");
+        match tx.send(job) {
+            Ok(()) => self.snapshot_in_flight = true,
+            Err(mpsc::SendError(job)) => {
+                // The writer thread is gone (it panicked); answer the
+                // requester rather than hanging it.
+                reply_snapshot_error(job.reply, "snapshot writer thread is gone".into());
+            }
+        }
+    }
+
+    /// Dispatches a slide-cadence background snapshot when due.  At most
+    /// one snapshot is in flight; a trigger that lands while one is being
+    /// written waits for the first slide that finds the writer idle.
+    fn maybe_background_snapshot(&mut self, engine: &SimEngine) {
+        if self.opts.snapshot_every_slides == 0
+            || self.snapshot_in_flight
+            || engine.slides_processed() < self.next_background_at
+        {
+            return;
+        }
+        self.dispatch_snapshot(engine, SnapshotReply::Background);
+    }
+
+    /// Absorbs writer-thread completions: a success records the snapshot
+    /// cadence and compacts the journal behind the new watermark; a
+    /// failure is logged and the next trigger retries.
+    fn drain_completions(&mut self) {
+        while let Ok(done) = self.done_rx.try_recv() {
+            self.snapshot_in_flight = false;
+            match done.result {
+                Ok(_) => {
+                    self.last_snapshot_slides = self.last_snapshot_slides.max(done.slides);
+                    if let Durability::Durable(journal) = &mut self.durability {
+                        if let Err(e) = journal.compact(done.watermark) {
+                            eprintln!(
+                                "rtim-engine: journal compaction failed ({e}); \
+                                 covered segments will be retried"
+                            );
+                        }
+                    }
+                }
+                Err(e) => eprintln!("rtim-engine: background snapshot write failed: {e}"),
+            }
+        }
+    }
+
+    /// Point-in-time durability fields of a stats answer (`stats.slides`
+    /// must already be current).
+    fn fill_stats(&self, stats: &mut EngineStats) {
+        stats.journal_lag_batches = self.durability.lag_batches();
+        stats.snapshot_age_slides = stats.slides.saturating_sub(self.last_snapshot_slides);
+        stats.durability_state = self.durability.state().wire_code();
+    }
+
+    /// Drain-complete teardown: final journal fsync, then close the job
+    /// channel, join the writer thread (it finishes every queued job
+    /// first) and absorb the remaining completions.
+    fn shutdown(&mut self) {
+        let current = std::mem::replace(&mut self.durability, Durability::Disabled);
+        self.durability = match current {
+            Durability::Durable(mut journal) => match journal.sync() {
+                Ok(()) => Durability::Durable(journal),
+                Err(e) => Durability::degrade(journal, 0, "final journal sync", &e),
+            },
+            other => other,
+        };
+        drop(self.job_tx.take());
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+        self.drain_completions();
+    }
 }
 
 /// The engine thread: dequeues commands in arrival order and owns the
@@ -823,8 +1387,11 @@ fn engine_loop(
     shared: Arc<Shared>,
 ) -> EngineReport {
     let mut stats = EngineStats::default();
-    let (mut engine, watermark, mut disk_journal) = match &options.persist {
-        Some(persist) => open_persistence(config, kind, persist),
+    let (mut engine, watermark, mut persistence) = match options.persist.clone() {
+        Some(persist) => {
+            let (engine, watermark, p) = Persistence::open(config, kind, persist);
+            (engine, watermark, Some(p))
+        }
         None => (SimEngine::new(config, kind), 0, None),
     };
     // Continuity after recovery: global ids continue past the journal,
@@ -833,12 +1400,9 @@ fn engine_loop(
     let mut next_id: u64 = watermark + 1;
     stats.actions = watermark;
     stats.slides = engine.slides_processed();
-    let snapshot_every = options
-        .persist
-        .as_ref()
-        .map_or(0, |p| p.snapshot_every_slides);
-    let snapshot_path = options.persist.as_ref().map(|p| p.snapshot_path());
-    let mut slides_since_snapshot: u64 = 0;
+    if let Some(p) = &mut persistence {
+        p.next_background_at = stats.slides + p.opts.snapshot_every_slides;
+    }
 
     let mut sources: FxHashMap<u64, SourceState> = FxHashMap::default();
     let mut last_prune: u64 = 0;
@@ -872,6 +1436,13 @@ fn engine_loop(
             .saturating_sub(drained) as usize;
         stats.max_queue_depth = stats.max_queue_depth.max(observed as u64);
 
+        // Completions from the snapshot writer arrive between commands;
+        // absorbing them here keeps compaction on the engine thread (the
+        // journal has exactly one owner).
+        if let Some(p) = &mut persistence {
+            p.drain_completions();
+        }
+
         match command {
             Command::Ingest { source, actions } => {
                 let state = sources.entry(source).or_default();
@@ -893,19 +1464,13 @@ fn engine_loop(
                 // Journal before processing: the disk always covers at
                 // least what the engine state reflects, so a snapshot's
                 // watermark can never run ahead of the journal.
-                if let Some(writer) = &mut disk_journal {
-                    if let Err(e) = writer.append_batch(&rebased) {
-                        eprintln!(
-                            "rtim-engine: journal append failed ({e}); running non-durable"
-                        );
-                        disk_journal = None;
-                    }
-                }
+                let rearmed = persistence
+                    .as_mut()
+                    .is_some_and(|p| p.journal_before_ingest(&rebased));
                 let reports = engine.ingest_batch(&rebased);
                 stats.batches += 1;
                 stats.actions += rebased.len() as u64;
                 stats.slides += reports.len() as u64;
-                slides_since_snapshot += reports.len() as u64;
                 for mut report in reports {
                     report.queue_depth = observed;
                     stats.feed_nanos += report.feed_nanos;
@@ -929,20 +1494,13 @@ fn engine_loop(
                         last_prune = next_id;
                     }
                 }
-                // Background snapshot trigger: every N slides, between
-                // batches (never mid-slide — slides never span batches).
-                if snapshot_every > 0 && slides_since_snapshot >= snapshot_every {
-                    if let Some(path) = &snapshot_path {
-                        match take_snapshot(&engine, path) {
-                            Ok(_) => slides_since_snapshot = 0,
-                            Err(e) => {
-                                eprintln!("rtim-engine: background snapshot failed: {e}");
-                                // Back off until the next trigger window
-                                // instead of retrying every batch.
-                                slides_since_snapshot = 0;
-                            }
-                        }
+                if let Some(p) = &mut persistence {
+                    if rearmed {
+                        p.finish_rearm(&engine);
                     }
+                    // Background snapshot trigger: every N slides, between
+                    // batches (never mid-slide — slides never span batches).
+                    p.maybe_background_snapshot(&engine);
                 }
             }
             Command::Query { reply } => {
@@ -952,18 +1510,13 @@ fn engine_loop(
                 let _ = reply.send(solution);
             }
             Command::Stats { reply } => {
-                finish_stats(&mut stats, &engine, &shared);
+                finish_stats(&mut stats, &engine, &shared, persistence.as_ref());
                 let _ = reply.send(stats);
             }
-            Command::Snapshot { reply } => {
-                let result = match &snapshot_path {
-                    None => Err(SnapshotRequestError::Disabled),
-                    Some(path) => take_snapshot(&engine, path).inspect(|_| {
-                        slides_since_snapshot = 0;
-                    }),
-                };
-                let _ = reply.send(result);
-            }
+            Command::Snapshot { reply } => match &mut persistence {
+                None => drop(reply.send(Err(SnapshotRequestError::Disabled))),
+                Some(p) => p.dispatch_snapshot(&engine, SnapshotReply::Channel(reply)),
+            },
             Command::QueryAsync { token, sink } => {
                 let started = Instant::now();
                 let solution = engine.query();
@@ -971,25 +1524,32 @@ fn engine_loop(
                 sink.complete(token, CompletionPayload::Solution(solution));
             }
             Command::StatsAsync { token, sink } => {
-                finish_stats(&mut stats, &engine, &shared);
+                finish_stats(&mut stats, &engine, &shared, persistence.as_ref());
                 sink.complete(token, CompletionPayload::Stats(stats));
             }
-            Command::SnapshotAsync { token, sink } => {
-                let result = match &snapshot_path {
-                    None => Err(SnapshotRequestError::Disabled),
-                    Some(path) => take_snapshot(&engine, path).inspect(|_| {
-                        slides_since_snapshot = 0;
-                    }),
-                };
-                sink.complete(token, CompletionPayload::Snapshot(result));
-            }
+            Command::SnapshotAsync { token, sink } => match &mut persistence {
+                None => sink.complete(
+                    token,
+                    CompletionPayload::Snapshot(Err(SnapshotRequestError::Disabled)),
+                ),
+                Some(p) => p.dispatch_snapshot(&engine, SnapshotReply::Sink { token, sink }),
+            },
             Command::Shutdown => {
                 draining = true;
             }
         }
     }
 
-    finish_stats(&mut stats, &engine, &shared);
+    // Final fsync + writer-thread join happen before the stats freeze, so
+    // the report reflects the closing durability state (a failed final
+    // sync shows up as degraded).
+    if let Some(p) = &mut persistence {
+        p.shutdown();
+    }
+    finish_stats(&mut stats, &engine, &shared, persistence.as_ref());
+    let durability = persistence
+        .as_ref()
+        .map_or(DurabilityState::Disabled, |p| p.durability.state());
     EngineReport {
         stats,
         final_solution: engine.query(),
@@ -997,11 +1557,17 @@ fn engine_loop(
         // earlier assigned ids, so the journal is valid by construction.
         journal: options.journal.then(|| SocialStream::new_unchecked(journal)),
         recent_slides: recent.into_iter().collect(),
+        durability,
     }
 }
 
 /// Fills the point-in-time fields of the stats snapshot.
-fn finish_stats(stats: &mut EngineStats, engine: &SimEngine, shared: &Shared) {
+fn finish_stats(
+    stats: &mut EngineStats,
+    engine: &SimEngine,
+    shared: &Shared,
+    persistence: Option<&Persistence>,
+) {
     stats.checkpoints = engine.checkpoint_count() as u64;
     stats.oracle_updates = engine.oracle_updates();
     stats.users = engine.interner().len() as u64;
@@ -1010,6 +1576,9 @@ fn finish_stats(stats: &mut EngineStats, engine: &SimEngine, shared: &Shared) {
     stats.shard_migrations = pool.migrations;
     stats.shard_ewma_min_nanos = pool.ewma_min_nanos;
     stats.shard_ewma_max_nanos = pool.ewma_max_nanos;
+    if let Some(p) = persistence {
+        p.fill_stats(stats);
+    }
 }
 
 #[cfg(test)]
@@ -1289,13 +1858,15 @@ mod tests {
             for t in 1..=12u64 {
                 sender.ingest(vec![Action::root(t, (t % 5) as u32)]).unwrap();
             }
-            // Order a query behind the ingests so the trigger has run.
-            let _ = sender.query().unwrap();
+            // Snapshots are written off-thread; shutdown joins the writer,
+            // so afterwards the triggered snapshot is on disk.  A fast
+            // burst may find the writer busy at later triggers (at most
+            // one snapshot is in flight), so only the first is guaranteed.
+            handle.shutdown();
             let snap_path = dir.join(SNAPSHOT_FILE);
             assert!(snap_path.exists(), "no background snapshot written");
             let snap = crate::snapshot::load_snapshot(&snap_path).unwrap();
-            assert!(snap.watermark >= 4, "watermark {}", snap.watermark);
-            handle.shutdown();
+            assert!(snap.watermark >= 2, "watermark {}", snap.watermark);
         }
         std::fs::remove_dir_all(&dir).ok();
     }

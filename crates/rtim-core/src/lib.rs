@@ -85,16 +85,18 @@ pub use config::SimConfig;
 pub use engine::{RunReport, SimEngine, SlideReport};
 pub use framework::{Framework, FrameworkKind, ResolvedAction, Solution};
 pub use handle::{
-    AsyncRequestError, Completion, CompletionPayload, CompletionSink, EngineHandle, EngineReport,
-    EngineStats, HandleClosed, HandleOptions, IngestError, IngestSender, PersistOptions,
-    SenderSpawner, SnapshotInfo, SnapshotRequestError, JOURNAL_FILE, RECENT_SLIDES, SNAPSHOT_FILE,
+    AsyncRequestError, Completion, CompletionPayload, CompletionSink, DurabilityState,
+    EngineHandle, EngineReport, EngineStats, FsyncPolicy, HandleClosed, HandleOptions,
+    IngestError, IngestSender, PersistOptions, SenderSpawner, SnapshotInfo, SnapshotRequestError,
+    JOURNAL_FILE, RECENT_SLIDES, SNAPSHOT_FILE,
 };
 pub use ic::IcFramework;
 pub use intern::UserInterner;
 pub use pool::{AdaptiveConfig, CheckpointStat, PoolStats, ShardPool};
 pub use sic::SicFramework;
 pub use snapshot::{
-    load_snapshot, recover_engine, write_snapshot_atomic, CheckpointSetState, CheckpointState,
+    load_snapshot, load_snapshot_with, recover_engine, recover_engine_with, write_snapshot_atomic,
+    write_snapshot_atomic_with, write_snapshot_bytes_atomic, CheckpointSetState, CheckpointState,
     EngineSnapshot, FrameworkState, RecoveryOutcome, SnapshotError,
 };
 pub use ssm::Checkpoint;

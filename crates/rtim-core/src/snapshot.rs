@@ -12,15 +12,22 @@
 //!   CRC-checked sections — see [`rtim_stream::persist::state`]) and
 //!   carries the **journal watermark**: the id of the last action the
 //!   engine had processed, so recovery replays only the journal suffix.
-//! * [`write_snapshot_atomic`] — temp-file + rename, so a crash mid-write
-//!   can never leave a torn snapshot visible under the live name.
-//! * [`recover_engine`] — the startup decision tree: load the latest valid
-//!   snapshot (falling back to a cold engine if it is missing, corrupt, or
-//!   was taken under a different configuration), then replay the journal
-//!   tail batch by batch.  Because the journal records *batches* (the
-//!   engine's slide-cut unit), a recovered engine's subsequent answers are
-//!   **bit-identical** to an engine that never stopped.
+//! * [`write_snapshot_atomic`] — temp-file + `fsync` + rename + parent
+//!   directory `fsync`, so a crash at any point (including a machine
+//!   crash right after the rename) can never leave a torn snapshot
+//!   visible under the live name, and a published snapshot is durable.
+//! * [`recover_engine`] — the startup decision tree over a persistence
+//!   *directory*: load the latest valid snapshot (falling back to a cold
+//!   engine if it is missing, corrupt, or was taken under a different
+//!   configuration), then replay the segmented journal past the snapshot
+//!   watermark, batch by batch and across segment boundaries.  Because the
+//!   journal records *batches* (the engine's slide-cut unit), a recovered
+//!   engine's subsequent answers are **bit-identical** to an engine that
+//!   never stopped.
 //!
+//! All file I/O flows through the fault-injectable
+//! [`rtim_stream::persist::faultfs::Fs`] layer; the `*_with` variants take
+//! an explicit handle, the plain ones use the zero-cost pass-through.
 //! The recovery semantics and file formats are documented in
 //! `docs/RECOVERY.md`.
 
@@ -29,7 +36,11 @@ use crate::engine::SimEngine;
 use crate::framework::FrameworkKind;
 use crate::ic::IcFramework;
 use crate::sic::SicFramework;
-use rtim_stream::persist::journal::read_journal;
+use rtim_stream::persist::faultfs::Fs;
+use rtim_stream::persist::segjournal::{
+    read_journal_dir, resume_plan, CompletedSegment, JournalDirContents, JournalResume,
+    ResumePoint,
+};
 use rtim_stream::persist::state::{
     decode_actions, decode_influence_sets, decode_propagation_index, encode_actions,
     encode_influence_sets, encode_propagation_index, ByteReader, StateDocument, StateError,
@@ -39,6 +50,9 @@ use rtim_stream::{Action, InfluenceSets, PropagationIndex, UserId};
 use rtim_submodular::{OracleKind, OracleState};
 use std::io;
 use std::path::Path;
+
+/// File name of the snapshot inside a persistence directory.
+pub const SNAPSHOT_FILE: &str = "snapshot.rtss";
 
 /// Errors produced when capturing or rehydrating engine state (codec-level
 /// failures are [`StateError`]; this type covers the semantic layer).
@@ -451,34 +465,60 @@ impl SimEngine {
 }
 
 /// Writes a snapshot durably and atomically: encode, write to
-/// `<path>.tmp`, `fsync`, then rename over `path`.  A crash at any point
-/// leaves either the previous snapshot or none — never a torn file under
-/// the live name (property-tested in `tests/snapshot_props.rs`).
+/// `<path>.tmp`, `fsync`, rename over `path`, then `fsync` the parent
+/// directory.  A crash at any point leaves either the previous snapshot or
+/// none — never a torn file under the live name (property-tested in
+/// `tests/snapshot_props.rs`) — and once this returns, the rename itself
+/// is durable (without the directory `fsync` a machine crash could undo
+/// the publish even though the data blocks survived).
 ///
 /// Returns the encoded size in bytes.
 pub fn write_snapshot_atomic(
     path: impl AsRef<Path>,
     snapshot: &EngineSnapshot,
 ) -> io::Result<u64> {
-    let path = path.as_ref();
-    let bytes = snapshot.encode();
+    write_snapshot_atomic_with(path.as_ref(), snapshot, &Fs::real())
+}
+
+/// [`write_snapshot_atomic`] through an explicit (possibly
+/// fault-injected) [`Fs`].
+pub fn write_snapshot_atomic_with(
+    path: &Path,
+    snapshot: &EngineSnapshot,
+    fs: &Fs,
+) -> io::Result<u64> {
+    write_snapshot_bytes_atomic(path, &snapshot.encode(), fs)
+}
+
+/// The byte-level core of [`write_snapshot_atomic`], for callers that
+/// already hold the encoded document (the background snapshot writer).
+pub fn write_snapshot_bytes_atomic(path: &Path, bytes: &[u8], fs: &Fs) -> io::Result<u64> {
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = std::path::PathBuf::from(tmp);
     {
-        use std::io::Write as _;
-        let mut file = std::fs::File::create(&tmp)?;
-        file.write_all(&bytes)?;
+        let mut file = fs.create(&tmp)?;
+        file.write_all(bytes)?;
         file.sync_all()?;
     }
-    std::fs::rename(&tmp, path)?;
+    fs.rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            fs.sync_dir(parent)?;
+        }
+    }
     Ok(bytes.len() as u64)
 }
 
 /// Loads and decodes a snapshot file.  A missing file is
 /// `StateError::Io(NotFound)`; corruption is the decoder's typed error.
 pub fn load_snapshot(path: impl AsRef<Path>) -> Result<EngineSnapshot, StateError> {
-    let data = std::fs::read(path)?;
+    load_snapshot_with(path.as_ref(), &Fs::real())
+}
+
+/// [`load_snapshot`] through an explicit [`Fs`].
+pub fn load_snapshot_with(path: &Path, fs: &Fs) -> Result<EngineSnapshot, StateError> {
+    let data = fs.read(path)?;
     EngineSnapshot::decode(&data)
 }
 
@@ -490,45 +530,70 @@ pub struct RecoveryOutcome {
     pub used_snapshot: bool,
     /// The snapshot's watermark (0 without a snapshot).
     pub snapshot_watermark: u64,
+    /// Window slides the snapshot had processed (0 without a snapshot) —
+    /// the baseline for `snapshot_age_slides` accounting.
+    pub snapshot_slides: u64,
     /// Journal batches replayed past the watermark.
     pub replayed_batches: u64,
     /// Journal actions replayed past the watermark.
     pub replayed_actions: u64,
     /// Id of the last action the engine has now processed.
     pub watermark: u64,
-    /// Byte length of the journal's valid prefix — what a resumed journal
-    /// writer truncates to (0 if the journal must be recreated).
-    pub journal_valid_len: u64,
+    /// How a resumed journal writer must re-arm: which segment to append
+    /// to (and at what truncation offset), which files to orphan first,
+    /// and which completed segments are compaction candidates.
+    pub journal_resume: JournalResume,
     /// Human-readable notes about fallbacks taken (corrupt snapshot,
-    /// configuration mismatch, torn journal tail, …).
+    /// configuration mismatch, torn journal tail, rejected or orphaned
+    /// segments, detected data-loss gaps, …).
     pub notes: Vec<String>,
 }
 
-/// The startup recovery decision tree (see `docs/RECOVERY.md`):
+/// The startup recovery decision tree over a persistence directory (see
+/// `docs/RECOVERY.md`):
 ///
-/// 1. Try the snapshot.  Use it only if it decodes, matches the requested
-///    configuration and framework, and restores cleanly; otherwise note the
-///    reason and fall back to a cold engine.
-/// 2. Read the journal (missing → empty; torn tail → valid prefix) and
-///    replay every batch past the snapshot watermark, batch by batch — the
-///    journal's batch boundaries reproduce the engine's original slide
-///    cuts, so the recovered engine's answers are bit-identical to an
-///    uninterrupted engine's.
+/// 1. Try `snapshot.rtss`.  Use it only if it decodes, matches the
+///    requested configuration and framework, and restores cleanly;
+///    otherwise note the reason and fall back to a cold engine.
+/// 2. Read every journal segment (missing → empty; torn tail in the newest
+///    segment → valid prefix; a torn/corrupt *older* segment severs the
+///    sequence there) and replay every batch past the snapshot watermark,
+///    batch by batch and across segment boundaries — the journal's batch
+///    boundaries reproduce the engine's original slide cuts, so the
+///    recovered engine's answers are bit-identical to an uninterrupted
+///    engine's.
+/// 3. Enforce id continuity past the watermark: rebased ids are
+///    consecutive, so a jump means actions were lost (e.g. a crash between
+///    a degraded-period re-arm and its covering snapshot).  Replay stops
+///    at the gap, the unreachable suffix is marked for orphaning, and the
+///    loss is noted — the engine serves the longest provably consistent
+///    prefix rather than a silently wrong stream.
 ///
 /// This function never fails: every degraded path falls back to replaying
 /// more (or, at worst, a cold engine) and records a note.
 pub fn recover_engine(
     config: SimConfig,
     kind: FrameworkKind,
-    snapshot_path: impl AsRef<Path>,
-    journal_path: impl AsRef<Path>,
+    dir: impl AsRef<Path>,
+) -> RecoveryOutcome {
+    recover_engine_with(config, kind, dir.as_ref(), &Fs::real())
+}
+
+/// [`recover_engine`] through an explicit (possibly fault-injected)
+/// [`Fs`].
+pub fn recover_engine_with(
+    config: SimConfig,
+    kind: FrameworkKind,
+    dir: &Path,
+    fs: &Fs,
 ) -> RecoveryOutcome {
     let mut notes = Vec::new();
     let mut engine = None;
     let mut used_snapshot = false;
     let mut snapshot_watermark = 0u64;
+    let mut snapshot_slides = 0u64;
 
-    match load_snapshot(snapshot_path.as_ref()) {
+    match load_snapshot_with(&dir.join(SNAPSHOT_FILE), fs) {
         Ok(snap) => {
             if snap.config != config || snap.framework.kind != kind {
                 notes.push(format!(
@@ -538,11 +603,13 @@ pub fn recover_engine(
                 ));
             } else {
                 let watermark = snap.watermark;
+                let slides = snap.slides;
                 match SimEngine::restore(snap) {
                     Ok(restored) => {
                         engine = Some(restored);
                         used_snapshot = true;
                         snapshot_watermark = watermark;
+                        snapshot_slides = slides;
                     }
                     Err(e) => notes.push(format!(
                         "snapshot failed to restore ({e}); falling back to full replay"
@@ -559,67 +626,148 @@ pub fn recover_engine(
     let mut engine = engine.unwrap_or_else(|| SimEngine::new(config, kind));
     let mut replayed_batches = 0u64;
     let mut replayed_actions = 0u64;
-    let mut journal_valid_len = 0u64;
 
-    match read_journal(journal_path.as_ref()) {
-        Ok(contents) => {
-            if contents.ignored_bytes > 0 {
-                notes.push(format!(
-                    "journal has a torn tail ({} bytes ignored)",
-                    contents.ignored_bytes
-                ));
-            }
-            journal_valid_len = contents.valid_len;
-            if used_snapshot && contents.last_id() < snapshot_watermark {
-                notes.push(format!(
-                    "journal ends at {} before the snapshot watermark {snapshot_watermark} \
-                     (journal lost or rotated); serving from the snapshot alone",
-                    contents.last_id()
-                ));
-            }
-            for batch in &contents.batches {
-                let last = batch.last().map_or(0, |a| a.id.0);
-                if last <= snapshot_watermark {
-                    continue; // already inside the snapshot
-                }
-                // Snapshots are taken between batches, so a batch straddling
-                // the watermark means the files disagree; replay only the
-                // unseen suffix to stay safe.
-                let tail_start = batch
-                    .iter()
-                    .position(|a| a.id.0 > snapshot_watermark)
-                    .expect("batch reaches past the watermark");
-                if tail_start > 0 {
-                    notes.push(format!(
-                        "journal batch straddles the watermark {snapshot_watermark}; \
-                         replaying its suffix only"
-                    ));
-                }
-                let tail = &batch[tail_start..];
-                engine.ingest_batch(tail);
-                replayed_batches += 1;
-                replayed_actions += tail.len() as u64;
-            }
-        }
+    let contents = match read_journal_dir(dir, fs) {
+        Ok(contents) => contents,
         Err(e) => {
             notes.push(format!(
-                "journal is unreadable ({e}); starting a fresh journal{}",
+                "journal directory is unreadable ({e}); starting a fresh journal{}",
                 if used_snapshot { " from the snapshot" } else { "" }
             ));
+            JournalDirContents::default()
+        }
+    };
+    notes.extend(contents.notes.iter().cloned());
+    if used_snapshot && contents.last_id() < snapshot_watermark {
+        notes.push(format!(
+            "journal ends at {} before the snapshot watermark {snapshot_watermark} \
+             (journal lost or compacted); serving from the snapshot alone",
+            contents.last_id()
+        ));
+    }
+
+    // Replay across segments, enforcing consecutive ids past the
+    // watermark.  `expected` is the next id replay must see; `None` until
+    // a durable basis exists (a cold engine accepts any starting id — a
+    // compacted journal whose snapshot was lost legitimately starts
+    // mid-stream, and the best effort is its valid prefix).
+    let mut expected: Option<u64> = if used_snapshot {
+        Some(snapshot_watermark + 1)
+    } else {
+        None
+    };
+    let mut gap_at: Option<(usize, usize)> = None;
+    'replay: for (si, seg) in contents.segments.iter().enumerate() {
+        for (bi, batch) in seg.contents.batches.iter().enumerate() {
+            let last = batch.last().map_or(0, |a| a.id.0);
+            if last <= snapshot_watermark {
+                continue; // already inside the snapshot
+            }
+            // Snapshots are taken between batches, so a batch straddling
+            // the watermark means the files disagree; replay only the
+            // unseen suffix to stay safe.
+            let tail_start = batch
+                .iter()
+                .position(|a| a.id.0 > snapshot_watermark)
+                .expect("batch reaches past the watermark");
+            if tail_start > 0 {
+                notes.push(format!(
+                    "journal batch straddles the watermark {snapshot_watermark}; \
+                     replaying its suffix only"
+                ));
+            }
+            let tail = &batch[tail_start..];
+            let first = tail.first().map_or(0, |a| a.id.0);
+            if let Some(exp) = expected {
+                if first > exp {
+                    notes.push(format!(
+                        "journal gap past the watermark: expected action {exp}, found \
+                         {first} (actions {exp}–{} were lost in a degraded period); \
+                         serving the consistent prefix and orphaning the unreachable \
+                         suffix",
+                        first - 1
+                    ));
+                    gap_at = Some((si, bi));
+                    break 'replay;
+                }
+            }
+            engine.ingest_batch(tail);
+            replayed_batches += 1;
+            replayed_actions += tail.len() as u64;
+            expected = Some(last + 1);
         }
     }
+
+    let journal_resume = match gap_at {
+        None => resume_plan(&contents),
+        Some((si, bi)) => gap_resume_plan(&contents, si, bi),
+    };
 
     let watermark = engine.index().latest_id();
     RecoveryOutcome {
         engine,
         used_snapshot,
         snapshot_watermark,
+        snapshot_slides,
         replayed_batches,
         replayed_actions,
         watermark,
-        journal_valid_len,
+        journal_resume,
         notes,
     }
+}
+
+/// Rebuilds the journal-resume plan after replay stopped at a gap in
+/// segment `si`, batch `bi`: everything from the gap on is unreachable and
+/// must be orphaned, and appending resumes at the last batch boundary of
+/// the kept prefix.
+fn gap_resume_plan(contents: &JournalDirContents, si: usize, bi: usize) -> JournalResume {
+    let base = resume_plan(contents);
+    let mut plan = JournalResume {
+        next_seq: base.next_seq,
+        orphans: base.orphans,
+        ..JournalResume::default()
+    };
+    // Segments fully before the gap are kept whole; the gap segment keeps
+    // its batches `..bi` (truncated via the recorded batch-end offset).
+    let keep_partial = bi > 0;
+    let full_keep = if keep_partial { si + 1 } else { si };
+    for seg in &contents.segments[..full_keep.saturating_sub(1)] {
+        plan.completed.push(CompletedSegment {
+            seq: seg.seq,
+            path: seg.path.clone(),
+            last_id: seg.contents.last_id(),
+        });
+    }
+    if full_keep > 0 {
+        let resumed = &contents.segments[full_keep - 1];
+        let valid_len = if keep_partial {
+            resumed.contents.batch_ends[bi - 1]
+        } else {
+            resumed.contents.valid_len
+        };
+        plan.resume = Some(ResumePoint {
+            seq: resumed.seq,
+            path: resumed.path.clone(),
+            valid_len,
+        });
+    }
+    for seg in &contents.segments[full_keep..] {
+        plan.orphans.push(seg.path.clone());
+    }
+    plan.last_id = if keep_partial {
+        contents.segments[si].contents.batches[bi - 1]
+            .last()
+            .map_or(0, |a| a.id.0)
+    } else {
+        contents.segments[..si]
+            .iter()
+            .rev()
+            .map(|s| s.contents.last_id())
+            .find(|&id| id != 0)
+            .unwrap_or(0)
+    };
+    plan
 }
 
 #[cfg(test)]
@@ -645,6 +793,9 @@ mod tests {
     fn temp_dir(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
         p.push(format!("rtim-snapshot-{}-{name}", std::process::id()));
+        // Directory-based recovery scans every file, so a stale directory
+        // from an earlier failed run must not leak into this one.
+        std::fs::remove_dir_all(&p).ok();
         std::fs::create_dir_all(&p).unwrap();
         p
     }
@@ -773,7 +924,7 @@ mod tests {
     #[test]
     fn recover_prefers_snapshot_and_replays_only_the_tail() {
         let dir = temp_dir("tail");
-        let snapshot_path = dir.join("snapshot.rtss");
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
         let journal_path = dir.join("journal.rtaj");
         let config = SimConfig::new(2, 0.3, 8, 2);
         let actions = figure1_actions();
@@ -791,22 +942,135 @@ mod tests {
         drop(journal);
         let expected = engine.query();
 
-        let outcome = recover_engine(config, FrameworkKind::Sic, &snapshot_path, &journal_path);
+        let outcome = recover_engine(config, FrameworkKind::Sic, &dir);
         assert!(outcome.used_snapshot);
         assert_eq!(outcome.snapshot_watermark, 6);
+        assert_eq!(outcome.snapshot_slides, 3);
         assert_eq!(outcome.replayed_batches, 2);
         assert_eq!(outcome.replayed_actions, 4);
         assert_eq!(outcome.watermark, 10);
+        let resume = outcome.journal_resume.resume.as_ref().unwrap();
+        assert_eq!(resume.path, journal_path);
+        assert!(outcome.journal_resume.orphans.is_empty());
         let got = outcome.engine.query();
         assert_eq!(got.seeds, expected.seeds);
         assert_eq!(got.value.to_bits(), expected.value.to_bits());
         std::fs::remove_dir_all(&dir).ok();
     }
 
+    /// Rotation transparency: the same stream split across several
+    /// segments recovers bit-identically to the single-file layout.
+    #[test]
+    fn recover_replays_across_segment_boundaries() {
+        use rtim_stream::persist::segjournal::segment_file_name;
+        let dir = temp_dir("segments");
+        let config = SimConfig::new(2, 0.3, 8, 2);
+        let actions = figure1_actions();
+
+        let mut engine = SimEngine::new_sic(config);
+        for (i, batch) in actions.chunks(2).enumerate() {
+            // One batch per segment: seqs 1..=5.
+            let mut journal =
+                JournalWriter::create(dir.join(segment_file_name(i as u64 + 1))).unwrap();
+            journal.append_batch(batch).unwrap();
+            engine.ingest_batch(batch);
+            if i == 2 {
+                write_snapshot_atomic(dir.join(SNAPSHOT_FILE), &engine.snapshot().unwrap())
+                    .unwrap();
+            }
+        }
+        let expected = engine.query();
+
+        let outcome = recover_engine(config, FrameworkKind::Sic, &dir);
+        assert!(outcome.used_snapshot);
+        assert_eq!(outcome.replayed_batches, 2);
+        assert_eq!(outcome.watermark, 10);
+        assert_eq!(outcome.journal_resume.next_seq, 6);
+        let got = outcome.engine.query();
+        assert_eq!(got.seeds, expected.seeds);
+        assert_eq!(got.value.to_bits(), expected.value.to_bits());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An id gap past the watermark (actions lost in a degraded period
+    /// without a covering snapshot) stops replay at the gap: the engine
+    /// serves the consistent prefix, and the unreachable suffix is marked
+    /// for orphaning.
+    #[test]
+    fn recover_stops_at_an_id_gap_and_orphans_the_suffix() {
+        use rtim_stream::persist::segjournal::segment_file_name;
+        let dir = temp_dir("gap");
+        let config = SimConfig::new(2, 0.3, 8, 2);
+        let actions = figure1_actions();
+
+        // Segment 1 holds ids 1..=4; segment 2 jumps to 7..=10 — ids 5–6
+        // were lost (never journaled during a degraded period, and the
+        // re-arm snapshot that would cover them never landed).
+        let mut j1 = JournalWriter::create(dir.join(segment_file_name(1))).unwrap();
+        j1.append_batch(&actions[..4]).unwrap();
+        drop(j1);
+        let mut j2 = JournalWriter::create(dir.join(segment_file_name(2))).unwrap();
+        j2.append_batch(&actions[6..]).unwrap();
+        drop(j2);
+
+        let outcome = recover_engine(config, FrameworkKind::Sic, &dir);
+        assert!(!outcome.used_snapshot);
+        assert_eq!(outcome.watermark, 4, "replay must stop at the gap");
+        assert!(
+            outcome.notes.iter().any(|n| n.contains("journal gap")),
+            "{:?}",
+            outcome.notes
+        );
+        // The kept prefix resumes in segment 1; segment 2 is unreachable.
+        let resume = outcome.journal_resume.resume.as_ref().unwrap();
+        assert_eq!(resume.seq, 1);
+        assert_eq!(
+            outcome.journal_resume.orphans,
+            vec![dir.join(segment_file_name(2))]
+        );
+        assert_eq!(outcome.journal_resume.last_id, 4);
+        assert_eq!(outcome.journal_resume.next_seq, 3);
+
+        // The answers match an engine that only ever saw the prefix.
+        let mut reference = SimEngine::new_sic(config);
+        reference.ingest_batch(&actions[..4]);
+        let (got, expected) = (outcome.engine.query(), reference.query());
+        assert_eq!(got.seeds, expected.seeds);
+        assert_eq!(got.value.to_bits(), expected.value.to_bits());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A gap at a mid-segment batch boundary truncates the resumed segment
+    /// at the last good batch end.
+    #[test]
+    fn recover_gap_inside_a_segment_truncates_at_the_batch_boundary() {
+        let dir = temp_dir("gap-mid");
+        let config = SimConfig::new(2, 0.3, 8, 2);
+        let actions = figure1_actions();
+
+        let path = dir.join("journal.rtaj");
+        let mut journal = JournalWriter::create(&path).unwrap();
+        journal.append_batch(&actions[..4]).unwrap();
+        journal.append_batch(&actions[6..]).unwrap(); // ids 7..=10: gap at 5–6
+        drop(journal);
+        let disk_len = std::fs::metadata(&path).unwrap().len();
+
+        let outcome = recover_engine(config, FrameworkKind::Sic, &dir);
+        assert_eq!(outcome.watermark, 4);
+        let resume = outcome.journal_resume.resume.as_ref().unwrap();
+        assert!(
+            resume.valid_len < disk_len,
+            "resume must cut off the unreachable batch ({} vs {disk_len})",
+            resume.valid_len
+        );
+        assert_eq!(outcome.journal_resume.last_id, 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn recover_falls_back_to_full_replay_when_the_snapshot_is_corrupt() {
         let dir = temp_dir("corrupt-snap");
-        let snapshot_path = dir.join("snapshot.rtss");
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
         let journal_path = dir.join("journal.rtaj");
         let config = SimConfig::new(2, 0.3, 8, 2);
         let actions = figure1_actions();
@@ -820,7 +1084,7 @@ mod tests {
         drop(journal);
         std::fs::write(&snapshot_path, b"RTSSgarbage").unwrap();
 
-        let outcome = recover_engine(config, FrameworkKind::Ic, &snapshot_path, &journal_path);
+        let outcome = recover_engine(config, FrameworkKind::Ic, &dir);
         assert!(!outcome.used_snapshot);
         assert!(!outcome.notes.is_empty());
         assert_eq!(outcome.replayed_actions, 10);
@@ -834,15 +1098,14 @@ mod tests {
     #[test]
     fn recover_ignores_a_snapshot_with_a_different_configuration() {
         let dir = temp_dir("config-mismatch");
-        let snapshot_path = dir.join("snapshot.rtss");
-        let journal_path = dir.join("journal.rtaj");
+        let snapshot_path = dir.join(SNAPSHOT_FILE);
         let old = SimConfig::new(2, 0.3, 8, 2);
         let mut engine = SimEngine::new_ic(old);
         engine.ingest_batch(&figure1_actions()[..4]);
         write_snapshot_atomic(&snapshot_path, &engine.snapshot().unwrap()).unwrap();
 
         let new = SimConfig::new(3, 0.3, 8, 2); // operator changed k
-        let outcome = recover_engine(new, FrameworkKind::Ic, &snapshot_path, &journal_path);
+        let outcome = recover_engine(new, FrameworkKind::Ic, &dir);
         assert!(!outcome.used_snapshot);
         assert!(outcome.notes.iter().any(|n| n.contains("different configuration")));
         assert_eq!(outcome.engine.config().k, 3);
@@ -852,15 +1115,12 @@ mod tests {
     #[test]
     fn cold_start_with_no_files_is_a_fresh_engine() {
         let dir = temp_dir("cold");
-        let outcome = recover_engine(
-            SimConfig::new(2, 0.3, 8, 2),
-            FrameworkKind::Sic,
-            dir.join("snapshot.rtss"),
-            dir.join("journal.rtaj"),
-        );
+        let outcome = recover_engine(SimConfig::new(2, 0.3, 8, 2), FrameworkKind::Sic, &dir);
         assert!(!outcome.used_snapshot);
         assert_eq!(outcome.watermark, 0);
         assert!(outcome.notes.is_empty());
+        assert!(outcome.journal_resume.resume.is_none());
+        assert_eq!(outcome.journal_resume.next_seq, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
 

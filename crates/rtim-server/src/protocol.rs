@@ -77,8 +77,13 @@ mod kind {
 }
 
 /// Number of `u64` counters in a `STATS` reply payload (wire order is
-/// documented on `encode_stats`).
-const STATS_FIELDS: usize = 14;
+/// documented on `encode_stats`).  Version 1 servers sent 14; the three
+/// durability counters were appended later, and `decode_stats` accepts
+/// both lengths so new clients can talk to old servers.
+const STATS_FIELDS: usize = 17;
+
+/// `STATS` field count before the durability counters were appended.
+const STATS_FIELDS_V1: usize = 14;
 
 /// One protocol message, either direction.
 #[derive(Debug, Clone, PartialEq)]
@@ -536,10 +541,11 @@ fn expect_empty(data: &[u8], frame: Frame) -> Result<Frame, FrameError> {
     }
 }
 
-/// Encodes [`EngineStats`] as 14 little-endian `u64`s, in field order:
+/// Encodes [`EngineStats`] as 17 little-endian `u64`s, in field order:
 /// `actions, batches, slides, checkpoints, oracle_updates, feed_nanos,
 /// query_nanos, queue_depth, max_queue_depth, users, orphaned_replies,
-/// shard_migrations, shard_ewma_min_nanos, shard_ewma_max_nanos`.
+/// shard_migrations, shard_ewma_min_nanos, shard_ewma_max_nanos,
+/// journal_lag_batches, snapshot_age_slides, durability_state`.
 fn encode_stats(stats: &EngineStats, out: &mut Vec<u8>) {
     out.reserve(8 * STATS_FIELDS);
     for v in [
@@ -557,20 +563,27 @@ fn encode_stats(stats: &EngineStats, out: &mut Vec<u8>) {
         stats.shard_migrations,
         stats.shard_ewma_min_nanos,
         stats.shard_ewma_max_nanos,
+        stats.journal_lag_batches,
+        stats.snapshot_age_slides,
+        stats.durability_state,
     ] {
         out.extend_from_slice(&v.to_le_bytes());
     }
 }
 
 fn decode_stats(mut data: &[u8]) -> Result<EngineStats, FrameError> {
-    if data.len() != 8 * STATS_FIELDS {
+    // A 14-field payload is a pre-durability server: the three appended
+    // counters decode as zero (`durability_state` 0 = disabled).
+    if data.len() != 8 * STATS_FIELDS && data.len() != 8 * STATS_FIELDS_V1 {
         return Err(FrameError::Payload(format!(
-            "STATS payload must be {} bytes, got {}",
+            "STATS payload must be {} or {} bytes, got {}",
+            8 * STATS_FIELDS_V1,
             8 * STATS_FIELDS,
             data.len()
         )));
     }
-    Ok(EngineStats {
+    let extended = data.len() == 8 * STATS_FIELDS;
+    let mut stats = EngineStats {
         actions: data.get_u64_le(),
         batches: data.get_u64_le(),
         slides: data.get_u64_le(),
@@ -585,7 +598,16 @@ fn decode_stats(mut data: &[u8]) -> Result<EngineStats, FrameError> {
         shard_migrations: data.get_u64_le(),
         shard_ewma_min_nanos: data.get_u64_le(),
         shard_ewma_max_nanos: data.get_u64_le(),
-    })
+        journal_lag_batches: 0,
+        snapshot_age_slides: 0,
+        durability_state: 0,
+    };
+    if extended {
+        stats.journal_lag_batches = data.get_u64_le();
+        stats.snapshot_age_slides = data.get_u64_le();
+        stats.durability_state = data.get_u64_le();
+    }
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -643,6 +665,9 @@ mod tests {
                     shard_migrations: 12,
                     shard_ewma_min_nanos: 13,
                     shard_ewma_max_nanos: 14,
+                    journal_lag_batches: 15,
+                    snapshot_age_slides: 16,
+                    durability_state: 2,
                 },
                 corr,
             });
@@ -661,6 +686,38 @@ mod tests {
             watermark: 120_000,
             bytes: 48_000,
         }));
+    }
+
+    /// A 14-field STATS payload from a pre-durability server decodes with
+    /// the appended counters zeroed; other lengths stay rejected.
+    #[test]
+    fn stats_reply_tolerates_the_v1_field_count() {
+        let mut payload = Vec::new();
+        for v in 1..=14u64 {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        let mut bytes = vec![kind::STATS_REPLY];
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        let frame = read_frame(bytes.as_slice()).unwrap();
+        match frame {
+            Frame::StatsReply { stats, corr: None } => {
+                assert_eq!(stats.actions, 1);
+                assert_eq!(stats.shard_ewma_max_nanos, 14);
+                assert_eq!(stats.journal_lag_batches, 0);
+                assert_eq!(stats.snapshot_age_slides, 0);
+                assert_eq!(stats.durability_state, 0);
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+        // 15 fields is neither version: typed error, not a panic.
+        let mut bad = vec![kind::STATS_REPLY];
+        bad.extend_from_slice(&(15 * 8u32).to_le_bytes());
+        bad.extend_from_slice(&[0u8; 15 * 8]);
+        assert!(matches!(
+            read_frame(bad.as_slice()),
+            Err(FrameError::Payload(_))
+        ));
     }
 
     #[test]

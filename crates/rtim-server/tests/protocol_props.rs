@@ -91,6 +91,9 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
                     shard_migrations: number % 23,
                     shard_ewma_min_nanos: number / 11,
                     shard_ewma_max_nanos: number / 9,
+                    journal_lag_batches: number % 13,
+                    snapshot_age_slides: number / 13,
+                    durability_state: number % 3,
                 },
                 corr,
             },

@@ -1,21 +1,25 @@
 //! Server-level crash-recovery battery: the `SNAPSHOT` admin frame,
-//! restart-and-continue determinism at pool threads 1 and 4, and recovery
-//! from torn files.
+//! restart-and-continue determinism at pool threads 1 and 4, recovery from
+//! torn files, and the durability counters surfaced over `STATS`.
 //!
 //! The contract (docs/RECOVERY.md): a server restored from snapshot +
 //! journal-tail replay returns **bit-identical** `QUERY` answers to an
 //! uninterrupted server over the same arrival order, and to an offline
-//! `run_stream` of the journal, provided ingest batches are L-aligned (the
-//! same alignment caveat as the PR-4 determinism contract).
+//! `run_stream` of the same global stream, provided ingest batches are
+//! L-aligned (the same alignment caveat as the PR-4 determinism contract).
 
-use rtim_core::{recover_engine, FrameworkKind, PersistOptions, SimConfig, SimEngine};
+use rtim_core::{
+    recover_engine, write_snapshot_atomic, DurabilityState, FrameworkKind, PersistOptions,
+    SimConfig, SimEngine,
+};
 use rtim_server::{RtimClient, RtimServer, ServerConfig};
-use rtim_stream::{read_journal, Action, SocialStream};
+use rtim_stream::{read_journal, read_journal_dir, segment_file_name, Action, Fs, SocialStream};
 use std::path::PathBuf;
 
 fn temp_dir(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
     p.push(format!("rtim-server-recovery-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
     std::fs::create_dir_all(&p).unwrap();
     p
 }
@@ -50,10 +54,11 @@ fn serve(dir: &PathBuf, threads: usize) -> RtimServer {
     .unwrap()
 }
 
-/// Full life cycle over the wire: serve, SNAPSHOT mid-stream, stop, restart
+/// Full life cycle over the wire: serve, SNAPSHOT mid-stream (which
+/// rotates the journal and compacts the covered segment), stop, restart
 /// (snapshot + journal tail), continue ingesting, and verify the final
-/// answer is bit-identical to an uninterrupted server *and* to an offline
-/// replay of the recovered journal — at pool threads 1 and 4.
+/// answer is bit-identical to an offline replay of the same global stream
+/// — at pool threads 1 and 4.
 #[test]
 fn restarted_server_answers_bit_identically_at_threads_1_and_4() {
     let actions = synth_actions(1000);
@@ -74,9 +79,22 @@ fn restarted_server_answers_bit_identically_at_threads_1_and_4() {
             for chunk in actions[400..500].chunks(50) {
                 client.ingest_blocking(chunk).unwrap();
             }
+            let stats = client.stats().unwrap();
+            assert_eq!(
+                stats.durability_state,
+                DurabilityState::Durable.wire_code(),
+                "threads {threads}"
+            );
             drop(client);
             server.shutdown();
         }
+
+        // The snapshot at 400 rotated the journal and compaction deleted
+        // the fully-covered first segment: only the tail past the
+        // watermark stays on disk.
+        let on_disk = read_journal_dir(&dir, &Fs::real()).unwrap();
+        assert_eq!(on_disk.actions(), 100, "threads {threads}");
+        assert_eq!(on_disk.last_id(), 500, "threads {threads}");
 
         // Life 2: recovery must already hold all 500 actions; stream the
         // rest and capture the final answer.
@@ -106,12 +124,23 @@ fn restarted_server_answers_bit_identically_at_threads_1_and_4() {
             answer
         };
 
-        // The journal now holds the exact global arrival order the two
-        // lives produced; the offline replay is the reference.
-        let journal = read_journal(dir.join("journal.rtaj")).unwrap();
-        assert_eq!(journal.actions(), 1000);
-        let flat: Vec<Action> = journal.batches.iter().flatten().copied().collect();
-        let stream = SocialStream::new(flat).expect("journal is a valid stream");
+        // Compaction deleted the journal head, so rebuild the global
+        // stream the two lives produced: ids 1..=1000, with replies that
+        // crossed the restart boundary rebased to roots (their parents
+        // were unknown to life 2's fresh connection).
+        let flat: Vec<Action> = actions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| Action {
+                id: a.id,
+                user: a.user,
+                // Mirror the server's remap: a parent id the connection
+                // never ingested (0, or one before the restart boundary)
+                // is orphaned to a root.
+                parent: a.parent.filter(|p| p.0 >= 1 && (i < 500 || p.0 > 500)),
+            })
+            .collect();
+        let stream = SocialStream::new(flat).expect("rebuilt stream is valid");
         let mut offline = SimEngine::new_sic(config.with_threads(threads));
         let expected = offline.run_stream(&stream).final_solution();
         assert_eq!(served_final.seeds, expected.seeds, "threads {threads}");
@@ -139,12 +168,13 @@ fn torn_journal_tail_is_dropped_at_recovery() {
         drop(client);
         server.shutdown();
     }
-    // Crash simulation: a partial batch at the tail.
+    // Crash simulation: a partial batch at the tail of the only segment.
+    let segment = dir.join(segment_file_name(1));
     {
         use std::io::Write as _;
         let mut f = std::fs::OpenOptions::new()
             .append(true)
-            .open(dir.join("journal.rtaj"))
+            .open(&segment)
             .unwrap();
         f.write_all(&10u32.to_le_bytes()).unwrap();
         f.write_all(&[0xCD; 7]).unwrap();
@@ -153,14 +183,14 @@ fn torn_journal_tail_is_dropped_at_recovery() {
     let mut client = RtimClient::connect(server.local_addr()).unwrap();
     assert_eq!(client.stats().unwrap().actions, 200);
     // The resumed journal truncated the torn tail: ingesting more keeps
-    // the journal parseable end to end.
+    // the segment parseable end to end.
     client
         .ingest_blocking(&[Action::root(1u64, 7u32)])
         .unwrap();
     let _ = client.query().unwrap();
     drop(client);
     server.shutdown();
-    let journal = read_journal(dir.join("journal.rtaj")).unwrap();
+    let journal = read_journal(&segment).unwrap();
     assert_eq!(journal.actions(), 201);
     assert_eq!(journal.ignored_bytes, 0);
     std::fs::remove_dir_all(&dir).ok();
@@ -168,6 +198,8 @@ fn torn_journal_tail_is_dropped_at_recovery() {
 
 /// A corrupt snapshot falls back to full-journal replay with identical
 /// answers (exercised through the public recovery API the server uses).
+/// The snapshot is written offline so the journal keeps the full stream —
+/// a server-written snapshot compacts the segments it covers away.
 #[test]
 fn corrupt_snapshot_falls_back_to_full_replay_with_identical_answers() {
     let dir = temp_dir("corrupt-snapshot");
@@ -178,26 +210,28 @@ fn corrupt_snapshot_falls_back_to_full_replay_with_identical_answers() {
         for chunk in actions.chunks(25) {
             client.ingest_blocking(chunk).unwrap();
         }
-        let _ = client.snapshot().unwrap();
         let answer = client.query().unwrap();
         drop(client);
         server.shutdown();
         answer
     };
-    // Corrupt the snapshot body (CRC catches it at load).
+    let config = SimConfig::new(3, 0.2, 200, 25);
+
+    // Write a valid covering snapshot, then flip a body byte (the CRC
+    // catches it at load).
     let snap_path = dir.join("snapshot.rtss");
+    {
+        let outcome = recover_engine(config, FrameworkKind::Sic, &dir);
+        assert_eq!(outcome.watermark, 300);
+        let snap = outcome.engine.snapshot().unwrap();
+        write_snapshot_atomic(&snap_path, &snap).unwrap();
+    }
     let mut bytes = std::fs::read(&snap_path).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0xFF;
     std::fs::write(&snap_path, bytes).unwrap();
 
-    let config = SimConfig::new(3, 0.2, 200, 25);
-    let outcome = recover_engine(
-        config,
-        FrameworkKind::Sic,
-        &snap_path,
-        dir.join("journal.rtaj"),
-    );
+    let outcome = recover_engine(config, FrameworkKind::Sic, &dir);
     assert!(!outcome.used_snapshot);
     assert!(outcome.notes.iter().any(|n| n.contains("unreadable")));
     assert_eq!(outcome.replayed_actions, 300);
@@ -207,8 +241,8 @@ fn corrupt_snapshot_falls_back_to_full_replay_with_identical_answers() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// SNAPSHOT against a server without persistence is a typed error and the
-/// connection stays usable.
+/// SNAPSHOT against a server without persistence is a typed error, the
+/// durability counters read "disabled", and the connection stays usable.
 #[test]
 fn snapshot_without_persistence_reports_an_error() {
     let config = SimConfig::new(2, 0.3, 8, 2);
@@ -222,7 +256,9 @@ fn snapshot_without_persistence_reports_an_error() {
     assert!(err.to_string().contains("not configured"), "{err}");
     // Still serving.
     client.ingest_blocking(&[Action::root(1u64, 1u32)]).unwrap();
-    assert_eq!(client.stats().unwrap().actions, 1);
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.actions, 1);
+    assert_eq!(stats.durability_state, DurabilityState::Disabled.wire_code());
     drop(client);
     server.shutdown();
 }

@@ -25,8 +25,10 @@
 //!
 //! Durability lives under [`persist`]: trace codecs (`RTAS`/`RTAB`/text),
 //! the CRC-checked [`persist::state`] (`RTSS`) section substrate that
-//! engine snapshots build on, and the crash-tolerant
-//! [`persist::journal`] (`RTAJ`) of ingest batches.
+//! engine snapshots build on, the crash-tolerant [`persist::journal`]
+//! (`RTAJ`) of ingest batches with its segmented rotation/compaction layer
+//! [`persist::segjournal`], and the deterministic fault-injection I/O
+//! layer [`persist::faultfs`] every durability file op flows through.
 //!
 //! The hot-path word loops live in [`kernels`] (unrolled, with an optional
 //! stable-`std::arch` SIMD path behind the `simd` feature) and slide-time
@@ -55,7 +57,12 @@ pub use arena::WordArena;
 pub use kernels::{absorb_count, and_not_popcount, and_not_popcount_at_least, popcount_words};
 pub use influence::{window_influence_sets, InfluenceAccumulator, InfluenceSets};
 pub use influence_set::{InfluenceSet, SetIter, SetView};
-pub use persist::journal::{read_journal, JournalContents, JournalWriter};
+pub use persist::faultfs::{DurableFile, FaultInjector, FaultKind, FaultRule, Fs, OpKind};
+pub use persist::journal::{read_journal, read_journal_with, JournalContents, JournalWriter};
+pub use persist::segjournal::{
+    read_journal_dir, resume_plan, segment_file_name, CompletedSegment, JournalDirContents,
+    JournalResume, ResumePoint, SegmentedJournal,
+};
 pub use persist::state::{ByteReader, StateDocument, StateError, StateWriter};
 pub use persist::{
     decode_batch, decode_batch_into, decode_binary, encode_batch, encode_binary, read_binary,

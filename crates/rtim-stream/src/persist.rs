@@ -24,7 +24,9 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::collections::HashSet;
 use std::io::{self, BufRead, BufReader, Read, Write};
 
+pub mod faultfs;
 pub mod journal;
+pub mod segjournal;
 pub mod state;
 
 /// Upper bound, in bytes, on a single length-prefixed payload across the

@@ -29,12 +29,17 @@
 //! across the whole journal, parents strictly earlier) — the journal is
 //! machine-written, so a violation means corruption and the valid prefix is
 //! used.
+//!
+//! A deployment journal is **segmented** across several such files so
+//! snapshots can bound its growth; see [`super::segjournal`].  All file I/O
+//! goes through the fault-injectable [`Fs`] layer; the plain-path entry
+//! points below are the zero-cost pass-through.
 
+use super::faultfs::{DurableFile, Fs};
 use super::state::StateError;
 use super::MAX_FRAME_BYTES;
 use crate::action::{Action, ActionId, UserId};
-use std::fs::{File, OpenOptions};
-use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io;
 use std::path::Path;
 
 /// Magic bytes of the journal format ("RTAJ" = RTim Action Journal).
@@ -44,7 +49,7 @@ pub const JOURNAL_MAGIC: &[u8; 4] = b"RTAJ";
 pub const JOURNAL_VERSION: u8 = 1;
 
 /// Bytes of the journal header.
-const HEADER_BYTES: u64 = 5;
+pub(crate) const HEADER_BYTES: u64 = 5;
 
 /// Bytes per action record (shared with `RTAS`/`RTAB`).
 const RECORD_BYTES: usize = 20;
@@ -54,6 +59,10 @@ const RECORD_BYTES: usize = 20;
 pub struct JournalContents {
     /// Complete, valid batches in append order.
     pub batches: Vec<Vec<Action>>,
+    /// End offset of each batch (parallel to `batches`): the file length
+    /// that keeps exactly batches `..= i`.  Recovery uses these to cut a
+    /// journal at *any* batch boundary, not only at the torn tail.
+    pub batch_ends: Vec<u64>,
     /// Bytes of the valid prefix (header + complete batches); the offset a
     /// resumed writer truncates to.
     pub valid_len: u64,
@@ -68,6 +77,14 @@ impl JournalContents {
         self.batches.iter().map(|b| b.len() as u64).sum()
     }
 
+    /// Id of the first journaled action (0 if the journal is empty).
+    pub fn first_id(&self) -> u64 {
+        self.batches
+            .first()
+            .and_then(|b| b.first())
+            .map_or(0, |a| a.id.0)
+    }
+
     /// Id of the last journaled action (0 if the journal is empty).
     pub fn last_id(&self) -> u64 {
         self.batches
@@ -77,7 +94,7 @@ impl JournalContents {
     }
 }
 
-/// Reads and validates a journal file.
+/// Reads and validates a journal file (pass-through I/O).
 ///
 /// * A missing file is an **empty journal**, not an error (the common cold
 ///   start).
@@ -88,20 +105,21 @@ impl JournalContents {
 ///   at all, which the caller must treat as unrecoverable rather than as an
 ///   empty stream.
 pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalContents, StateError> {
-    let mut data = Vec::new();
-    match File::open(path.as_ref()) {
-        Ok(mut f) => {
-            f.read_to_end(&mut data)?;
-        }
+    read_journal_with(path.as_ref(), &Fs::real())
+}
+
+/// [`read_journal`] through an explicit (possibly fault-injected) [`Fs`].
+pub fn read_journal_with(path: &Path, fs: &Fs) -> Result<JournalContents, StateError> {
+    let data = match fs.read(path) {
+        Ok(data) => data,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(JournalContents::default()),
         Err(e) => return Err(e.into()),
-    }
+    };
     if data.len() < HEADER_BYTES as usize {
         // Even the header never finished: treat as empty, resume rewrites it.
         return Ok(JournalContents {
-            batches: Vec::new(),
-            valid_len: 0,
             ignored_bytes: data.len() as u64,
+            ..JournalContents::default()
         });
     }
     if &data[..4] != JOURNAL_MAGIC || data[4] != JOURNAL_VERSION {
@@ -141,6 +159,7 @@ pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalContents, StateErro
                     });
                 }
                 contents.batches.push(batch);
+                contents.batch_ends.push(end as u64);
                 contents.valid_len = end as u64;
                 pos = end;
             }
@@ -152,25 +171,50 @@ pub fn read_journal(path: impl AsRef<Path>) -> Result<JournalContents, StateErro
     Ok(contents)
 }
 
+/// Encodes one batch into its on-disk bytes (count prefix + records).
+pub(crate) fn encode_journal_batch(actions: &[Action]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + actions.len() * RECORD_BYTES);
+    buf.extend_from_slice(&(actions.len() as u32).to_le_bytes());
+    for a in actions {
+        buf.extend_from_slice(&a.id.0.to_le_bytes());
+        buf.extend_from_slice(&a.user.0.to_le_bytes());
+        buf.extend_from_slice(&a.parent.map_or(0, |p| p.0).to_le_bytes());
+    }
+    buf
+}
+
 /// An append-only journal writer.
 ///
-/// Appends are flushed to the OS per batch, so a killed *process* loses at
-/// most the batch being written (the torn tail [`read_journal`] ignores);
-/// call [`JournalWriter::sync`] for durability against machine crashes.
+/// Each batch is encoded into a buffer and appended with a **single**
+/// write, so a torn append can only tear *inside* one batch (the shape
+/// [`read_journal`] tolerates), and the fault layer sees one injectable
+/// write per batch.  Appends reach the OS per batch; call
+/// [`JournalWriter::sync`] for durability against machine crashes.
 #[derive(Debug)]
 pub struct JournalWriter {
-    file: BufWriter<File>,
+    file: DurableFile,
+    /// Bytes of durable + buffered-to-OS journal so far.
+    len: u64,
 }
 
 impl JournalWriter {
     /// Creates a fresh journal at `path` (truncating any existing file) and
     /// writes the header.
     pub fn create(path: impl AsRef<Path>) -> io::Result<JournalWriter> {
-        let mut file = BufWriter::new(File::create(path)?);
-        file.write_all(JOURNAL_MAGIC)?;
-        file.write_all(&[JOURNAL_VERSION])?;
-        file.flush()?;
-        Ok(JournalWriter { file })
+        Self::create_with(path.as_ref(), &Fs::real())
+    }
+
+    /// [`JournalWriter::create`] through an explicit [`Fs`].
+    pub fn create_with(path: &Path, fs: &Fs) -> io::Result<JournalWriter> {
+        let mut file = fs.create(path)?;
+        let mut header = Vec::with_capacity(HEADER_BYTES as usize);
+        header.extend_from_slice(JOURNAL_MAGIC);
+        header.push(JOURNAL_VERSION);
+        file.write_all(&header)?;
+        Ok(JournalWriter {
+            file,
+            len: HEADER_BYTES,
+        })
     }
 
     /// Opens `path` for appending after recovery: the file is truncated to
@@ -178,42 +222,56 @@ impl JournalWriter {
     /// and positioned at its end.  A missing or headerless file is created
     /// fresh.
     pub fn resume(path: impl AsRef<Path>, valid_len: u64) -> io::Result<JournalWriter> {
-        if valid_len < HEADER_BYTES {
-            return Self::create(path);
-        }
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
-        file.set_len(valid_len)?;
-        let mut file = BufWriter::new(file);
-        file.seek(SeekFrom::End(0))?;
-        Ok(JournalWriter { file })
+        Self::resume_with(path.as_ref(), valid_len, &Fs::real())
     }
 
-    /// Appends one batch and flushes it to the OS.  Empty batches are
-    /// skipped (a zero count would read as a torn tail).
+    /// [`JournalWriter::resume`] through an explicit [`Fs`].
+    pub fn resume_with(path: &Path, valid_len: u64, fs: &Fs) -> io::Result<JournalWriter> {
+        if valid_len < HEADER_BYTES {
+            return Self::create_with(path, fs);
+        }
+        let mut file = fs.open_rw(path)?;
+        file.set_len(valid_len)?;
+        file.seek_end()?;
+        Ok(JournalWriter {
+            file,
+            len: valid_len,
+        })
+    }
+
+    /// Appends one batch in a single write.  Empty batches are skipped (a
+    /// zero count would read as a torn tail).
     pub fn append_batch(&mut self, actions: &[Action]) -> io::Result<()> {
         if actions.is_empty() {
             return Ok(());
         }
-        self.file
-            .write_all(&(actions.len() as u32).to_le_bytes())?;
-        for a in actions {
-            self.file.write_all(&a.id.0.to_le_bytes())?;
-            self.file.write_all(&a.user.0.to_le_bytes())?;
-            self.file.write_all(&a.parent.map_or(0, |p| p.0).to_le_bytes())?;
-        }
-        self.file.flush()
+        let buf = encode_journal_batch(actions);
+        self.file.write_all(&buf)?;
+        self.len += buf.len() as u64;
+        Ok(())
     }
 
     /// Forces the journal to stable storage (`fsync`).
     pub fn sync(&mut self) -> io::Result<()> {
-        self.file.flush()?;
-        self.file.get_ref().sync_all()
+        self.file.sync_all()
+    }
+
+    /// Bytes written so far (header + appended batches).
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether no batch has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.len <= HEADER_BYTES
     }
 }
 
 #[cfg(test)]
 mod tests {
+    use super::super::faultfs::{FaultInjector, FaultKind, FaultRule, OpKind};
     use super::*;
+    use std::fs::OpenOptions;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
@@ -235,8 +293,11 @@ mod tests {
         let contents = read_journal(&path).unwrap();
         assert_eq!(contents.batches, vec![b1, b2]);
         assert_eq!(contents.actions(), 3);
+        assert_eq!(contents.first_id(), 1);
         assert_eq!(contents.last_id(), 3);
         assert_eq!(contents.ignored_bytes, 0);
+        assert_eq!(contents.batch_ends.len(), 2);
+        assert_eq!(*contents.batch_ends.last().unwrap(), contents.valid_len);
         std::fs::remove_file(&path).ok();
     }
 
@@ -315,6 +376,49 @@ mod tests {
         w.append_batch(&[Action::root(1u64, 1u32)]).unwrap();
         drop(w);
         assert_eq!(read_journal(&path).unwrap().actions(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// An injected short write tears exactly one batch, which reads back as
+    /// a torn tail — the per-batch single-write discipline at work.
+    #[test]
+    fn injected_short_write_tears_one_batch_only() {
+        let path = temp_path("fault-short");
+        let fs = Fs::faulty(FaultInjector::new(vec![FaultRule::Window {
+            op: Some(OpKind::Write),
+            kind: FaultKind::ShortWrite,
+            from: 3, // header, batch 1, then tear batch 2
+            count: 1,
+        }]));
+        let mut w = JournalWriter::create_with(&path, &fs).unwrap();
+        let b1 = vec![Action::root(1u64, 1u32)];
+        w.append_batch(&b1).unwrap();
+        assert!(w.append_batch(&[Action::root(2u64, 2u32)]).is_err());
+        drop(w);
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.batches, vec![b1]);
+        assert!(contents.ignored_bytes > 0, "torn second batch is ignored");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// ENOSPC on append surfaces as a typed error and leaves the journal
+    /// readable (no partial bytes at all — the write failed atomically).
+    #[test]
+    fn injected_enospc_keeps_journal_clean() {
+        let path = temp_path("fault-enospc");
+        let fs = Fs::faulty(FaultInjector::new(vec![FaultRule::Window {
+            op: Some(OpKind::Write),
+            kind: FaultKind::Enospc,
+            from: 2,
+            count: 1,
+        }]));
+        let mut w = JournalWriter::create_with(&path, &fs).unwrap();
+        let err = w.append_batch(&[Action::root(1u64, 1u32)]).unwrap_err();
+        assert_eq!(err.raw_os_error(), Some(28));
+        drop(w);
+        let contents = read_journal(&path).unwrap();
+        assert_eq!(contents.actions(), 0);
+        assert_eq!(contents.ignored_bytes, 0);
         std::fs::remove_file(&path).ok();
     }
 }
