@@ -1,5 +1,5 @@
 //! Emits the machine-readable serving-performance artifact
-//! `BENCH_serve.json` (schema `rtim-bench-serve/v2`).
+//! `BENCH_serve.json` (schema `rtim-bench-serve/v3`).
 //!
 //! Starts an in-process `rtim-server` on an ephemeral loopback port and
 //! measures two things:
@@ -15,6 +15,13 @@
 //!    stays out of the way on small machines.  One thread-per-connection
 //!    run rides along as a differential point while that front-end
 //!    remains selectable.
+//!
+//! Every scaling run enables the `/metrics` sidecar and polls it from a
+//! concurrent scraper thread for the whole serving phase (new in v3):
+//! each response must be well-formed Prometheus text carrying the feed /
+//! query / queue-depth summaries, and the completed scrape count lands in
+//! the artifact — scrape-under-load is part of the measured scenario, not
+//! a separate smoke.
 //!
 //! ```text
 //! cargo run --release -p rtim-bench --bin bench_serve -- \
@@ -250,10 +257,12 @@ fn scaling_run(
         "127.0.0.1:0",
         ServerConfig::new(config, FrameworkKind::Sic)
             .with_queue_capacity(capacity)
-            .with_front_end(front_end),
+            .with_front_end(front_end)
+            .with_metrics("127.0.0.1:0"),
     )
     .expect("bind loopback server");
     let addr = server.local_addr();
+    let scrape_addr = server.metrics_addr().expect("metrics sidecar enabled");
 
     // Contiguous slices: ids stay strictly increasing inside every
     // connection's private sender space; cross-slice replies resolve
@@ -277,7 +286,20 @@ fn scaling_run(
 
     let drivers = DRIVERS.min(conns.len()).max(1);
     let started = Instant::now();
-    let busy_retries: u64 = std::thread::scope(|scope| {
+    // A scraper polls `/metrics` for the whole serving phase — scraping
+    // under load is part of the measured scenario (it must neither fail
+    // nor perturb the run).
+    let scrape_done = std::sync::atomic::AtomicBool::new(false);
+    let (busy_retries, scrapes): (u64, u64) = std::thread::scope(|scope| {
+        let scraper = scope.spawn(|| {
+            let mut scrapes = 0u64;
+            while !scrape_done.load(std::sync::atomic::Ordering::Acquire) {
+                validate_scrape(&scrape(scrape_addr));
+                scrapes += 1;
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            scrapes
+        });
         let mut handles = Vec::with_capacity(drivers);
         // Deal the sockets round-robin across the driver pool.
         let mut hands: Vec<Vec<PipeConn<'_>>> = (0..drivers).map(|_| Vec::new()).collect();
@@ -287,7 +309,9 @@ fn scaling_run(
         for hand in hands {
             handles.push(scope.spawn(move || drive(hand, window)));
         }
-        handles.into_iter().map(|h| h.join().expect("driver")).sum()
+        let busy = handles.into_iter().map(|h| h.join().expect("driver")).sum();
+        scrape_done.store(true, std::sync::atomic::Ordering::Release);
+        (busy, scraper.join().expect("scraper"))
     });
     // The scaling series clocks the *serving phase*: every frame written
     // and every `ACK` absorbed.  The engine drain that follows is the
@@ -319,6 +343,49 @@ fn scaling_run(
         capacity,
     }
     .finish(&server_report.stats, wall_nanos, busy_retries, 0)
+    .with_scrapes(scrapes)
+}
+
+/// One blocking `GET /metrics` round trip, returning the raw response.
+fn scrape(addr: std::net::SocketAddr) -> String {
+    use std::io::Read as _;
+    let mut conn = std::net::TcpStream::connect(addr).expect("connect scrape");
+    conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+        .expect("write scrape");
+    let mut response = String::new();
+    conn.read_to_string(&mut response).expect("read scrape");
+    response
+}
+
+/// Asserts one scrape response is well-formed Prometheus text: a 200
+/// status, the expected summaries present, and every body line either a
+/// comment or `name[{labels}] value` with a parseable value.
+fn validate_scrape(response: &str) {
+    assert!(
+        response.starts_with("HTTP/1.0 200 OK"),
+        "scrape failed: {response}"
+    );
+    let body = response
+        .split_once("\r\n\r\n")
+        .expect("headerless scrape response")
+        .1;
+    for required in [
+        "rtim_feed_nanos{quantile=\"0.5\"}",
+        "rtim_feed_nanos{quantile=\"0.95\"}",
+        "rtim_feed_nanos{quantile=\"0.99\"}",
+        "rtim_query_nanos{quantile=\"0.99\"}",
+        "rtim_queue_depth{quantile=\"0.99\"}",
+        "rtim_durability_state",
+    ] {
+        assert!(body.contains(required), "scrape missing {required}:\n{body}");
+    }
+    for line in body.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+        let (_, value) = line.rsplit_once(' ').expect("sample line without value");
+        assert!(
+            value.parse::<f64>().is_ok() || value == "NaN",
+            "unparseable sample value in {line:?}"
+        );
+    }
 }
 
 /// One socket's streaming state inside a driver's hand.

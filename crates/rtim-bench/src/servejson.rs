@@ -12,8 +12,11 @@
 //! writer (the vendored `serde` is a no-op stub) and versioned via the
 //! `schema` field.  Schema `rtim-bench-serve/v2` adds the `front_end`,
 //! `connections` and `in_flight` fields for the readiness-driven
-//! multiplexed front-end (v1's `clients` is renamed `connections`); CI
-//! smoke-runs the emission path.
+//! multiplexed front-end (v1's `clients` is renamed `connections`);
+//! schema `rtim-bench-serve/v3` adds the `scrapes` field — the number of
+//! `/metrics` scrapes a sidecar-polling thread completed (and validated
+//! as well-formed Prometheus text) concurrently with the measured run,
+//! `0` for runs without a scraper.  CI smoke-runs the emission path.
 
 use rtim_core::EngineStats;
 use std::fmt::Write as _;
@@ -21,7 +24,7 @@ use std::io;
 use std::path::Path;
 
 /// Schema identifier of the emitted JSON document.
-pub const SERVE_SCHEMA: &str = "rtim-bench-serve/v2";
+pub const SERVE_SCHEMA: &str = "rtim-bench-serve/v3";
 
 /// The fixed configuration of one served run, before it executes.
 #[derive(Debug, Clone)]
@@ -68,6 +71,7 @@ impl ServeSetup {
             max_queue_depth: stats.max_queue_depth,
             busy_retries,
             queries,
+            scrapes: 0,
         }
     }
 }
@@ -97,6 +101,18 @@ pub struct ServeRun {
     pub busy_retries: u64,
     /// Mid-run `QUERY` round-trips issued by the observer client.
     pub queries: u64,
+    /// `/metrics` scrapes completed (and validated as well-formed
+    /// Prometheus text) concurrently with the run; `0` when no scraper
+    /// polled the sidecar.
+    pub scrapes: u64,
+}
+
+impl ServeRun {
+    /// Stamps the concurrent-scrape count (see [`ServeRun::scrapes`]).
+    pub fn with_scrapes(mut self, scrapes: u64) -> Self {
+        self.scrapes = scrapes;
+        self
+    }
 }
 
 /// The complete `BENCH_serve.json` document.
@@ -138,7 +154,8 @@ impl ServeBenchReport {
             let _ = write!(out, "\"query_nanos\": {}, ", run.query_nanos);
             let _ = write!(out, "\"max_queue_depth\": {}, ", run.max_queue_depth);
             let _ = write!(out, "\"busy_retries\": {}, ", run.busy_retries);
-            let _ = write!(out, "\"queries\": {}", run.queries);
+            let _ = write!(out, "\"queries\": {}, ", run.queries);
+            let _ = write!(out, "\"scrapes\": {}", run.scrapes);
             out.push('}');
         }
         out.push_str("\n  ]\n}\n");
@@ -218,18 +235,21 @@ mod tests {
     }
 
     #[test]
-    fn json_carries_schema_and_v2_fields() {
+    fn json_carries_schema_and_v3_fields() {
         let mut report = ServeBenchReport::new();
-        report
-            .runs
-            .push(setup("sic_el_x64_w16_t1", "SIC", 64, 16).finish(&stats(42), 1, 0, 1));
+        report.runs.push(
+            setup("sic_el_x64_w16_t1", "SIC", 64, 16)
+                .finish(&stats(42), 1, 0, 1)
+                .with_scrapes(12),
+        );
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"rtim-bench-serve/v2\""));
+        assert!(json.contains("\"schema\": \"rtim-bench-serve/v3\""));
         assert!(json.contains("\"name\": \"sic_el_x64_w16_t1\""));
         assert!(json.contains("\"front_end\": \"event-loop\""));
         assert!(json.contains("\"connections\": 64"));
         assert!(json.contains("\"in_flight\": 16"));
         assert!(json.contains("\"actions\": 42"));
+        assert!(json.contains("\"scrapes\": 12"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
     }

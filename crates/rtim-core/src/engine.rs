@@ -55,9 +55,11 @@ pub struct SlideReport {
     pub query_nanos: u64,
     /// Ingest-queue depth observed when the batch producing this slide was
     /// dequeued.  Filled by [`crate::EngineHandle`]'s engine thread (the
-    /// asynchronous ingest pipeline); 0 for synchronous callers, which have
-    /// no queue.
-    pub queue_depth: usize,
+    /// asynchronous ingest pipeline); `None` for synchronous callers
+    /// ([`SimEngine::process_slide`], [`SimEngine::run_stream`]), which
+    /// have no queue — so depth aggregations can skip offline slides
+    /// instead of counting them as zero-depth samples.
+    pub queue_depth: Option<usize>,
 }
 
 /// Aggregated result of replaying a whole stream
@@ -77,20 +79,27 @@ impl RunReport {
     }
 
     /// Total nanoseconds spent feeding slides (resolution + window +
-    /// checkpoint updates).
+    /// checkpoint updates).  Saturates instead of wrapping: a soak long
+    /// enough to overflow `u64` nanoseconds must pin at the maximum, not
+    /// silently report a tiny total.
     pub fn feed_nanos(&self) -> u64 {
-        self.slides.iter().map(|r| r.feed_nanos).sum()
+        self.slides
+            .iter()
+            .fold(0u64, |total, r| total.saturating_add(r.feed_nanos))
     }
 
-    /// Total nanoseconds spent answering queries.
+    /// Total nanoseconds spent answering queries (saturating, like
+    /// [`RunReport::feed_nanos`]).
     pub fn query_nanos(&self) -> u64 {
-        self.slides.iter().map(|r| r.query_nanos).sum()
+        self.slides
+            .iter()
+            .fold(0u64, |total, r| total.saturating_add(r.query_nanos))
     }
 
     /// Aggregate throughput in actions per second of processing time
     /// (feeding + querying), the metric of Figures 7 and 9–12.
     pub fn throughput(&self) -> f64 {
-        let nanos = self.feed_nanos() + self.query_nanos();
+        let nanos = self.feed_nanos().saturating_add(self.query_nanos());
         if nanos == 0 {
             f64::INFINITY
         } else {
@@ -324,7 +333,7 @@ impl SimEngine {
             oracle_updates: self.framework.oracle_updates(),
             feed_nanos: resolve_nanos + started.elapsed().as_nanos() as u64,
             query_nanos: 0,
-            queue_depth: 0,
+            queue_depth: None,
         }
     }
 
@@ -582,6 +591,39 @@ mod tests {
             seq_report.slides.iter().map(|r| r.checkpoints).collect::<Vec<_>>(),
             par_report.slides.iter().map(|r| r.checkpoints).collect::<Vec<_>>(),
         );
+    }
+
+    #[test]
+    fn run_report_nano_sums_saturate_instead_of_wrapping() {
+        // A soak whose accumulated nanos exceed u64 must pin at the
+        // maximum (regression: these sums used wrapping `Iterator::sum`).
+        let report = RunReport {
+            slides: vec![
+                SlideReport {
+                    feed_nanos: u64::MAX - 10,
+                    query_nanos: u64::MAX - 10,
+                    ..SlideReport::default()
+                },
+                SlideReport {
+                    actions: 1,
+                    feed_nanos: 100,
+                    query_nanos: 100,
+                    ..SlideReport::default()
+                },
+            ],
+            solutions: Vec::new(),
+        };
+        assert_eq!(report.feed_nanos(), u64::MAX);
+        assert_eq!(report.query_nanos(), u64::MAX);
+        // throughput's feed+query sum must saturate too, not panic.
+        assert!(report.throughput() >= 0.0);
+    }
+
+    #[test]
+    fn offline_slides_carry_no_queue_depth() {
+        let mut engine = SimEngine::new_ic(SimConfig::new(2, 0.3, 8, 2));
+        let reports = engine.ingest_batch(&figure1_actions());
+        assert!(reports.iter().all(|r| r.queue_depth.is_none()));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 use crate::config::SimConfig;
 use crate::engine::{SimEngine, SlideReport};
 use crate::framework::{FrameworkKind, Solution};
+use crate::metrics::EngineMetrics;
 pub use crate::snapshot::SNAPSHOT_FILE;
 use crate::snapshot::{
     recover_engine_with, write_snapshot_atomic_with, write_snapshot_bytes_atomic, EngineSnapshot,
@@ -764,6 +765,7 @@ pub struct EngineHandle {
     shared: Arc<Shared>,
     thread: Option<JoinHandle<EngineReport>>,
     capacity: usize,
+    metrics: Arc<EngineMetrics>,
 }
 
 impl EngineHandle {
@@ -776,17 +778,28 @@ impl EngineHandle {
             drained: AtomicU64::new(0),
             next_source: AtomicU64::new(0),
         });
+        let metrics = Arc::new(EngineMetrics::new());
         let thread_shared = Arc::clone(&shared);
+        let thread_metrics = Arc::clone(&metrics);
         let thread = std::thread::Builder::new()
             .name("rtim-engine".into())
-            .spawn(move || engine_loop(config, kind, options, rx, thread_shared))
+            .spawn(move || engine_loop(config, kind, options, rx, thread_shared, thread_metrics))
             .expect("spawn engine thread");
         EngineHandle {
             tx: Some(tx),
             shared,
             thread: Some(thread),
             capacity,
+            metrics,
         }
+    }
+
+    /// The pipeline's metrics registry: sliding latency histograms fed by
+    /// the engine thread plus front-end counters.  Reading it (e.g. to
+    /// serve `/metrics`) never enqueues an engine command, so scrapes
+    /// cannot perturb the arrival order.
+    pub fn metrics(&self) -> Arc<EngineMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Creates a new producer endpoint with its own private id space.
@@ -1385,6 +1398,7 @@ fn engine_loop(
     options: HandleOptions,
     rx: Receiver<Command>,
     shared: Arc<Shared>,
+    metrics: Arc<EngineMetrics>,
 ) -> EngineReport {
     let mut stats = EngineStats::default();
     let (mut engine, watermark, mut persistence) = match options.persist.clone() {
@@ -1434,6 +1448,9 @@ fn engine_loop(
             .enqueued
             .load(Ordering::Acquire)
             .saturating_sub(drained) as usize;
+        // `max` of two in-range u64s cannot overflow (audited alongside
+        // the saturating nanos sums): the fold only ever widens to the
+        // largest observed depth, which is bounded by the queue capacity.
         stats.max_queue_depth = stats.max_queue_depth.max(observed as u64);
 
         // Completions from the snapshot writer arrive between commands;
@@ -1472,8 +1489,11 @@ fn engine_loop(
                 stats.actions += rebased.len() as u64;
                 stats.slides += reports.len() as u64;
                 for mut report in reports {
-                    report.queue_depth = observed;
-                    stats.feed_nanos += report.feed_nanos;
+                    report.queue_depth = Some(observed);
+                    // Saturating: a months-long soak overflowing u64
+                    // nanoseconds must pin at the maximum, not wrap.
+                    stats.feed_nanos = stats.feed_nanos.saturating_add(report.feed_nanos);
+                    metrics.record_slide(&report);
                     if recent.len() == RECENT_SLIDES {
                         recent.pop_front();
                     }
@@ -1502,15 +1522,23 @@ fn engine_loop(
                     // batches (never mid-slide — slides never span batches).
                     p.maybe_background_snapshot(&engine);
                 }
+                // Refresh the scrape-facing gauges after every batch, so
+                // `/metrics` reflects the pipeline without ever sending a
+                // command through the queue.
+                finish_stats(&mut stats, &engine, &shared, persistence.as_ref());
+                metrics.observe_stats(&stats);
             }
             Command::Query { reply } => {
                 let started = Instant::now();
                 let solution = engine.query();
-                stats.query_nanos += started.elapsed().as_nanos() as u64;
+                let nanos = started.elapsed().as_nanos() as u64;
+                stats.query_nanos = stats.query_nanos.saturating_add(nanos);
+                metrics.record_query(nanos);
                 let _ = reply.send(solution);
             }
             Command::Stats { reply } => {
                 finish_stats(&mut stats, &engine, &shared, persistence.as_ref());
+                metrics.observe_stats(&stats);
                 let _ = reply.send(stats);
             }
             Command::Snapshot { reply } => match &mut persistence {
@@ -1520,11 +1548,14 @@ fn engine_loop(
             Command::QueryAsync { token, sink } => {
                 let started = Instant::now();
                 let solution = engine.query();
-                stats.query_nanos += started.elapsed().as_nanos() as u64;
+                let nanos = started.elapsed().as_nanos() as u64;
+                stats.query_nanos = stats.query_nanos.saturating_add(nanos);
+                metrics.record_query(nanos);
                 sink.complete(token, CompletionPayload::Solution(solution));
             }
             Command::StatsAsync { token, sink } => {
                 finish_stats(&mut stats, &engine, &shared, persistence.as_ref());
+                metrics.observe_stats(&stats);
                 sink.complete(token, CompletionPayload::Stats(stats));
             }
             Command::SnapshotAsync { token, sink } => match &mut persistence {
@@ -1547,6 +1578,7 @@ fn engine_loop(
         p.shutdown();
     }
     finish_stats(&mut stats, &engine, &shared, persistence.as_ref());
+    metrics.observe_stats(&stats);
     let durability = persistence
         .as_ref()
         .map_or(DurabilityState::Disabled, |p| p.durability.state());
@@ -1640,7 +1672,10 @@ mod tests {
             report.recent_slides.iter().map(|r| r.actions).sum::<usize>(),
             10
         );
-        assert!(report.recent_slides.iter().all(|r| r.queue_depth <= 4));
+        assert!(report
+            .recent_slides
+            .iter()
+            .all(|r| r.queue_depth.is_some_and(|d| d <= 4)));
     }
 
     #[test]

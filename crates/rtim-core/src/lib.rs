@@ -34,6 +34,10 @@
 //!   preserving the one-writer determinism invariant (what the
 //!   `rtim-server` TCP front-end runs on), with optional durable
 //!   persistence (disk journal + snapshots + startup recovery).
+//! * [`metrics`] — the observability layer: log-scale latency histograms
+//!   with sliding-window p50/p95/p99 aggregation and the shared
+//!   [`EngineMetrics`] registry the engine thread, the server front-ends
+//!   and the `/metrics` scrape endpoint meet at.
 //! * [`snapshot`] — durable engine snapshots ([`EngineSnapshot`], `RTSS`
 //!   codec), atomic writes, and the crash-recovery decision tree
 //!   ([`recover_engine`]); see `docs/RECOVERY.md`.
@@ -74,6 +78,7 @@ pub mod framework;
 pub mod handle;
 pub mod ic;
 pub mod intern;
+pub mod metrics;
 pub mod parallel;
 pub mod pool;
 pub mod sic;
@@ -92,6 +97,9 @@ pub use handle::{
 };
 pub use ic::IcFramework;
 pub use intern::UserInterner;
+pub use metrics::{
+    EngineMetrics, Histogram, SlidingHistogram, HISTOGRAM_BUCKETS, METRICS_WINDOW_SLIDES,
+};
 pub use pool::{AdaptiveConfig, CheckpointStat, PoolStats, ShardPool};
 pub use sic::SicFramework;
 pub use snapshot::{

@@ -1,0 +1,676 @@
+//! Server-side observability: log-scale latency histograms with
+//! sliding-window quantiles, and the shared metrics registry the engine
+//! thread, the front-ends and the `/metrics` scrape endpoint meet at.
+//!
+//! The design follows the paper's streaming discipline rather than a
+//! general metrics library:
+//!
+//! * [`Histogram`] — 65 fixed power-of-two buckets over `u64` values
+//!   (nanoseconds or queue depths).  Recording is one branch-free index
+//!   computation plus two saturating adds; quantiles are answered from
+//!   the bucket upper bounds, so p50/p95/p99 cost one pass over 65
+//!   counters and never allocate.
+//! * [`SlidingHistogram`] — a ring of `W` per-slide histograms rotated by
+//!   the engine thread once per window slide.  A sample recorded in slide
+//!   `s` is part of every aggregate up to and including slide `s + W − 1`
+//!   and expires on the rotation that starts slide `s + W`: the window is
+//!   *exactly* the last `W` slides, mirroring the engine's own
+//!   sliding-window semantics instead of wall-clock decay.
+//! * [`EngineMetrics`] — the registry: sliding histograms for feed time,
+//!   query time and observed ingest-queue depth (engine thread only, one
+//!   short mutex hold per slide), plain atomic counters for the
+//!   front-end events that never touch the engine thread (`BUSY`
+//!   replies, parked requests, connection churn), and atomic gauges
+//!   refreshed from [`EngineStats`] after every batch.
+//!
+//! Scraping is **passive**: [`EngineMetrics::render_prometheus`] reads
+//! the registry and nothing else — it never enqueues an engine command —
+//! so a scraper polling at any rate cannot reorder the arrival sequence
+//! or otherwise perturb the served answers (the determinism suite pins
+//! this with a scraper thread racing a 256-connection ingest).
+
+use crate::engine::SlideReport;
+use crate::handle::EngineStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of histogram buckets: bucket 0 holds exact zeros, bucket
+/// `i ∈ 1..=64` holds values in `[2^(i−1), 2^i − 1]` (bucket 64's upper
+/// bound saturates at `u64::MAX`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Window of the sliding aggregation, in engine slides: quantiles answer
+/// over the samples of the last this-many window slides.
+pub const METRICS_WINDOW_SLIDES: usize = 256;
+
+/// A fixed-size log₂-bucketed histogram of `u64` samples.
+///
+/// Buckets are powers of two, so the relative quantile error is bounded
+/// by 2× — coarse for billing, exactly right for spotting a p99 that
+/// moved an order of magnitude — and recording never allocates or
+/// branches on data-dependent state.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    /// Saturating sum of every recorded sample (long soaks must degrade
+    /// to a pinned maximum, not wrap).
+    sum: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// The bucket index a value lands in: 0 for an exact zero, else
+    /// `64 − leading_zeros(v)` (so 1 → bucket 1, 2..=3 → bucket 2, …,
+    /// values ≥ 2⁶³ → bucket 64).
+    #[inline]
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The largest value bucket `index` can hold: 0 for bucket 0,
+    /// `2^index − 1` otherwise (`u64::MAX` for bucket 64).
+    #[inline]
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of every recorded sample.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Raw bucket counts (index = [`Histogram::bucket_index`]).
+    pub fn buckets(&self) -> &[u64; HISTOGRAM_BUCKETS] {
+        &self.buckets
+    }
+
+    /// Clears every counter.
+    pub fn clear(&mut self) {
+        self.buckets = [0; HISTOGRAM_BUCKETS];
+        self.count = 0;
+        self.sum = 0;
+    }
+
+    /// Adds every sample of `other` into `self` (counts and sums
+    /// saturate).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine = mine.saturating_add(*theirs);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), answered as the **upper bound**
+    /// of the bucket in which the rank-`⌈q·count⌉` sample lies — an upper
+    /// estimate within 2× of the true sample.  `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative = cumulative.saturating_add(n);
+            if cumulative >= target {
+                return Some(Self::bucket_upper_bound(i));
+            }
+        }
+        Some(u64::MAX)
+    }
+}
+
+/// A ring of per-slide [`Histogram`]s giving exact slide-count windowed
+/// aggregation: rotate once per engine slide, aggregate on demand.
+#[derive(Debug)]
+pub struct SlidingHistogram {
+    slots: Vec<Histogram>,
+    head: usize,
+}
+
+impl SlidingHistogram {
+    /// A window of `window` slides (clamped to at least 1).
+    pub fn new(window: usize) -> Self {
+        SlidingHistogram {
+            slots: vec![Histogram::new(); window.max(1)],
+            head: 0,
+        }
+    }
+
+    /// The configured window, in slides.
+    pub fn window(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records one sample into the current slide's slot.
+    pub fn record(&mut self, value: u64) {
+        self.slots[self.head].record(value);
+    }
+
+    /// Starts a new slide: advances the ring and clears the slot the new
+    /// slide will write into, expiring whatever was recorded exactly
+    /// `window` slides ago.
+    pub fn rotate(&mut self) {
+        self.head = (self.head + 1) % self.slots.len();
+        self.slots[self.head].clear();
+    }
+
+    /// Merges the whole window into one histogram.
+    pub fn aggregate(&self) -> Histogram {
+        let mut total = Histogram::new();
+        for slot in &self.slots {
+            total.merge(slot);
+        }
+        total
+    }
+}
+
+/// The engine-thread side of the registry, behind one mutex: the three
+/// sliding histograms share a rotation so "the last W slides" means the
+/// same thing for every quantile.
+struct MetricsInner {
+    /// Per-slide feed time (resolution + window + checkpoint updates).
+    feed: SlidingHistogram,
+    /// Per-request query answer time.
+    query: SlidingHistogram,
+    /// Ingest-queue depth observed when each slide's batch was dequeued
+    /// (only slides that crossed the queue are sampled — synchronous
+    /// replays carry no depth).
+    depth: SlidingHistogram,
+}
+
+/// Shared metrics registry of one engine pipeline.
+///
+/// Created by [`crate::EngineHandle::spawn`] and shared (`Arc`) between
+/// the engine thread (histograms + gauges), the server front-ends
+/// (connection/backpressure counters) and whatever serves `/metrics`
+/// (reads only).  All methods take `&self`.
+pub struct EngineMetrics {
+    inner: Mutex<MetricsInner>,
+    // ---- front-end event counters (never touch the engine thread) ----
+    busy_replies: AtomicU64,
+    parked_requests: AtomicU64,
+    connections_opened: AtomicU64,
+    connections_closed: AtomicU64,
+    queries: AtomicU64,
+    // ---- gauges refreshed from EngineStats after every batch ----
+    actions: AtomicU64,
+    batches: AtomicU64,
+    slides: AtomicU64,
+    checkpoints: AtomicU64,
+    oracle_updates: AtomicU64,
+    queue_depth: AtomicU64,
+    max_queue_depth: AtomicU64,
+    users: AtomicU64,
+    orphaned_replies: AtomicU64,
+    shard_migrations: AtomicU64,
+    shard_ewma_min_nanos: AtomicU64,
+    shard_ewma_max_nanos: AtomicU64,
+    journal_lag_batches: AtomicU64,
+    snapshot_age_slides: AtomicU64,
+    durability_state: AtomicU64,
+}
+
+impl Default for EngineMetrics {
+    fn default() -> Self {
+        EngineMetrics::new()
+    }
+}
+
+impl EngineMetrics {
+    /// A registry with the default [`METRICS_WINDOW_SLIDES`] window.
+    pub fn new() -> Self {
+        Self::with_window(METRICS_WINDOW_SLIDES)
+    }
+
+    /// A registry whose quantiles cover the last `window` slides.
+    pub fn with_window(window: usize) -> Self {
+        EngineMetrics {
+            inner: Mutex::new(MetricsInner {
+                feed: SlidingHistogram::new(window),
+                query: SlidingHistogram::new(window),
+                depth: SlidingHistogram::new(window),
+            }),
+            busy_replies: AtomicU64::new(0),
+            parked_requests: AtomicU64::new(0),
+            connections_opened: AtomicU64::new(0),
+            connections_closed: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            actions: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            slides: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            oracle_updates: AtomicU64::new(0),
+            queue_depth: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+            users: AtomicU64::new(0),
+            orphaned_replies: AtomicU64::new(0),
+            shard_migrations: AtomicU64::new(0),
+            shard_ewma_min_nanos: AtomicU64::new(0),
+            shard_ewma_max_nanos: AtomicU64::new(0),
+            journal_lag_batches: AtomicU64::new(0),
+            snapshot_age_slides: AtomicU64::new(0),
+            durability_state: AtomicU64::new(0),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, MetricsInner> {
+        // A poisoned registry would mean a panic mid-record; the counters
+        // are still internally consistent (each record is atomic under
+        // the lock), so keep serving them.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Engine thread: one completed slide.  Records its feed time and (if
+    /// the batch crossed the ingest queue) its observed dequeue depth,
+    /// then rotates the window — the slide boundary is the tick every
+    /// sliding quantile shares.
+    pub fn record_slide(&self, report: &SlideReport) {
+        let mut inner = self.locked();
+        inner.feed.record(report.feed_nanos);
+        if let Some(depth) = report.queue_depth {
+            inner.depth.record(depth as u64);
+        }
+        inner.feed.rotate();
+        inner.query.rotate();
+        inner.depth.rotate();
+    }
+
+    /// Engine thread: one answered query took `nanos`.
+    pub fn record_query(&self, nanos: u64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.locked().query.record(nanos);
+    }
+
+    /// Engine thread: refreshes every gauge from a finished stats
+    /// snapshot (after each batch and on every STATS answer).
+    pub fn observe_stats(&self, stats: &EngineStats) {
+        self.actions.store(stats.actions, Ordering::Relaxed);
+        self.batches.store(stats.batches, Ordering::Relaxed);
+        self.slides.store(stats.slides, Ordering::Relaxed);
+        self.checkpoints.store(stats.checkpoints, Ordering::Relaxed);
+        self.oracle_updates.store(stats.oracle_updates, Ordering::Relaxed);
+        self.queue_depth.store(stats.queue_depth, Ordering::Relaxed);
+        self.max_queue_depth.store(stats.max_queue_depth, Ordering::Relaxed);
+        self.users.store(stats.users, Ordering::Relaxed);
+        self.orphaned_replies.store(stats.orphaned_replies, Ordering::Relaxed);
+        self.shard_migrations.store(stats.shard_migrations, Ordering::Relaxed);
+        self.shard_ewma_min_nanos.store(stats.shard_ewma_min_nanos, Ordering::Relaxed);
+        self.shard_ewma_max_nanos.store(stats.shard_ewma_max_nanos, Ordering::Relaxed);
+        self.journal_lag_batches.store(stats.journal_lag_batches, Ordering::Relaxed);
+        self.snapshot_age_slides.store(stats.snapshot_age_slides, Ordering::Relaxed);
+        self.durability_state.store(stats.durability_state, Ordering::Relaxed);
+    }
+
+    /// Front-end: one `BUSY` backpressure reply was sent (threaded
+    /// front-end only — the event loop parks instead).
+    pub fn incr_busy_reply(&self) {
+        self.busy_replies.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Front-end: one request found the engine queue full and was parked
+    /// until a slot freed (event-loop front-end).
+    pub fn incr_parked_request(&self) {
+        self.parked_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Front-end: one client connection was accepted.
+    pub fn incr_connection_opened(&self) {
+        self.connections_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Front-end: one client connection was closed.
+    pub fn incr_connection_closed(&self) {
+        self.connections_closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `BUSY` replies sent so far.
+    pub fn busy_replies(&self) -> u64 {
+        self.busy_replies.load(Ordering::Relaxed)
+    }
+
+    /// Requests parked on a full queue so far.
+    pub fn parked_requests(&self) -> u64 {
+        self.parked_requests.load(Ordering::Relaxed)
+    }
+
+    /// Connections opened (accepted) so far.
+    pub fn connections_opened(&self) -> u64 {
+        self.connections_opened.load(Ordering::Relaxed)
+    }
+
+    /// Connections closed so far.
+    pub fn connections_closed(&self) -> u64 {
+        self.connections_closed.load(Ordering::Relaxed)
+    }
+
+    /// Aggregated feed-time histogram over the current window.
+    pub fn feed_histogram(&self) -> Histogram {
+        self.locked().feed.aggregate()
+    }
+
+    /// Aggregated query-time histogram over the current window.
+    pub fn query_histogram(&self) -> Histogram {
+        self.locked().query.aggregate()
+    }
+
+    /// Aggregated queue-depth histogram over the current window.
+    pub fn depth_histogram(&self) -> Histogram {
+        self.locked().depth.aggregate()
+    }
+
+    /// Renders the whole registry in the Prometheus text exposition
+    /// format (version 0.0.4): three windowed summaries
+    /// (`rtim_feed_nanos`, `rtim_query_nanos`, `rtim_queue_depth`) with
+    /// p50/p95/p99 quantiles, the pipeline counters, and the
+    /// durability/pool gauges.  Purely a read — never talks to the
+    /// engine.
+    pub fn render_prometheus(&self) -> String {
+        let (feed, query, depth) = {
+            let inner = self.locked();
+            (
+                inner.feed.aggregate(),
+                inner.query.aggregate(),
+                inner.depth.aggregate(),
+            )
+        };
+        let mut out = String::with_capacity(4096);
+        render_summary(
+            &mut out,
+            "rtim_feed_nanos",
+            "Per-slide feed time in nanoseconds over the sliding window",
+            &feed,
+        );
+        render_summary(
+            &mut out,
+            "rtim_query_nanos",
+            "Per-query answer time in nanoseconds over the sliding window",
+            &query,
+        );
+        render_summary(
+            &mut out,
+            "rtim_queue_depth",
+            "Ingest-queue depth observed at batch dequeue over the sliding window",
+            &depth,
+        );
+        let counters: [(&str, &str, u64); 9] = [
+            ("rtim_actions_total", "Actions ingested", self.actions.load(Ordering::Relaxed)),
+            ("rtim_batches_total", "Ingest batches dequeued", self.batches.load(Ordering::Relaxed)),
+            ("rtim_slides_total", "Window slides fed", self.slides.load(Ordering::Relaxed)),
+            ("rtim_queries_total", "SIM queries answered", self.queries.load(Ordering::Relaxed)),
+            (
+                "rtim_busy_replies_total",
+                "BUSY backpressure replies sent (threaded front-end)",
+                self.busy_replies.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_parked_requests_total",
+                "Requests parked on a full queue (event-loop front-end)",
+                self.parked_requests.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_connections_opened_total",
+                "Client connections accepted",
+                self.connections_opened.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_connections_closed_total",
+                "Client connections closed",
+                self.connections_closed.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_orphaned_replies_total",
+                "Replies degraded to roots (unknown or pruned parent)",
+                self.orphaned_replies.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in counters {
+            render_scalar(&mut out, name, help, "counter", value);
+        }
+        let gauges: [(&str, &str, u64); 10] = [
+            (
+                "rtim_queue_depth_current",
+                "Commands waiting in the ingest queue now",
+                self.queue_depth.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_queue_depth_max",
+                "Maximum queue depth observed at any dequeue",
+                self.max_queue_depth.load(Ordering::Relaxed),
+            ),
+            ("rtim_checkpoints", "Checkpoints currently maintained", self.checkpoints.load(Ordering::Relaxed)),
+            ("rtim_users", "Distinct users interned", self.users.load(Ordering::Relaxed)),
+            (
+                "rtim_oracle_updates_total",
+                "Oracle element updates performed",
+                self.oracle_updates.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_shard_migrations_total",
+                "Checkpoints migrated between pool shards",
+                self.shard_migrations.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_shard_ewma_min_nanos",
+                "Smallest per-shard feed-time EWMA",
+                self.shard_ewma_min_nanos.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_shard_ewma_max_nanos",
+                "Largest per-shard feed-time EWMA",
+                self.shard_ewma_max_nanos.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_journal_lag_batches",
+                "Ingested batches whose journal persistence is not yet guaranteed",
+                self.journal_lag_batches.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_snapshot_age_slides",
+                "Window slides since the last successful snapshot",
+                self.snapshot_age_slides.load(Ordering::Relaxed),
+            ),
+        ];
+        for (name, help, value) in gauges {
+            render_scalar(&mut out, name, help, "gauge", value);
+        }
+        render_scalar(
+            &mut out,
+            "rtim_durability_state",
+            "Durability state: 0 disabled, 1 durable, 2 degraded",
+            "gauge",
+            self.durability_state.load(Ordering::Relaxed),
+        );
+        out
+    }
+}
+
+impl std::fmt::Debug for EngineMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EngineMetrics")
+            .field("busy_replies", &self.busy_replies())
+            .field("parked_requests", &self.parked_requests())
+            .finish()
+    }
+}
+
+/// The quantiles every summary exposes.
+const QUANTILES: [(f64, &str); 3] = [(0.5, "0.5"), (0.95, "0.95"), (0.99, "0.99")];
+
+fn render_summary(out: &mut String, name: &str, help: &str, hist: &Histogram) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} summary");
+    for (q, label) in QUANTILES {
+        // An empty window renders NaN, the Prometheus convention for an
+        // unknown quantile.
+        match hist.quantile(q) {
+            Some(v) => drop(writeln!(out, "{name}{{quantile=\"{label}\"}} {v}")),
+            None => drop(writeln!(out, "{name}{{quantile=\"{label}\"}} NaN")),
+        }
+    }
+    let _ = writeln!(out, "{name}_sum {}", hist.sum());
+    let _ = writeln!(out, "{name}_count {}", hist.count());
+}
+
+fn render_scalar(out: &mut String, name: &str, help: &str, kind: &str, value: u64) {
+    use std::fmt::Write as _;
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    let _ = writeln!(out, "{name} {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_powers_of_two() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index((1 << 63) - 1), 63);
+        assert_eq!(Histogram::bucket_index(1 << 63), 64);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_bounds_are_inclusive_maxima() {
+        for i in 0..HISTOGRAM_BUCKETS {
+            let ub = Histogram::bucket_upper_bound(i);
+            assert_eq!(Histogram::bucket_index(ub), i, "upper bound of bucket {i}");
+            if i < 64 {
+                assert_eq!(Histogram::bucket_index(ub + 1), i + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn quantiles_answer_bucket_upper_bounds() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        // p50 → rank 3 (value 30, bucket 5, upper bound 31).
+        assert_eq!(h.quantile(0.5), Some(31));
+        // p99 → rank 5 (value 1000, bucket 10, upper bound 1023).
+        assert_eq!(h.quantile(0.99), Some(1023));
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1100);
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn record_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.quantile(1.0), Some(u64::MAX));
+    }
+
+    #[test]
+    fn sliding_window_expires_after_exactly_w_rotations() {
+        let w = 4;
+        let mut s = SlidingHistogram::new(w);
+        s.record(42);
+        for i in 1..w {
+            s.rotate();
+            assert_eq!(s.aggregate().count(), 1, "survives rotation {i}");
+        }
+        s.rotate(); // the W-th rotation expires the sample
+        assert_eq!(s.aggregate().count(), 0);
+    }
+
+    #[test]
+    fn registry_renders_required_metric_names() {
+        let metrics = EngineMetrics::with_window(8);
+        metrics.record_slide(&SlideReport {
+            actions: 10,
+            feed_nanos: 1234,
+            queue_depth: Some(3),
+            ..SlideReport::default()
+        });
+        metrics.record_query(5678);
+        metrics.incr_busy_reply();
+        metrics.incr_parked_request();
+        let text = metrics.render_prometheus();
+        for needle in [
+            "rtim_feed_nanos{quantile=\"0.5\"}",
+            "rtim_feed_nanos{quantile=\"0.95\"}",
+            "rtim_feed_nanos{quantile=\"0.99\"}",
+            "rtim_query_nanos{quantile=\"0.99\"}",
+            "rtim_queue_depth{quantile=\"0.99\"}",
+            "rtim_busy_replies_total 1",
+            "rtim_parked_requests_total 1",
+            "rtim_journal_lag_batches",
+            "rtim_snapshot_age_slides",
+            "rtim_durability_state",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        // Every exposed family carries HELP and TYPE lines.
+        assert!(text.contains("# TYPE rtim_feed_nanos summary"));
+        assert!(text.contains("# TYPE rtim_actions_total counter"));
+        assert!(text.contains("# TYPE rtim_durability_state gauge"));
+    }
+
+    #[test]
+    fn offline_slides_contribute_no_depth_samples() {
+        let metrics = EngineMetrics::with_window(8);
+        metrics.record_slide(&SlideReport {
+            feed_nanos: 100,
+            queue_depth: None,
+            ..SlideReport::default()
+        });
+        assert_eq!(metrics.feed_histogram().count(), 1);
+        assert_eq!(metrics.depth_histogram().count(), 0);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests for the metrics layer, checked against naive models:
+//! the log-scale [`Histogram`] quantiles versus a sorted-vec rank model,
+//! and the [`SlidingHistogram`] window versus a literal deque of
+//! per-slide sample lists.
+
+use proptest::prelude::*;
+use rtim_core::{Histogram, SlidingHistogram};
+use std::collections::VecDeque;
+
+/// Sample values spanning every interesting regime: zeros, small counts,
+/// exact powers of two and their neighbours (bucket boundaries), wide
+/// random values, and the saturating top end.
+fn sample_strategy() -> impl Strategy<Value = u64> {
+    (0usize..7, 0u32..64, 0u64..u64::MAX).prop_map(|(pick, exp, wide)| match pick {
+        0 => 0,
+        1 => 1 + wide % 15,
+        2 => 1u64 << exp,
+        3 => (1u64 << exp.max(1)) - 1,
+        4 => (1u64 << exp.max(1)).saturating_add(1),
+        5 => u64::MAX,
+        _ => wide,
+    })
+}
+
+/// The rank a quantile answers: 1-indexed `max(1, ceil(q·count))`.
+fn rank(q: f64, count: usize) -> usize {
+    ((q * count as f64).ceil() as usize).clamp(1, count)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The histogram quantile is exactly the upper bound of the bucket
+    /// holding the true rank-`⌈q·count⌉` sample of the sorted inputs —
+    /// an upper estimate within 2× of the true sample (0 stays exact).
+    #[test]
+    fn quantiles_match_the_sorted_vec_model(
+        samples in prop::collection::vec(sample_strategy(), 1..400),
+        // `quantile` clamps, so overshooting 1.0 also pins the q = 1.0 edge.
+        q in 0.0f64..1.1,
+    ) {
+        let q = q.min(1.0);
+        let mut hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+
+        let truth = sorted[rank(q, sorted.len()) - 1];
+        let answer = hist.quantile(q).unwrap();
+        prop_assert_eq!(
+            answer,
+            Histogram::bucket_upper_bound(Histogram::bucket_index(truth)),
+            "q={} truth={}", q, truth
+        );
+        // The documented error envelope: an upper estimate within 2×.
+        prop_assert!(answer >= truth);
+        if truth == 0 {
+            prop_assert_eq!(answer, 0);
+        } else {
+            prop_assert!(answer / 2 < truth, "answer={} truth={}", answer, truth);
+        }
+    }
+
+    /// Count and saturating sum agree with the literal fold, and the
+    /// canonical p50/p95/p99 are all monotone.
+    #[test]
+    fn count_sum_and_quantile_monotonicity(
+        samples in prop::collection::vec(sample_strategy(), 1..400),
+    ) {
+        let mut hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+        let model_sum: u128 = samples.iter().map(|&s| s as u128).sum();
+        prop_assert_eq!(hist.sum(), model_sum.min(u64::MAX as u128) as u64);
+        let p50 = hist.quantile(0.5).unwrap();
+        let p95 = hist.quantile(0.95).unwrap();
+        let p99 = hist.quantile(0.99).unwrap();
+        prop_assert!(p50 <= p95 && p95 <= p99);
+    }
+
+    /// Merging two histograms answers like one histogram over the
+    /// concatenated samples.
+    #[test]
+    fn merge_is_concatenation(
+        left in prop::collection::vec(sample_strategy(), 0..200),
+        right in prop::collection::vec(sample_strategy(), 0..200),
+    ) {
+        let mut a = Histogram::new();
+        for &s in &left { a.record(s); }
+        let mut b = Histogram::new();
+        for &s in &right { b.record(s); }
+        a.merge(&b);
+
+        let mut both = Histogram::new();
+        for &s in left.iter().chain(right.iter()) { both.record(s); }
+        prop_assert_eq!(a.buckets(), both.buckets());
+        prop_assert_eq!(a.count(), both.count());
+        prop_assert_eq!(a.sum(), both.sum());
+    }
+
+    /// The sliding window tracks a literal deque of per-slide sample
+    /// lists through an arbitrary interleaving of records and rotations:
+    /// after every step the aggregate equals a fresh histogram over the
+    /// samples of exactly the last `W` slides — a sample survives `W − 1`
+    /// rotations and expires on the `W`th.
+    #[test]
+    fn sliding_window_matches_a_deque_model(
+        window in 1usize..6,
+        ops in prop::collection::vec(
+            (0u32..4, sample_strategy())
+                .prop_map(|(pick, v)| if pick == 0 { None } else { Some(v) }),
+            1..120,
+        ),
+    ) {
+        let mut sliding = SlidingHistogram::new(window);
+        // Model: one sample list per live slide, newest last.
+        let mut model: VecDeque<Vec<u64>> = VecDeque::from([Vec::new()]);
+        for op in ops {
+            match op {
+                Some(value) => {
+                    sliding.record(value);
+                    model.back_mut().unwrap().push(value);
+                }
+                None => {
+                    sliding.rotate();
+                    model.push_back(Vec::new());
+                    while model.len() > window {
+                        model.pop_front();
+                    }
+                }
+            }
+            let mut expected = Histogram::new();
+            for &s in model.iter().flatten() {
+                expected.record(s);
+            }
+            let got = sliding.aggregate();
+            prop_assert_eq!(got.buckets(), expected.buckets());
+            prop_assert_eq!(got.count(), expected.count());
+            prop_assert_eq!(got.sum(), expected.sum());
+        }
+    }
+}

@@ -44,8 +44,8 @@ use crate::protocol::{
     encode_frame_into, parse_error_consumed, parse_frame, Frame, PROTOCOL_VERSION,
 };
 use rtim_core::{
-    AsyncRequestError, Completion, CompletionPayload, CompletionSink, IngestError, IngestSender,
-    SenderSpawner,
+    AsyncRequestError, Completion, CompletionPayload, CompletionSink, EngineMetrics, IngestError,
+    IngestSender, SenderSpawner,
 };
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -83,6 +83,8 @@ struct EvShared {
     /// elsewhere (round-robin).
     injects: Vec<Mutex<Vec<(TcpStream, IngestSender)>>>,
     next_conn_id: AtomicU64,
+    /// Connection-churn and backpressure counters for `/metrics`.
+    metrics: Arc<EngineMetrics>,
 }
 
 /// The running event-loop front-end.
@@ -98,6 +100,7 @@ impl EventLoopRuntime {
         listener: TcpListener,
         spawner: SenderSpawner,
         threads: usize,
+        metrics: Arc<EngineMetrics>,
     ) -> io::Result<EventLoopRuntime> {
         let threads = threads.max(1);
         listener.set_nonblocking(true)?;
@@ -112,6 +115,7 @@ impl EventLoopRuntime {
             wakes,
             injects,
             next_conn_id: AtomicU64::new(0),
+            metrics,
         });
         let mut handles = Vec::with_capacity(threads);
         for index in 0..threads {
@@ -505,10 +509,10 @@ impl LoopThread {
     /// Executes one parsed frame against the engine pipeline.
     fn handle_frame(&mut self, i: usize, frame: Frame) {
         match frame {
-            Frame::Ingest { actions, corr } => self.submit_ingest(i, actions, corr),
-            Frame::Query { corr } => self.submit_async(i, Parked::Query { corr }),
-            Frame::Stats { corr } => self.submit_async(i, Parked::Stats { corr }),
-            Frame::Snapshot => self.submit_async(i, Parked::Snapshot),
+            Frame::Ingest { actions, corr } => self.submit_ingest(i, actions, corr, false),
+            Frame::Query { corr } => self.submit_async(i, Parked::Query { corr }, false),
+            Frame::Stats { corr } => self.submit_async(i, Parked::Stats { corr }, false),
+            Frame::Snapshot => self.submit_async(i, Parked::Snapshot, false),
             Frame::Shutdown => {
                 self.shared.shutting_down.store(true, Ordering::Release);
                 let Some(conn) = self.conns[i].as_mut() else {
@@ -543,8 +547,16 @@ impl LoopThread {
     }
 
     /// Enqueues an ingest, parking it when the queue is full (never
-    /// `BUSY`: see the module docs on pipelined id-order).
-    fn submit_ingest(&mut self, i: usize, actions: Vec<rtim_stream::Action>, corr: Option<u32>) {
+    /// `BUSY`: see the module docs on pipelined id-order).  `retry` marks
+    /// a re-submission of an already-parked request, so the parked-request
+    /// counter counts requests, not 1 ms retry ticks.
+    fn submit_ingest(
+        &mut self,
+        i: usize,
+        actions: Vec<rtim_stream::Action>,
+        corr: Option<u32>,
+        retry: bool,
+    ) {
         if self.shutting() {
             if let Some(conn) = self.conns[i].as_mut() {
                 push_reply(
@@ -574,6 +586,9 @@ impl LoopThread {
                 );
             }
             Err(IngestError::Full(actions)) => {
+                if !retry {
+                    self.shared.metrics.incr_parked_request();
+                }
                 conn.parked = Some(Parked::Ingest { actions, corr });
             }
             Err(e @ IngestError::Invalid(_)) => push_reply(
@@ -598,8 +613,9 @@ impl LoopThread {
     }
 
     /// Enqueues a completion-routed request (`QUERY`/`STATS`/`SNAPSHOT`),
-    /// parking it when the queue is full.
-    fn submit_async(&mut self, i: usize, request: Parked) {
+    /// parking it when the queue is full (`retry` as in
+    /// [`LoopThread::submit_ingest`]).
+    fn submit_async(&mut self, i: usize, request: Parked, retry: bool) {
         let Some(conn) = self.conns[i].as_mut() else {
             return;
         };
@@ -623,7 +639,12 @@ impl LoopThread {
                 );
                 conn.pending += 1;
             }
-            Err(AsyncRequestError::Full) => conn.parked = Some(request),
+            Err(AsyncRequestError::Full) => {
+                if !retry {
+                    self.shared.metrics.incr_parked_request();
+                }
+                conn.parked = Some(request);
+            }
             Err(AsyncRequestError::Closed) => {
                 push_reply(
                     conn,
@@ -681,8 +702,8 @@ impl LoopThread {
                 continue;
             };
             match request {
-                Parked::Ingest { actions, corr } => self.submit_ingest(i, actions, corr),
-                other => self.submit_async(i, other),
+                Parked::Ingest { actions, corr } => self.submit_ingest(i, actions, corr, true),
+                other => self.submit_async(i, other, true),
             }
             let resumed = self.conns[i]
                 .as_ref()
@@ -783,6 +804,7 @@ impl LoopThread {
         if stream.set_nonblocking(true).is_err() {
             return;
         }
+        self.shared.metrics.incr_connection_opened();
         let id = self.shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
         let mut conn = Conn {
             id,
@@ -813,6 +835,7 @@ impl LoopThread {
     /// Drops a connection (closing its socket) and recycles the slot.
     fn close(&mut self, i: usize) {
         if self.conns[i].take().is_some() {
+            self.shared.metrics.incr_connection_closed();
             self.free.push(i);
             self.live -= 1;
         }

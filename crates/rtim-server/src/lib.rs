@@ -31,6 +31,11 @@
 //! layout, correlation ids and pipelining ordering guarantees, id-space
 //! semantics, backpressure, the determinism invariant).
 //!
+//! Observability: [`ServerConfig::with_metrics`] enables a Prometheus
+//! `/metrics` HTTP sidecar serving sliding-window latency percentiles,
+//! queue/backpressure counters and durability gauges; see
+//! `docs/METRICS.md`.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -81,6 +86,7 @@
 
 pub mod client;
 pub mod event_loop;
+mod metrics_http;
 pub mod poll;
 pub mod protocol;
 pub mod server;

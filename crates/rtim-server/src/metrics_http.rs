@@ -1,0 +1,201 @@
+//! The `/metrics` HTTP sidecar: a hand-rolled HTTP/1.0 responder serving
+//! the Prometheus text exposition of the engine's
+//! [`rtim_core::EngineMetrics`] registry.
+//!
+//! Deliberately minimal, matching the crate's `std::net`-only constraint:
+//! one blocking acceptor thread, one request per connection
+//! (`Connection: close`), `GET /metrics` and nothing else.  The sidecar
+//! is **passive** — rendering reads the shared registry and never sends a
+//! command through the engine queue, so scraping at any rate cannot
+//! perturb the arrival order that makes served answers bit-identical to
+//! an offline replay.  A slow or hostile scraper can at worst stall its
+//! own connection: requests are read with a short timeout and responses
+//! are best-effort writes.
+//!
+//! Enable it with [`crate::ServerConfig::with_metrics`]; the bound
+//! address is reported by [`crate::RtimServer::metrics_addr`].
+
+use rtim_core::EngineMetrics;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long one scrape connection may take to deliver its request line
+/// and headers before the sidecar gives up on it.
+const REQUEST_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The running metrics sidecar thread.
+pub(crate) struct MetricsSidecar {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsSidecar {
+    /// Binds `addr` (port 0 picks an ephemeral port) and spawns the
+    /// acceptor thread.
+    pub(crate) fn start(
+        addr: impl ToSocketAddrs,
+        metrics: Arc<EngineMetrics>,
+    ) -> io::Result<MetricsSidecar> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("rtim-metrics".into())
+            .spawn(move || accept_loop(listener, metrics, thread_stop))
+            .expect("spawn metrics sidecar thread");
+        Ok(MetricsSidecar {
+            addr,
+            stop,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound scrape address.
+    pub(crate) fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the acceptor (flag + self-connect wake) and joins it.
+    pub(crate) fn stop(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the blocking accept the same way the threaded front-end
+        // wakes its acceptor: a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsSidecar {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.stop.store(true, Ordering::Release);
+            let _ = TcpStream::connect(self.addr);
+            if let Some(thread) = self.thread.take() {
+                let _ = thread.join();
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MetricsSidecar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsSidecar").field("addr", &self.addr).finish()
+    }
+}
+
+/// One scrape connection after another; scrapes are rare (seconds apart)
+/// and cheap (one registry read), so serial handling is plenty and keeps
+/// the sidecar to a single thread.
+fn accept_loop(listener: TcpListener, metrics: Arc<EngineMetrics>, stop: Arc<AtomicBool>) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // A broken scrape must never take the sidecar down with it.
+        let _ = serve_one(stream, &metrics);
+    }
+}
+
+/// Parses one HTTP request and answers it: `GET /metrics` → 200 with the
+/// Prometheus text; any other path → 404; anything else → 400.
+fn serve_one(stream: TcpStream, metrics: &EngineMetrics) -> io::Result<()> {
+    stream.set_read_timeout(Some(REQUEST_TIMEOUT))?;
+    stream.set_write_timeout(Some(REQUEST_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers so well-behaved clients never see a reset racing
+    // their unread request bytes.
+    loop {
+        let mut header = String::new();
+        if reader.read_line(&mut header)? == 0 || header == "\r\n" || header == "\n" {
+            break;
+        }
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let mut stream = stream;
+    if method != "GET" {
+        return respond(&mut stream, "400 Bad Request", "only GET is supported\n");
+    }
+    // Accept bare and query-string forms (`/metrics?format=...`).
+    if path != "/metrics" && !path.starts_with("/metrics?") {
+        return respond(&mut stream, "404 Not Found", "try GET /metrics\n");
+    }
+    let body = metrics.render_prometheus();
+    let header = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn respond(stream: &mut TcpStream, status: &str, body: &str) -> io::Result<()> {
+    let header = format!(
+        "HTTP/1.0 {status}\r\nContent-Type: text/plain; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read as _;
+
+    fn get(addr: SocketAddr, request: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.write_all(request.as_bytes()).unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_prometheus_text_and_404s_everything_else() {
+        let metrics = Arc::new(EngineMetrics::new());
+        metrics.incr_busy_reply();
+        let sidecar = MetricsSidecar::start("127.0.0.1:0", Arc::clone(&metrics)).unwrap();
+        let addr = sidecar.addr();
+
+        let ok = get(addr, "GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("text/plain; version=0.0.4"), "{ok}");
+        assert!(ok.contains("rtim_feed_nanos"), "{ok}");
+        assert!(ok.contains("rtim_durability_state"), "{ok}");
+        assert!(ok.contains("rtim_busy_replies_total 1"), "{ok}");
+        // The declared length matches the body exactly.
+        let (head, body) = ok.split_once("\r\n\r\n").unwrap();
+        let declared: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(declared, body.len());
+
+        let missing = get(addr, "GET /other HTTP/1.0\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+        let bad = get(addr, "POST /metrics HTTP/1.0\r\n\r\n");
+        assert!(bad.starts_with("HTTP/1.0 400"), "{bad}");
+
+        sidecar.stop();
+        // The port is released after stop.
+        assert!(TcpListener::bind(addr).is_ok());
+    }
+}

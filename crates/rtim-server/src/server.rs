@@ -18,6 +18,7 @@
 //! engine queue; actions `ACK`ed before the drain began are guaranteed to
 //! be processed.
 
+use crate::metrics_http::MetricsSidecar;
 use crate::{event_loop, threaded};
 use rtim_core::{EngineHandle, FrameworkKind, HandleOptions, PersistOptions, SimConfig};
 use std::io;
@@ -69,6 +70,9 @@ pub struct ServerConfig {
     pub persist: Option<PersistOptions>,
     /// The connection-handling front-end.
     pub front_end: FrontEnd,
+    /// Listen address for the Prometheus `/metrics` HTTP sidecar
+    /// (e.g. `"127.0.0.1:0"` for an ephemeral port).  `None` = no sidecar.
+    pub metrics: Option<String>,
 }
 
 impl ServerConfig {
@@ -84,6 +88,7 @@ impl ServerConfig {
             remap_horizon: None,
             persist: None,
             front_end: FrontEnd::default(),
+            metrics: None,
         }
     }
 
@@ -125,6 +130,14 @@ impl ServerConfig {
         };
         self
     }
+
+    /// Enables the Prometheus `/metrics` HTTP sidecar on `addr`
+    /// (`"127.0.0.1:0"` picks an ephemeral port, reported by
+    /// [`RtimServer::metrics_addr`]).
+    pub fn with_metrics(mut self, addr: impl Into<String>) -> Self {
+        self.metrics = Some(addr.into());
+        self
+    }
 }
 
 /// Final state returned when the server stops: the drained engine
@@ -146,6 +159,7 @@ pub struct RtimServer {
     addr: SocketAddr,
     handle: Option<EngineHandle>,
     runtime: Option<Runtime>,
+    sidecar: Option<MetricsSidecar>,
 }
 
 impl RtimServer {
@@ -163,29 +177,55 @@ impl RtimServer {
             options = options.with_persistence(p);
         }
         let handle = EngineHandle::spawn(config.sim, config.kind, options);
+        let metrics = handle.metrics();
+        // The sidecar only *reads* the shared registry — it holds no
+        // sender and enqueues nothing, so scraping cannot perturb the
+        // served arrival order.
+        let sidecar = match &config.metrics {
+            Some(scrape_addr) => Some(MetricsSidecar::start(
+                scrape_addr.as_str(),
+                std::sync::Arc::clone(&metrics),
+            )?),
+            None => None,
+        };
         // One fresh sender (one private id space) per accepted connection,
         // minted on the accepting thread via the spawner.
         let spawner = handle.sender_spawner();
         let runtime = match config.front_end {
             FrontEnd::EventLoop { threads } => Runtime::EventLoop(
-                event_loop::EventLoopRuntime::start(listener, spawner, threads)?,
+                event_loop::EventLoopRuntime::start(listener, spawner, threads, metrics)?,
             ),
             FrontEnd::ThreadPerConnection => Runtime::Threaded(threaded::ThreadedRuntime::start(
                 listener,
                 spawner,
                 config.queue_capacity.max(1) as u32,
+                metrics,
             )),
         };
         Ok(RtimServer {
             addr,
             handle: Some(handle),
             runtime: Some(runtime),
+            sidecar,
         })
     }
 
     /// The bound address (useful with port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The `/metrics` scrape address, if the sidecar was enabled via
+    /// [`ServerConfig::with_metrics`].
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.sidecar.as_ref().map(|s| s.addr())
+    }
+
+    /// The live metrics registry behind `/metrics` (available whether or
+    /// not the HTTP sidecar is enabled).  Reading it never enqueues an
+    /// engine command.
+    pub fn metrics(&self) -> Option<std::sync::Arc<rtim_core::EngineMetrics>> {
+        self.handle.as_ref().map(|h| h.metrics())
     }
 
     /// Current ingest-queue depth (approximate).
@@ -209,10 +249,17 @@ impl RtimServer {
     fn stop(&mut self, initiate: bool) -> ServerReport {
         // The front-end threads exit first (the engine must stay up while
         // they deliver in-flight completions), then the queue drains.
+        // With `initiate = false` the runtime stop *blocks* until a client
+        // sends SHUTDOWN, so the sidecar must outlive it — `/metrics`
+        // stays scrapeable for the server's whole life, including the
+        // drain.  It only reads, so nothing is owed on teardown.
         match self.runtime.take() {
             Some(Runtime::EventLoop(runtime)) => runtime.stop(initiate),
             Some(Runtime::Threaded(runtime)) => runtime.stop(initiate, self.addr),
             None => {}
+        }
+        if let Some(sidecar) = self.sidecar.take() {
+            sidecar.stop();
         }
         let handle = self.handle.take().expect("server already stopped");
         handle.shutdown()
@@ -427,6 +474,51 @@ mod tests {
         let report = server.shutdown();
         assert_eq!(report.stats.actions, actions.len() as u64);
         assert_eq!(report.journal.unwrap().actions(), actions.as_slice());
+    }
+
+    /// The `/metrics` sidecar scrapes live engine state over plain HTTP:
+    /// latency summaries appear once traffic flows, the BUSY counter
+    /// reflects threaded-front-end backpressure, and the port is torn
+    /// down with the server.
+    #[test]
+    fn metrics_sidecar_serves_live_engine_state() {
+        use std::io::{Read as _, Write as _};
+        for front_end in front_ends() {
+            let config = ServerConfig::new(SimConfig::new(2, 0.3, 8, 2), FrameworkKind::Ic)
+                .with_queue_capacity(8)
+                .with_front_end(front_end)
+                .with_metrics("127.0.0.1:0");
+            let server = RtimServer::bind("127.0.0.1:0", config).unwrap();
+            let scrape_addr = server.metrics_addr().expect("sidecar enabled");
+
+            let mut client = RtimClient::connect(server.local_addr()).unwrap();
+            client.ingest_blocking(&figure1_actions()).unwrap();
+            client.query().unwrap();
+
+            let mut scrape = std::net::TcpStream::connect(scrape_addr).unwrap();
+            scrape
+                .write_all(b"GET /metrics HTTP/1.0\r\n\r\n")
+                .unwrap();
+            let mut response = String::new();
+            scrape.read_to_string(&mut response).unwrap();
+            assert!(response.starts_with("HTTP/1.0 200 OK"), "{front_end:?}");
+            for needle in [
+                "rtim_feed_nanos{quantile=\"0.5\"}",
+                "rtim_feed_nanos{quantile=\"0.99\"}",
+                "rtim_query_nanos{quantile=\"0.95\"}",
+                "rtim_queue_depth",
+                "rtim_durability_state 0",
+                "rtim_actions_total 10",
+                "rtim_connections_opened_total",
+            ] {
+                assert!(response.contains(needle), "{front_end:?}: missing {needle}\n{response}");
+            }
+            drop(client);
+            let report = server.shutdown();
+            assert_eq!(report.stats.actions, 10, "{front_end:?}");
+            // The scrape port was released with the server.
+            assert!(std::net::TcpListener::bind(scrape_addr).is_ok());
+        }
     }
 
     /// Pipelined ingest over the event loop: correlation ids come back in

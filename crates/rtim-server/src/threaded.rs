@@ -27,7 +27,7 @@
 //! threads, then the caller drains the engine queue.
 
 use crate::protocol::{read_frame, write_frame, Frame, FrameError, PROTOCOL_VERSION};
-use rtim_core::{IngestError, IngestSender, SenderSpawner, SnapshotRequestError};
+use rtim_core::{EngineMetrics, IngestError, IngestSender, SenderSpawner, SnapshotRequestError};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -46,6 +46,8 @@ struct ServerShared {
     /// idle client must not stall the drain).  Entries are removed by the
     /// connection thread on exit.
     peers: Mutex<std::collections::HashMap<u64, TcpStream>>,
+    /// Connection-churn and backpressure counters for `/metrics`.
+    metrics: Arc<EngineMetrics>,
 }
 
 /// The running thread-per-connection front-end: acceptor thread plus one
@@ -62,11 +64,13 @@ impl ThreadedRuntime {
         listener: TcpListener,
         spawner: SenderSpawner,
         capacity: u32,
+        metrics: Arc<EngineMetrics>,
     ) -> ThreadedRuntime {
         let shared = Arc::new(ServerShared {
             shutting_down: AtomicBool::new(false),
             capacity,
             peers: Mutex::new(std::collections::HashMap::new()),
+            metrics,
         });
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
         let acceptor = {
@@ -140,10 +144,12 @@ fn accept_loop(
         }
         let sender = spawner.sender();
         let conn_shared = Arc::clone(&shared);
+        shared.metrics.incr_connection_opened();
         let thread = std::thread::Builder::new()
             .name("rtim-conn".into())
             .spawn(move || {
                 let wake = connection_loop(stream, sender, &conn_shared);
+                conn_shared.metrics.incr_connection_closed();
                 conn_shared
                     .peers
                     .lock()
@@ -236,10 +242,13 @@ fn connection_loop(
                             queue_depth: sender.queue_depth() as u32,
                             corr,
                         },
-                        Err(IngestError::Full(_)) => Frame::Busy {
-                            capacity: shared.capacity,
-                            corr,
-                        },
+                        Err(IngestError::Full(_)) => {
+                            shared.metrics.incr_busy_reply();
+                            Frame::Busy {
+                                capacity: shared.capacity,
+                                corr,
+                            }
+                        }
                         Err(e @ IngestError::Invalid(_)) => Frame::Error {
                             message: e.to_string(),
                             corr,

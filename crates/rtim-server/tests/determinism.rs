@@ -176,6 +176,86 @@ fn threaded_baseline_matches_offline_replay() {
     run_case(1, 5, 10_000, FrontEnd::ThreadPerConnection, 1);
 }
 
+/// A `/metrics` scraper hammering the sidecar concurrently with a
+/// 256-connection ingest must not perturb served-answer bit-identity:
+/// scraping only reads the shared registry (it never enqueues an engine
+/// command), so the journaled arrival order — and therefore the final
+/// answer — replays offline bit for bit, exactly as without the scraper.
+#[test]
+fn scraping_does_not_perturb_bit_identity_under_256_connections() {
+    use std::io::{Read as _, Write as _};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const L: usize = 10;
+    const CLIENTS: usize = 256;
+    const PER_CLIENT: usize = 200;
+    let config = SimConfig::new(3, 0.4, 100, L);
+    let server = RtimServer::bind(
+        "127.0.0.1:0",
+        ServerConfig::new(config, FrameworkKind::Sic)
+            .with_journal(true)
+            .with_queue_capacity(16)
+            .with_event_loop_threads(2)
+            .with_metrics("127.0.0.1:0"),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let scrape_addr = server.metrics_addr().unwrap();
+
+    // The scraper races the whole ingest, as fast as it can reconnect.
+    let done = Arc::new(AtomicBool::new(false));
+    let scraper = {
+        let done = Arc::clone(&done);
+        std::thread::spawn(move || {
+            let mut scrapes = 0u64;
+            while !done.load(Ordering::Acquire) {
+                let mut conn = std::net::TcpStream::connect(scrape_addr).unwrap();
+                conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+                let mut response = String::new();
+                conn.read_to_string(&mut response).unwrap();
+                assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+                assert!(response.contains("rtim_feed_nanos"), "{response}");
+                scrapes += 1;
+            }
+            scrapes
+        })
+    };
+
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let script = client_script(0xBEEF + c as u64, PER_CLIENT, 500);
+                let mut client = RtimClient::connect(addr).unwrap();
+                for chunk in script.chunks(2 * L) {
+                    client.ingest_blocking(chunk).unwrap();
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
+    done.store(true, Ordering::Release);
+    let scrapes = scraper.join().unwrap();
+    assert!(scrapes > 0, "the scraper never completed a scrape");
+
+    let mut probe = RtimClient::connect(addr).unwrap();
+    let live = probe.query().unwrap();
+    probe.shutdown().unwrap();
+    let report = server.wait();
+    assert_eq!(report.stats.actions, (CLIENTS * PER_CLIENT) as u64);
+
+    let mut offline = SimEngine::new_sic(config);
+    let offline_solution = offline.run_stream(&report.journal.unwrap()).final_solution();
+    assert_eq!(live.seeds, offline_solution.seeds, "{scrapes} scrapes");
+    assert_eq!(
+        live.value.to_bits(),
+        offline_solution.value.to_bits(),
+        "{scrapes} scrapes"
+    );
+}
+
 /// Eight clients with tiny ragged-but-aligned batches still serialize into
 /// one valid arrival order (smaller volume; exercises interleaving, not
 /// throughput), on both front-ends.

@@ -127,6 +127,40 @@ proptest! {
         prop_assert_eq!(parsed.corr(), frame.corr());
     }
 
+    /// Pins the STATS v2 → v1 compatibility direction: the 17-field v2
+    /// payload is the 14-field v1 payload with the three durability
+    /// fields **appended**, so truncating an encoded v2 `STATS_REPLY` to
+    /// its v1 prefix (what a v1 proxy or reader effectively does) must
+    /// decode to the same stats with `journal_lag_batches`,
+    /// `snapshot_age_slides` and `durability_state` zeroed — for both
+    /// the plain and the correlated frame kind.  Any field reorder or
+    /// mid-payload insertion breaks this test before it breaks a peer.
+    #[test]
+    fn stats_v2_truncates_to_a_decodable_v1_prefix(frame in frame_strategy()) {
+        let Frame::StatsReply { stats, corr } = &frame else {
+            return Ok(()); // only stats frames carry the versioned payload
+        };
+        const V1_PAYLOAD: usize = 14 * 8;
+        let bytes = encode_frame(&frame);
+        // Truncate the payload to the v1 prefix (keeping the corr that a
+        // correlated frame prepends) and patch the length header.
+        let corr_len = if corr.is_some() { 4 } else { 0 };
+        let mut v1 = bytes[..5 + corr_len + V1_PAYLOAD].to_vec();
+        let len = (v1.len() - 5) as u32;
+        v1[1..5].copy_from_slice(&len.to_le_bytes());
+
+        let decoded = read_frame(v1.as_slice()).unwrap();
+        let Frame::StatsReply { stats: got, corr: got_corr } = decoded else {
+            return Err(TestCaseError::fail(format!("decoded {decoded:?}")));
+        };
+        prop_assert_eq!(got_corr, *corr);
+        let mut expected = *stats;
+        expected.journal_lag_batches = 0;
+        expected.snapshot_age_slides = 0;
+        expected.durability_state = 0;
+        prop_assert_eq!(got, expected);
+    }
+
     /// The incremental parser returns `None` for every strict prefix of a
     /// frame and never consumes past the frame boundary with trailing
     /// bytes present.

@@ -1,0 +1,234 @@
+//! `rtim-cli` — operate and observe a running RTIM server from the shell.
+//!
+//! ```text
+//! rtim-cli serve    [--listen ADDR] [--metrics ADDR] [--framework ic|sic]
+//!                   [--k N] [--beta F] [--window N] [--slide N]
+//!                   [--capacity N] [--persist DIR]
+//! rtim-cli top      [--addr ADDR] [--interval-ms N] [--once]
+//! rtim-cli shutdown [--addr ADDR]
+//! ```
+//!
+//! `top` polls the engine's `STATS` frame and renders a live terminal
+//! view (press Ctrl-C to leave; `--once` prints a single snapshot and
+//! exits — handy in scripts and CI).  `serve` runs a server until a
+//! client sends `SHUTDOWN` (e.g. `rtim-cli shutdown`), printing the
+//! bound addresses as parseable `listening on ...` / `metrics on ...`
+//! lines.  See `docs/METRICS.md` for the `/metrics` scrape endpoint the
+//! `--metrics` flag enables.
+
+use rtim::core::{EngineStats, FrameworkKind, PersistOptions, SimConfig};
+use rtim::server::{RtimClient, RtimServer, ServerConfig};
+use std::time::{Duration, Instant};
+
+const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    };
+    let result = match command.as_str() {
+        "serve" => serve(rest),
+        "top" => top(rest),
+        "shutdown" => shutdown(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return;
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    if let Err(message) = result {
+        eprintln!("rtim-cli: {message}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "usage:
+  rtim-cli serve    [--listen ADDR] [--metrics ADDR] [--framework ic|sic]
+                    [--k N] [--beta F] [--window N] [--slide N]
+                    [--capacity N] [--persist DIR]
+  rtim-cli top      [--addr ADDR] [--interval-ms N] [--once]
+  rtim-cli shutdown [--addr ADDR]";
+
+/// Tiny flag parser: every option takes a value except the listed
+/// boolean switches.
+struct Flags {
+    values: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    fn parse(args: &[String], bool_switches: &[&str]) -> Result<Flags, String> {
+        let mut values = Vec::new();
+        let mut switches = Vec::new();
+        let mut iter = args.iter();
+        while let Some(flag) = iter.next() {
+            let Some(name) = flag.strip_prefix("--") else {
+                return Err(format!("unexpected argument `{flag}`\n{USAGE}"));
+            };
+            if bool_switches.contains(&name) {
+                switches.push(name.to_string());
+            } else {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("--{name} needs a value"))?;
+                values.push((name.to_string(), value.clone()));
+            }
+        }
+        Ok(Flags { values, switches })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse `{raw}`")),
+        }
+    }
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let k = flags.num("k", 5usize)?;
+    let beta = flags.num("beta", 0.1f64)?;
+    let window = flags.num("window", 400usize)?;
+    let slide = flags.num("slide", 100usize)?;
+    let capacity = flags.num("capacity", 64usize)?;
+    let kind = match flags.get("framework").unwrap_or("sic") {
+        "ic" => FrameworkKind::Ic,
+        "sic" => FrameworkKind::Sic,
+        other => return Err(format!("--framework: expected ic or sic, got `{other}`")),
+    };
+    let mut config = ServerConfig::new(SimConfig::new(k, beta, window, slide), kind)
+        .with_queue_capacity(capacity);
+    if let Some(dir) = flags.get("persist") {
+        config = config.with_persistence(PersistOptions::new(dir));
+    }
+    if let Some(scrape) = flags.get("metrics") {
+        config = config.with_metrics(scrape);
+    }
+    let listen = flags.get("listen").unwrap_or(DEFAULT_ADDR);
+    let server = RtimServer::bind(listen, config).map_err(|e| format!("bind {listen}: {e}"))?;
+    println!("listening on {}", server.local_addr());
+    if let Some(scrape) = server.metrics_addr() {
+        println!("metrics on http://{scrape}/metrics");
+    }
+    let report = server.wait(); // until a client sends SHUTDOWN
+    println!(
+        "drained: {} actions, {} batches, {} slides, final influence {:.1}",
+        report.stats.actions, report.stats.batches, report.stats.slides,
+        report.final_solution.value
+    );
+    Ok(())
+}
+
+fn shutdown(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &[])?;
+    let addr = flags.get("addr").unwrap_or(DEFAULT_ADDR);
+    let mut client =
+        RtimClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    println!("shutdown acknowledged by {addr}");
+    Ok(())
+}
+
+fn top(args: &[String]) -> Result<(), String> {
+    let flags = Flags::parse(args, &["once"])?;
+    let addr = flags.get("addr").unwrap_or(DEFAULT_ADDR).to_string();
+    let interval = Duration::from_millis(flags.num("interval-ms", 1000u64)?.max(50));
+    let once = flags.has("once");
+    let mut client =
+        RtimClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut previous: Option<(EngineStats, Instant)> = None;
+    loop {
+        let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+        let now = Instant::now();
+        if !once {
+            // Clear + home, like top(1); the frame below repaints fully.
+            print!("\x1b[2J\x1b[H");
+        }
+        render_top(&addr, &stats, previous.as_ref().map(|(s, t)| (s, now - *t)));
+        if once {
+            return Ok(());
+        }
+        previous = Some((stats, now));
+        std::thread::sleep(interval);
+    }
+}
+
+/// One stats frame, rendered as aligned label/value lines with rates
+/// derived from the previous poll.
+fn render_top(addr: &str, stats: &EngineStats, prev: Option<(&EngineStats, Duration)>) {
+    let rate = |now: u64, before: u64, dt: Duration| {
+        let secs = dt.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            now.saturating_sub(before) as f64 / secs
+        }
+    };
+    let (actions_rate, queries_note) = match prev {
+        Some((p, dt)) => (
+            rate(stats.actions, p.actions, dt),
+            format!("{:.1} slides/s", rate(stats.slides, p.slides, dt)),
+        ),
+        None => (0.0, "…".to_string()),
+    };
+    let durability = match stats.durability_state {
+        0 => "disabled",
+        1 => "durable",
+        2 => "DEGRADED",
+        _ => "unknown",
+    };
+    println!("rtim top — {addr}");
+    println!();
+    println!(
+        "  actions   {:>12}   ({:>9.1}/s)     batches   {:>10}",
+        stats.actions, actions_rate, stats.batches
+    );
+    println!(
+        "  slides    {:>12}   ({:>13})     queries   {:>10} ms total",
+        stats.slides,
+        queries_note,
+        stats.query_nanos / 1_000_000
+    );
+    println!(
+        "  feed time {:>9} ms   checkpoints {:>6}     users     {:>10}",
+        stats.feed_nanos / 1_000_000,
+        stats.checkpoints,
+        stats.users
+    );
+    println!();
+    println!(
+        "  queue     {:>5} now / {:>5} max          orphaned replies {:>8}",
+        stats.queue_depth, stats.max_queue_depth, stats.orphaned_replies
+    );
+    println!(
+        "  shards    ewma {:>8}–{:<8} µs       migrations {:>12}",
+        stats.shard_ewma_min_nanos / 1_000,
+        stats.shard_ewma_max_nanos / 1_000,
+        stats.shard_migrations
+    );
+    println!(
+        "  durability {:<9}  journal lag {:>6} batches   snapshot age {:>6} slides",
+        durability, stats.journal_lag_batches, stats.snapshot_age_slides
+    );
+    println!();
+    println!("  oracle updates {:>14}", stats.oracle_updates);
+    println!();
+    println!("  (Ctrl-C quits; --once prints a single frame)");
+}
