@@ -21,13 +21,18 @@
 use rtim_bench::cli::Args;
 use rtim_bench::{
     bitmap_pass, coverage_workload, hashset_pass, time_pass, BaselineSample, CommonArgs,
-    CoverageOpsSample, FeedBenchReport, FeedRun, COMMON_KEYS,
+    CoverageOpsSample, FeedBenchReport, FeedRun, TraceOverheadSample, COMMON_KEYS,
 };
-use rtim_core::{FrameworkKind, SimEngine};
+use rtim_core::{
+    EngineHandle, FrameworkKind, HandleOptions, SimEngine, SpanCtx, TraceConfig,
+};
 use rtim_stream::{SocialStream, UserId};
 
 /// Number of distinct hot users the `--hot-frac` remap concentrates on.
 const HOT_USERS: u32 = 4;
+
+/// Sampling rate of the trace-overhead differential (1-in-N).
+const TRACE_SAMPLE: u32 = 64;
 
 /// Reference per-slide feed times measured on this repository's CI/dev
 /// machine at the PR 6 head (commit 4ee98f3), with the canonical artifact
@@ -74,6 +79,46 @@ fn hotify(stream: &SocialStream, percent: u32) -> SocialStream {
         })
         .collect();
     SocialStream::new(actions).expect("user remap preserves stream validity")
+}
+
+/// One trace-overhead leg: the stream pushed through the
+/// [`EngineHandle`] pipeline (the instrumented hot path, not the
+/// in-process [`SimEngine`]) in one-slide batches, returning the engine
+/// feed nanoseconds.  `trace` enables the flight recorder; a sampled
+/// span rides on every [`TRACE_SAMPLE`]-th batch, exactly like a
+/// front-end at 1-in-N sampling.
+fn traced_feed_nanos(
+    config: rtim_core::SimConfig,
+    stream: &SocialStream,
+    batch: usize,
+    trace: Option<TraceConfig>,
+) -> u64 {
+    let mut options = HandleOptions::default().with_capacity(64);
+    if let Some(trace) = trace {
+        options = options.with_tracing(trace);
+    }
+    let handle = EngineHandle::spawn(config, FrameworkKind::Sic, options);
+    let recorder = handle.trace_recorder();
+    let mut sender = handle.sender();
+    for (i, chunk) in stream.actions().chunks(batch.max(1)).enumerate() {
+        let span = match &recorder {
+            Some(r) if (i as u32).is_multiple_of(TRACE_SAMPLE) => {
+                let now = r.now_nanos();
+                SpanCtx {
+                    conn: 0,
+                    corr: i as u32,
+                    kind: 0x01, // ingest
+                    sampled: true,
+                    start_nanos: now,
+                    parse_nanos: 0,
+                    enqueue_nanos: now,
+                }
+            }
+            _ => SpanCtx::default(),
+        };
+        sender.ingest_traced(chunk.to_vec(), span).expect("ingest");
+    }
+    handle.shutdown().stats.feed_nanos
 }
 
 fn main() {
@@ -177,6 +222,29 @@ fn main() {
         ops: hash_ops,
     });
 
+    // trace_overhead: the same stream through the pipeline hot path with
+    // tracing disabled and again at 1-in-64 sampling.  The disabled leg
+    // runs first so the traced leg cannot borrow its cache warmth.
+    let batch = params.slide;
+    let disabled = traced_feed_nanos(params.sim_config(), &stream, batch, None);
+    let sampled = traced_feed_nanos(
+        params.sim_config(),
+        &stream,
+        batch,
+        Some(TraceConfig::sampled(TRACE_SAMPLE, 50)),
+    );
+    report.trace_overhead = Some(TraceOverheadSample {
+        sample: TRACE_SAMPLE,
+        actions: stream.len() as u64,
+        feed_nanos_disabled: disabled,
+        feed_nanos_sampled: sampled,
+        overhead_ratio: if disabled > 0 {
+            sampled as f64 / disabled as f64
+        } else {
+            0.0
+        },
+    });
+
     if let Err(e) = report.write(&out) {
         eprintln!("failed to write {out}: {e}");
         std::process::exit(1);
@@ -204,5 +272,11 @@ fn main() {
             .map(|s| format!("{s:.2}x"))
             .unwrap_or_else(|| "n/a".into())
     );
+    if let Some(t) = &report.trace_overhead {
+        println!(
+            "trace_overhead: 1-in-{} sampling {:.3}x of disabled ({} vs {} feed ns)",
+            t.sample, t.overhead_ratio, t.feed_nanos_sampled, t.feed_nanos_disabled
+        );
+    }
     println!("wrote {out}");
 }

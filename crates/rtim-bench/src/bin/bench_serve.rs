@@ -1,5 +1,5 @@
 //! Emits the machine-readable serving-performance artifact
-//! `BENCH_serve.json` (schema `rtim-bench-serve/v3`).
+//! `BENCH_serve.json` (schema `rtim-bench-serve/v4`).
 //!
 //! Starts an in-process `rtim-server` on an ephemeral loopback port and
 //! measures two things:
@@ -21,7 +21,11 @@
 //! each response must be well-formed Prometheus text carrying the feed /
 //! query / queue-depth summaries, and the completed scrape count lands in
 //! the artifact — scrape-under-load is part of the measured scenario, not
-//! a separate smoke.
+//! a separate smoke.  Every scaling run also enables request tracing at
+//! 1-in-64 sampling with a 50 ms slow-op threshold (new in v4) and takes
+//! one wire `TRACE` dump after the serving phase; the per-stage span
+//! totals land in the artifact as `stage_*_nanos` alongside
+//! `trace_events` / `slow_ops`.
 //!
 //! ```text
 //! cargo run --release -p rtim-bench --bin bench_serve -- \
@@ -258,7 +262,8 @@ fn scaling_run(
         ServerConfig::new(config, FrameworkKind::Sic)
             .with_queue_capacity(capacity)
             .with_front_end(front_end)
-            .with_metrics("127.0.0.1:0"),
+            .with_metrics("127.0.0.1:0")
+            .with_tracing(rtim_core::TraceConfig::sampled(64, 50)),
     )
     .expect("bind loopback server");
     let addr = server.local_addr();
@@ -319,6 +324,13 @@ fn scaling_run(
     // the baseline grid does) would flatten the front-end differences
     // this axis exists to show.
     let wall_nanos = started.elapsed().as_nanos() as u64;
+    // One wire TRACE dump after the serving phase: per-stage totals and
+    // the slow-op count land in the artifact (events are skipped — the
+    // stage totals are cumulative, the ring is just the newest window).
+    let trace_dump = RtimClient::connect(addr)
+        .expect("connect trace")
+        .trace(0, false)
+        .expect("TRACE dump");
     let server_report = server.shutdown();
 
     assert_eq!(
@@ -344,6 +356,7 @@ fn scaling_run(
     }
     .finish(&server_report.stats, wall_nanos, busy_retries, 0)
     .with_scrapes(scrapes)
+    .with_trace(&trace_dump)
 }
 
 /// One blocking `GET /metrics` round trip, returning the raw response.

@@ -35,7 +35,12 @@
 //!   (`baseline_mean / run_mean`, > 1 is a win).
 //!
 //! v1 fields are unchanged, so v1 consumers that ignore unknown fields
-//! keep working.
+//! keep working.  The additive `trace_overhead` object (same convention:
+//! unknown-field-tolerant consumers keep working, so the schema id stays
+//! v2) records the flight-recorder differential — the same stream pushed
+//! through the [`EngineHandle`](rtim_core::EngineHandle) pipeline with
+//! tracing disabled and again at 1-in-N sampling, with the engine feed
+//! times and their ratio (`≈ 1.0` when the hot path stays untouched).
 
 use rtim_core::{PoolStats, RunReport};
 use std::fmt::Write as _;
@@ -154,6 +159,22 @@ pub struct BaselineSample {
     pub source: String,
 }
 
+/// The tracing-overhead differential: one stream pushed through the
+/// pipeline with tracing disabled and again at 1-in-`sample` sampling.
+#[derive(Debug, Clone)]
+pub struct TraceOverheadSample {
+    /// Sampling rate of the traced run (1-in-`sample`).
+    pub sample: u32,
+    /// Actions pushed through each run.
+    pub actions: u64,
+    /// Engine feed nanoseconds with tracing disabled.
+    pub feed_nanos_disabled: u64,
+    /// Engine feed nanoseconds at 1-in-`sample` sampling.
+    pub feed_nanos_sampled: u64,
+    /// `feed_nanos_sampled / feed_nanos_disabled` (1.0 = free).
+    pub overhead_ratio: f64,
+}
+
 /// One measured coverage micro-operation.
 #[derive(Debug, Clone)]
 pub struct CoverageOpsSample {
@@ -178,6 +199,8 @@ pub struct FeedBenchReport {
     pub simd: bool,
     /// Reference numbers from an earlier run on the same machine.
     pub baselines: Vec<BaselineSample>,
+    /// Tracing-overhead differential, when the run measured it.
+    pub trace_overhead: Option<TraceOverheadSample>,
 }
 
 impl FeedBenchReport {
@@ -320,6 +343,24 @@ impl FeedBenchReport {
             }
         }
         out.push_str("\n  ],\n");
+        match &self.trace_overhead {
+            Some(t) => {
+                let _ = writeln!(
+                    out,
+                    "  \"trace_overhead\": {{\"sample\": {}, \"actions\": {}, \
+                     \"feed_nanos_disabled\": {}, \"feed_nanos_sampled\": {}, \
+                     \"overhead_ratio\": {}}},",
+                    t.sample,
+                    t.actions,
+                    t.feed_nanos_disabled,
+                    t.feed_nanos_sampled,
+                    json_f64(t.overhead_ratio)
+                );
+            }
+            None => {
+                out.push_str("  \"trace_overhead\": null,\n");
+            }
+        }
         match self.bitmap_speedup() {
             Some(v) => {
                 let _ = writeln!(out, "  \"bitmap_speedup_vs_hashset\": {}", json_f64(v));
@@ -430,6 +471,13 @@ mod tests {
             ns_per_op: 50.0,
             ops: 1000,
         });
+        r.trace_overhead = Some(TraceOverheadSample {
+            sample: 64,
+            actions: 20_000,
+            feed_nanos_disabled: 1_000,
+            feed_nanos_sampled: 1_010,
+            overhead_ratio: 1.01,
+        });
         let json = r.to_json();
         assert!(json.contains("\"schema\": \"rtim-bench-feed/v2\""));
         assert!(json.contains("\"simd\": false"));
@@ -438,6 +486,8 @@ mod tests {
         assert!(json.contains("\"shard_migrations\": 0"));
         assert!(json.contains("\"impl\": \"hashset\""));
         assert!(json.contains("\"bitmap_speedup_vs_hashset\": 4"));
+        assert!(json.contains("\"trace_overhead\": {\"sample\": 64"));
+        assert!(json.contains("\"overhead_ratio\": 1.01"));
         // Balanced braces/brackets (cheap well-formedness check).
         assert_eq!(
             json.matches('{').count(),
@@ -458,6 +508,7 @@ mod tests {
         });
         assert_eq!(r.bitmap_speedup(), None);
         assert!(r.to_json().contains("\"bitmap_speedup_vs_hashset\": null"));
+        assert!(r.to_json().contains("\"trace_overhead\": null"));
     }
 
     #[test]
@@ -486,6 +537,8 @@ mod tests {
                 migrations: 3,
                 ewma_min_nanos: 5,
                 ewma_max_nanos: 9,
+                arena_takes: 0,
+                arena_hits: 0,
             });
         assert_eq!(run.shard_migrations, 3);
         assert_eq!(run.shard_ewma_min_nanos, 5);

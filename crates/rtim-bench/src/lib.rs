@@ -35,7 +35,9 @@ pub mod stats;
 
 pub use covbench::{bitmap_pass, coverage_workload, hashset_pass, time_pass};
 pub use experiments::{BetaSweep, CommonArgs, MethodSweep, COMMON_KEYS};
-pub use feedjson::{BaselineSample, CoverageOpsSample, FeedBenchReport, FeedRun, FEED_SCHEMA};
+pub use feedjson::{
+    BaselineSample, CoverageOpsSample, FeedBenchReport, FeedRun, TraceOverheadSample, FEED_SCHEMA,
+};
 pub use recoverjson::{RecoverBenchReport, RecoverRun, StallProbe, RECOVER_SCHEMA};
 pub use servejson::{ServeBenchReport, ServeRun, ServeSetup, SERVE_SCHEMA};
 pub use params::{ExperimentParams, ParamGrid};

@@ -16,15 +16,21 @@
 //! schema `rtim-bench-serve/v3` adds the `scrapes` field — the number of
 //! `/metrics` scrapes a sidecar-polling thread completed (and validated
 //! as well-formed Prometheus text) concurrently with the measured run,
-//! `0` for runs without a scraper.  CI smoke-runs the emission path.
+//! `0` for runs without a scraper; schema `rtim-bench-serve/v4` adds the
+//! per-stage tracing breakdown sourced from a wire `TRACE` dump taken at
+//! the end of the run — `stage_*_nanos` are the cumulative sampled span
+//! nanoseconds per pipeline stage, `trace_events` the total spans
+//! recorded and `slow_ops` the retained slow-op count (all `0` for runs
+//! without tracing).  CI smoke-runs the emission path.
 
 use rtim_core::EngineStats;
+use rtim_stream::trace::{TraceDump, TraceStage};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
 /// Schema identifier of the emitted JSON document.
-pub const SERVE_SCHEMA: &str = "rtim-bench-serve/v3";
+pub const SERVE_SCHEMA: &str = "rtim-bench-serve/v4";
 
 /// The fixed configuration of one served run, before it executes.
 #[derive(Debug, Clone)]
@@ -72,6 +78,15 @@ impl ServeSetup {
             busy_retries,
             queries,
             scrapes: 0,
+            stage_parse_nanos: 0,
+            stage_queue_wait_nanos: 0,
+            stage_journal_nanos: 0,
+            stage_resolve_nanos: 0,
+            stage_shard_feed_nanos: 0,
+            stage_oracle_query_nanos: 0,
+            stage_reply_drain_nanos: 0,
+            trace_events: 0,
+            slow_ops: 0,
         }
     }
 }
@@ -105,12 +120,46 @@ pub struct ServeRun {
     /// Prometheus text) concurrently with the run; `0` when no scraper
     /// polled the sidecar.
     pub scrapes: u64,
+    /// Cumulative sampled parse-span nanoseconds (v4, `0` untraced).
+    pub stage_parse_nanos: u64,
+    /// Cumulative sampled queue-wait nanoseconds (v4, `0` untraced).
+    pub stage_queue_wait_nanos: u64,
+    /// Cumulative sampled journal-append nanoseconds (v4, `0` untraced).
+    pub stage_journal_nanos: u64,
+    /// Cumulative sampled resolve nanoseconds (v4, `0` untraced).
+    pub stage_resolve_nanos: u64,
+    /// Cumulative sampled shard fan-out nanoseconds (v4, `0` untraced).
+    pub stage_shard_feed_nanos: u64,
+    /// Cumulative sampled oracle-query nanoseconds (v4, `0` untraced).
+    pub stage_oracle_query_nanos: u64,
+    /// Cumulative sampled reply-drain nanoseconds (v4, `0` untraced).
+    pub stage_reply_drain_nanos: u64,
+    /// Total spans recorded across all stages (v4, `0` untraced).
+    pub trace_events: u64,
+    /// Slow ops retained at the end of the run (v4, `0` untraced).
+    pub slow_ops: u64,
 }
 
 impl ServeRun {
     /// Stamps the concurrent-scrape count (see [`ServeRun::scrapes`]).
     pub fn with_scrapes(mut self, scrapes: u64) -> Self {
         self.scrapes = scrapes;
+        self
+    }
+
+    /// Stamps the v4 per-stage tracing breakdown from a wire `TRACE`
+    /// dump taken at the end of the run.
+    pub fn with_trace(mut self, dump: &TraceDump) -> Self {
+        let nanos = |stage: TraceStage| dump.stage_totals[stage.code() as usize].1;
+        self.stage_parse_nanos = nanos(TraceStage::Parse);
+        self.stage_queue_wait_nanos = nanos(TraceStage::QueueWait);
+        self.stage_journal_nanos = nanos(TraceStage::JournalAppend);
+        self.stage_resolve_nanos = nanos(TraceStage::Resolve);
+        self.stage_shard_feed_nanos = nanos(TraceStage::ShardFeed);
+        self.stage_oracle_query_nanos = nanos(TraceStage::OracleQuery);
+        self.stage_reply_drain_nanos = nanos(TraceStage::ReplyDrain);
+        self.trace_events = dump.stage_totals.iter().map(|&(count, _)| count).sum();
+        self.slow_ops = dump.slow_ops.len() as u64;
         self
     }
 }
@@ -155,7 +204,32 @@ impl ServeBenchReport {
             let _ = write!(out, "\"max_queue_depth\": {}, ", run.max_queue_depth);
             let _ = write!(out, "\"busy_retries\": {}, ", run.busy_retries);
             let _ = write!(out, "\"queries\": {}, ", run.queries);
-            let _ = write!(out, "\"scrapes\": {}", run.scrapes);
+            let _ = write!(out, "\"scrapes\": {}, ", run.scrapes);
+            let _ = write!(out, "\"stage_parse_nanos\": {}, ", run.stage_parse_nanos);
+            let _ = write!(
+                out,
+                "\"stage_queue_wait_nanos\": {}, ",
+                run.stage_queue_wait_nanos
+            );
+            let _ = write!(out, "\"stage_journal_nanos\": {}, ", run.stage_journal_nanos);
+            let _ = write!(out, "\"stage_resolve_nanos\": {}, ", run.stage_resolve_nanos);
+            let _ = write!(
+                out,
+                "\"stage_shard_feed_nanos\": {}, ",
+                run.stage_shard_feed_nanos
+            );
+            let _ = write!(
+                out,
+                "\"stage_oracle_query_nanos\": {}, ",
+                run.stage_oracle_query_nanos
+            );
+            let _ = write!(
+                out,
+                "\"stage_reply_drain_nanos\": {}, ",
+                run.stage_reply_drain_nanos
+            );
+            let _ = write!(out, "\"trace_events\": {}, ", run.trace_events);
+            let _ = write!(out, "\"slow_ops\": {}", run.slow_ops);
             out.push('}');
         }
         out.push_str("\n  ]\n}\n");
@@ -235,23 +309,52 @@ mod tests {
     }
 
     #[test]
-    fn json_carries_schema_and_v3_fields() {
+    fn json_carries_schema_and_v4_fields() {
+        let mut dump = TraceDump::default();
+        dump.stage_totals[TraceStage::Parse.code() as usize] = (3, 111);
+        dump.stage_totals[TraceStage::QueueWait.code() as usize] = (3, 222);
+        dump.stage_totals[TraceStage::OracleQuery.code() as usize] = (1, 333);
+        dump.slow_ops.push(rtim_stream::trace::SlowOp {
+            conn: 1,
+            corr: 2,
+            kind: 0x01,
+            start_nanos: 0,
+            total_nanos: 999,
+            stages: [0; rtim_stream::trace::SLOW_STAGES],
+        });
         let mut report = ServeBenchReport::new();
         report.runs.push(
             setup("sic_el_x64_w16_t1", "SIC", 64, 16)
                 .finish(&stats(42), 1, 0, 1)
-                .with_scrapes(12),
+                .with_scrapes(12)
+                .with_trace(&dump),
         );
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"rtim-bench-serve/v3\""));
+        assert!(json.contains("\"schema\": \"rtim-bench-serve/v4\""));
         assert!(json.contains("\"name\": \"sic_el_x64_w16_t1\""));
         assert!(json.contains("\"front_end\": \"event-loop\""));
         assert!(json.contains("\"connections\": 64"));
         assert!(json.contains("\"in_flight\": 16"));
         assert!(json.contains("\"actions\": 42"));
         assert!(json.contains("\"scrapes\": 12"));
+        assert!(json.contains("\"stage_parse_nanos\": 111"));
+        assert!(json.contains("\"stage_queue_wait_nanos\": 222"));
+        assert!(json.contains("\"stage_oracle_query_nanos\": 333"));
+        assert!(json.contains("\"stage_journal_nanos\": 0"));
+        assert!(json.contains("\"trace_events\": 7"));
+        assert!(json.contains("\"slow_ops\": 1"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn untraced_runs_emit_zeroed_stage_fields() {
+        let run = setup("x", "SIC", 1, 1).finish(&stats(5), 1, 0, 0);
+        let json = ServeBenchReport { runs: vec![run] }.to_json();
+        assert!(json.contains("\"stage_parse_nanos\": 0"));
+        assert!(json.contains("\"stage_reply_drain_nanos\": 0"));
+        assert!(json.contains("\"trace_events\": 0"));
+        assert!(json.contains("\"slow_ops\": 0"));
     }
 
     #[test]

@@ -41,7 +41,7 @@
 
 use crate::config::SimConfig;
 use crate::framework::{ResolvedAction, Solution};
-use crate::pool::{AdaptiveConfig, CheckpointStat, PoolStats, ShardPool};
+use crate::pool::{AdaptiveConfig, CheckpointStat, PoolStats, ShardPool, WorkerFeedReport};
 use crate::ssm::Checkpoint;
 use rtim_stream::{UserId, WordArena};
 use rtim_submodular::{DenseWeights, ElementWeight, OracleConfig, OracleKind};
@@ -133,11 +133,30 @@ impl<W: ElementWeight + Send + 'static> CheckpointSet<W> {
     }
 
     /// Adaptive-placement counters of the backing [`ShardPool`]
-    /// (all-zero under sequential execution, which has no placement).
+    /// (placement fields are all-zero under sequential execution, which
+    /// has no placement; the arena allocation counters are reported
+    /// either way — sequential execution owns its arena inline).
     pub fn pool_stats(&self) -> PoolStats {
         match &self.exec {
-            Exec::Sequential(..) => PoolStats::default(),
+            Exec::Sequential(_, arena) => {
+                let (arena_takes, arena_hits) = arena.stats();
+                PoolStats {
+                    arena_takes,
+                    arena_hits,
+                    ..PoolStats::default()
+                }
+            }
             Exec::Sharded(pool) => pool.stats(),
+        }
+    }
+
+    /// Latest per-shard feed reports (empty under sequential execution,
+    /// where the whole feed is one span).  See
+    /// [`ShardPool::last_feed_reports`].
+    pub fn shard_feed_reports(&self) -> &[WorkerFeedReport] {
+        match &self.exec {
+            Exec::Sequential(..) => &[],
+            Exec::Sharded(pool) => pool.last_feed_reports(),
         }
     }
 

@@ -62,6 +62,19 @@ pub struct SlideReport {
     pub queue_depth: Option<usize>,
 }
 
+/// Stage split of one batched ingest, for the tracing pipeline: how the
+/// batch's wall time divided between ancestry resolution and the window +
+/// checkpoint feed.  Returned by [`SimEngine::ingest_batch_traced`];
+/// the per-slide [`SlideReport::feed_nanos`] remains the amortized total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FeedBreakdown {
+    /// Nanoseconds resolving ancestries + interning over the whole batch.
+    pub resolve_nanos: u64,
+    /// Nanoseconds feeding the cut slides (window maintenance + framework
+    /// checkpoint fan-out, summed across the batch's slides).
+    pub feed_nanos: u64,
+}
+
 /// Aggregated result of replaying a whole stream
 /// ([`SimEngine::run_stream`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
@@ -220,6 +233,12 @@ impl SimEngine {
         self.framework.set_adaptive(config);
     }
 
+    /// Latest per-shard feed reports from the framework's pool (empty
+    /// under sequential execution); input to per-shard trace spans.
+    pub fn shard_feed_reports(&self) -> &[crate::pool::WorkerFeedReport] {
+        self.framework.shard_feed_reports()
+    }
+
     /// The engine's user interner (raw ↔ dense id mapping).
     pub fn interner(&self) -> &UserInterner {
         &self.interner
@@ -369,8 +388,16 @@ impl SimEngine {
     /// Front-ends that need slides of exactly `L` actions should accumulate
     /// to `L` before calling.
     pub fn ingest_batch(&mut self, actions: &[Action]) -> Vec<SlideReport> {
+        self.ingest_batch_traced(actions).0
+    }
+
+    /// [`Self::ingest_batch`] plus the batch's [`FeedBreakdown`] — the
+    /// resolve/feed stage split the flight recorder attributes to traced
+    /// requests.  Identical processing (the plain path delegates here), so
+    /// tracing can never perturb results.
+    pub fn ingest_batch_traced(&mut self, actions: &[Action]) -> (Vec<SlideReport>, FeedBreakdown) {
         if actions.is_empty() {
-            return Vec::new();
+            return (Vec::new(), FeedBreakdown::default());
         }
         let started = Instant::now();
         let resolved = self.resolve(actions);
@@ -378,11 +405,16 @@ impl SimEngine {
         let per_action = resolve_nanos / actions.len() as u64;
 
         let slide_len = self.config.slide;
+        let feed_started = Instant::now();
         let mut reports = Vec::with_capacity(actions.len().div_ceil(slide_len));
         for (chunk, resolved_chunk) in actions.chunks(slide_len).zip(resolved.chunks(slide_len)) {
             reports.push(self.feed_slide(chunk, resolved_chunk, per_action * chunk.len() as u64));
         }
-        reports
+        let breakdown = FeedBreakdown {
+            resolve_nanos,
+            feed_nanos: feed_started.elapsed().as_nanos() as u64,
+        };
+        (reports, breakdown)
     }
 
     /// Replays a whole stream in `L`-sized slides, answering the SIM query

@@ -103,6 +103,15 @@ pub trait Framework: Send {
         crate::pool::PoolStats::default()
     }
 
+    /// Latest per-shard feed reports from the framework's backing pool
+    /// (span nanoseconds + arena counters per worker, from the most
+    /// recent slide).  Input to the engine's per-shard trace spans; the
+    /// default — sequential execution, or a custom framework without a
+    /// pool — is empty.
+    fn shard_feed_reports(&self) -> &[crate::pool::WorkerFeedReport] {
+        &[]
+    }
+
     /// Reconfigures the backing pool's timing-driven checkpoint placement
     /// (see [`crate::pool::AdaptiveConfig`]).  Placement never affects
     /// answers, only load balance, so this is a pure tuning knob; the

@@ -35,9 +35,10 @@
 //! bit for bit (enable [`HandleOptions::journal`] to capture it).
 
 use crate::config::SimConfig;
-use crate::engine::{SimEngine, SlideReport};
+use crate::engine::{FeedBreakdown, SimEngine, SlideReport};
 use crate::framework::{FrameworkKind, Solution};
 use crate::metrics::EngineMetrics;
+use crate::trace::{FlightRecorder, SpanCtx, TraceConfig, TraceWriter};
 pub use crate::snapshot::SNAPSHOT_FILE;
 use crate::snapshot::{
     recover_engine_with, write_snapshot_atomic_with, write_snapshot_bytes_atomic, EngineSnapshot,
@@ -47,6 +48,7 @@ use rtim_stream::persist::faultfs::Fs;
 use rtim_stream::persist::segjournal::{
     segment_file_name, CompletedSegment, SegmentedJournal, LEGACY_JOURNAL_FILE,
 };
+use rtim_stream::trace::{SlowOp, TraceStage, SLOW_STAGES};
 use rtim_stream::{Action, ActionId, SocialStream};
 use serde::{Deserialize, Serialize};
 use std::io;
@@ -219,6 +221,11 @@ pub struct HandleOptions {
     pub remap_horizon: Option<u64>,
     /// Durable snapshot/journal persistence (`None` = in-memory only).
     pub persist: Option<PersistOptions>,
+    /// Flight-recorder tracing (default: disabled).  When
+    /// [`TraceConfig::is_enabled`] the spawned pipeline creates a
+    /// [`FlightRecorder`], stamps per-stage spans on the engine thread,
+    /// and promotes slow ops; see `docs/TRACING.md`.
+    pub trace: TraceConfig,
 }
 
 impl Default for HandleOptions {
@@ -228,6 +235,7 @@ impl Default for HandleOptions {
             journal: false,
             remap_horizon: None,
             persist: None,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -255,6 +263,12 @@ impl HandleOptions {
     /// recovery).
     pub fn with_persistence(mut self, persist: PersistOptions) -> Self {
         self.persist = Some(persist);
+        self
+    }
+
+    /// Enables flight-recorder tracing with the given configuration.
+    pub fn with_tracing(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
         self
     }
 }
@@ -485,9 +499,17 @@ impl std::fmt::Display for HandleClosed {
 impl std::error::Error for HandleClosed {}
 
 /// Commands crossing the bounded queue.
+///
+/// The [`SpanCtx`] carried by the request variants is `Copy` and stamped
+/// by the front-end; with tracing disabled it is all zeros and costs
+/// nothing on the engine thread.
 enum Command {
     /// An action batch from sender `source`, ids in the sender's space.
-    Ingest { source: u64, actions: Vec<Action> },
+    Ingest {
+        source: u64,
+        actions: Vec<Action>,
+        span: SpanCtx,
+    },
     /// Answer the SIM query for the current window.
     Query { reply: mpsc::Sender<Solution> },
     /// Report aggregate counters.
@@ -499,9 +521,17 @@ enum Command {
     },
     /// Asynchronous [`Command::Query`]: the answer travels through the
     /// sink instead of parking the requester.
-    QueryAsync { token: u64, sink: CompletionSink },
+    QueryAsync {
+        token: u64,
+        sink: CompletionSink,
+        span: SpanCtx,
+    },
     /// Asynchronous [`Command::Stats`].
-    StatsAsync { token: u64, sink: CompletionSink },
+    StatsAsync {
+        token: u64,
+        sink: CompletionSink,
+        span: SpanCtx,
+    },
     /// Asynchronous [`Command::Snapshot`].
     SnapshotAsync { token: u64, sink: CompletionSink },
     /// Switch to draining: process what is queued, then exit.
@@ -577,6 +607,17 @@ impl IngestSender {
     /// handed back in [`IngestError::Full`] so the caller can retry or
     /// signal backpressure.  An empty batch is a no-op.
     pub fn try_ingest(&mut self, actions: Vec<Action>) -> Result<(), IngestError> {
+        self.try_ingest_traced(actions, SpanCtx::default())
+    }
+
+    /// [`IngestSender::try_ingest`] with a trace span context: the
+    /// front-end stamps socket-readable/parse/enqueue times so the engine
+    /// thread can attribute queue wait and stage spans to the request.
+    pub fn try_ingest_traced(
+        &mut self,
+        actions: Vec<Action>,
+        span: SpanCtx,
+    ) -> Result<(), IngestError> {
         if actions.is_empty() {
             return Ok(());
         }
@@ -585,6 +626,7 @@ impl IngestSender {
         match self.tx.try_send(Command::Ingest {
             source: self.source,
             actions,
+            span,
         }) {
             Ok(()) => {
                 self.shared.enqueued.fetch_add(1, Ordering::AcqRel);
@@ -601,6 +643,16 @@ impl IngestSender {
 
     /// Enqueues a batch, blocking while the queue is full.
     pub fn ingest(&mut self, actions: Vec<Action>) -> Result<(), IngestError> {
+        self.ingest_traced(actions, SpanCtx::default())
+    }
+
+    /// [`IngestSender::ingest`] with a trace span context (see
+    /// [`IngestSender::try_ingest_traced`]).
+    pub fn ingest_traced(
+        &mut self,
+        actions: Vec<Action>,
+        span: SpanCtx,
+    ) -> Result<(), IngestError> {
         if actions.is_empty() {
             return Ok(());
         }
@@ -610,6 +662,7 @@ impl IngestSender {
             .send(Command::Ingest {
                 source: self.source,
                 actions,
+                span,
             })
             .map_err(|_| IngestError::Closed)?;
         self.shared.enqueued.fetch_add(1, Ordering::AcqRel);
@@ -643,9 +696,20 @@ impl IngestSender {
         token: u64,
         sink: &CompletionSink,
     ) -> Result<(), AsyncRequestError> {
+        self.try_query_async_traced(token, sink, SpanCtx::default())
+    }
+
+    /// [`IngestSender::try_query_async`] with a trace span context.
+    pub fn try_query_async_traced(
+        &self,
+        token: u64,
+        sink: &CompletionSink,
+        span: SpanCtx,
+    ) -> Result<(), AsyncRequestError> {
         self.try_async(Command::QueryAsync {
             token,
             sink: sink.clone(),
+            span,
         })
     }
 
@@ -656,9 +720,20 @@ impl IngestSender {
         token: u64,
         sink: &CompletionSink,
     ) -> Result<(), AsyncRequestError> {
+        self.try_stats_async_traced(token, sink, SpanCtx::default())
+    }
+
+    /// [`IngestSender::try_stats_async`] with a trace span context.
+    pub fn try_stats_async_traced(
+        &self,
+        token: u64,
+        sink: &CompletionSink,
+        span: SpanCtx,
+    ) -> Result<(), AsyncRequestError> {
         self.try_async(Command::StatsAsync {
             token,
             sink: sink.clone(),
+            span,
         })
     }
 
@@ -766,6 +841,7 @@ pub struct EngineHandle {
     thread: Option<JoinHandle<EngineReport>>,
     capacity: usize,
     metrics: Arc<EngineMetrics>,
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 impl EngineHandle {
@@ -779,11 +855,29 @@ impl EngineHandle {
             next_source: AtomicU64::new(0),
         });
         let metrics = Arc::new(EngineMetrics::new());
+        // With tracing disabled (by config or by compiling out the `trace`
+        // feature) no recorder exists and every instrumentation site below
+        // stays on its `None` arm — the zero-allocation no-op path.
+        let recorder = options
+            .trace
+            .is_enabled()
+            .then(|| FlightRecorder::new(options.trace));
         let thread_shared = Arc::clone(&shared);
         let thread_metrics = Arc::clone(&metrics);
+        let thread_recorder = recorder.clone();
         let thread = std::thread::Builder::new()
             .name("rtim-engine".into())
-            .spawn(move || engine_loop(config, kind, options, rx, thread_shared, thread_metrics))
+            .spawn(move || {
+                engine_loop(
+                    config,
+                    kind,
+                    options,
+                    rx,
+                    thread_shared,
+                    thread_metrics,
+                    thread_recorder,
+                )
+            })
             .expect("spawn engine thread");
         EngineHandle {
             tx: Some(tx),
@@ -791,6 +885,7 @@ impl EngineHandle {
             thread: Some(thread),
             capacity,
             metrics,
+            recorder,
         }
     }
 
@@ -800,6 +895,14 @@ impl EngineHandle {
     /// cannot perturb the arrival order.
     pub fn metrics(&self) -> Arc<EngineMetrics> {
         Arc::clone(&self.metrics)
+    }
+
+    /// The pipeline's flight recorder, when tracing is enabled.  Dumping
+    /// it (the `TRACE` command, `GET /trace`) reads the rings passively and
+    /// never enqueues an engine command — the same scrape-determinism
+    /// argument as [`EngineHandle::metrics`].
+    pub fn trace_recorder(&self) -> Option<Arc<FlightRecorder>> {
+        self.recorder.clone()
     }
 
     /// Creates a new producer endpoint with its own private id space.
@@ -1399,6 +1502,7 @@ fn engine_loop(
     rx: Receiver<Command>,
     shared: Arc<Shared>,
     metrics: Arc<EngineMetrics>,
+    recorder: Option<Arc<FlightRecorder>>,
 ) -> EngineReport {
     let mut stats = EngineStats::default();
     let (mut engine, watermark, mut persistence) = match options.persist.clone() {
@@ -1425,6 +1529,12 @@ fn engine_loop(
         std::collections::VecDeque::with_capacity(RECENT_SLIDES);
     let mut draining = false;
     let mut drained: u64 = 0;
+    // The engine thread's single ring lane; `None` folds every
+    // instrumentation site below to nothing (tracing disabled).
+    let mut tracer: Option<TraceWriter> = recorder.as_ref().map(|r| r.writer());
+    // Shard-migration lifecycle events are derived by diffing the pool's
+    // cumulative counter across batches.
+    let mut seen_migrations: u64 = engine.pool_stats().migrations;
 
     loop {
         let command = if draining {
@@ -1461,7 +1571,12 @@ fn engine_loop(
         }
 
         match command {
-            Command::Ingest { source, actions } => {
+            Command::Ingest {
+                source,
+                actions,
+                span,
+            } => {
+                let t_dequeue = recorder.as_ref().map_or(0, |r| r.now_nanos());
                 let state = sources.entry(source).or_default();
                 let mut rebased = Vec::with_capacity(actions.len());
                 for a in &actions {
@@ -1481,10 +1596,47 @@ fn engine_loop(
                 // Journal before processing: the disk always covers at
                 // least what the engine state reflects, so a snapshot's
                 // watermark can never run ahead of the journal.
-                let rearmed = persistence
-                    .as_mut()
-                    .is_some_and(|p| p.journal_before_ingest(&rebased));
-                let reports = engine.ingest_batch(&rebased);
+                let mut journal_nanos = 0u64;
+                let mut rearmed = false;
+                if let Some(p) = &mut persistence {
+                    let was_degraded =
+                        matches!(p.durability.state(), DurabilityState::Degraded);
+                    let lost = p.durability.lag_batches();
+                    let t_journal = recorder.as_ref().map_or(0, |r| r.now_nanos());
+                    rearmed = p.journal_before_ingest(&rebased);
+                    if let Some(rec) = &recorder {
+                        journal_nanos = rec.now_nanos().saturating_sub(t_journal);
+                    }
+                    // Durability transitions are lifecycle events: always
+                    // recorded while tracing is enabled, never sampled out.
+                    if let Some(t) = &mut tracer {
+                        let now_degraded =
+                            matches!(p.durability.state(), DurabilityState::Degraded);
+                        if !was_degraded && now_degraded {
+                            t.span(
+                                TraceStage::Degrade.code(),
+                                u64::MAX,
+                                u32::MAX,
+                                0,
+                                DurabilityState::Degraded.wire_code() as u16,
+                            );
+                        }
+                        if rearmed {
+                            t.span(
+                                TraceStage::Rearm.code(),
+                                u64::MAX,
+                                u32::MAX,
+                                0,
+                                lost.min(u16::MAX as u64) as u16,
+                            );
+                        }
+                    }
+                }
+                let (reports, breakdown) = if recorder.is_some() {
+                    engine.ingest_batch_traced(&rebased)
+                } else {
+                    (engine.ingest_batch(&rebased), FeedBreakdown::default())
+                };
                 stats.batches += 1;
                 stats.actions += rebased.len() as u64;
                 stats.slides += reports.len() as u64;
@@ -1514,19 +1666,68 @@ fn engine_loop(
                         last_prune = next_id;
                     }
                 }
+                let mut snapshot_nanos = 0u64;
                 if let Some(p) = &mut persistence {
+                    let t_snap = recorder.as_ref().map_or(0, |r| r.now_nanos());
+                    let was_in_flight = p.snapshot_in_flight;
                     if rearmed {
                         p.finish_rearm(&engine);
                     }
                     // Background snapshot trigger: every N slides, between
                     // batches (never mid-slide — slides never span batches).
                     p.maybe_background_snapshot(&engine);
+                    if let Some(rec) = &recorder {
+                        snapshot_nanos = rec.now_nanos().saturating_sub(t_snap);
+                    }
+                    if p.snapshot_in_flight && !was_in_flight {
+                        if let Some(t) = &mut tracer {
+                            // A dispatch always rotates the journal first.
+                            t.span(TraceStage::Lifecycle.code(), u64::MAX, u32::MAX, 0, 0);
+                        }
+                    }
                 }
                 // Refresh the scrape-facing gauges after every batch, so
                 // `/metrics` reflects the pipeline without ever sending a
                 // command through the queue.
+                let pool = engine.pool_stats();
+                metrics.observe_arena(pool.arena_takes, pool.arena_hits);
+                if pool.migrations > seen_migrations {
+                    seen_migrations = pool.migrations;
+                    if let Some(t) = &mut tracer {
+                        t.span(TraceStage::Lifecycle.code(), u64::MAX, u32::MAX, 0, 1);
+                    }
+                }
+                if let Some(t) = &mut tracer {
+                    if span.sampled {
+                        for (i, r) in engine.shard_feed_reports().iter().enumerate() {
+                            if r.nanos > 0 {
+                                t.span(
+                                    TraceStage::ShardSpan.code(),
+                                    span.conn,
+                                    span.corr,
+                                    r.nanos,
+                                    i as u16,
+                                );
+                            }
+                        }
+                    }
+                    trace_request(
+                        t,
+                        span,
+                        t_dequeue,
+                        &[
+                            (TraceStage::JournalAppend, journal_nanos),
+                            (TraceStage::Resolve, breakdown.resolve_nanos),
+                            (TraceStage::ShardFeed, breakdown.feed_nanos),
+                            (TraceStage::SnapshotDispatch, snapshot_nanos),
+                        ],
+                    );
+                }
                 finish_stats(&mut stats, &engine, &shared, persistence.as_ref());
                 metrics.observe_stats(&stats);
+                if let Some(rec) = &recorder {
+                    metrics.observe_trace(rec.events_total(), rec.slow_total());
+                }
             }
             Command::Query { reply } => {
                 let started = Instant::now();
@@ -1543,19 +1744,35 @@ fn engine_loop(
             }
             Command::Snapshot { reply } => match &mut persistence {
                 None => drop(reply.send(Err(SnapshotRequestError::Disabled))),
-                Some(p) => p.dispatch_snapshot(&engine, SnapshotReply::Channel(reply)),
+                Some(p) => {
+                    let t_snap = recorder.as_ref().map_or(0, |r| r.now_nanos());
+                    p.dispatch_snapshot(&engine, SnapshotReply::Channel(reply));
+                    if let Some(t) = &mut tracer {
+                        let nanos = t.now_nanos().saturating_sub(t_snap);
+                        t.span(TraceStage::SnapshotDispatch.code(), u64::MAX, u32::MAX, nanos, 0);
+                        t.span(TraceStage::Lifecycle.code(), u64::MAX, u32::MAX, 0, 0);
+                    }
+                }
             },
-            Command::QueryAsync { token, sink } => {
+            Command::QueryAsync { token, sink, span } => {
+                let t_dequeue = recorder.as_ref().map_or(0, |r| r.now_nanos());
                 let started = Instant::now();
                 let solution = engine.query();
                 let nanos = started.elapsed().as_nanos() as u64;
                 stats.query_nanos = stats.query_nanos.saturating_add(nanos);
                 metrics.record_query(nanos);
+                if let Some(t) = &mut tracer {
+                    trace_request(t, span, t_dequeue, &[(TraceStage::OracleQuery, nanos)]);
+                }
                 sink.complete(token, CompletionPayload::Solution(solution));
             }
-            Command::StatsAsync { token, sink } => {
+            Command::StatsAsync { token, sink, span } => {
+                let t_dequeue = recorder.as_ref().map_or(0, |r| r.now_nanos());
                 finish_stats(&mut stats, &engine, &shared, persistence.as_ref());
                 metrics.observe_stats(&stats);
+                if let Some(t) = &mut tracer {
+                    trace_request(t, span, t_dequeue, &[]);
+                }
                 sink.complete(token, CompletionPayload::Stats(stats));
             }
             Command::SnapshotAsync { token, sink } => match &mut persistence {
@@ -1563,7 +1780,15 @@ fn engine_loop(
                     token,
                     CompletionPayload::Snapshot(Err(SnapshotRequestError::Disabled)),
                 ),
-                Some(p) => p.dispatch_snapshot(&engine, SnapshotReply::Sink { token, sink }),
+                Some(p) => {
+                    let t_snap = recorder.as_ref().map_or(0, |r| r.now_nanos());
+                    p.dispatch_snapshot(&engine, SnapshotReply::Sink { token, sink });
+                    if let Some(t) = &mut tracer {
+                        let nanos = t.now_nanos().saturating_sub(t_snap);
+                        t.span(TraceStage::SnapshotDispatch.code(), u64::MAX, u32::MAX, nanos, 0);
+                        t.span(TraceStage::Lifecycle.code(), u64::MAX, u32::MAX, 0, 0);
+                    }
+                }
             },
             Command::Shutdown => {
                 draining = true;
@@ -1610,6 +1835,76 @@ fn finish_stats(
     stats.shard_ewma_max_nanos = pool.ewma_max_nanos;
     if let Some(p) = persistence {
         p.fill_stats(stats);
+    }
+}
+
+/// Emits one request's measured stage spans onto the engine lane (ring
+/// events for sampled frames only) and promotes the full breakdown to the
+/// slow-op log when the end-to-end span crosses the configured threshold
+/// (slow-op capture ignores sampling).
+///
+/// The end-to-end span starts at the front-end's socket-readable stamp
+/// when present, else at the enqueue stamp, else at dequeue — so the
+/// per-stage durations (disjoint sub-intervals measured against the same
+/// recorder epoch) always sum to at most the recorded total.
+fn trace_request(
+    tracer: &mut TraceWriter,
+    span: SpanCtx,
+    t_dequeue: u64,
+    stages: &[(TraceStage, u64)],
+) {
+    let end_nanos = tracer.now_nanos();
+    let queue_wait = if span.enqueue_nanos > 0 {
+        t_dequeue.saturating_sub(span.enqueue_nanos)
+    } else {
+        0
+    };
+    let mut slow_stages = [0u64; SLOW_STAGES];
+    slow_stages[TraceStage::Parse.code() as usize] = span.parse_nanos;
+    slow_stages[TraceStage::QueueWait.code() as usize] = queue_wait;
+    for &(stage, nanos) in stages {
+        slow_stages[stage.code() as usize] = nanos;
+    }
+    if span.sampled {
+        if span.parse_nanos > 0 {
+            tracer.span(
+                TraceStage::Parse.code(),
+                span.conn,
+                span.corr,
+                span.parse_nanos,
+                0,
+            );
+        }
+        tracer.span(
+            TraceStage::QueueWait.code(),
+            span.conn,
+            span.corr,
+            queue_wait,
+            0,
+        );
+        for &(stage, nanos) in stages {
+            if nanos > 0 {
+                tracer.span(stage.code(), span.conn, span.corr, nanos, 0);
+            }
+        }
+    }
+    let start = if span.start_nanos > 0 {
+        span.start_nanos
+    } else if span.enqueue_nanos > 0 {
+        span.enqueue_nanos
+    } else {
+        t_dequeue
+    };
+    let total = end_nanos.saturating_sub(start);
+    if total >= tracer.recorder().config().slow_nanos {
+        tracer.recorder().record_slow(SlowOp {
+            conn: span.conn,
+            corr: span.corr,
+            kind: span.kind,
+            start_nanos: start,
+            total_nanos: total,
+            stages: slow_stages,
+        });
     }
 }
 
@@ -1915,6 +2210,69 @@ mod tests {
             sender.snapshot(),
             Err(SnapshotRequestError::Disabled)
         ));
+        handle.shutdown();
+    }
+
+    /// Sample rate 1 + slow threshold 0: the engine lane carries stage
+    /// spans for the traced ingest and every request is promoted to the
+    /// slow-op log with a stage breakdown summing within its total.
+    #[cfg(feature = "trace")]
+    #[test]
+    fn traced_pipeline_records_stage_spans_and_slow_ops() {
+        use rtim_stream::trace::TraceStage;
+        let handle = EngineHandle::spawn(
+            SimConfig::new(2, 0.3, 8, 2),
+            FrameworkKind::Ic,
+            HandleOptions::default()
+                .with_capacity(8)
+                .with_tracing(TraceConfig::sampled(1, 0)),
+        );
+        let rec = handle.trace_recorder().expect("tracing enabled");
+        let mut sender = handle.sender();
+        let actions = figure1_actions();
+        let span = SpanCtx {
+            conn: 7,
+            corr: 42,
+            kind: 0x01,
+            sampled: true,
+            start_nanos: rec.now_nanos(),
+            parse_nanos: 5,
+            enqueue_nanos: rec.now_nanos(),
+        };
+        sender.ingest_traced(actions[..4].to_vec(), span).unwrap();
+        sender.ingest(actions[4..].to_vec()).unwrap();
+        // Stats round-trips behind the batches, so afterwards both ingests
+        // have been traced.
+        let stats = sender.stats().unwrap();
+        assert_eq!(stats.actions, 10);
+        let dump = rec.dump(usize::MAX, false);
+        let stages: std::collections::HashSet<u8> =
+            dump.events.iter().map(|e| e.stage).collect();
+        assert!(stages.contains(&TraceStage::Parse.code()));
+        assert!(stages.contains(&TraceStage::QueueWait.code()));
+        assert!(stages.contains(&TraceStage::Resolve.code()));
+        assert!(stages.contains(&TraceStage::ShardFeed.code()));
+        assert!(!dump.slow_ops.is_empty());
+        for op in &dump.slow_ops {
+            let sum: u64 = op.stages.iter().sum();
+            assert!(sum <= op.total_nanos, "stage sum {sum} > {}", op.total_nanos);
+        }
+        let traced = dump
+            .slow_ops
+            .iter()
+            .find(|o| o.conn == 7 && o.corr == 42)
+            .expect("traced ingest promoted to the slow log");
+        assert_eq!(traced.kind, 0x01);
+        assert_eq!(traced.stages[TraceStage::Parse.code() as usize], 5);
+        handle.shutdown();
+    }
+
+    /// Without `with_tracing` (or with the feature compiled out) no
+    /// recorder exists — the disabled path stays allocation-free.
+    #[test]
+    fn tracing_disabled_means_no_recorder() {
+        let handle = spawn(4, false);
+        assert!(handle.trace_recorder().is_none());
         handle.shutdown();
     }
 

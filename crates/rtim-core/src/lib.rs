@@ -38,6 +38,10 @@
 //!   with sliding-window p50/p95/p99 aggregation and the shared
 //!   [`EngineMetrics`] registry the engine thread, the server front-ends
 //!   and the `/metrics` scrape endpoint meet at.
+//! * [`trace`] — the flight recorder: lock-free per-thread rings of
+//!   fixed-size trace events spanning every pipeline stage, slow-op
+//!   capture, and passive bounded dumps (`TRACE` command, `GET /trace`,
+//!   `rtim-cli trace`); see `docs/TRACING.md`.
 //! * [`snapshot`] — durable engine snapshots ([`EngineSnapshot`], `RTSS`
 //!   codec), atomic writes, and the crash-recovery decision tree
 //!   ([`recover_engine`]); see `docs/RECOVERY.md`.
@@ -84,10 +88,11 @@ pub mod pool;
 pub mod sic;
 pub mod snapshot;
 pub mod ssm;
+pub mod trace;
 
 pub use checkpoint_set::CheckpointSet;
 pub use config::SimConfig;
-pub use engine::{RunReport, SimEngine, SlideReport};
+pub use engine::{FeedBreakdown, RunReport, SimEngine, SlideReport};
 pub use framework::{Framework, FrameworkKind, ResolvedAction, Solution};
 pub use handle::{
     AsyncRequestError, Completion, CompletionPayload, CompletionSink, DurabilityState,
@@ -100,7 +105,7 @@ pub use intern::UserInterner;
 pub use metrics::{
     EngineMetrics, Histogram, SlidingHistogram, HISTOGRAM_BUCKETS, METRICS_WINDOW_SLIDES,
 };
-pub use pool::{AdaptiveConfig, CheckpointStat, PoolStats, ShardPool};
+pub use pool::{AdaptiveConfig, CheckpointStat, PoolStats, ShardPool, WorkerFeedReport};
 pub use sic::SicFramework;
 pub use snapshot::{
     load_snapshot, load_snapshot_with, recover_engine, recover_engine_with, write_snapshot_atomic,
@@ -108,3 +113,4 @@ pub use snapshot::{
     EngineSnapshot, FrameworkState, RecoveryOutcome, SnapshotError,
 };
 pub use ssm::Checkpoint;
+pub use trace::{FlightRecorder, SpanCtx, TraceConfig, TraceWriter, MAX_LANES};

@@ -253,6 +253,11 @@ pub struct EngineMetrics {
     journal_lag_batches: AtomicU64,
     snapshot_age_slides: AtomicU64,
     durability_state: AtomicU64,
+    // ---- arena + tracing gauges (engine thread, refreshed per batch) ----
+    arena_takes: AtomicU64,
+    arena_hits: AtomicU64,
+    trace_events: AtomicU64,
+    trace_slow_ops: AtomicU64,
 }
 
 impl Default for EngineMetrics {
@@ -295,6 +300,10 @@ impl EngineMetrics {
             journal_lag_batches: AtomicU64::new(0),
             snapshot_age_slides: AtomicU64::new(0),
             durability_state: AtomicU64::new(0),
+            arena_takes: AtomicU64::new(0),
+            arena_hits: AtomicU64::new(0),
+            trace_events: AtomicU64::new(0),
+            trace_slow_ops: AtomicU64::new(0),
         }
     }
 
@@ -344,6 +353,22 @@ impl EngineMetrics {
         self.journal_lag_batches.store(stats.journal_lag_batches, Ordering::Relaxed);
         self.snapshot_age_slides.store(stats.snapshot_age_slides, Ordering::Relaxed);
         self.durability_state.store(stats.durability_state, Ordering::Relaxed);
+    }
+
+    /// Engine thread: refreshes the bitmap-arena allocation gauges
+    /// (cumulative word-vector takes and how many were served from the
+    /// recycled free lists) from the pool's per-batch stats.
+    pub fn observe_arena(&self, takes: u64, hits: u64) {
+        self.arena_takes.store(takes, Ordering::Relaxed);
+        self.arena_hits.store(hits, Ordering::Relaxed);
+    }
+
+    /// Engine thread: refreshes the flight-recorder visibility gauges
+    /// (events recorded, slow ops promoted) so trace activity shows up on
+    /// `/metrics` without scraping `/trace`.
+    pub fn observe_trace(&self, events: u64, slow_ops: u64) {
+        self.trace_events.store(events, Ordering::Relaxed);
+        self.trace_slow_ops.store(slow_ops, Ordering::Relaxed);
     }
 
     /// Front-end: one `BUSY` backpressure reply was sent (threaded
@@ -437,7 +462,7 @@ impl EngineMetrics {
             "Ingest-queue depth observed at batch dequeue over the sliding window",
             &depth,
         );
-        let counters: [(&str, &str, u64); 9] = [
+        let counters: [(&str, &str, u64); 13] = [
             ("rtim_actions_total", "Actions ingested", self.actions.load(Ordering::Relaxed)),
             ("rtim_batches_total", "Ingest batches dequeued", self.batches.load(Ordering::Relaxed)),
             ("rtim_slides_total", "Window slides fed", self.slides.load(Ordering::Relaxed)),
@@ -466,6 +491,26 @@ impl EngineMetrics {
                 "rtim_orphaned_replies_total",
                 "Replies degraded to roots (unknown or pruned parent)",
                 self.orphaned_replies.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_arena_takes_total",
+                "Bitmap word-vectors requested from the slide arenas",
+                self.arena_takes.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_arena_hits_total",
+                "Arena requests served from the recycled free lists",
+                self.arena_hits.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_trace_events_total",
+                "Flight-recorder trace events recorded",
+                self.trace_events.load(Ordering::Relaxed),
+            ),
+            (
+                "rtim_trace_slow_ops_total",
+                "Requests promoted to the slow-op log",
+                self.trace_slow_ops.load(Ordering::Relaxed),
             ),
         ];
         for (name, help, value) in counters {
@@ -641,6 +686,8 @@ mod tests {
         metrics.record_query(5678);
         metrics.incr_busy_reply();
         metrics.incr_parked_request();
+        metrics.observe_arena(100, 90);
+        metrics.observe_trace(7, 2);
         let text = metrics.render_prometheus();
         for needle in [
             "rtim_feed_nanos{quantile=\"0.5\"}",
@@ -653,6 +700,10 @@ mod tests {
             "rtim_journal_lag_batches",
             "rtim_snapshot_age_slides",
             "rtim_durability_state",
+            "rtim_arena_takes_total 100",
+            "rtim_arena_hits_total 90",
+            "rtim_trace_events_total 7",
+            "rtim_trace_slow_ops_total 2",
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }

@@ -144,6 +144,26 @@ pub struct PoolStats {
     pub ewma_min_nanos: u64,
     /// Largest per-shard feed-time EWMA, in nanoseconds (rounded).
     pub ewma_max_nanos: u64,
+    /// Cumulative bitmap word-vectors requested from the workers' slide
+    /// arenas (summed across shards).
+    pub arena_takes: u64,
+    /// Of [`PoolStats::arena_takes`], how many were served from the
+    /// recycled free lists instead of fresh allocations.
+    pub arena_hits: u64,
+}
+
+/// What one worker reports back with each feed round: its wall-clock span
+/// for the slide plus the cumulative allocation counters of its private
+/// [`WordArena`].  The pool retains the latest report per shard so the
+/// engine can emit per-shard trace spans without extra channel traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerFeedReport {
+    /// Wall-clock nanoseconds the worker spent on the slide.
+    pub nanos: u64,
+    /// Cumulative arena take count (see [`rtim_stream::WordArena::stats`]).
+    pub arena_takes: u64,
+    /// Cumulative arena free-list hits.
+    pub arena_hits: u64,
 }
 
 /// Messages from the pool to a worker.
@@ -173,9 +193,10 @@ enum ShardMsg {
 
 /// Replies from a worker to the pool.
 enum ShardReply {
-    /// Per-checkpoint stats plus the wall-clock nanoseconds the worker
-    /// spent processing the slide (input to the adaptive placement).
-    Fed(Vec<CheckpointStat>, u64),
+    /// Per-checkpoint stats plus the worker's feed report (span nanos for
+    /// the adaptive placement and trace spans, arena counters for the
+    /// allocation gauges).
+    Fed(Vec<CheckpointStat>, WorkerFeedReport),
     Extracted(Box<Checkpoint>),
     Solution(Box<Solution>),
     Snapshot(Box<Option<crate::snapshot::CheckpointState>>),
@@ -205,6 +226,8 @@ pub struct ShardPool {
     cooldown: u32,
     /// Checkpoints migrated by the adaptive placement so far.
     migrations: u64,
+    /// Latest per-worker feed report (all-zero until the first feed).
+    last_feed: Vec<WorkerFeedReport>,
 }
 
 impl ShardPool {
@@ -235,6 +258,7 @@ impl ShardPool {
             ewma: vec![0.0; threads],
             cooldown: 0,
             migrations: 0,
+            last_feed: vec![WorkerFeedReport::default(); threads],
         }
     }
 
@@ -266,7 +290,16 @@ impl ShardPool {
             migrations: self.migrations,
             ewma_min_nanos: if lo.is_finite() { lo as u64 } else { 0 },
             ewma_max_nanos: hi as u64,
+            arena_takes: self.last_feed.iter().map(|r| r.arena_takes).sum(),
+            arena_hits: self.last_feed.iter().map(|r| r.arena_hits).sum(),
         }
+    }
+
+    /// The latest per-worker feed report, indexed by shard (all-zero
+    /// entries until the first feed).  Input to the engine's per-shard
+    /// trace spans.
+    pub fn last_feed_reports(&self) -> &[WorkerFeedReport] {
+        &self.last_feed
     }
 
     /// Number of checkpoints currently owned across all shards.
@@ -310,9 +343,10 @@ impl ShardPool {
         let mut stats = Vec::with_capacity(self.assignment.len());
         for i in 0..self.workers.len() {
             match self.recv(i) {
-                ShardReply::Fed(s, nanos) => {
+                ShardReply::Fed(s, report) => {
                     stats.extend(s);
-                    self.observe_feed_nanos(i, nanos);
+                    self.observe_feed_nanos(i, report.nanos);
+                    self.last_feed[i] = report;
                 }
                 _ => unreachable!("worker answered Feed with a non-Fed reply"),
             }
@@ -567,8 +601,13 @@ fn worker_loop(rx: Receiver<ShardMsg>, tx: Sender<ShardReply>) {
                     });
                 }
                 arena.end_slide();
-                let nanos = started.elapsed().as_nanos() as u64;
-                if tx.send(ShardReply::Fed(stats, nanos)).is_err() {
+                let (arena_takes, arena_hits) = arena.stats();
+                let report = WorkerFeedReport {
+                    nanos: started.elapsed().as_nanos() as u64,
+                    arena_takes,
+                    arena_hits,
+                };
+                if tx.send(ShardReply::Fed(stats, report)).is_err() {
                     break;
                 }
             }
@@ -795,6 +834,18 @@ mod tests {
             pool.feed(&slide[6..], None);
         }
         assert_eq!(pool.stats().migrations, 0);
+    }
+
+    #[test]
+    fn feed_reports_surface_span_and_arena_counters() {
+        let mut pool = ShardPool::new(2);
+        for i in 0..4u64 {
+            pool.add(checkpoint(i + 1, 2));
+        }
+        pool.feed(&slide()[6..], None);
+        assert!(pool.last_feed_reports().iter().any(|r| r.nanos > 0));
+        let stats = pool.stats();
+        assert!(stats.arena_takes >= stats.arena_hits);
     }
 
     #[test]

@@ -195,6 +195,10 @@ impl<W: ElementWeight + Send + 'static> Framework for SicFramework<W> {
         self.checkpoints.pool_stats()
     }
 
+    fn shard_feed_reports(&self) -> &[crate::pool::WorkerFeedReport] {
+        self.checkpoints.shard_feed_reports()
+    }
+
     fn set_adaptive(&mut self, config: crate::pool::AdaptiveConfig) {
         self.checkpoints.set_adaptive(config);
     }

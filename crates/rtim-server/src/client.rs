@@ -198,6 +198,27 @@ impl RtimClient {
         }
     }
 
+    /// Dumps the server's flight recorder: the newest `max_events` trace
+    /// events (or only the retained slow-op log with `slow_only`) plus the
+    /// cumulative per-stage totals.  Answered inline from the recorder —
+    /// never through the engine queue — so tracing stays passive; a server
+    /// running without tracing returns an empty dump.
+    pub fn trace(
+        &mut self,
+        max_events: u32,
+        slow_only: bool,
+    ) -> Result<rtim_stream::trace::TraceDump, ClientError> {
+        match self.round_trip(&Frame::Trace {
+            max_events,
+            slow_only,
+        })? {
+            Frame::TraceReply { dump } => rtim_stream::trace::TraceDump::decode(&dump)
+                .map_err(|e| ClientError::Unexpected(format!("undecodable TRACE dump: {e}"))),
+            Frame::Error { message, .. } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Unexpected(format!("{other:?} to TRACE"))),
+        }
+    }
+
     /// Requests a graceful server shutdown (queue drained, then exit).
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         match self.round_trip(&Frame::Shutdown)? {

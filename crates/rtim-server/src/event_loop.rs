@@ -44,10 +44,11 @@ use crate::protocol::{
     encode_frame_into, parse_error_consumed, parse_frame, Frame, PROTOCOL_VERSION,
 };
 use rtim_core::{
-    AsyncRequestError, Completion, CompletionPayload, CompletionSink, EngineMetrics, IngestError,
-    IngestSender, SenderSpawner,
+    AsyncRequestError, Completion, CompletionPayload, CompletionSink, EngineMetrics,
+    FlightRecorder, IngestError, IngestSender, SenderSpawner, SpanCtx, TraceWriter,
 };
-use std::collections::HashMap;
+use rtim_stream::trace::{TraceDump, TraceStage};
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -73,6 +74,9 @@ const PARK_RETRY_MS: i32 = 1;
 /// How long shutdown waits for peers to drain their replies before
 /// force-closing them.
 const DRAIN_DEADLINE: Duration = Duration::from_secs(5);
+/// Cap on events per `TRACE` reply, keeping the dump frame far below
+/// [`crate::protocol::MAX_FRAME_LEN`] no matter what the client asks for.
+pub(crate) const TRACE_DUMP_MAX_EVENTS: u32 = 1 << 19;
 
 /// State shared by every loop thread and the owner.
 struct EvShared {
@@ -85,6 +89,10 @@ struct EvShared {
     next_conn_id: AtomicU64,
     /// Connection-churn and backpressure counters for `/metrics`.
     metrics: Arc<EngineMetrics>,
+    /// The engine's flight recorder (when tracing is enabled): each loop
+    /// thread registers one writer lane for its `reply_drain` spans, and
+    /// `TRACE` frames are answered from it inline — purely passively.
+    recorder: Option<Arc<FlightRecorder>>,
 }
 
 /// The running event-loop front-end.
@@ -101,6 +109,7 @@ impl EventLoopRuntime {
         spawner: SenderSpawner,
         threads: usize,
         metrics: Arc<EngineMetrics>,
+        recorder: Option<Arc<FlightRecorder>>,
     ) -> io::Result<EventLoopRuntime> {
         let threads = threads.max(1);
         listener.set_nonblocking(true)?;
@@ -116,6 +125,7 @@ impl EventLoopRuntime {
             injects,
             next_conn_id: AtomicU64::new(0),
             metrics,
+            recorder,
         });
         let mut handles = Vec::with_capacity(threads);
         for index in 0..threads {
@@ -161,12 +171,15 @@ enum Parked {
     Ingest {
         actions: Vec<rtim_stream::Action>,
         corr: Option<u32>,
+        span: SpanCtx,
     },
     Query {
         corr: Option<u32>,
+        span: SpanCtx,
     },
     Stats {
         corr: Option<u32>,
+        span: SpanCtx,
     },
     Snapshot,
 }
@@ -176,6 +189,17 @@ struct PendingReply {
     slot: usize,
     conn_id: u64,
     corr: Option<u32>,
+    span: SpanCtx,
+}
+
+/// A pending `reply_drain` span: the reply for a sampled request ends at
+/// absolute outbound offset `end`; when the cumulative flushed byte count
+/// passes it, the span from `t_pushed` to now is recorded.
+struct DrainMark {
+    end: u64,
+    conn: u64,
+    corr: u32,
+    t_pushed: u64,
 }
 
 /// One connection's state machine.
@@ -193,6 +217,18 @@ struct Conn {
     pending: usize,
     /// No more reads; close once `out` is flushed and `pending` is 0.
     closing: bool,
+    /// Request frames seen (drives the 1-in-N trace sample).
+    trace_seq: u64,
+    /// Recorder timestamp of the current read pass (0 = none yet): the
+    /// end-to-end span of frames parsed from this pass starts here.
+    t_read: u64,
+    /// Cumulative bytes ever appended to `out` / flushed to the socket
+    /// (monotonic across `out` resets), compared by [`DrainMark::end`].
+    out_total: u64,
+    flushed_total: u64,
+    /// Outstanding `reply_drain` marks, FIFO by outbound offset.  Empty —
+    /// and never allocated — unless a sampled request's reply is queued.
+    drain_marks: VecDeque<DrainMark>,
 }
 
 impl Conn {
@@ -217,7 +253,9 @@ impl Conn {
 
 /// Appends one encoded reply to the connection's outbound buffer.
 fn push_reply(conn: &mut Conn, frame: &Frame) {
+    let before = conn.out.len();
     encode_frame_into(frame, &mut conn.out);
+    conn.out_total += (conn.out.len() - before) as u64;
 }
 
 /// Writes as much outbound as the socket accepts.  `Err` means the
@@ -226,7 +264,10 @@ fn flush(conn: &mut Conn) -> io::Result<()> {
     while conn.out_pos < conn.out.len() {
         match conn.stream.write(&conn.out[conn.out_pos..]) {
             Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
-            Ok(n) => conn.out_pos += n,
+            Ok(n) => {
+                conn.out_pos += n;
+                conn.flushed_total += n as u64;
+            }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(e) => return Err(e),
@@ -262,6 +303,11 @@ struct LoopThread {
     sink: CompletionSink,
     pending: HashMap<u64, PendingReply>,
     next_token: u64,
+    /// This thread's recorder lane (tracing enabled only): stamps span
+    /// contexts on submitted commands and records `reply_drain` spans.
+    tracer: Option<TraceWriter>,
+    /// 1-in-N request sample rate (0 when tracing is off).
+    sample: u64,
 }
 
 impl LoopThread {
@@ -274,6 +320,11 @@ impl LoopThread {
         let (tx, rx) = mpsc::channel();
         let waker = Arc::clone(&shared.wakes[index]);
         let sink = CompletionSink::new(tx, Arc::new(move || waker.wake()));
+        let tracer = shared.recorder.as_ref().map(|r| r.writer());
+        let sample = shared
+            .recorder
+            .as_ref()
+            .map_or(0, |r| u64::from(r.config().sample));
         LoopThread {
             index,
             wake: Arc::clone(&shared.wakes[index]),
@@ -288,6 +339,8 @@ impl LoopThread {
             sink,
             pending: HashMap::new(),
             next_token: 0,
+            tracer,
+            sample,
         }
     }
 
@@ -378,9 +431,12 @@ impl LoopThread {
             self.close(i);
             return;
         }
-        if revents & POLLOUT != 0 && flush(conn).is_err() {
-            self.close(i);
-            return;
+        if revents & POLLOUT != 0 {
+            if flush(conn).is_err() {
+                self.close(i);
+                return;
+            }
+            self.note_flushed(i);
         }
         let shutting = self.shutting();
         if self.conns[i]
@@ -398,6 +454,11 @@ impl LoopThread {
 
     /// Reads and parses as much as the budget allows.
     fn readable(&mut self, i: usize, shutting: bool) {
+        if let (Some(tracer), Some(conn)) = (&self.tracer, self.conns[i].as_mut()) {
+            // Frames parsed out of this pass measure their end-to-end
+            // span (and parse stage) from the readiness event.
+            conn.t_read = tracer.now_nanos();
+        }
         let mut taken = 0usize;
         loop {
             let Some(conn) = self.conns[i].as_mut() else {
@@ -506,13 +567,68 @@ impl LoopThread {
         true
     }
 
+    /// Stamps the span context for one request frame: connection id,
+    /// correlation, the 1-in-N sample decision, and the readable→parsed
+    /// timing.  All-default (never sampled, never slow-attributed) when
+    /// tracing is off.
+    fn make_span(&mut self, i: usize, kind: u8, corr: Option<u32>) -> SpanCtx {
+        let Some(tracer) = &self.tracer else {
+            return SpanCtx::default();
+        };
+        let Some(conn) = self.conns[i].as_mut() else {
+            return SpanCtx::default();
+        };
+        let seq = conn.trace_seq;
+        conn.trace_seq += 1;
+        let now = tracer.now_nanos();
+        let start = if conn.t_read > 0 { conn.t_read } else { now };
+        SpanCtx {
+            conn: conn.id,
+            corr: corr.unwrap_or(u32::MAX),
+            kind,
+            sampled: self.sample > 0 && seq % self.sample == 0,
+            start_nanos: start,
+            parse_nanos: now.saturating_sub(start),
+            enqueue_nanos: 0,
+        }
+    }
+
     /// Executes one parsed frame against the engine pipeline.
     fn handle_frame(&mut self, i: usize, frame: Frame) {
         match frame {
-            Frame::Ingest { actions, corr } => self.submit_ingest(i, actions, corr, false),
-            Frame::Query { corr } => self.submit_async(i, Parked::Query { corr }, false),
-            Frame::Stats { corr } => self.submit_async(i, Parked::Stats { corr }, false),
+            Frame::Ingest { actions, corr } => {
+                let span = self.make_span(i, crate::protocol::kind::INGEST, corr);
+                self.submit_ingest(i, actions, corr, span, false);
+            }
+            Frame::Query { corr } => {
+                let span = self.make_span(i, crate::protocol::kind::QUERY, corr);
+                self.submit_async(i, Parked::Query { corr, span }, false);
+            }
+            Frame::Stats { corr } => {
+                let span = self.make_span(i, crate::protocol::kind::STATS, corr);
+                self.submit_async(i, Parked::Stats { corr, span }, false);
+            }
             Frame::Snapshot => self.submit_async(i, Parked::Snapshot, false),
+            Frame::Trace {
+                max_events,
+                slow_only,
+            } => {
+                // Answered inline and purely passively: the dump scans the
+                // recorder rings without enqueuing engine work, so TRACE
+                // cannot perturb the served arrival order (the same
+                // argument as the `/metrics` sidecar).
+                let dump = match &self.tracer {
+                    Some(tracer) => tracer
+                        .recorder()
+                        .dump(max_events.min(TRACE_DUMP_MAX_EVENTS) as usize, slow_only)
+                        .encode(),
+                    None => TraceDump::default().encode(),
+                };
+                let Some(conn) = self.conns[i].as_mut() else {
+                    return;
+                };
+                push_reply(conn, &Frame::TraceReply { dump });
+            }
             Frame::Shutdown => {
                 self.shared.shutting_down.store(true, Ordering::Release);
                 let Some(conn) = self.conns[i].as_mut() else {
@@ -555,6 +671,7 @@ impl LoopThread {
         i: usize,
         actions: Vec<rtim_stream::Action>,
         corr: Option<u32>,
+        mut span: SpanCtx,
         retry: bool,
     ) {
         if self.shutting() {
@@ -573,7 +690,15 @@ impl LoopThread {
             return;
         };
         let count = actions.len() as u64;
-        match conn.sender.try_ingest(actions) {
+        // The queue wait starts at the *first* submission attempt: a
+        // parked retry keeps its original stamp, so park time shows up as
+        // queue wait — which is what it is.
+        if span.enqueue_nanos == 0 {
+            if let Some(tracer) = &self.tracer {
+                span.enqueue_nanos = tracer.now_nanos();
+            }
+        }
+        match conn.sender.try_ingest_traced(actions, span) {
             Ok(()) => {
                 let queue_depth = conn.sender.queue_depth() as u32;
                 push_reply(
@@ -584,12 +709,21 @@ impl LoopThread {
                         corr,
                     },
                 );
+                if span.sampled {
+                    let end = conn.out_total;
+                    let (id, corr) = (conn.id, span.corr);
+                    self.mark_reply(i, end, id, corr);
+                }
             }
             Err(IngestError::Full(actions)) => {
                 if !retry {
                     self.shared.metrics.incr_parked_request();
                 }
-                conn.parked = Some(Parked::Ingest { actions, corr });
+                conn.parked = Some(Parked::Ingest {
+                    actions,
+                    corr,
+                    span,
+                });
             }
             Err(e @ IngestError::Invalid(_)) => push_reply(
                 conn,
@@ -615,15 +749,36 @@ impl LoopThread {
     /// Enqueues a completion-routed request (`QUERY`/`STATS`/`SNAPSHOT`),
     /// parking it when the queue is full (`retry` as in
     /// [`LoopThread::submit_ingest`]).
-    fn submit_async(&mut self, i: usize, request: Parked, retry: bool) {
+    fn submit_async(&mut self, i: usize, mut request: Parked, retry: bool) {
+        if let Some(tracer) = &self.tracer {
+            // First-attempt enqueue stamp, as in `submit_ingest`.
+            let now = tracer.now_nanos();
+            if let Parked::Query { span, .. } | Parked::Stats { span, .. } = &mut request {
+                if span.enqueue_nanos == 0 {
+                    span.enqueue_nanos = now;
+                }
+            }
+        }
         let Some(conn) = self.conns[i].as_mut() else {
             return;
         };
         let token = self.next_token;
-        let (result, corr) = match &request {
-            Parked::Query { corr } => (conn.sender.try_query_async(token, &self.sink), *corr),
-            Parked::Stats { corr } => (conn.sender.try_stats_async(token, &self.sink), *corr),
-            Parked::Snapshot => (conn.sender.try_snapshot_async(token, &self.sink), None),
+        let (result, corr, span) = match &request {
+            Parked::Query { corr, span } => (
+                conn.sender.try_query_async_traced(token, &self.sink, *span),
+                *corr,
+                *span,
+            ),
+            Parked::Stats { corr, span } => (
+                conn.sender.try_stats_async_traced(token, &self.sink, *span),
+                *corr,
+                *span,
+            ),
+            Parked::Snapshot => (
+                conn.sender.try_snapshot_async(token, &self.sink),
+                None,
+                SpanCtx::default(),
+            ),
             Parked::Ingest { .. } => unreachable!("ingest goes through submit_ingest"),
         };
         match result {
@@ -635,6 +790,7 @@ impl LoopThread {
                         slot: i,
                         conn_id: conn.id,
                         corr,
+                        span,
                     },
                 );
                 conn.pending += 1;
@@ -688,6 +844,51 @@ impl LoopThread {
                 },
             };
             push_reply(conn, &frame);
+            if route.span.sampled {
+                let end = conn.out_total;
+                self.mark_reply(route.slot, end, route.span.conn, route.span.corr);
+            }
+        }
+    }
+
+    /// Queues a `reply_drain` mark for a sampled request whose reply was
+    /// just appended at absolute outbound offset `end`.
+    fn mark_reply(&mut self, i: usize, end: u64, conn_id: u64, corr: u32) {
+        let Some(tracer) = &self.tracer else { return };
+        let t_pushed = tracer.now_nanos();
+        if let Some(conn) = self.conns[i].as_mut() {
+            conn.drain_marks.push_back(DrainMark {
+                end,
+                conn: conn_id,
+                corr,
+                t_pushed,
+            });
+        }
+    }
+
+    /// Records `reply_drain` spans for every mark the cumulative flushed
+    /// byte count has passed.
+    fn note_flushed(&mut self, i: usize) {
+        let Some(tracer) = self.tracer.as_mut() else {
+            return;
+        };
+        let Some(conn) = self.conns[i].as_mut() else {
+            return;
+        };
+        while conn
+            .drain_marks
+            .front()
+            .is_some_and(|mark| mark.end <= conn.flushed_total)
+        {
+            let mark = conn.drain_marks.pop_front().expect("front checked");
+            let now = tracer.now_nanos();
+            tracer.span(
+                TraceStage::ReplyDrain.code(),
+                mark.conn,
+                mark.corr,
+                now.saturating_sub(mark.t_pushed),
+                0,
+            );
         }
     }
 
@@ -702,7 +903,11 @@ impl LoopThread {
                 continue;
             };
             match request {
-                Parked::Ingest { actions, corr } => self.submit_ingest(i, actions, corr, true),
+                Parked::Ingest {
+                    actions,
+                    corr,
+                    span,
+                } => self.submit_ingest(i, actions, corr, span, true),
                 other => self.submit_async(i, other, true),
             }
             let resumed = self.conns[i]
@@ -730,6 +935,8 @@ impl LoopThread {
             }
             if close {
                 self.close(i);
+            } else {
+                self.note_flushed(i);
             }
         }
     }
@@ -742,8 +949,8 @@ impl LoopThread {
             if let Some(request) = conn.parked.take() {
                 let corr = match request {
                     Parked::Ingest { corr, .. }
-                    | Parked::Query { corr }
-                    | Parked::Stats { corr } => corr,
+                    | Parked::Query { corr, .. }
+                    | Parked::Stats { corr, .. } => corr,
                     Parked::Snapshot => None,
                 };
                 push_reply(
@@ -816,6 +1023,11 @@ impl LoopThread {
             parked: None,
             pending: 0,
             closing: false,
+            trace_seq: 0,
+            t_read: 0,
+            out_total: 0,
+            flushed_total: 0,
+            drain_marks: VecDeque::new(),
         };
         push_reply(
             &mut conn,

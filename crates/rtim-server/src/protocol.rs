@@ -53,12 +53,13 @@ pub const MAX_FRAME_LEN: u32 = MAX_FRAME_BYTES as u32;
 /// Frame kind tags.  Client requests have the high bit clear, server
 /// replies have it set; the `0x10`/`0x90` bit marks the correlated
 /// sibling of a v1 tag (payload prefixed with `corr: u32 LE`).
-mod kind {
+pub(crate) mod kind {
     pub const INGEST: u8 = 0x01;
     pub const QUERY: u8 = 0x02;
     pub const STATS: u8 = 0x03;
     pub const SHUTDOWN: u8 = 0x04;
     pub const SNAPSHOT: u8 = 0x05;
+    pub const TRACE: u8 = 0x06;
     pub const INGEST_CORR: u8 = 0x11;
     pub const QUERY_CORR: u8 = 0x12;
     pub const STATS_CORR: u8 = 0x13;
@@ -68,6 +69,7 @@ mod kind {
     pub const STATS_REPLY: u8 = 0x83;
     pub const BUSY: u8 = 0x84;
     pub const SNAPSHOT_REPLY: u8 = 0x85;
+    pub const TRACE_REPLY: u8 = 0x86;
     pub const ERROR: u8 = 0x8F;
     pub const ACK_CORR: u8 = 0x91;
     pub const SOLUTION_CORR: u8 = 0x92;
@@ -116,6 +118,23 @@ pub enum Frame {
     /// every batch this connection already ingested (ordered through the
     /// same queue).
     Snapshot,
+    /// Client → server: dump the flight recorder (answered inline from the
+    /// recorder, never through the engine queue — tracing stays passive).
+    Trace {
+        /// Newest ring events to include, at most (the server also caps
+        /// the reply at [`MAX_FRAME_LEN`]).
+        max_events: u32,
+        /// Skip the rings and return only the retained slow-op log.
+        slow_only: bool,
+    },
+    /// Server → client: an `RTTR` flight-recorder dump
+    /// ([`rtim_stream::trace::TraceDump`] bytes; empty dump when tracing
+    /// is disabled).
+    TraceReply {
+        /// The encoded dump, decodable with
+        /// [`rtim_stream::trace::TraceDump::decode`].
+        dump: Vec<u8>,
+    },
     /// Server → client: the batch was accepted (enqueued).
     Ack {
         /// Actions accepted.
@@ -171,9 +190,12 @@ impl Frame {
             | Frame::StatsReply { corr, .. }
             | Frame::Busy { corr, .. }
             | Frame::Error { corr, .. } => *corr,
-            Frame::Hello { .. } | Frame::Shutdown | Frame::Snapshot | Frame::SnapshotReply(_) => {
-                None
-            }
+            Frame::Hello { .. }
+            | Frame::Shutdown
+            | Frame::Snapshot
+            | Frame::SnapshotReply(_)
+            | Frame::Trace { .. }
+            | Frame::TraceReply { .. } => None,
         }
     }
 }
@@ -268,6 +290,18 @@ pub fn encode_frame_into(frame: &Frame, out: &mut Vec<u8>) {
         }
         Frame::Shutdown => kind::SHUTDOWN,
         Frame::Snapshot => kind::SNAPSHOT,
+        Frame::Trace {
+            max_events,
+            slow_only,
+        } => {
+            out.extend_from_slice(&max_events.to_le_bytes());
+            out.push(u8::from(*slow_only));
+            kind::TRACE
+        }
+        Frame::TraceReply { dump } => {
+            out.extend_from_slice(dump);
+            kind::TRACE_REPLY
+        }
         Frame::SnapshotReply(info) => {
             out.extend_from_slice(&info.watermark.to_le_bytes());
             out.extend_from_slice(&info.bytes.to_le_bytes());
@@ -468,6 +502,25 @@ fn decode_payload(tag: u8, payload: &[u8]) -> Result<Frame, FrameError> {
         kind::STATS => expect_empty(data, Frame::Stats { corr })?,
         kind::SHUTDOWN => expect_empty(data, Frame::Shutdown)?,
         kind::SNAPSHOT => expect_empty(data, Frame::Snapshot)?,
+        kind::TRACE => {
+            if data.len() != 5 {
+                return Err(FrameError::Payload("TRACE payload must be 5 bytes".into()));
+            }
+            let max_events = data.get_u32_le();
+            let flags = data.get_u8();
+            if flags > 1 {
+                return Err(FrameError::Payload(format!(
+                    "TRACE flags 0x{flags:02x} has reserved bits set"
+                )));
+            }
+            Frame::Trace {
+                max_events,
+                slow_only: flags == 1,
+            }
+        }
+        kind::TRACE_REPLY => Frame::TraceReply {
+            dump: data.to_vec(),
+        },
         kind::SNAPSHOT_REPLY => {
             if data.len() != 16 {
                 return Err(FrameError::Payload(
@@ -686,6 +739,37 @@ mod tests {
             watermark: 120_000,
             bytes: 48_000,
         }));
+        round_trip(Frame::Trace {
+            max_events: 4096,
+            slow_only: false,
+        });
+        round_trip(Frame::Trace {
+            max_events: 0,
+            slow_only: true,
+        });
+        round_trip(Frame::TraceReply {
+            dump: rtim_stream::trace::TraceDump::default().encode(),
+        });
+    }
+
+    /// TRACE framing is defensive: wrong payload size and reserved flag
+    /// bits are typed errors, and the reply carries opaque RTTR bytes.
+    #[test]
+    fn trace_frames_reject_malformed_payloads() {
+        let mut bytes = vec![0x06];
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0, 0]);
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(FrameError::Payload(_))
+        ));
+        let mut bytes = vec![0x06];
+        bytes.extend_from_slice(&5u32.to_le_bytes());
+        bytes.extend_from_slice(&[0, 0, 0, 0, 0xFE]); // reserved flag bits
+        assert!(matches!(
+            read_frame(bytes.as_slice()),
+            Err(FrameError::Payload(_))
+        ));
     }
 
     /// A 14-field STATS payload from a pre-durability server decodes with

@@ -20,7 +20,9 @@
 
 use crate::metrics_http::MetricsSidecar;
 use crate::{event_loop, threaded};
-use rtim_core::{EngineHandle, FrameworkKind, HandleOptions, PersistOptions, SimConfig};
+use rtim_core::{
+    EngineHandle, FrameworkKind, HandleOptions, PersistOptions, SimConfig, TraceConfig,
+};
 use std::io;
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 
@@ -73,6 +75,9 @@ pub struct ServerConfig {
     /// Listen address for the Prometheus `/metrics` HTTP sidecar
     /// (e.g. `"127.0.0.1:0"` for an ephemeral port).  `None` = no sidecar.
     pub metrics: Option<String>,
+    /// Request tracing (flight recorder + slow-op capture).  Disabled by
+    /// default; see [`rtim_core::TraceConfig`] and `docs/TRACING.md`.
+    pub trace: TraceConfig,
 }
 
 impl ServerConfig {
@@ -89,6 +94,7 @@ impl ServerConfig {
             persist: None,
             front_end: FrontEnd::default(),
             metrics: None,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -131,6 +137,14 @@ impl ServerConfig {
         self
     }
 
+    /// Enables request tracing: spans at every pipeline stage into the
+    /// in-memory flight recorder, slow-op capture, and the `TRACE` /
+    /// `GET /trace` / `rtim-cli trace` read paths.
+    pub fn with_tracing(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// Enables the Prometheus `/metrics` HTTP sidecar on `addr`
     /// (`"127.0.0.1:0"` picks an ephemeral port, reported by
     /// [`RtimServer::metrics_addr`]).
@@ -169,7 +183,8 @@ impl RtimServer {
         let addr = listener.local_addr()?;
         let mut options = HandleOptions::default()
             .with_capacity(config.queue_capacity)
-            .with_journal(config.journal);
+            .with_journal(config.journal)
+            .with_tracing(config.trace);
         if let Some(h) = config.remap_horizon {
             options = options.with_remap_horizon(h);
         }
@@ -178,13 +193,15 @@ impl RtimServer {
         }
         let handle = EngineHandle::spawn(config.sim, config.kind, options);
         let metrics = handle.metrics();
-        // The sidecar only *reads* the shared registry — it holds no
-        // sender and enqueues nothing, so scraping cannot perturb the
-        // served arrival order.
+        let recorder = handle.trace_recorder();
+        // The sidecar only *reads* the shared registry and the flight
+        // recorder — it holds no sender and enqueues nothing, so scraping
+        // (or tracing) cannot perturb the served arrival order.
         let sidecar = match &config.metrics {
             Some(scrape_addr) => Some(MetricsSidecar::start(
                 scrape_addr.as_str(),
                 std::sync::Arc::clone(&metrics),
+                recorder.clone(),
             )?),
             None => None,
         };
@@ -193,13 +210,14 @@ impl RtimServer {
         let spawner = handle.sender_spawner();
         let runtime = match config.front_end {
             FrontEnd::EventLoop { threads } => Runtime::EventLoop(
-                event_loop::EventLoopRuntime::start(listener, spawner, threads, metrics)?,
+                event_loop::EventLoopRuntime::start(listener, spawner, threads, metrics, recorder)?,
             ),
             FrontEnd::ThreadPerConnection => Runtime::Threaded(threaded::ThreadedRuntime::start(
                 listener,
                 spawner,
                 config.queue_capacity.max(1) as u32,
                 metrics,
+                recorder,
             )),
         };
         Ok(RtimServer {
@@ -226,6 +244,12 @@ impl RtimServer {
     /// engine command.
     pub fn metrics(&self) -> Option<std::sync::Arc<rtim_core::EngineMetrics>> {
         self.handle.as_ref().map(|h| h.metrics())
+    }
+
+    /// The flight recorder behind `TRACE` / `GET /trace`, when tracing is
+    /// enabled.  Reading it never enqueues an engine command.
+    pub fn trace_recorder(&self) -> Option<std::sync::Arc<rtim_core::FlightRecorder>> {
+        self.handle.as_ref().and_then(|h| h.trace_recorder())
     }
 
     /// Current ingest-queue depth (approximate).
@@ -518,6 +542,87 @@ mod tests {
             assert_eq!(report.stats.actions, 10, "{front_end:?}");
             // The scrape port was released with the server.
             assert!(std::net::TcpListener::bind(scrape_addr).is_ok());
+        }
+    }
+
+    /// The tracing acceptance path over the wire: with sampling at 1 and
+    /// a zero slow threshold, a served workload produces ring events for
+    /// every pipeline stage, and every slow op round-trips through
+    /// `TRACE` with its stage durations summing to within the end-to-end
+    /// span.
+    #[test]
+    fn trace_dump_round_trips_with_full_stage_breakdown() {
+        use rtim_core::TraceConfig;
+        use rtim_stream::trace::TraceStage;
+        let config = ServerConfig::new(SimConfig::new(2, 0.3, 8, 2), FrameworkKind::Ic)
+            .with_queue_capacity(8)
+            .with_event_loop_threads(1)
+            .with_tracing(TraceConfig::sampled(1, 0));
+        let server = RtimServer::bind("127.0.0.1:0", config).unwrap();
+        let mut client = RtimClient::connect(server.local_addr()).unwrap();
+        for batch in figure1_actions().chunks(2) {
+            client.ingest_blocking(batch).unwrap();
+        }
+        client.query().unwrap();
+        client.stats().unwrap();
+
+        let dump = client.trace(4096, false).unwrap();
+        assert!(!dump.events.is_empty());
+        assert!(!dump.slow_ops.is_empty());
+        for stage in [
+            TraceStage::Parse,
+            TraceStage::QueueWait,
+            TraceStage::Resolve,
+            TraceStage::ShardFeed,
+            TraceStage::OracleQuery,
+            TraceStage::ReplyDrain,
+        ] {
+            assert!(
+                dump.stage_totals[stage.code() as usize].0 > 0,
+                "no {} events in {:?}",
+                stage.name(),
+                dump.stage_totals
+            );
+        }
+        // Threshold 0 promotes every request; each record's stage
+        // durations must fit inside its end-to-end span, and the ingest /
+        // query / stats kinds must all be represented.
+        for op in &dump.slow_ops {
+            let stage_sum: u64 = op.stages.iter().sum();
+            assert!(
+                stage_sum <= op.total_nanos,
+                "stage sum {stage_sum} exceeds total {} in {op:?}",
+                op.total_nanos
+            );
+        }
+        for kind in [0x01u8, 0x02, 0x03] {
+            assert!(
+                dump.slow_ops.iter().any(|op| op.kind == kind),
+                "no slow op of kind {kind:#x}"
+            );
+        }
+
+        // slow_only drains just the retained log.
+        let slow = client.trace(0, true).unwrap();
+        assert!(slow.events.is_empty());
+        assert!(!slow.slow_ops.is_empty());
+        drop(client);
+        let report = server.shutdown();
+        assert_eq!(report.stats.actions, 10);
+    }
+
+    /// With tracing off (the default), TRACE still answers — with an
+    /// empty dump — rather than erroring.
+    #[test]
+    fn trace_without_tracing_returns_an_empty_dump() {
+        for front_end in front_ends() {
+            let server = toy_server_with(front_end);
+            let mut client = RtimClient::connect(server.local_addr()).unwrap();
+            let dump = client.trace(1024, false).unwrap();
+            assert!(dump.events.is_empty(), "{front_end:?}");
+            assert!(dump.slow_ops.is_empty(), "{front_end:?}");
+            drop(client);
+            server.shutdown();
         }
     }
 

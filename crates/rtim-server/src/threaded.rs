@@ -26,8 +26,12 @@
 //! shutting down the registered peer sockets, joins the connection
 //! threads, then the caller drains the engine queue.
 
-use crate::protocol::{read_frame, write_frame, Frame, FrameError, PROTOCOL_VERSION};
-use rtim_core::{EngineMetrics, IngestError, IngestSender, SenderSpawner, SnapshotRequestError};
+use crate::protocol::{kind, read_frame, write_frame, Frame, FrameError, PROTOCOL_VERSION};
+use rtim_core::{
+    EngineMetrics, FlightRecorder, IngestError, IngestSender, SenderSpawner, SnapshotRequestError,
+    SpanCtx, TraceWriter,
+};
+use rtim_stream::trace::{TraceDump, TraceStage};
 use std::io::{BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -48,6 +52,13 @@ struct ServerShared {
     peers: Mutex<std::collections::HashMap<u64, TcpStream>>,
     /// Connection-churn and backpressure counters for `/metrics`.
     metrics: Arc<EngineMetrics>,
+    /// The engine's flight recorder when tracing is enabled.  Connection
+    /// threads are unbounded here, so instead of one ring lane each they
+    /// share a single mutex-serialized writer — coarser than the event
+    /// loop (this front-end is the deprecated baseline), but spans still
+    /// flow and `TRACE` is answered inline.
+    recorder: Option<Arc<FlightRecorder>>,
+    tracer: Option<Mutex<TraceWriter>>,
 }
 
 /// The running thread-per-connection front-end: acceptor thread plus one
@@ -65,12 +76,16 @@ impl ThreadedRuntime {
         spawner: SenderSpawner,
         capacity: u32,
         metrics: Arc<EngineMetrics>,
+        recorder: Option<Arc<FlightRecorder>>,
     ) -> ThreadedRuntime {
+        let tracer = recorder.as_ref().map(|r| Mutex::new(r.writer()));
         let shared = Arc::new(ServerShared {
             shutting_down: AtomicBool::new(false),
             capacity,
             peers: Mutex::new(std::collections::HashMap::new()),
             metrics,
+            recorder,
+            tracer,
         });
         let connections: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
         let acceptor = {
@@ -148,7 +163,7 @@ fn accept_loop(
         let thread = std::thread::Builder::new()
             .name("rtim-conn".into())
             .spawn(move || {
-                let wake = connection_loop(stream, sender, &conn_shared);
+                let wake = connection_loop(stream, sender, conn_id, &conn_shared);
                 conn_shared.metrics.incr_connection_closed();
                 conn_shared
                     .peers
@@ -171,8 +186,14 @@ fn accept_loop(
 fn connection_loop(
     stream: TcpStream,
     mut sender: IngestSender,
+    conn_id: u64,
     shared: &ServerShared,
 ) -> Option<SocketAddr> {
+    let sample = shared
+        .recorder
+        .as_ref()
+        .map_or(0u64, |r| u64::from(r.config().sample));
+    let mut trace_seq = 0u64;
     let local = stream.local_addr().ok();
     let Ok(read_half) = stream.try_clone() else {
         return None;
@@ -227,6 +248,11 @@ fn connection_loop(
                 continue;
             }
         };
+        // Coarse span for this front-end: requests are served strictly
+        // one at a time, so the span starts at frame receipt (no separate
+        // readable→parsed stage) and the reply drain is the write below.
+        let t_frame = shared.recorder.as_ref().map_or(0, |r| r.now_nanos());
+        let mut drain_span: Option<SpanCtx> = None;
         let reply = match frame {
             Frame::Ingest { actions, corr } => {
                 if shared.shutting_down.load(Ordering::Acquire) {
@@ -236,7 +262,25 @@ fn connection_loop(
                     }
                 } else {
                     let count = actions.len() as u64;
-                    match sender.try_ingest(actions) {
+                    let span = if shared.recorder.is_some() {
+                        let seq = trace_seq;
+                        trace_seq += 1;
+                        SpanCtx {
+                            conn: conn_id,
+                            corr: corr.unwrap_or(u32::MAX),
+                            kind: kind::INGEST,
+                            sampled: sample > 0 && seq.is_multiple_of(sample),
+                            start_nanos: t_frame,
+                            parse_nanos: 0,
+                            enqueue_nanos: t_frame,
+                        }
+                    } else {
+                        SpanCtx::default()
+                    };
+                    if span.sampled {
+                        drain_span = Some(span);
+                    }
+                    match sender.try_ingest_traced(actions, span) {
                         Ok(()) => Frame::Ack {
                             accepted: count,
                             queue_depth: sender.queue_depth() as u32,
@@ -296,14 +340,40 @@ fn connection_loop(
                 );
                 return local;
             }
+            Frame::Trace {
+                max_events,
+                slow_only,
+            } => {
+                // Answered inline from the recorder — purely passive, no
+                // engine work enqueued (see the event-loop counterpart).
+                let dump = match &shared.recorder {
+                    Some(recorder) => recorder
+                        .dump(
+                            max_events.min(crate::event_loop::TRACE_DUMP_MAX_EVENTS) as usize,
+                            slow_only,
+                        )
+                        .encode(),
+                    None => TraceDump::default().encode(),
+                };
+                Frame::TraceReply { dump }
+            }
             // Reply frames arriving from a confused client.
             other => Frame::Error {
                 message: format!("unexpected client frame: {other:?}"),
                 corr: None,
             },
         };
+        let t_reply = match (&drain_span, &shared.recorder) {
+            (Some(_), Some(recorder)) => recorder.now_nanos(),
+            _ => 0,
+        };
         if write_frame(&mut writer, &reply).is_err() {
             return None;
+        }
+        if let (Some(span), Some(tracer)) = (drain_span, &shared.tracer) {
+            let mut tracer = tracer.lock().expect("tracer poisoned");
+            let drained = tracer.now_nanos().saturating_sub(t_reply);
+            tracer.span(TraceStage::ReplyDrain.code(), span.conn, span.corr, drained, 0);
         }
     }
 }

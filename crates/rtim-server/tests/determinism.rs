@@ -176,11 +176,13 @@ fn threaded_baseline_matches_offline_replay() {
     run_case(1, 5, 10_000, FrontEnd::ThreadPerConnection, 1);
 }
 
-/// A `/metrics` scraper hammering the sidecar concurrently with a
-/// 256-connection ingest must not perturb served-answer bit-identity:
-/// scraping only reads the shared registry (it never enqueues an engine
-/// command), so the journaled arrival order — and therefore the final
-/// answer — replays offline bit for bit, exactly as without the scraper.
+/// A `/metrics` + `/trace` scraper hammering the sidecar concurrently
+/// with a 256-connection ingest — tracing enabled at sample rate 1, so
+/// *every* frame is recorded — must not perturb served-answer
+/// bit-identity: scraping and trace dumps only read shared state (they
+/// never enqueue an engine command), so the journaled arrival order —
+/// and therefore the final answer — replays offline bit for bit, exactly
+/// as without the scraper or the recorder.
 #[test]
 fn scraping_does_not_perturb_bit_identity_under_256_connections() {
     use std::io::{Read as _, Write as _};
@@ -197,25 +199,36 @@ fn scraping_does_not_perturb_bit_identity_under_256_connections() {
             .with_journal(true)
             .with_queue_capacity(16)
             .with_event_loop_threads(2)
-            .with_metrics("127.0.0.1:0"),
+            .with_metrics("127.0.0.1:0")
+            .with_tracing(rtim_core::TraceConfig::sampled(1, 0)),
     )
     .unwrap();
     let addr = server.local_addr();
     let scrape_addr = server.metrics_addr().unwrap();
 
-    // The scraper races the whole ingest, as fast as it can reconnect.
+    // The scraper races the whole ingest, as fast as it can reconnect,
+    // alternating the registry scrape with a flight-recorder dump.
     let done = Arc::new(AtomicBool::new(false));
     let scraper = {
         let done = Arc::clone(&done);
         std::thread::spawn(move || {
             let mut scrapes = 0u64;
             while !done.load(Ordering::Acquire) {
+                let request: &[u8] = if scrapes.is_multiple_of(2) {
+                    b"GET /metrics HTTP/1.0\r\n\r\n"
+                } else {
+                    b"GET /trace?max=256 HTTP/1.0\r\n\r\n"
+                };
                 let mut conn = std::net::TcpStream::connect(scrape_addr).unwrap();
-                conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+                conn.write_all(request).unwrap();
                 let mut response = String::new();
                 conn.read_to_string(&mut response).unwrap();
                 assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
-                assert!(response.contains("rtim_feed_nanos"), "{response}");
+                if scrapes.is_multiple_of(2) {
+                    assert!(response.contains("rtim_feed_nanos"), "{response}");
+                } else {
+                    assert!(response.contains("\"type\":\"totals\""), "{response}");
+                }
                 scrapes += 1;
             }
             scrapes

@@ -29,6 +29,8 @@
 //! (`RTAJ`) of ingest batches with its segmented rotation/compaction layer
 //! [`persist::segjournal`], and the deterministic fault-injection I/O
 //! layer [`persist::faultfs`] every durability file op flows through.
+//! The flight-recorder dump codec (`RTTR`) lives in [`trace`], next to
+//! its sibling stream codecs.
 //!
 //! The hot-path word loops live in [`kernels`] (unrolled, with an optional
 //! stable-`std::arch` SIMD path behind the `simd` feature) and slide-time
@@ -50,6 +52,7 @@ pub mod kernels;
 pub mod persist;
 pub mod propagation;
 pub mod stream;
+pub mod trace;
 pub mod window;
 
 pub use action::{Action, ActionId, Timestamp, UserId};
@@ -70,4 +73,8 @@ pub use persist::{
 };
 pub use propagation::{PropagationIndex, PropagationStats};
 pub use stream::{ActionBatchIter, SocialStream, StreamStats};
+pub use trace::{
+    SlowOp, TraceCodecError, TraceDump, TraceEvent, TraceStage, SLOW_STAGES, STAGE_COUNT,
+    TRACE_EVENT_BYTES,
+};
 pub use window::{SlideOutcome, SlidingWindow};
